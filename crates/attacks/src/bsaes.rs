@@ -1,0 +1,327 @@
+//! The end-to-end silent-store attack on bitsliced AES-128 (§V-A3,
+//! Fig 6).
+//!
+//! Scenario (cloud threat model): a server worker thread encrypts
+//! requests on a shared stack. The victim's encryption leaves the eight
+//! 16-bit final-SubBytes slices in fixed stack slots; the attacker then
+//! triggers its *own* encryption (with its own key and a **chosen
+//! plaintext**) whose corresponding spill store overwrites a slot —
+//! silently iff the attacker's slice value equals the victim's. The
+//! amplification gadget turns that single store's silence into a
+//! >100-cycle runtime difference the attacker can observe per request.
+//!
+//! Because the attacker knows its own key it can run the cipher
+//! backwards (chosen-plaintext inversion) to make its slice equal any
+//! 16-bit guess, giving an equality oracle per experiment: at most
+//! 65 536 guesses per slice, 8 × 65 536 = 524 288 total (§V-A3).
+//! Recovering all eight slices reconstructs the state after the final
+//! SubBytes; with the victim's (public) ciphertext that yields the
+//! round-10 key, and the key schedule inverts to the master key.
+
+use pandora_crypto::aes_ref;
+use pandora_crypto::bitslice::{self, Slices};
+use pandora_crypto::codegen::{emit_encrypt, BsaesLayout, SpillHook};
+use pandora_crypto::{Block, RoundKeys};
+use pandora_isa::{Asm, Program};
+use pandora_sim::{Machine, OptConfig, SimConfig};
+
+use crate::amplify::{AmplifyGadget, FlushKind};
+use crate::util::precondition_noise;
+
+/// Address map of the attack scenario.
+const VICTIM_BASE: u64 = 0x1_0000;
+const ATTACKER_AUX: u64 = 0x6_0000;
+const DELAY_ADDR: u64 = 0x8_0000;
+/// Noise preconditioning randomly pre-warms lines of the victim's own
+/// working set, so per-trial timings vary the way co-tenant cache
+/// pressure varies them in the paper's experiment.
+const NOISE_BASE: u64 = VICTIM_BASE;
+const NOISE_SPAN: u64 = 0x800;
+
+/// One measured experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunOutcome {
+    /// End-to-end cycles (victim request + attacker request).
+    pub cycles: u64,
+    /// The victim's ciphertext (public output the attacker sees).
+    pub victim_ct: Block,
+}
+
+/// The configured attack: keys, target slice, layouts, gadget.
+#[derive(Clone, Debug)]
+pub struct BsaesAttack {
+    cfg: SimConfig,
+    victim_rk: RoundKeys,
+    attacker_rk: RoundKeys,
+    victim_pt: Block,
+    target_slice: usize,
+    lay_victim: BsaesLayout,
+    lay_attacker: BsaesLayout,
+    gadget: AmplifyGadget,
+    /// Nominal slice values the chosen plaintext keeps fixed in the
+    /// non-target positions.
+    nominal: Slices,
+    /// The two-request program, built once.
+    program: Program,
+}
+
+impl BsaesAttack {
+    /// Configures the attack against `victim_key`; the victim is
+    /// assumed to repeatedly encrypt the public `victim_pt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_slice >= 8`.
+    #[must_use]
+    pub fn new(
+        victim_key: Block,
+        attacker_key: Block,
+        victim_pt: Block,
+        target_slice: usize,
+    ) -> BsaesAttack {
+        assert!(target_slice < 8, "BSAES spills eight slices");
+        let cfg = SimConfig::with_opts(OptConfig::with_silent_stores());
+        let lay_victim = BsaesLayout::at(VICTIM_BASE);
+        // The attacker request reuses the same worker stack
+        // (state/scratch/spill) but has its own key and buffers.
+        let lay_attacker = BsaesLayout {
+            rk: ATTACKER_AUX,
+            pt: ATTACKER_AUX + 704,
+            ct: ATTACKER_AUX + 704 + 16,
+            ..lay_victim
+        };
+        let target_addr = lay_victim.spill_slot(target_slice);
+        let gadget = AmplifyGadget::new(&cfg, target_addr, DELAY_ADDR, FlushKind::Contention);
+        let attacker_rk = RoundKeys::expand(&attacker_key);
+        let nominal = bitslice::final_subbytes_slices(&attacker_rk, &[0u8; 16]);
+        let program = BsaesAttack::build_program_for(&lay_victim, &lay_attacker, target_slice, &gadget);
+        BsaesAttack {
+            cfg,
+            victim_rk: RoundKeys::expand(&victim_key),
+            attacker_rk,
+            victim_pt,
+            target_slice,
+            lay_victim,
+            lay_attacker,
+            gadget,
+            nominal,
+            program,
+        }
+    }
+
+    /// The machine configuration (silent stores enabled).
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The slice index under attack.
+    #[must_use]
+    pub fn target_slice(&self) -> usize {
+        self.target_slice
+    }
+
+    /// The victim's true slice value — *ground truth for experiment
+    /// validation only*; the attack itself never reads it.
+    #[must_use]
+    pub fn true_slice_value(&self) -> u16 {
+        bitslice::final_subbytes_slices(&self.victim_rk, &self.victim_pt)[self.target_slice]
+    }
+
+    /// The chosen plaintext that makes the attacker's target slice
+    /// equal `guess` (other slices pinned to the nominal values).
+    #[must_use]
+    pub fn plaintext_for_guess(&self, guess: u16) -> Block {
+        let mut target = self.nominal;
+        target[self.target_slice] = guess;
+        aes_ref::plaintext_for_final_subbytes(&self.attacker_rk, &bitslice::unbitslice(&target))
+    }
+
+    /// Builds the two-request program: victim encryption (no gadget),
+    /// then attacker encryption with the amplification gadget on the
+    /// target spill store.
+    fn build_program_for(
+        lay_victim: &BsaesLayout,
+        lay_attacker: &BsaesLayout,
+        target: usize,
+        gadget: &AmplifyGadget,
+    ) -> Program {
+        let mut a = Asm::new();
+        emit_encrypt(&mut a, lay_victim, |_, _, _| {});
+        emit_encrypt(&mut a, lay_attacker, |asm, point, k| {
+            if k == target {
+                match point {
+                    SpillHook::Before => gadget.emit(asm),
+                    SpillHook::After => gadget.emit_pressure(asm),
+                }
+            }
+        });
+        a.halt();
+        a.assemble().expect("attack program assembles")
+    }
+
+    /// Runs one experiment with the given attacker plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails — a harness bug.
+    #[must_use]
+    pub fn run_with_plaintext(&self, attacker_pt: &Block, noise_seed: Option<u64>) -> RunOutcome {
+        let mut m = Machine::new(self.cfg);
+        m.load_program(&self.program);
+        let mem = m.mem_mut();
+        mem.write_bytes(
+            self.lay_victim.rk,
+            &BsaesLayout::round_key_bytes(&self.victim_rk),
+        )
+        .expect("victim layout in memory");
+        mem.write_bytes(
+            self.lay_attacker.rk,
+            &BsaesLayout::round_key_bytes(&self.attacker_rk),
+        )
+        .expect("attacker layout in memory");
+        mem.write_bytes(self.lay_victim.pt, &self.victim_pt)
+            .expect("victim plaintext in memory");
+        mem.write_bytes(self.lay_attacker.pt, attacker_pt)
+            .expect("attacker plaintext in memory");
+        self.gadget.setup_memory(mem);
+        if let Some(seed) = noise_seed {
+            precondition_noise(&mut m, seed, 4, NOISE_BASE, NOISE_SPAN);
+        }
+        m.run(50_000_000).expect("attack program completes");
+        let mut victim_ct = [0u8; 16];
+        victim_ct.copy_from_slice(m.mem().read_bytes(self.lay_victim.ct, 16).expect("ct"));
+        RunOutcome {
+            cycles: m.stats().cycles,
+            victim_ct,
+        }
+    }
+
+    /// Measures one guess: runtime of the experiment with the chosen
+    /// plaintext for `guess`.
+    #[must_use]
+    pub fn measure_guess(&self, guess: u16, noise_seed: Option<u64>) -> RunOutcome {
+        self.run_with_plaintext(&self.plaintext_for_guess(guess), noise_seed)
+    }
+
+    /// Recovers the target slice by measuring every guess in `guesses`
+    /// and returning the one with the minimum runtime, provided it is
+    /// separated from the rest by `min_gap` cycles.
+    ///
+    /// A full search covers `0..=u16::MAX` (the paper's 65 536
+    /// experiments per slice); tests and examples pass a window
+    /// containing the true value to bound running time.
+    #[must_use]
+    pub fn recover_slice(
+        &self,
+        guesses: impl IntoIterator<Item = u16>,
+        min_gap: u64,
+    ) -> Option<u16> {
+        let mut best: Option<(u16, u64)> = None;
+        let mut second: Option<u64> = None;
+        for g in guesses {
+            let t = self.measure_guess(g, None).cycles;
+            match best {
+                None => best = Some((g, t)),
+                Some((_, bt)) if t < bt => {
+                    second = Some(bt);
+                    best = Some((g, t));
+                }
+                Some(_) => {
+                    second = Some(second.map_or(t, |s| s.min(t)));
+                }
+            }
+        }
+        let (g, t) = best?;
+        match second {
+            Some(s) if s >= t + min_gap => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The full key-recovery pipeline over per-slice guess windows:
+    /// recover all eight slices, rebuild the final-SubBytes state,
+    /// derive the round-10 key from the victim ciphertext, and invert
+    /// the key schedule.
+    ///
+    /// `window` maps each slice index to the guesses to try.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)]
+    pub fn recover_key(
+        &self,
+        window: impl Fn(usize) -> Vec<u16>,
+        min_gap: u64,
+    ) -> Option<Block> {
+        let mut slices = [0u16; 8];
+        let mut victim_ct = None;
+        for k in 0..8 {
+            let per_slice = BsaesAttack::new(
+                self.victim_rk.master_key(),
+                self.attacker_rk.master_key(),
+                self.victim_pt,
+                k,
+            );
+            let g = per_slice.recover_slice(window(k), min_gap)?;
+            slices[k] = g;
+            if victim_ct.is_none() {
+                victim_ct = Some(per_slice.measure_guess(g, None).victim_ct);
+            }
+        }
+        let state = bitslice::unbitslice(&slices);
+        let k10 = aes_ref::round10_key_from_leak(&state, &victim_ct?);
+        Some(RoundKeys::from_round10(&k10).master_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> (Block, Block, Block) {
+        let victim_key: Block = std::array::from_fn(|i| (i * 13 + 7) as u8);
+        let attacker_key: Block = std::array::from_fn(|i| (i * 31 + 5) as u8);
+        let victim_pt: Block = std::array::from_fn(|i| (i * 3) as u8);
+        (victim_key, attacker_key, victim_pt)
+    }
+
+    #[test]
+    fn chosen_plaintext_pins_the_target_slice() {
+        let (vk, ak, vpt) = keys();
+        let atk = BsaesAttack::new(vk, ak, vpt, 3);
+        let pt = atk.plaintext_for_guess(0xBEEF);
+        let slices = bitslice::final_subbytes_slices(&RoundKeys::expand(&ak), &pt);
+        assert_eq!(slices[3], 0xBEEF);
+    }
+
+    #[test]
+    fn correct_guess_is_measurably_faster() {
+        let (vk, ak, vpt) = keys();
+        let atk = BsaesAttack::new(vk, ak, vpt, 0);
+        let truth = atk.true_slice_value();
+        let hit = atk.measure_guess(truth, None).cycles;
+        let miss = atk.measure_guess(truth ^ 0x1234, None).cycles;
+        assert!(
+            hit + 100 <= miss,
+            "amplified single-store difference: hit={hit} miss={miss}"
+        );
+    }
+
+    #[test]
+    fn recover_slice_from_window() {
+        let (vk, ak, vpt) = keys();
+        let atk = BsaesAttack::new(vk, ak, vpt, 5);
+        let truth = atk.true_slice_value();
+        let lo = truth.saturating_sub(4);
+        let window: Vec<u16> = (0..12).map(|d| lo.wrapping_add(d)).collect();
+        assert_eq!(atk.recover_slice(window, 60), Some(truth));
+    }
+
+    #[test]
+    fn recovery_fails_gracefully_when_truth_not_in_window() {
+        let (vk, ak, vpt) = keys();
+        let atk = BsaesAttack::new(vk, ak, vpt, 2);
+        let truth = atk.true_slice_value();
+        let window: Vec<u16> = (0..8).map(|d| truth.wrapping_add(100 + d)).collect();
+        assert_eq!(atk.recover_slice(window, 60), None, "no clear winner");
+    }
+}

@@ -1,0 +1,206 @@
+//! Proofs of concept for the *stateful* classes (§IV-C, §IV-D1):
+//! computation reuse, value prediction, and register-file compression.
+//!
+//! All three share one leakage shape (§IV-C4): the optimization fires
+//! on **equality** between an in-flight value and a value captured in
+//! microarchitectural or architectural state. An active attacker who
+//! controls one side gets a chosen-equality oracle and can replay it
+//! with different choices to learn a private value exactly.
+
+use pandora_isa::{AluOp, Reg};
+use pandora_sim::{OptConfig, ReuseKey, RfcMatch, SimConfig};
+
+use crate::util::{assemble, run_machine};
+
+/// Addresses used by the oracles.
+const GUESS_ADDR: u64 = 0x1_0000;
+const SECRET_ADDR: u64 = 0x1_0008;
+const PTRS_ADDR: u64 = 0x2_0000;
+
+/// Times the computation-reuse equality oracle: a loop whose single
+/// static multiply alternates between attacker-known operands (the
+/// *priming* instance) and the victim's private operand. If the values
+/// are equal, the memoization table hits every iteration; if not, the
+/// PC-indexed entry thrashes and every multiply pays full latency.
+///
+/// Returns total cycles; `key` selects the Sv (values) or Sn (register
+/// ids) table flavour — the §VI-A3 defense comparison.
+#[must_use]
+pub fn reuse_equality_cycles(secret: u64, guess: u64, key: ReuseKey) -> u64 {
+    let mut opts = OptConfig::baseline();
+    opts.comp_reuse = true;
+    opts.reuse_key = key;
+    let cfg = SimConfig::with_opts(opts);
+    let prog = assemble(|a| {
+        // S0 flips between the two operand sources each iteration.
+        a.li(Reg::S0, GUESS_ADDR);
+        a.li(Reg::S1, GUESS_ADDR ^ SECRET_ADDR);
+        a.li(Reg::S2, 77); // public co-operand
+        a.li(Reg::T6, 200);
+        a.label("l");
+        a.ld(Reg::A0, Reg::S0, 0); // operand (guess or secret)
+        a.mul(Reg::A1, Reg::A0, Reg::S2); // the single static multiply
+        // Fold the multiply into the loop-carried chain (A1 ^ A1 = 0)
+        // so its latency — full on a miss, bypassed on a reuse hit —
+        // is on the critical path.
+        a.xor(Reg::T5, Reg::A1, Reg::A1);
+        a.xor(Reg::S0, Reg::S0, Reg::S1); // alternate source
+        a.add(Reg::S0, Reg::S0, Reg::T5);
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "l");
+    });
+    let mut m = pandora_sim::Machine::new(cfg);
+    m.load_program(&prog);
+    m.mem_mut().write_u64(GUESS_ADDR, guess).expect("in memory");
+    m.mem_mut()
+        .write_u64(SECRET_ADDR, secret)
+        .expect("in memory");
+    m.run(10_000_000).expect("oracle completes");
+    m.stats().cycles
+}
+
+/// Times the value-prediction equality oracle: one static load walks a
+/// pointer table that mostly points at the attacker's training value
+/// and periodically at the victim's secret. When `secret == guess` the
+/// predictor stays correct; otherwise every encounter with the secret
+/// squashes the pipeline.
+#[must_use]
+pub fn vp_equality_cycles(secret: u64, guess: u64) -> u64 {
+    let mut opts = OptConfig::baseline();
+    opts.value_pred = true;
+    opts.vp_confidence = 2;
+    let cfg = SimConfig::with_opts(opts);
+    const PTRS: usize = 16;
+    let prog = assemble(|a| {
+        a.li(Reg::T6, 30); // outer trips
+        a.label("outer");
+        a.li(Reg::S0, 0); // j
+        a.label("inner");
+        a.slli(Reg::T5, Reg::S0, 3);
+        a.li(Reg::S3, PTRS_ADDR);
+        a.add(Reg::T5, Reg::T5, Reg::S3);
+        a.ld(Reg::A0, Reg::T5, 0); // p = ptrs[j]
+        a.ld(Reg::A1, Reg::A0, 0); // v = *p  <- the predicted load
+        a.addi(Reg::S0, Reg::S0, 1);
+        a.li(Reg::T4, PTRS as u64);
+        a.bltu(Reg::S0, Reg::T4, "inner");
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "outer");
+    });
+    let mut m = pandora_sim::Machine::new(cfg);
+    m.load_program(&prog);
+    m.mem_mut().write_u64(GUESS_ADDR, guess).expect("in memory");
+    m.mem_mut()
+        .write_u64(SECRET_ADDR, secret)
+        .expect("in memory");
+    for j in 0..PTRS as u64 {
+        // Slot 11 points at the secret; everything else trains.
+        let target = if j == 11 { SECRET_ADDR } else { GUESS_ADDR };
+        m.mem_mut()
+            .write_u64(PTRS_ADDR + 8 * j, target)
+            .expect("in memory");
+    }
+    m.run(10_000_000).expect("oracle completes");
+    m.stats().cycles
+}
+
+/// Times the register-file-compression equality oracle (0/1 variant):
+/// a register-hungry victim loop computes `secret XOR input` — a
+/// textbook constant-time comparison — into fresh destinations. When
+/// the values are equal the results are zero, compress, and relieve
+/// rename pressure; the loop runs measurably faster.
+#[must_use]
+pub fn rfc_equality_cycles(secret: u64, input: u64, match_kind: RfcMatch) -> u64 {
+    let mut cfg = SimConfig::default();
+    cfg.opts.rf_compress = true;
+    cfg.opts.rfc_match = match_kind;
+    cfg.pipeline.prf_size = 36; // tight file: rename is the bottleneck
+    let prog = assemble(|a| {
+        a.li(Reg::S0, secret);
+        a.li(Reg::S1, input);
+        a.li(Reg::T6, 300);
+        a.label("l");
+        for rd in [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5] {
+            a.alu(AluOp::Xor, rd, Reg::S0, Reg::S1);
+        }
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "l");
+    });
+    run_machine(cfg, &prog).stats().cycles
+}
+
+/// Recovers a byte-sized secret through any chosen-equality oracle by
+/// replaying it across the guess space (§IV-C4's replay analysis: 2^8
+/// experiments for a byte).
+pub fn recover_byte_by_replay(oracle: impl Fn(u64) -> u64) -> Option<u8> {
+    let timings: Vec<u64> = (0..=255u64).map(&oracle).collect();
+    let min = *timings.iter().min()?;
+    let max = *timings.iter().max()?;
+    if max < min + 50 {
+        return None; // no signal
+    }
+    let threshold = min + (max - min) / 2;
+    let hits: Vec<u8> = timings
+        .iter()
+        .enumerate()
+        .filter_map(|(g, &t)| (t < threshold).then_some(g as u8))
+        .collect();
+    match hits.as_slice() {
+        [b] => Some(*b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_sv_is_an_equality_oracle() {
+        let equal = reuse_equality_cycles(0xCAFE, 0xCAFE, ReuseKey::Values);
+        let diff = reuse_equality_cycles(0xCAFE, 0xBEEF, ReuseKey::Values);
+        assert!(
+            equal + 100 < diff,
+            "reuse hit vs thrash: {equal} vs {diff}"
+        );
+    }
+
+    #[test]
+    fn reuse_sn_closes_the_oracle() {
+        // §VI-A3: keying on register ids leaks only which instruction
+        // executes — timing no longer depends on operand equality.
+        let equal = reuse_equality_cycles(0xCAFE, 0xCAFE, ReuseKey::RegIds);
+        let diff = reuse_equality_cycles(0xCAFE, 0xBEEF, ReuseKey::RegIds);
+        assert_eq!(equal, diff);
+    }
+
+    #[test]
+    fn vp_is_an_equality_oracle() {
+        let equal = vp_equality_cycles(0x1111, 0x1111);
+        let diff = vp_equality_cycles(0x1111, 0x2222);
+        assert!(
+            equal + 200 < diff,
+            "squash storm on mismatch: {equal} vs {diff}"
+        );
+    }
+
+    #[test]
+    fn rfc_zero_one_leaks_comparison_outcomes() {
+        let equal = rfc_equality_cycles(0x42, 0x42, RfcMatch::ZeroOne);
+        // 0x42 ^ 0x40 = 2: *not* in the {0, 1} compressible set
+        // (0x42 ^ 0x43 = 1 would compress too!).
+        let diff = rfc_equality_cycles(0x42, 0x40, RfcMatch::ZeroOne);
+        assert!(
+            equal < diff,
+            "zero results compress and relieve rename pressure: {equal} vs {diff}"
+        );
+    }
+
+    #[test]
+    fn replay_recovers_a_byte_through_the_reuse_oracle() {
+        let secret = 0x5Au64;
+        let got =
+            recover_byte_by_replay(|g| reuse_equality_cycles(secret, g, ReuseKey::Values));
+        assert_eq!(got, Some(0x5A));
+    }
+}

@@ -1,0 +1,231 @@
+//! Proofs of concept for the *stateless instruction-centric* classes
+//! (§IV-B): computation simplification and pipeline compression.
+//!
+//! Each experiment runs a small constant-time-by-the-book victim loop
+//! on two machines differing only in the private data, and returns the
+//! cycle counts — the attacker's view. With the optimization enabled,
+//! timing becomes a function of operand *values* (zero-ness, magnitude,
+//! width), breaking the constant-time contract; with it disabled
+//! (baseline), the same programs take identical time.
+
+use pandora_isa::{AluOp, FpOp, Reg};
+use pandora_sim::{OptConfig, SimConfig};
+
+use crate::util::time_program;
+
+fn cs_config() -> SimConfig {
+    let mut opts = OptConfig::baseline();
+    opts.comp_simpl = true;
+    SimConfig::with_opts(opts)
+}
+
+/// Times a loop of multiplies `secret * attacker_operand` (zero/one
+/// skip, §IV-A2's running example). With a non-zero attacker operand,
+/// the runtime reveals whether the private operand is 0 or 1.
+#[must_use]
+pub fn zero_skip_mul_cycles(secret: u64, attacker_operand: u64, enabled: bool) -> u64 {
+    let cfg = if enabled {
+        cs_config()
+    } else {
+        SimConfig::default()
+    };
+    time_program(cfg, |a| {
+        a.li(Reg::S0, secret);
+        a.li(Reg::S1, attacker_operand);
+        a.li(Reg::T6, 200);
+        a.label("l");
+        a.mul(Reg::T1, Reg::S0, Reg::S1);
+        // Serialize the multiplies: thread a zero derived from the
+        // result (T1 ^ T1) back into the next multiply's operand, so
+        // skip vs no-skip latency is on the loop-carried critical path
+        // while the operand values stay fixed.
+        a.xor(Reg::T5, Reg::T1, Reg::T1);
+        a.add(Reg::S0, Reg::S0, Reg::T5);
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "l");
+    })
+}
+
+/// Times a loop of multiplies by the private operand where strength
+/// reduction fires for powers of two — the §VI-B continuous-optimization
+/// example: the attacker learns whether the private multiplier is a
+/// power of two from latency/port usage.
+#[must_use]
+pub fn strength_reduction_cycles(secret: u64, enabled: bool) -> u64 {
+    let cfg = if enabled {
+        cs_config()
+    } else {
+        SimConfig::default()
+    };
+    time_program(cfg, |a| {
+        a.li(Reg::S0, secret);
+        a.li(Reg::S1, 0x1234_5679); // public non-power-of-two co-operand
+        a.li(Reg::T6, 200);
+        a.label("l");
+        a.mul(Reg::T1, Reg::S1, Reg::S0);
+        a.xor(Reg::T5, Reg::T1, Reg::T1);
+        a.add(Reg::S1, Reg::S1, Reg::T5);
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "l");
+    })
+}
+
+/// Times a loop of divides by a fixed odd divisor: with early-exit
+/// division the latency tracks the dividend's magnitude (msb leak).
+#[must_use]
+pub fn early_exit_div_cycles(dividend: u64, enabled: bool) -> u64 {
+    let cfg = if enabled {
+        cs_config()
+    } else {
+        SimConfig::default()
+    };
+    time_program(cfg, |a| {
+        a.li(Reg::S0, dividend);
+        a.li(Reg::S1, 7);
+        a.li(Reg::T6, 200);
+        a.label("l");
+        a.divu(Reg::T1, Reg::S0, Reg::S1);
+        // Same serialization trick as the multiply oracle.
+        a.xor(Reg::T5, Reg::T1, Reg::T1);
+        a.add(Reg::S0, Reg::S0, Reg::T5);
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "l");
+    })
+}
+
+/// Times a loop of floating-point multiplies: the subnormal slow path
+/// (Andrysco et al.) leaks whether the private operand is subnormal.
+#[must_use]
+pub fn fp_subnormal_cycles(operand_bits: u64, enabled: bool) -> u64 {
+    let cfg = if enabled {
+        let mut opts = OptConfig::baseline();
+        opts.fp_subnormal = true;
+        SimConfig::with_opts(opts)
+    } else {
+        SimConfig::default()
+    };
+    time_program(cfg, |a| {
+        a.li(Reg::S0, operand_bits);
+        a.li(Reg::S1, 1.5f64.to_bits());
+        a.li(Reg::T6, 100);
+        a.label("l");
+        a.fp(FpOp::Mul, Reg::T1, Reg::S0, Reg::S1);
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "l");
+    })
+}
+
+/// Times a loop of *independent* additions on the private value:
+/// operand packing doubles ALU throughput exactly when the private
+/// operands are narrow (msb < 16), leaking the value's width.
+///
+/// `retrofit_msb` applies the §VI-A2 software mitigation: OR a 1 into a
+/// high bit of every operand so nothing is ever narrow.
+#[must_use]
+pub fn operand_packing_cycles(secret: u64, enabled: bool, retrofit_msb: bool) -> u64 {
+    let cfg = if enabled {
+        let mut opts = OptConfig::baseline();
+        opts.operand_packing = true;
+        SimConfig::with_opts(opts)
+    } else {
+        SimConfig::default()
+    };
+    time_program(cfg, |a| {
+        a.li(Reg::S0, secret);
+        a.li(Reg::S1, 3);
+        if retrofit_msb {
+            // Software retrofit: force every operand wide.
+            a.li(Reg::T5, 1 << 16);
+            a.or(Reg::S0, Reg::S0, Reg::T5);
+            a.or(Reg::S1, Reg::S1, Reg::T5);
+        }
+        a.li(Reg::T6, 200);
+        a.label("l");
+        // Four independent adds per iteration compete for two ALU ports.
+        for rd in [Reg::A0, Reg::A1, Reg::A2, Reg::A3] {
+            a.alu(AluOp::Add, rd, Reg::S0, Reg::S1);
+        }
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "l");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_skip_leaks_zeroness_only_when_enabled() {
+        let zero = zero_skip_mul_cycles(0, 5, true);
+        let nonzero = zero_skip_mul_cycles(1234, 5, true);
+        assert!(
+            zero + 100 < nonzero,
+            "skip must be visible: {zero} vs {nonzero}"
+        );
+        // Baseline machine: constant time.
+        assert_eq!(
+            zero_skip_mul_cycles(0, 5, false),
+            zero_skip_mul_cycles(1234, 5, false)
+        );
+    }
+
+    #[test]
+    fn attacker_zero_operand_masks_the_leak() {
+        // §IV-A2: if the attacker-controlled operand is 0, the skip is a
+        // function of public information only.
+        assert_eq!(
+            zero_skip_mul_cycles(0, 0, true),
+            zero_skip_mul_cycles(1234, 0, true)
+        );
+    }
+
+    #[test]
+    fn strength_reduction_leaks_power_of_two_ness() {
+        let pow2 = strength_reduction_cycles(64, true);
+        let other = strength_reduction_cycles(63, true);
+        assert!(
+            pow2 + 100 < other,
+            "shift vs full multiply: {pow2} vs {other}"
+        );
+        assert_eq!(
+            strength_reduction_cycles(64, false),
+            strength_reduction_cycles(63, false)
+        );
+    }
+
+    #[test]
+    fn early_exit_div_leaks_magnitude() {
+        let small = early_exit_div_cycles(0xff, true);
+        let big = early_exit_div_cycles(u64::MAX / 3, true);
+        assert!(small < big, "{small} vs {big}");
+        assert_eq!(
+            early_exit_div_cycles(0xff, false),
+            early_exit_div_cycles(u64::MAX / 3, false)
+        );
+    }
+
+    #[test]
+    fn fp_subnormal_leaks_operand_class() {
+        let sub = fp_subnormal_cycles(1, true); // smallest subnormal
+        let normal = fp_subnormal_cycles(1.0f64.to_bits(), true);
+        assert!(normal + 100 < sub, "slow path: {sub} vs normal {normal}");
+        assert_eq!(
+            fp_subnormal_cycles(1, false),
+            fp_subnormal_cycles(1.0f64.to_bits(), false)
+        );
+    }
+
+    #[test]
+    fn packing_leaks_operand_width() {
+        let narrow = operand_packing_cycles(0x1234, true, false);
+        let wide = operand_packing_cycles(0x1_0000_0000, true, false);
+        assert!(
+            narrow + 50 < wide,
+            "packing doubles throughput for narrow: {narrow} vs {wide}"
+        );
+        assert_eq!(
+            operand_packing_cycles(0x1234, false, false),
+            operand_packing_cycles(0x1_0000_0000, false, false)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared harness utilities: building and timing victim programs.
+
+use pandora_isa::{Asm, Program};
+use pandora_sim::{Machine, SimConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Assembles a program from a builder closure, appending `halt`.
+///
+/// # Panics
+///
+/// Panics if the program fails to assemble — a harness bug.
+#[must_use]
+pub fn assemble(build: impl FnOnce(&mut Asm)) -> Program {
+    let mut a = Asm::new();
+    build(&mut a);
+    a.halt();
+    a.assemble().expect("harness programs assemble")
+}
+
+/// Runs `prog` on a fresh machine and returns total cycles to halt.
+///
+/// # Panics
+///
+/// Panics if the program fails to complete — a harness bug.
+#[must_use]
+pub fn run_cycles(cfg: SimConfig, prog: &Program) -> u64 {
+    run_machine(cfg, prog).stats().cycles
+}
+
+/// Runs `prog` on a fresh machine and returns the finished machine.
+///
+/// # Panics
+///
+/// Panics if the program fails to complete — a harness bug.
+#[must_use]
+pub fn run_machine(cfg: SimConfig, prog: &Program) -> Machine {
+    let mut m = Machine::new(cfg);
+    m.load_program(prog);
+    m.run(200_000_000).expect("harness program completes");
+    m
+}
+
+/// Builds and times a program in one step.
+#[must_use]
+pub fn time_program(cfg: SimConfig, build: impl FnOnce(&mut Asm)) -> u64 {
+    run_cycles(cfg, &assemble(build))
+}
+
+/// Pre-touches `n` pseudo-random cache lines in `[base, base + span)` —
+/// the cache-state noise injected between Fig 6 trials.
+pub fn precondition_noise(m: &mut Machine, seed: u64, n: usize, base: u64, span: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..n {
+        let addr = base + rng.gen_range(0..span / 64) * 64;
+        m.hierarchy_mut().prefetch(addr, pandora_sim::PrefetchFill::AllLevels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_isa::Reg;
+
+    #[test]
+    fn time_program_returns_cycles() {
+        let t = time_program(SimConfig::default(), |a| {
+            a.li(Reg::T0, 100);
+            a.label("l");
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, "l");
+        });
+        assert!(t > 100);
+    }
+
+    #[test]
+    fn noise_fills_lines_deterministically() {
+        let prog = assemble(|a| {
+            a.nop();
+        });
+        let mut m1 = Machine::new(SimConfig::default());
+        m1.load_program(&prog);
+        precondition_noise(&mut m1, 7, 50, 0x10_0000, 0x1_0000);
+        let mut m2 = Machine::new(SimConfig::default());
+        m2.load_program(&prog);
+        precondition_noise(&mut m2, 7, 50, 0x10_0000, 0x1_0000);
+        for i in 0..(0x1_0000 / 64) {
+            let a = 0x10_0000 + i * 64;
+            assert_eq!(m1.hierarchy().in_l1(a), m2.hierarchy().in_l1(a));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Criterion benches: cost of the simulator and of each attack
+//! primitive. These complement the per-figure binaries (which report
+//! the *paper's* numbers); here we measure the *harness's* throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pandora_attacks::stateful::reuse_equality_cycles;
+use pandora_attacks::stateless::zero_skip_mul_cycles;
+use pandora_attacks::BsaesAttack;
+use pandora_channels::CovertChannel;
+use pandora_crypto::codegen::{emit_encrypt, BsaesLayout};
+use pandora_crypto::{aes_ref, RoundKeys};
+use pandora_isa::{Asm, Reg};
+use pandora_sim::{Machine, ReuseKey, SimConfig};
+
+/// Simulator throughput on a tight arithmetic loop.
+fn sim_loop(c: &mut Criterion) {
+    let mut a = Asm::new();
+    a.li(Reg::T0, 10_000);
+    a.label("l");
+    a.addi(Reg::T1, Reg::T1, 3);
+    a.xor(Reg::T2, Reg::T2, Reg::T1);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "l");
+    a.halt();
+    let prog = a.assemble().unwrap();
+    c.bench_function("sim/40k-instruction loop", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(SimConfig::default());
+            m.load_program(&prog);
+            black_box(m.run(10_000_000).unwrap());
+        });
+    });
+}
+
+/// One full BSAES encryption on the simulator.
+fn bsaes_encrypt(c: &mut Criterion) {
+    let lay = BsaesLayout::at(0x1_0000);
+    let mut a = Asm::new();
+    emit_encrypt(&mut a, &lay, |_, _, _| {});
+    a.halt();
+    let prog = a.assemble().unwrap();
+    let rk = RoundKeys::expand(&[7u8; 16]);
+    let rk_bytes = BsaesLayout::round_key_bytes(&rk);
+    c.bench_function("sim/bsaes encrypt (one block)", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(SimConfig::default());
+            m.load_program(&prog);
+            m.mem_mut().write_bytes(lay.rk, &rk_bytes).unwrap();
+            m.mem_mut().write_bytes(lay.pt, &[0x5a; 16]).unwrap();
+            black_box(m.run(5_000_000).unwrap());
+        });
+    });
+}
+
+/// The reference (host) AES for scale.
+fn aes_reference(c: &mut Criterion) {
+    let rk = RoundKeys::expand(&[7u8; 16]);
+    c.bench_function("host/aes_ref encrypt", |b| {
+        b.iter(|| black_box(aes_ref::encrypt(&rk, black_box(&[0x5a; 16]))));
+    });
+}
+
+/// One amplified silent-store experiment (the Fig 6 trial unit).
+fn amplified_trial(c: &mut Criterion) {
+    let victim_key: [u8; 16] = std::array::from_fn(|i| i as u8);
+    let attacker_key: [u8; 16] = std::array::from_fn(|i| (i + 3) as u8);
+    let atk = BsaesAttack::new(victim_key, attacker_key, [0u8; 16], 0);
+    let truth = atk.true_slice_value();
+    c.bench_function("attack/bsaes amplified trial", |b| {
+        b.iter(|| black_box(atk.measure_guess(black_box(truth), None)));
+    });
+}
+
+/// One covert-channel round (send a symbol, probe 64 lines).
+fn covert_round(c: &mut Criterion) {
+    let ch = CovertChannel {
+        base: 0x4_0000,
+        symbols: 64,
+        stride: 64,
+        result_base: 0x800,
+    };
+    c.bench_function("channel/covert round (64 symbols)", |b| {
+        b.iter(|| black_box(ch.round_trip(SimConfig::default(), black_box(42))));
+    });
+}
+
+/// One equality-oracle query (reuse, Sv).
+fn oracle_query(c: &mut Criterion) {
+    c.bench_function("attack/reuse oracle query", |b| {
+        b.iter(|| {
+            black_box(reuse_equality_cycles(
+                black_box(0xCAFE),
+                black_box(0xBEEF),
+                ReuseKey::Values,
+            ))
+        });
+    });
+    c.bench_function("attack/zero-skip oracle query", |b| {
+        b.iter(|| black_box(zero_skip_mul_cycles(black_box(0), 5, true)));
+    });
+}
+
+/// One full URG leak (two training runs + probes).
+fn urg_leak(c: &mut Criterion) {
+    let mut atk = pandora_attacks::UrgAttack::new(3);
+    atk.plant_secret(0x20_0000, 0x5a);
+    c.bench_function("attack/urg leak_byte", |b| {
+        b.iter(|| black_box(atk.leak_byte(black_box(0x20_0000))));
+    });
+}
+
+/// One byte-store replay probe (the §IV-C4 chunked experiment unit).
+fn replay_probe(c: &mut Criterion) {
+    c.bench_function("attack/byte-store replay probe", |b| {
+        b.iter(|| {
+            black_box(pandora_attacks::replay::byte_store_probe(
+                black_box(0xDEAD_BEEF),
+                0,
+                black_box(0xEF),
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = sim_loop, bsaes_encrypt, aes_reference, amplified_trial, covert_round, oracle_query, urg_leak, replay_probe
+}
+criterion_main!(benches);

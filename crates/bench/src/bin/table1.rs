@@ -1,0 +1,19 @@
+//! Regenerates **Table I** — the leakage landscape: which program data
+//! each optimization class endangers relative to the Baseline machine.
+//!
+//! `S` = safe, `U` = newly unsafe, `U'` = unsafe through a new function
+//! of the data, `S‡` = safe absent a speculative-execution gadget,
+//! `-` = no change. Compare against the paper's Table I (the generated
+//! matrix is asserted equal to the paper's in `pandora-core`'s tests).
+
+use pandora_core::render_table1;
+
+fn main() {
+    pandora_bench::header("Table I: leakage landscape (generated from MLD declarations)");
+    print!("{}", render_table1());
+    println!();
+    println!(
+        "Meta takeaway (§III): over the union of all seven optimization\n\
+         classes, no instruction operand/result or data at rest is safe."
+    );
+}

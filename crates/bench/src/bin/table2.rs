@@ -1,0 +1,10 @@
+//! Regenerates **Table II** — the classification of each optimization
+//! class by its MLD input signature: stateless instruction-centric,
+//! stateful instruction-centric (Uarch/Arch), or memory-centric.
+
+use pandora_core::render_table2;
+
+fn main() {
+    pandora_bench::header("Table II: optimization classification by MLD signature");
+    print!("{}", render_table2());
+}

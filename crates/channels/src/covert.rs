@@ -1,0 +1,118 @@
+//! A cache covert channel (§II): a sender encodes a value by touching
+//! one of `N` cache lines; a receiver recovers it by timing probes.
+//!
+//! This is the final hop of both proof-of-concept attacks — the DMP's
+//! prefetch of `X[secret]` is exactly a send over this channel — and a
+//! self-contained demonstration used by the quickstart example and the
+//! channel-capacity analysis (log2 N bits per round, §IV-A3).
+
+use pandora_isa::{Asm, Reg};
+use pandora_sim::{Machine, SimConfig};
+
+use crate::prime_probe::{emit_probe_lines, fastest_index, read_timings};
+
+/// Configuration of a one-shot cache covert channel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CovertChannel {
+    /// Base address of the line array.
+    pub base: u64,
+    /// Number of distinguishable symbols (lines).
+    pub symbols: usize,
+    /// Line stride in bytes.
+    pub stride: u64,
+    /// Result buffer address for the receiver's timings.
+    pub result_base: u64,
+}
+
+impl CovertChannel {
+    /// A 256-symbol (one byte per round) channel.
+    #[must_use]
+    pub fn byte_channel(base: u64, result_base: u64) -> CovertChannel {
+        CovertChannel {
+            base,
+            symbols: 256,
+            stride: 64,
+            result_base,
+        }
+    }
+
+    /// The channel capacity upper bound in bits per round: log2(symbols).
+    #[must_use]
+    pub fn capacity_bits(&self) -> f64 {
+        (self.symbols as f64).log2()
+    }
+
+    /// Emits the sender: touch the line encoding `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not a valid symbol.
+    pub fn emit_send(&self, a: &mut Asm, value: usize) {
+        assert!(value < self.symbols, "symbol out of range");
+        a.ld(Reg::T0, Reg::ZERO, (self.base + value as u64 * self.stride) as i64);
+        a.fence();
+    }
+
+    /// Emits the receiver: probe every symbol line, recording latencies.
+    pub fn emit_receive(&self, a: &mut Asm) {
+        emit_probe_lines(a, self.base, self.symbols, self.stride, self.result_base);
+    }
+
+    /// Decodes the received symbol from a finished machine.
+    #[must_use]
+    pub fn decode(&self, m: &Machine) -> Option<usize> {
+        fastest_index(&read_timings(m, self.result_base, self.symbols))
+    }
+
+    /// Runs a complete send/receive round for `value` on a fresh
+    /// machine; returns the decoded symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round's program fails to run — a harness bug.
+    #[must_use]
+    pub fn round_trip(&self, cfg: SimConfig, value: usize) -> Option<usize> {
+        let mut a = Asm::new();
+        self.emit_send(&mut a, value);
+        self.emit_receive(&mut a);
+        a.halt();
+        let prog = a.assemble().expect("channel program assembles");
+        let mut m = Machine::new(cfg);
+        m.load_program(&prog);
+        m.run(20_000_000).expect("channel round completes");
+        self.decode(&m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_channel_round_trips() {
+        let ch = CovertChannel {
+            base: 0x4_0000,
+            symbols: 64,
+            stride: 64,
+            result_base: 0x800,
+        };
+        for value in [0usize, 1, 13, 42, 63] {
+            assert_eq!(ch.round_trip(SimConfig::default(), value), Some(value));
+        }
+    }
+
+    #[test]
+    fn capacity_matches_symbol_count() {
+        let ch = CovertChannel::byte_channel(0x4_0000, 0x800);
+        assert!((ch.capacity_bits() - 8.0).abs() < 1e-9);
+        assert_eq!(ch.symbols, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol out of range")]
+    fn send_rejects_bad_symbol() {
+        let ch = CovertChannel::byte_channel(0x4_0000, 0x800);
+        let mut a = Asm::new();
+        ch.emit_send(&mut a, 256);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # pandora-channels
+//!
+//! Receiver infrastructure for the Pandora reproduction of *"Opening
+//! Pandora's Box"* (ISCA 2021): the cache side of every attack in the
+//! workspace.
+//!
+//! * [`prime_probe`] — eviction-set construction, timed-probe code
+//!   generation (real receiver programs running on the simulator), and
+//!   the idealized residency oracle the paper's leakage model assumes.
+//! * [`covert`] — a complete cache covert channel (send a symbol by
+//!   touching a line, receive by timing probes), the final hop of both
+//!   proofs of concept.
+//! * [`stats`] — Welch's t distinguishability, thresholds, and the
+//!   histogram shape of Figure 6.
+
+pub mod covert;
+pub mod evict_time;
+pub mod prime_probe;
+pub mod stats;
+
+pub use covert::CovertChannel;
+pub use evict_time::{emit_evict, emit_timed_victim};
+pub use prime_probe::{
+    emit_probe_lines, emit_prime, emit_timed_probe, fastest_index, hits_below, probe_oracle,
+    read_timings, EvictionSet,
+};
+pub use stats::{midpoint_threshold, welch_t, Histogram, Summary};

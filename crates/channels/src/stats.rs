@@ -1,0 +1,216 @@
+//! Timing statistics for receivers: summary statistics, Welch's t
+//! statistic for distinguishability, and the histogram shape used to
+//! report Figure 6.
+
+/// Summary statistics of a timing sample.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub var: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics. Empty samples yield zeros.
+    #[must_use]
+    pub fn of(xs: &[u64]) -> Summary {
+        let n = xs.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                var: 0.0,
+            };
+        }
+        let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            xs.iter()
+                .map(|&x| {
+                    let d = x as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / (n - 1) as f64
+        };
+        Summary { n, mean, var }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+/// Welch's t statistic between two samples; large |t| means the two
+/// timing distributions are reliably distinguishable (the attacker's
+/// success criterion).
+#[must_use]
+pub fn welch_t(a: &[u64], b: &[u64]) -> f64 {
+    let (sa, sb) = (Summary::of(a), Summary::of(b));
+    if sa.n == 0 || sb.n == 0 {
+        return 0.0;
+    }
+    let se = (sa.var / sa.n as f64 + sb.var / sb.n as f64).sqrt();
+    if se == 0.0 {
+        if sa.mean == sb.mean {
+            0.0
+        } else {
+            f64::INFINITY * (sa.mean - sb.mean).signum()
+        }
+    } else {
+        (sa.mean - sb.mean) / se
+    }
+}
+
+/// A midpoint threshold separating two timing populations.
+#[must_use]
+pub fn midpoint_threshold(fast: &[u64], slow: &[u64]) -> u64 {
+    let (f, s) = (Summary::of(fast), Summary::of(slow));
+    ((f.mean + s.mean) / 2.0).round() as u64
+}
+
+/// A fixed-width histogram over cycle counts — the Fig 6 presentation
+/// (frequency as a percentage per runtime bucket).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Histogram {
+    bucket_width: u64,
+    lo: u64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    #[must_use]
+    pub fn new(samples: &[u64], bucket_width: u64) -> Histogram {
+        assert!(bucket_width > 0, "bucket width must be nonzero");
+        if samples.is_empty() {
+            return Histogram {
+                bucket_width,
+                lo: 0,
+                counts: Vec::new(),
+                total: 0,
+            };
+        }
+        let min = *samples.iter().min().expect("nonempty");
+        let max = *samples.iter().max().expect("nonempty");
+        let lo = (min / bucket_width) * bucket_width;
+        let n_buckets = ((max - lo) / bucket_width + 1) as usize;
+        let mut counts = vec![0usize; n_buckets];
+        for &s in samples {
+            counts[((s - lo) / bucket_width) as usize] += 1;
+        }
+        Histogram {
+            bucket_width,
+            lo,
+            counts,
+            total: samples.len(),
+        }
+    }
+
+    /// `(bucket_start, count, percentage)` rows in cycle order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(u64, usize, f64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (
+                    self.lo + i as u64 * self.bucket_width,
+                    c,
+                    if self.total == 0 {
+                        0.0
+                    } else {
+                        100.0 * c as f64 / self.total as f64
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The bucket start with the highest count (the distribution mode).
+    #[must_use]
+    pub fn mode(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| self.lo + i as u64 * self.bucket_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.var - 32.0 / 7.0).abs() < 1e-9);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let one = Summary::of(&[5]);
+        assert_eq!(one.mean, 5.0);
+        assert_eq!(one.var, 0.0);
+    }
+
+    #[test]
+    fn welch_t_separates_distinct_populations() {
+        let fast: Vec<u64> = (0..50).map(|i| 100 + i % 3).collect();
+        let slow: Vec<u64> = (0..50).map(|i| 220 + i % 3).collect();
+        assert!(welch_t(&slow, &fast) > 10.0);
+        assert!(welch_t(&fast, &slow) < -10.0);
+    }
+
+    #[test]
+    fn welch_t_near_zero_for_same_population() {
+        let a: Vec<u64> = (0..50).map(|i| 100 + (i * 7) % 5).collect();
+        let b: Vec<u64> = (0..50).map(|i| 100 + (i * 3) % 5).collect();
+        assert!(welch_t(&a, &b).abs() < 3.0);
+    }
+
+    #[test]
+    fn midpoint_threshold_sits_between() {
+        let t = midpoint_threshold(&[100, 102], &[220, 222]);
+        assert!(t > 102 && t < 220);
+    }
+
+    #[test]
+    fn histogram_rows_and_mode() {
+        let h = Histogram::new(&[10, 11, 12, 25, 26, 27, 28], 10);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (10, 3, 300.0 / 7.0));
+        assert_eq!(rows[1].1, 4);
+        assert_eq!(h.mode(), Some(20));
+    }
+
+    #[test]
+    fn histogram_percentages_sum_to_100() {
+        let h = Histogram::new(&[1, 5, 9, 100, 105, 200], 10);
+        let sum: f64 = h.rows().iter().map(|r| r.2).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(&[], 10);
+        assert!(h.rows().is_empty());
+        assert_eq!(h.mode(), None);
+    }
+}

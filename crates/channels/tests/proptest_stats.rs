@@ -1,0 +1,62 @@
+//! Property-based tests of the receiver statistics.
+
+use pandora_channels::{midpoint_threshold, welch_t, Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn histogram_percentages_sum_to_100(
+        xs in prop::collection::vec(0u64..100_000, 1..200),
+        width in 1u64..1000
+    ) {
+        let h = Histogram::new(&xs, width);
+        let total: f64 = h.rows().iter().map(|r| r.2).sum();
+        prop_assert!((total - 100.0).abs() < 1e-6);
+        let count: usize = h.rows().iter().map(|r| r.1).sum();
+        prop_assert_eq!(count, xs.len());
+    }
+
+    #[test]
+    fn histogram_mode_has_max_count(
+        xs in prop::collection::vec(0u64..10_000, 1..100)
+    ) {
+        let h = Histogram::new(&xs, 50);
+        let mode = h.mode().unwrap();
+        let rows = h.rows();
+        let mode_count = rows.iter().find(|r| r.0 == mode).unwrap().1;
+        prop_assert!(rows.iter().all(|r| r.1 <= mode_count));
+    }
+
+    #[test]
+    fn welch_t_is_antisymmetric(
+        a in prop::collection::vec(0u64..1000, 2..50),
+        b in prop::collection::vec(0u64..1000, 2..50)
+    ) {
+        let t1 = welch_t(&a, &b);
+        let t2 = welch_t(&b, &a);
+        prop_assert!((t1 + t2).abs() < 1e-9 || (t1.is_infinite() && t2.is_infinite()));
+    }
+
+    #[test]
+    fn summary_mean_is_bounded_by_extremes(
+        xs in prop::collection::vec(0u64..1_000_000, 1..100)
+    ) {
+        let s = Summary::of(&xs);
+        let min = *xs.iter().min().unwrap() as f64;
+        let max = *xs.iter().max().unwrap() as f64;
+        prop_assert!(s.mean >= min - 1e-9 && s.mean <= max + 1e-9);
+        prop_assert!(s.var >= 0.0);
+    }
+
+    #[test]
+    fn midpoint_threshold_separates_disjoint_populations(
+        base in 0u64..1000,
+        gap in 100u64..1000
+    ) {
+        let fast: Vec<u64> = (0..10).map(|i| base + i % 5).collect();
+        let slow: Vec<u64> = (0..10).map(|i| base + gap + i % 5).collect();
+        let t = midpoint_threshold(&fast, &slow);
+        prop_assert!(fast.iter().all(|&x| x < t));
+        prop_assert!(slow.iter().all(|&x| x >= t));
+    }
+}

@@ -1,0 +1,467 @@
+//! The nine example MLDs of the paper's Figures 2 and 3, implemented
+//! against the [`Mld`] trait with small self-contained state models.
+//!
+//! Figure 2 (prior-work structures): single-cycle ALU, zero-skip
+//! multiply, random-replacement cache. Figure 3 (the studied
+//! optimization classes): operand packing, silent stores, dynamic
+//! instruction reuse (Sv), value prediction, register-file compression
+//! (0/1 variant), and the 3-level indirect-memory prefetcher.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::mld::{concat_outcomes, InputKind, Mld};
+
+// ---- Minimal state models ---------------------------------------------
+
+/// A cache model for MLD purposes: set geometry plus the set of
+/// resident line addresses (replacement state is abstracted away, as in
+/// `cache_rand`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CacheModel {
+    /// Number of sets (power of two).
+    pub sets: u64,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+    /// Resident line addresses.
+    pub resident: HashSet<u64>,
+}
+
+impl CacheModel {
+    /// An empty cache.
+    #[must_use]
+    pub fn new(sets: u64, line: u64) -> CacheModel {
+        assert!(sets.is_power_of_two() && line.is_power_of_two());
+        CacheModel {
+            sets,
+            line,
+            resident: HashSet::new(),
+        }
+    }
+
+    /// The set index of `addr` (the paper's `set(.)`).
+    #[must_use]
+    pub fn set(&self, addr: u64) -> u64 {
+        (addr / self.line) % self.sets
+    }
+
+    /// Whether the line holding `addr` is resident.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        self.resident.contains(&(addr & !(self.line - 1)))
+    }
+
+    /// Marks the line holding `addr` resident.
+    pub fn insert(&mut self, addr: u64) {
+        self.resident.insert(addr & !(self.line - 1));
+    }
+
+    /// The `cache_h(addr, cache)` sub-outcome of Fig 3: `set(addr) + 1`
+    /// on a miss, `0` on a hit — with domain `sets + 1`.
+    #[must_use]
+    pub fn outcome(&self, addr: u64) -> (u64, u64) {
+        let v = if self.contains(addr) {
+            0
+        } else {
+            self.set(addr) + 1
+        };
+        (v, self.sets + 1)
+    }
+}
+
+/// Flat data memory for MLD purposes.
+pub type DataMemory = HashMap<u64, u64>;
+
+// ---- Figure 2 ---------------------------------------------------------
+
+/// Example 1: a single-cycle ALU — one observable outcome for every
+/// operand assignment, i.e. Safe.
+pub struct SingleCycleAlu;
+
+impl Mld for SingleCycleAlu {
+    type Input = (u64, u64);
+    fn name(&self) -> &'static str {
+        "single_cycle_alu"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Inst]
+    }
+    fn outcome(&self, _input: &(u64, u64)) -> u64 {
+        0
+    }
+}
+
+/// Example 2: a zero-skip multiplier — the skip fires iff either
+/// operand is zero, creating two distinguishable outcomes.
+pub struct ZeroSkipMul;
+
+impl Mld for ZeroSkipMul {
+    type Input = (u64, u64);
+    fn name(&self) -> &'static str {
+        "zero_skip_mul"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Inst]
+    }
+    fn outcome(&self, &(a, b): &(u64, u64)) -> u64 {
+        u64::from(a == 0 || b == 0)
+    }
+}
+
+/// Example 3: a cache without shared memory under random replacement —
+/// `set(addr) + 1` outcomes on a miss, one more for a hit.
+pub struct CacheRand;
+
+impl Mld for CacheRand {
+    type Input = (u64, CacheModel);
+    fn name(&self) -> &'static str {
+        "cache_rand"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Inst, InputKind::Uarch]
+    }
+    fn outcome(&self, (addr, cache): &(u64, CacheModel)) -> u64 {
+        cache.outcome(*addr).0
+    }
+}
+
+// ---- Figure 3 ---------------------------------------------------------
+
+/// Example 4: arithmetic-unit operand packing — two co-located
+/// instructions pack iff all four operands are narrow (`msb < 16`).
+pub struct OperandPacking;
+
+impl Mld for OperandPacking {
+    type Input = ((u64, u64), (u64, u64));
+    fn name(&self) -> &'static str {
+        "operand_packing"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Inst, InputKind::Inst]
+    }
+    fn outcome(&self, &((a0, a1), (b0, b1)): &Self::Input) -> u64 {
+        let narrow = |v: u64| v < (1 << 16);
+        u64::from(narrow(a0) && narrow(a1) && narrow(b0) && narrow(b1))
+    }
+}
+
+/// Example 5: silent stores — the store is silent iff its data equals
+/// the contents of data memory at its address.
+pub struct SilentStores;
+
+/// Input: (store address, store data, data memory).
+impl Mld for SilentStores {
+    type Input = (u64, u64, DataMemory);
+    fn name(&self) -> &'static str {
+        "silent_stores"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Inst, InputKind::Arch]
+    }
+    fn outcome(&self, (addr, data, mem): &Self::Input) -> u64 {
+        u64::from(mem.get(addr).copied().unwrap_or(0) == *data)
+    }
+}
+
+/// Example 6: dynamic instruction reuse, Sv variant — a hit iff all
+/// operand values match the memoized instance at this pc.
+pub struct InstructionReuse;
+
+/// Input: (pc, operand values, reuse buffer keyed by pc).
+impl Mld for InstructionReuse {
+    type Input = (u64, [u64; 2], HashMap<u64, [u64; 2]>);
+    fn name(&self) -> &'static str {
+        "instruction_reuse"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Inst, InputKind::Uarch]
+    }
+    fn outcome(&self, (pc, args, buffer): &Self::Input) -> u64 {
+        u64::from(buffer.get(pc).is_some_and(|entry| entry == args))
+    }
+}
+
+/// An entry of the value-prediction table: confidence and prediction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VpEntry {
+    /// Saturating confidence counter (bounded domain).
+    pub conf: u64,
+    /// The predicted value.
+    pub prediction: u64,
+}
+
+/// Example 7: value prediction — leaks the confidence *and* whether the
+/// prediction equals the instruction's result, concatenated.
+pub struct ValuePrediction {
+    /// The confidence counter's domain size (e.g. 4 for 2-bit).
+    pub conf_domain: u64,
+}
+
+/// Input: (pc, destination value, prediction table).
+impl Mld for ValuePrediction {
+    type Input = (u64, u64, HashMap<u64, VpEntry>);
+    fn name(&self) -> &'static str {
+        "v_prediction"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Inst, InputKind::Uarch]
+    }
+    fn outcome(&self, (pc, dst, table): &Self::Input) -> u64 {
+        let e = table.get(pc).copied().unwrap_or(VpEntry {
+            conf: 0,
+            prediction: 0,
+        });
+        concat_outcomes(&[
+            (u64::from(e.prediction == *dst), 2),
+            (e.conf.min(self.conf_domain - 1), self.conf_domain),
+        ])
+    }
+}
+
+/// Example 8: register-file compression, 0/1 variant — leaks, for every
+/// register, whether its value is ≤ 1, concatenated over the file.
+pub struct RfCompression;
+
+impl Mld for RfCompression {
+    type Input = Vec<u64>;
+    fn name(&self) -> &'static str {
+        "rf_compression"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Arch]
+    }
+    fn outcome(&self, regs: &Vec<u64>) -> u64 {
+        let parts: Vec<(u64, u64)> = regs.iter().map(|&r| (u64::from(r <= 1), 2)).collect();
+        concat_outcomes(&parts)
+    }
+}
+
+/// The 3-level IMP's persistent state (Fig 3, Example 9).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ImpState {
+    /// `&Z[0]` plus the current prefetch offset `i + Δ`, pre-added.
+    pub base_z: u64,
+    /// `&Y[0]`.
+    pub base_y: u64,
+    /// `&X[0]`.
+    pub base_x: u64,
+    /// The starting offset `s = i + Δ` in bytes.
+    pub start: u64,
+}
+
+/// Example 9: the 3-level indirect-memory prefetcher — concatenates the
+/// cache outcomes of the three dependent prefetches
+/// `Z[i+Δ]`, `Y[Z[i+Δ]]`, `X[Y[Z[i+Δ]]]`.
+pub struct Im3lPrefetcher;
+
+/// Input: (prefetcher state, cache, data memory).
+impl Mld for Im3lPrefetcher {
+    type Input = (ImpState, CacheModel, DataMemory);
+    fn name(&self) -> &'static str {
+        "im3l_prefetcher"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Uarch, InputKind::Uarch, InputKind::Arch]
+    }
+    fn outcome(&self, (imp, cache, mem): &Self::Input) -> u64 {
+        let read = |a: u64| mem.get(&a).copied().unwrap_or(0);
+        let addr_z = imp.base_z + imp.start;
+        let z = read(addr_z);
+        let addr_y = imp.base_y.wrapping_add(z);
+        let y = read(addr_y);
+        let addr_x = imp.base_x.wrapping_add(y);
+        let (o_z, d) = cache.outcome(addr_z);
+        let (o_y, _) = cache.outcome(addr_y);
+        let (o_x, _) = cache.outcome(addr_x);
+        concat_outcomes(&[(o_x, d), (o_y, d), (o_z, d)])
+    }
+}
+
+/// Beyond the paper's nine figures: an MLD for *content-directed*
+/// prefetching (the other DMP family, Cooksey et al.\[11\]) — the
+/// prefetcher chases every pointer-shaped value in a touched line, so
+/// the outcome concatenates one cache sub-outcome per candidate slot.
+pub struct ContentDirectedPrefetch {
+    /// Line size in bytes (8-byte candidate slots).
+    pub line: u64,
+    /// Highest valid memory address (pointer-shape bound).
+    pub mem_limit: u64,
+}
+
+/// Input: (line base address, cache, data memory).
+impl Mld for ContentDirectedPrefetch {
+    type Input = (u64, CacheModel, DataMemory);
+    fn name(&self) -> &'static str {
+        "content_directed_prefetch"
+    }
+    fn signature(&self) -> &'static [InputKind] {
+        &[InputKind::Uarch, InputKind::Arch]
+    }
+    fn outcome(&self, (line_base, cache, mem): &Self::Input) -> u64 {
+        let mut parts = Vec::new();
+        for off in (0..self.line).step_by(8) {
+            let v = mem.get(&(line_base + off)).copied().unwrap_or(0);
+            let pointer_like = v != 0 && v % 8 == 0 && v < self.mem_limit;
+            let (o, d) = if pointer_like {
+                cache.outcome(v)
+            } else {
+                (0, cache.sets + 1)
+            };
+            parts.push((o, d));
+        }
+        concat_outcomes(&parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mld::{capacity_bits, partition_size};
+
+    #[test]
+    fn single_cycle_alu_is_safe() {
+        let inputs = (0..32u64).flat_map(|a| (0..32u64).map(move |b| (a, b)));
+        assert_eq!(partition_size(&SingleCycleAlu, inputs), 1);
+        assert_eq!(capacity_bits(1), 0.0);
+    }
+
+    #[test]
+    fn zero_skip_mul_partitions_in_two() {
+        let inputs = (0..32u64).flat_map(|a| (0..32u64).map(move |b| (a, b)));
+        assert_eq!(partition_size(&ZeroSkipMul, inputs), 2);
+        assert_eq!(ZeroSkipMul.outcome(&(0, 5)), 1);
+        assert_eq!(ZeroSkipMul.outcome(&(5, 0)), 1);
+        assert_eq!(ZeroSkipMul.outcome(&(5, 5)), 0);
+    }
+
+    #[test]
+    fn cache_rand_has_sets_plus_one_outcomes() {
+        let sets = 8u64;
+        let inputs = (0..2048u64).step_by(64).flat_map(|addr| {
+            // Enumerate both the cached and the uncached case.
+            let cold = CacheModel::new(sets, 64);
+            let mut warm = CacheModel::new(sets, 64);
+            warm.insert(addr);
+            [(addr, cold), (addr, warm)]
+        });
+        let n = partition_size(&CacheRand, inputs);
+        assert_eq!(n as u64, sets + 1);
+        assert!((capacity_bits(n) - 3.17).abs() < 0.01, "log2(9) ≈ 3.17");
+    }
+
+    #[test]
+    fn operand_packing_needs_all_four_narrow() {
+        let wide = 1u64 << 20;
+        assert_eq!(OperandPacking.outcome(&((1, 2), (3, 4))), 1);
+        assert_eq!(OperandPacking.outcome(&((wide, 2), (3, 4))), 0);
+        assert_eq!(OperandPacking.outcome(&((1, 2), (3, wide))), 0);
+    }
+
+    #[test]
+    fn silent_stores_equality() {
+        let mut mem = DataMemory::new();
+        mem.insert(0x40, 7);
+        assert_eq!(SilentStores.outcome(&(0x40, 7, mem.clone())), 1);
+        assert_eq!(SilentStores.outcome(&(0x40, 8, mem.clone())), 0);
+        assert_eq!(SilentStores.outcome(&(0x80, 0, mem)), 1, "untouched = 0");
+    }
+
+    #[test]
+    fn instruction_reuse_matches_on_values() {
+        let mut buf = HashMap::new();
+        buf.insert(100u64, [3u64, 4u64]);
+        assert_eq!(InstructionReuse.outcome(&(100, [3, 4], buf.clone())), 1);
+        assert_eq!(InstructionReuse.outcome(&(100, [3, 5], buf.clone())), 0);
+        assert_eq!(InstructionReuse.outcome(&(101, [3, 4], buf)), 0);
+    }
+
+    #[test]
+    fn value_prediction_concatenates_conf_and_match() {
+        let vp = ValuePrediction { conf_domain: 4 };
+        let mut table = HashMap::new();
+        table.insert(
+            10u64,
+            VpEntry {
+                conf: 3,
+                prediction: 42,
+            },
+        );
+        let hit = vp.outcome(&(10, 42, table.clone()));
+        let miss = vp.outcome(&(10, 41, table.clone()));
+        assert_ne!(hit, miss);
+        // Different confidences are also distinct outcomes.
+        table.insert(
+            10,
+            VpEntry {
+                conf: 1,
+                prediction: 42,
+            },
+        );
+        assert_ne!(vp.outcome(&(10, 42, table)), hit);
+    }
+
+    #[test]
+    fn rf_compression_has_exponential_partition() {
+        // 4 registers, each in {0, 2}: 2^4 distinct outcomes.
+        let inputs = (0..16u64).map(|mask| {
+            (0..4).map(|i| if (mask >> i) & 1 == 1 { 0u64 } else { 2 }).collect()
+        });
+        let n = partition_size(&RfCompression, inputs);
+        assert_eq!(n, 16);
+        assert!((capacity_bits(n) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn im3l_outcome_depends_on_memory_contents() {
+        // Two memories differing only in a *private* value produce
+        // different outcomes: the prefetcher leaks data at rest.
+        let cache = CacheModel::new(8, 64);
+        let imp = ImpState {
+            base_z: 0x1000,
+            base_y: 0x2000,
+            base_x: 0x4000,
+            start: 0,
+        };
+        let mut mem1 = DataMemory::new();
+        mem1.insert(0x1000, 0x100); // Z[i+Δ] = target offset
+        mem1.insert(0x2100, 0x40); // private Y[target] = 0x40
+        let mut mem2 = mem1.clone();
+        mem2.insert(0x2100, 0x80); // different private value
+        let o1 = Im3lPrefetcher.outcome(&(imp.clone(), cache.clone(), mem1));
+        let o2 = Im3lPrefetcher.outcome(&(imp, cache, mem2));
+        assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn cdp_outcome_depends_on_pointer_values_at_rest() {
+        let mld = ContentDirectedPrefetch {
+            line: 64,
+            mem_limit: 1 << 16,
+        };
+        let cache = CacheModel::new(8, 64);
+        let mut mem1 = DataMemory::new();
+        mem1.insert(0x1000, 0x2000); // a private pointer
+        let mut mem2 = DataMemory::new();
+        mem2.insert(0x1000, 0x3040); // a different private pointer
+        let o1 = mld.outcome(&(0x1000, cache.clone(), mem1));
+        let o2 = mld.outcome(&(0x1000, cache.clone(), mem2));
+        assert_ne!(o1, o2, "pointer value at rest modulates the outcome");
+        // Non-pointer data is invisible.
+        let mut mem3 = DataMemory::new();
+        mem3.insert(0x1000, 0x2001); // unaligned: not pointer-shaped
+        let mut mem4 = DataMemory::new();
+        mem4.insert(0x1000, 0x3041);
+        assert_eq!(
+            mld.outcome(&(0x1000, cache.clone(), mem3)),
+            mld.outcome(&(0x1000, cache, mem4))
+        );
+    }
+
+    #[test]
+    fn im3l_capacity_is_cubic_in_cache_outcome() {
+        // Partition bound: (sets + 1)^3 combinations are representable.
+        let sets = 8u64;
+        let d = sets + 1;
+        assert_eq!(d * d * d, 729);
+        assert!((capacity_bits(729_usize) - 9.51).abs() < 0.01);
+    }
+}

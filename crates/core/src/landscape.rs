@@ -1,0 +1,427 @@
+//! The leakage landscape: the paper's Table I (what program data each
+//! optimization endangers) and Table II (classification by MLD
+//! signature), both *generated* from per-optimization declarations.
+//!
+//! Each optimization class declares its MLD signature and the set of
+//! data items its transmitter is a function of. From those, the
+//! landscape derives:
+//!
+//! * Table II — purely from the signature (via [`classify`]);
+//! * Table I — by comparing each affected item against the Baseline:
+//!   data that was Safe becomes **U** (newly unsafe); data that was
+//!   already Unsafe becomes **U′** (a different function of the data
+//!   leaks, per the paper's notation).
+
+use std::fmt;
+
+use crate::mld::{classify, InputKind, MldClass};
+
+/// The rows of Table I: which program data is at risk.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DataItem {
+    /// Operands of simple integer ops.
+    OperandIntSimple,
+    /// Operands of integer multiply.
+    OperandIntMul,
+    /// Operands of integer divide.
+    OperandIntDiv,
+    /// Operands of floating-point ops.
+    OperandFp,
+    /// Results of simple integer ops.
+    ResultIntSimple,
+    /// Results of integer multiply.
+    ResultIntMul,
+    /// Results of integer divide.
+    ResultIntDiv,
+    /// Results of floating-point ops.
+    ResultFp,
+    /// Load addresses.
+    AddrLoad,
+    /// Store addresses.
+    AddrStore,
+    /// Load data.
+    DataLoad,
+    /// Store data.
+    DataStore,
+    /// Control flow (branch predicates/targets).
+    ControlFlow,
+    /// The register file, at rest.
+    RestRegisterFile,
+    /// Data memory, at rest.
+    RestDataMemory,
+}
+
+impl DataItem {
+    /// All rows in the paper's order.
+    pub const ALL: [DataItem; 15] = [
+        DataItem::OperandIntSimple,
+        DataItem::OperandIntMul,
+        DataItem::OperandIntDiv,
+        DataItem::OperandFp,
+        DataItem::ResultIntSimple,
+        DataItem::ResultIntMul,
+        DataItem::ResultIntDiv,
+        DataItem::ResultFp,
+        DataItem::AddrLoad,
+        DataItem::AddrStore,
+        DataItem::DataLoad,
+        DataItem::DataStore,
+        DataItem::ControlFlow,
+        DataItem::RestRegisterFile,
+        DataItem::RestDataMemory,
+    ];
+
+    /// The row label as printed in Table I.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DataItem::OperandIntSimple => "Operands: Int simple ops",
+            DataItem::OperandIntMul => "Operands: Int mul",
+            DataItem::OperandIntDiv => "Operands: Int div",
+            DataItem::OperandFp => "Operands: FP ops",
+            DataItem::ResultIntSimple => "Result: Int simple ops",
+            DataItem::ResultIntMul => "Result: Int mul",
+            DataItem::ResultIntDiv => "Result: Int div",
+            DataItem::ResultFp => "Result: FP ops",
+            DataItem::AddrLoad => "Addr: Load",
+            DataItem::AddrStore => "Addr: Store",
+            DataItem::DataLoad => "Data: Load",
+            DataItem::DataStore => "Data: Store",
+            DataItem::ControlFlow => "Control flow",
+            DataItem::RestRegisterFile => "At rest: Register file",
+            DataItem::RestDataMemory => "At rest: Data memory",
+        }
+    }
+}
+
+/// Safety of a data item on the Baseline machine (§II's known attacks).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BaselineSafety {
+    /// Safe: no known transmitter is a function of this data.
+    Safe,
+    /// Unsafe via a known attack (representative citation).
+    Unsafe(&'static str),
+    /// Safe unless the program contains a speculative-execution gadget
+    /// (the ‡ mark on data at rest).
+    SafeUnlessSpeculation,
+}
+
+/// The Baseline column of Table I.
+#[must_use]
+pub fn baseline(item: DataItem) -> BaselineSafety {
+    use BaselineSafety::{Safe, SafeUnlessSpeculation, Unsafe};
+    match item {
+        DataItem::OperandIntDiv => Unsafe("Coppens et al. [44]"),
+        DataItem::OperandFp => Unsafe("Andrysco et al. [37]"),
+        DataItem::AddrLoad | DataItem::AddrStore => Unsafe("Flush+Reload [49]"),
+        DataItem::ControlFlow => Unsafe("Acıiçmez et al. [56]"),
+        DataItem::RestRegisterFile | DataItem::RestDataMemory => SafeUnlessSpeculation,
+        _ => Safe,
+    }
+}
+
+/// A cell in an optimization's Table I column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mark {
+    /// `-`: no change relative to the Baseline.
+    NoChange,
+    /// `U`: previously-safe data becomes unsafe.
+    NewlyUnsafe,
+    /// `U′`: already-unsafe data leaks through a new function / under
+    /// new assumptions.
+    DifferentlyUnsafe,
+}
+
+impl fmt::Display for Mark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mark::NoChange => write!(f, "-"),
+            Mark::NewlyUnsafe => write!(f, "U"),
+            Mark::DifferentlyUnsafe => write!(f, "U'"),
+        }
+    }
+}
+
+/// The seven optimization classes (Table I columns).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OptClass {
+    /// Computation simplification (§IV-B1).
+    CompSimplification,
+    /// Pipeline compression (§IV-B2).
+    PipelineCompression,
+    /// Silent stores (§IV-C1).
+    SilentStores,
+    /// Computation reuse (§IV-C2).
+    ComputationReuse,
+    /// Value prediction (§IV-C3).
+    ValuePrediction,
+    /// Register-file compression (§IV-D1).
+    RegFileCompression,
+    /// Data memory-dependent prefetching (§IV-D2).
+    DataMemPrefetching,
+}
+
+impl OptClass {
+    /// All seven classes in the paper's column order.
+    pub const ALL: [OptClass; 7] = [
+        OptClass::CompSimplification,
+        OptClass::PipelineCompression,
+        OptClass::SilentStores,
+        OptClass::ComputationReuse,
+        OptClass::ValuePrediction,
+        OptClass::RegFileCompression,
+        OptClass::DataMemPrefetching,
+    ];
+
+    /// The paper's acronym for the column header.
+    #[must_use]
+    pub fn acronym(self) -> &'static str {
+        match self {
+            OptClass::CompSimplification => "CS",
+            OptClass::PipelineCompression => "PC",
+            OptClass::SilentStores => "SS",
+            OptClass::ComputationReuse => "CR",
+            OptClass::ValuePrediction => "VP",
+            OptClass::RegFileCompression => "RFC",
+            OptClass::DataMemPrefetching => "DMP",
+        }
+    }
+
+    /// The full name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OptClass::CompSimplification => "Computation simplification",
+            OptClass::PipelineCompression => "Pipeline compression",
+            OptClass::SilentStores => "Silent stores",
+            OptClass::ComputationReuse => "Computation reuse",
+            OptClass::ValuePrediction => "Value prediction",
+            OptClass::RegFileCompression => "Register-file compression",
+            OptClass::DataMemPrefetching => "Data memory-dependent prefetching",
+        }
+    }
+
+    /// The MLD input signature (from the Fig 3 example of each class) —
+    /// the basis for Table II.
+    #[must_use]
+    pub fn signature(self) -> &'static [InputKind] {
+        use InputKind::{Arch, Inst, Uarch};
+        match self {
+            OptClass::CompSimplification => &[Inst],
+            OptClass::PipelineCompression => &[Inst, Inst],
+            OptClass::SilentStores => &[Inst, Arch],
+            OptClass::ComputationReuse => &[Inst, Uarch],
+            OptClass::ValuePrediction => &[Inst, Uarch],
+            OptClass::RegFileCompression => &[Arch],
+            OptClass::DataMemPrefetching => &[Uarch, Uarch, Arch],
+        }
+    }
+
+    /// Table II classification, derived from the signature.
+    #[must_use]
+    pub fn mld_class(self) -> MldClass {
+        classify(self.signature())
+    }
+
+    /// The data items this class's transmitter is a function of — the
+    /// ingredient from which the Table I column is derived (§IV-B–D).
+    #[must_use]
+    pub fn affected_items(self) -> &'static [DataItem] {
+        match self {
+            // Simplification conditions are functions of operand values
+            // of both simple and long-latency integer/FP operations.
+            OptClass::CompSimplification => &[
+                DataItem::OperandIntSimple,
+                DataItem::OperandIntMul,
+                DataItem::OperandIntDiv,
+                DataItem::OperandFp,
+            ],
+            // Packing fires on narrow *integer* operands (FP units are
+            // not packed); significance compression additionally makes
+            // register-file contents (at rest) width-observable.
+            OptClass::PipelineCompression => &[
+                DataItem::OperandIntSimple,
+                DataItem::OperandIntMul,
+                DataItem::OperandIntDiv,
+                DataItem::RestRegisterFile,
+            ],
+            // The silent check compares in-flight store data against
+            // memory: both endpoints leak (§IV-C4 symmetry).
+            OptClass::SilentStores => &[DataItem::DataStore, DataItem::RestDataMemory],
+            // Sv reuse keys on operand values of memoized instructions.
+            OptClass::ComputationReuse => &[
+                DataItem::OperandIntSimple,
+                DataItem::OperandIntMul,
+                DataItem::OperandIntDiv,
+                DataItem::OperandFp,
+            ],
+            // Prediction verifies *results*; load values are the primary
+            // target.
+            OptClass::ValuePrediction => &[
+                DataItem::ResultIntSimple,
+                DataItem::ResultIntMul,
+                DataItem::ResultIntDiv,
+                DataItem::ResultFp,
+                DataItem::DataLoad,
+            ],
+            // Compression checks result values against register-file
+            // contents: results in flight and the file at rest.
+            OptClass::RegFileCompression => &[
+                DataItem::ResultIntSimple,
+                DataItem::ResultIntMul,
+                DataItem::ResultIntDiv,
+                DataItem::ResultFp,
+                DataItem::RestRegisterFile,
+            ],
+            // The prefetcher dereferences data memory directly.
+            OptClass::DataMemPrefetching => &[DataItem::RestDataMemory],
+        }
+    }
+
+    /// The Table I cell for `item` in this class's column, derived by
+    /// comparing the affected set against the Baseline.
+    #[must_use]
+    pub fn mark(self, item: DataItem) -> Mark {
+        if !self.affected_items().contains(&item) {
+            return Mark::NoChange;
+        }
+        match baseline(item) {
+            BaselineSafety::Unsafe(_) => Mark::DifferentlyUnsafe,
+            BaselineSafety::Safe | BaselineSafety::SafeUnlessSpeculation => Mark::NewlyUnsafe,
+        }
+    }
+}
+
+/// Renders Table I as aligned text (one row per [`DataItem`]).
+#[must_use]
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<26} {:>9}", "Data item", "Baseline"));
+    for c in OptClass::ALL {
+        out.push_str(&format!(" {:>4}", c.acronym()));
+    }
+    out.push('\n');
+    for item in DataItem::ALL {
+        let base = match baseline(item) {
+            BaselineSafety::Safe => "S".to_string(),
+            BaselineSafety::Unsafe(_) => "U".to_string(),
+            BaselineSafety::SafeUnlessSpeculation => "S‡".to_string(),
+        };
+        out.push_str(&format!("{:<26} {:>9}", item.label(), base));
+        for c in OptClass::ALL {
+            out.push_str(&format!(" {:>4}", c.mark(item).to_string()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table II: per class, the MLD-signature classification.
+#[must_use]
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    for c in OptClass::ALL {
+        let sig: Vec<String> = c.signature().iter().map(ToString::to_string).collect();
+        out.push_str(&format!(
+            "{:<34} ({:<18}) -> {}\n",
+            c.name(),
+            sig.join(", "),
+            c.mld_class()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unsafe_removed_from_name)]
+mod tests {
+    use super::*;
+    use DataItem as D;
+    use Mark::{DifferentlyUnsafe as UP, NewlyUnsafe as U, NoChange as N};
+    use OptClass as O;
+
+    /// The full Table I from the paper, row-major over the seven
+    /// optimization columns (CS, PC, SS, CR, VP, RFC, DMP).
+    const PAPER_TABLE1: [(D, [Mark; 7]); 15] = [
+        (D::OperandIntSimple, [U, U, N, U, N, N, N]),
+        (D::OperandIntMul, [U, U, N, U, N, N, N]),
+        (D::OperandIntDiv, [UP, UP, N, UP, N, N, N]),
+        (D::OperandFp, [UP, N, N, UP, N, N, N]),
+        (D::ResultIntSimple, [N, N, N, N, U, U, N]),
+        (D::ResultIntMul, [N, N, N, N, U, U, N]),
+        (D::ResultIntDiv, [N, N, N, N, U, U, N]),
+        (D::ResultFp, [N, N, N, N, U, U, N]),
+        (D::AddrLoad, [N, N, N, N, N, N, N]),
+        (D::AddrStore, [N, N, N, N, N, N, N]),
+        (D::DataLoad, [N, N, N, N, U, N, N]),
+        (D::DataStore, [N, N, U, N, N, N, N]),
+        (D::ControlFlow, [N, N, N, N, N, N, N]),
+        (D::RestRegisterFile, [N, U, N, N, N, U, N]),
+        (D::RestDataMemory, [N, N, U, N, N, N, U]),
+    ];
+
+    #[test]
+    fn generated_table1_matches_the_paper() {
+        for (item, expected) in PAPER_TABLE1 {
+            for (c, want) in OptClass::ALL.into_iter().zip(expected) {
+                assert_eq!(
+                    c.mark(item),
+                    want,
+                    "column {} row {:?}",
+                    c.acronym(),
+                    item
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_matches_the_paper() {
+        assert!(matches!(baseline(D::OperandIntSimple), BaselineSafety::Safe));
+        assert!(matches!(baseline(D::OperandIntDiv), BaselineSafety::Unsafe(_)));
+        assert!(matches!(baseline(D::OperandFp), BaselineSafety::Unsafe(_)));
+        assert!(matches!(baseline(D::AddrLoad), BaselineSafety::Unsafe(_)));
+        assert!(matches!(baseline(D::ControlFlow), BaselineSafety::Unsafe(_)));
+        assert!(matches!(
+            baseline(D::RestDataMemory),
+            BaselineSafety::SafeUnlessSpeculation
+        ));
+        assert!(matches!(baseline(D::DataLoad), BaselineSafety::Safe));
+    }
+
+    #[test]
+    fn table2_classification_matches_the_paper() {
+        use MldClass as M;
+        assert_eq!(O::CompSimplification.mld_class(), M::StatelessInst);
+        assert_eq!(O::PipelineCompression.mld_class(), M::StatelessInst);
+        assert_eq!(O::SilentStores.mld_class(), M::StatefulInstArch);
+        assert_eq!(O::ComputationReuse.mld_class(), M::StatefulInstUarch);
+        assert_eq!(O::ValuePrediction.mld_class(), M::StatefulInstUarch);
+        assert_eq!(O::RegFileCompression.mld_class(), M::MemoryCentric);
+        assert_eq!(O::DataMemPrefetching.mld_class(), M::MemoryCentric);
+    }
+
+    #[test]
+    fn meta_takeaway_union_leaves_nothing_safe() {
+        // "If one considers the union of all optimizations we study, no
+        // instruction operand/result (or data at rest) is safe."
+        for item in DataItem::ALL {
+            let unsafe_on_baseline = matches!(baseline(item), BaselineSafety::Unsafe(_));
+            let some_opt_leaks = OptClass::ALL.iter().any(|c| c.mark(item) != N);
+            assert!(
+                unsafe_on_baseline || some_opt_leaks,
+                "{item:?} would still be safe"
+            );
+        }
+    }
+
+    #[test]
+    fn rendered_tables_are_nonempty_and_well_formed() {
+        let t1 = render_table1();
+        assert_eq!(t1.lines().count(), 16, "header + 15 rows");
+        assert!(t1.contains("DMP"));
+        let t2 = render_table2();
+        assert_eq!(t2.lines().count(), 7);
+        assert!(t2.contains("Memory-centric"));
+    }
+}

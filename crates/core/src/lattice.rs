@@ -1,0 +1,143 @@
+//! The security lattice of §IV-A2: `L ⊑ C ⊑ H` — public data flows
+//! below attacker-controlled data flows below private data.
+//!
+//! The paper uses the lattice to reason about preconditioning: what an
+//! active attacker learns from an MLD outcome depends on which inputs
+//! are public, attacker-controlled, or private (e.g. the zero-skip
+//! multiply leaks *whether the private operand is zero* exactly when
+//! the other operand is attacker-controlled and set non-zero).
+
+use std::fmt;
+
+/// A security label.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Label {
+    /// Public data (`L`).
+    Public,
+    /// Attacker-controlled data (`C`).
+    AttackerControlled,
+    /// Private data (`H`).
+    Private,
+}
+
+impl Label {
+    /// Whether data at this label may flow to `other` (`self ⊑ other`).
+    #[must_use]
+    pub fn flows_to(self, other: Label) -> bool {
+        self <= other
+    }
+
+    /// The least upper bound of two labels.
+    #[must_use]
+    pub fn join(self, other: Label) -> Label {
+        self.max(other)
+    }
+
+    /// The greatest lower bound of two labels.
+    #[must_use]
+    pub fn meet(self, other: Label) -> Label {
+        self.min(other)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Public => write!(f, "L"),
+            Label::AttackerControlled => write!(f, "C"),
+            Label::Private => write!(f, "H"),
+        }
+    }
+}
+
+/// What an equality-style transmitter (silent stores, computation
+/// reuse, value prediction — §IV-C4) reveals per experiment, given the
+/// labels of its two compared inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EqualityLeak {
+    /// Nothing private is involved.
+    Nothing,
+    /// The attacker learns whether the private value equals a value it
+    /// chose — an oracle it can replay with different choices.
+    ChosenEquality,
+    /// The attacker learns whether two private values are equal, but
+    /// cannot steer the comparison.
+    BlindEquality,
+}
+
+/// Classifies the per-experiment leakage of an equality transmitter
+/// from its operand labels.
+#[must_use]
+pub fn equality_leak(a: Label, b: Label) -> EqualityLeak {
+    use Label::{AttackerControlled, Private};
+    match (a, b) {
+        (Private, AttackerControlled) | (AttackerControlled, Private) => {
+            EqualityLeak::ChosenEquality
+        }
+        (Private, _) | (_, Private) => EqualityLeak::BlindEquality,
+        _ => EqualityLeak::Nothing,
+    }
+}
+
+/// Expected number of experiments to learn a `bits`-bit private value
+/// through a chosen-equality oracle by exhaustive guessing — the
+/// paper's §IV-C4 arithmetic (a 16-bit value takes up to 2^16 tries;
+/// the BSAES attack's 8 × 65 536 = 524 288 bound).
+#[must_use]
+pub fn exhaustive_guesses(bits: u32) -> u64 {
+    1u64 << bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Label::{AttackerControlled, Private, Public};
+
+    #[test]
+    fn lattice_order() {
+        assert!(Public.flows_to(AttackerControlled));
+        assert!(AttackerControlled.flows_to(Private));
+        assert!(Public.flows_to(Private));
+        assert!(!Private.flows_to(Public));
+        assert!(!AttackerControlled.flows_to(Public));
+        assert!(Private.flows_to(Private));
+    }
+
+    #[test]
+    fn join_and_meet() {
+        assert_eq!(Public.join(Private), Private);
+        assert_eq!(AttackerControlled.join(Public), AttackerControlled);
+        assert_eq!(Private.meet(AttackerControlled), AttackerControlled);
+    }
+
+    #[test]
+    fn equality_leak_classification() {
+        assert_eq!(
+            equality_leak(Private, AttackerControlled),
+            EqualityLeak::ChosenEquality
+        );
+        assert_eq!(
+            equality_leak(AttackerControlled, Private),
+            EqualityLeak::ChosenEquality
+        );
+        assert_eq!(equality_leak(Private, Public), EqualityLeak::BlindEquality);
+        assert_eq!(equality_leak(Private, Private), EqualityLeak::BlindEquality);
+        assert_eq!(equality_leak(Public, AttackerControlled), EqualityLeak::Nothing);
+    }
+
+    #[test]
+    fn replay_cost_matches_paper() {
+        // §V-A3: 16-bit intermediates, eight of them.
+        assert_eq!(exhaustive_guesses(16), 65_536);
+        assert_eq!(8 * exhaustive_guesses(16), 524_288);
+        // §IV-C4: byte-granularity checks need only 2^8.
+        assert_eq!(exhaustive_guesses(8), 256);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Public.to_string(), "L");
+        assert_eq!(AttackerControlled.to_string(), "C");
+        assert_eq!(Private.to_string(), "H");
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # pandora-core
+//!
+//! The primary contribution of *"Opening Pandora's Box: A Systematic
+//! Study of New Ways Microarchitecture Can Leak Private Data"*
+//! (ISCA 2021), as a library:
+//!
+//! * [`mld`] — **microarchitectural leakage descriptors** (§IV-A):
+//!   stateless, typed functions from (instruction, µarch state, arch
+//!   state) assignments to distinct observable outcomes; partition
+//!   enumeration and the log2|S| channel-capacity bound.
+//! * [`examples`] — the paper's nine example MLDs (Figures 2 and 3),
+//!   from the single-cycle ALU to the 3-level indirect-memory
+//!   prefetcher.
+//! * [`lattice`] — the `L ⊑ C ⊑ H` security lattice and the
+//!   equality-oracle replay analysis of §IV-C4.
+//! * [`landscape`] — the leakage landscape: Table I (which program
+//!   data each optimization endangers, derived per-column from the
+//!   affected-data declarations) and Table II (classification by MLD
+//!   signature).
+//!
+//! ```
+//! use pandora_core::examples::ZeroSkipMul;
+//! use pandora_core::mld::{capacity_bits, partition_size, Mld};
+//!
+//! let inputs = (0..16u64).flat_map(|a| (0..16u64).map(move |b| (a, b)));
+//! let n = partition_size(&ZeroSkipMul, inputs);
+//! assert_eq!(n, 2); // skip vs no-skip
+//! assert_eq!(capacity_bits(n), 1.0); // one bit per dynamic multiply
+//! ```
+
+pub mod examples;
+pub mod lattice;
+pub mod landscape;
+pub mod mld;
+
+pub use landscape::{render_table1, render_table2, DataItem, Mark, OptClass};
+pub use lattice::{equality_leak, EqualityLeak, Label};
+pub use mld::{capacity_bits, classify, concat_outcomes, partition_size, InputKind, Mld, MldClass};

@@ -1,0 +1,193 @@
+//! Microarchitectural leakage descriptors (MLDs), §IV-A.
+//!
+//! An MLD for a microarchitectural optimization is a *stateless
+//! function* that specifies (1) the inputs needed to describe the
+//! optimization's functional behaviour — each typed as a dynamic
+//! instruction (`Inst`), persistent microarchitectural state (`Uarch`)
+//! or architectural state (`Arch`) — and (2) a many-to-one mapping from
+//! input assignments to **distinct observable outcomes**. Given a
+//! concrete assignment, the MLD returns the id of the outcome the
+//! assignment produces; the mapping partitions the input space, and
+//! log2 of the partition count bounds the channel capacity (§IV-A3).
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// The type of one MLD input, as in the paper's definitions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InputKind {
+    /// An in-flight dynamic instruction.
+    Inst,
+    /// ISA-invisible persistent microarchitectural state (predictors,
+    /// caches, memoization tables, prefetcher state).
+    Uarch,
+    /// ISA-visible persistent architectural state (the register file,
+    /// data memory).
+    Arch,
+}
+
+impl fmt::Display for InputKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputKind::Inst => write!(f, "Inst"),
+            InputKind::Uarch => write!(f, "Uarch"),
+            InputKind::Arch => write!(f, "Arch"),
+        }
+    }
+}
+
+/// A microarchitectural leakage descriptor: a named, typed, stateless
+/// map from input assignments to observable-outcome ids.
+pub trait Mld {
+    /// The concrete type of one input assignment.
+    type Input;
+
+    /// The descriptor's name (e.g. `"zero_skip_mul"`).
+    fn name(&self) -> &'static str;
+
+    /// The input signature — the basis of the paper's Table II
+    /// classification.
+    fn signature(&self) -> &'static [InputKind];
+
+    /// The outcome id for one concrete input assignment.
+    fn outcome(&self, input: &Self::Input) -> u64;
+}
+
+/// The number of distinct outcomes an MLD produces over an input
+/// enumeration — |S|, the size of the partition.
+pub fn partition_size<M: Mld>(mld: &M, inputs: impl IntoIterator<Item = M::Input>) -> usize {
+    let outcomes: HashSet<u64> = inputs.into_iter().map(|i| mld.outcome(&i)).collect();
+    outcomes.len()
+}
+
+/// The channel-capacity upper bound in bits: log2 |S| (§IV-A3).
+#[must_use]
+pub fn capacity_bits(partition_size: usize) -> f64 {
+    if partition_size == 0 {
+        0.0
+    } else {
+        (partition_size as f64).log2()
+    }
+}
+
+/// The paper's `||` concatenation operator (Fig 3 caption): projects a
+/// sequence of sub-outcomes, each with a known domain size, onto the
+/// naturals — `d_{N-1} || … || d_0 = Σ d_i · Π_{j<i} D_j`. Informally:
+/// the microarchitecture leaks each component independently.
+///
+/// `parts` are `(value, domain_size)` pairs ordered `d_0` first.
+///
+/// # Panics
+///
+/// Panics if any value is outside its declared domain.
+#[must_use]
+pub fn concat_outcomes(parts: &[(u64, u64)]) -> u64 {
+    let mut acc = 0u64;
+    let mut radix = 1u64;
+    for &(value, domain) in parts {
+        assert!(value < domain, "outcome {value} outside domain {domain}");
+        acc += value * radix;
+        radix = radix.saturating_mul(domain);
+    }
+    acc
+}
+
+/// The classification of an MLD by its input signature — the axes of
+/// the paper's Table II.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MldClass {
+    /// Only in-flight instructions: stateless instruction-centric
+    /// (§IV-B).
+    StatelessInst,
+    /// Instructions interacting with microarchitectural state (§IV-C).
+    StatefulInstUarch,
+    /// Instructions interacting with architectural state (§IV-C).
+    StatefulInstArch,
+    /// Architectural state alone (possibly via auxiliary µarch state):
+    /// memory-centric (§IV-D).
+    MemoryCentric,
+}
+
+impl fmt::Display for MldClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MldClass::StatelessInst => write!(f, "Stateless instruction-centric"),
+            MldClass::StatefulInstUarch => write!(f, "Stateful instruction-centric (Uarch)"),
+            MldClass::StatefulInstArch => write!(f, "Stateful instruction-centric (Arch)"),
+            MldClass::MemoryCentric => write!(f, "Memory-centric (Arch)"),
+        }
+    }
+}
+
+/// Classifies a signature into the Table II taxonomy.
+#[must_use]
+pub fn classify(signature: &[InputKind]) -> MldClass {
+    let has_inst = signature.contains(&InputKind::Inst);
+    let has_uarch = signature.contains(&InputKind::Uarch);
+    let has_arch = signature.contains(&InputKind::Arch);
+    match (has_inst, has_uarch, has_arch) {
+        (true, false, false) => MldClass::StatelessInst,
+        (true, true, _) => MldClass::StatefulInstUarch,
+        (true, false, true) => MldClass::StatefulInstArch,
+        (false, _, _) => MldClass::MemoryCentric,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Parity;
+    impl Mld for Parity {
+        type Input = u64;
+        fn name(&self) -> &'static str {
+            "parity"
+        }
+        fn signature(&self) -> &'static [InputKind] {
+            &[InputKind::Inst]
+        }
+        fn outcome(&self, input: &u64) -> u64 {
+            input & 1
+        }
+    }
+
+    #[test]
+    fn partition_and_capacity() {
+        let n = partition_size(&Parity, 0..100u64);
+        assert_eq!(n, 2);
+        assert!((capacity_bits(n) - 1.0).abs() < 1e-12);
+        assert_eq!(capacity_bits(0), 0.0);
+        assert_eq!(capacity_bits(1), 0.0);
+    }
+
+    #[test]
+    fn concat_is_positional() {
+        // d0 in domain 3, d1 in domain 2: (d1, d0) -> d1*3 + d0.
+        assert_eq!(concat_outcomes(&[(2, 3), (1, 2)]), 5);
+        assert_eq!(concat_outcomes(&[(0, 3), (0, 2)]), 0);
+        // All combinations are distinct.
+        let mut seen = std::collections::HashSet::new();
+        for d0 in 0..3 {
+            for d1 in 0..2 {
+                assert!(seen.insert(concat_outcomes(&[(d0, 3), (d1, 2)])));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn concat_validates_domains() {
+        let _ = concat_outcomes(&[(3, 3)]);
+    }
+
+    #[test]
+    fn classification_matches_table_ii_axes() {
+        use InputKind::{Arch, Inst, Uarch};
+        assert_eq!(classify(&[Inst]), MldClass::StatelessInst);
+        assert_eq!(classify(&[Inst, Inst]), MldClass::StatelessInst);
+        assert_eq!(classify(&[Inst, Uarch]), MldClass::StatefulInstUarch);
+        assert_eq!(classify(&[Inst, Arch]), MldClass::StatefulInstArch);
+        assert_eq!(classify(&[Arch]), MldClass::MemoryCentric);
+        assert_eq!(classify(&[Uarch, Uarch, Arch]), MldClass::MemoryCentric);
+    }
+}

@@ -1,0 +1,255 @@
+//! A byte-wise reference AES-128 (encrypt *and* decrypt).
+//!
+//! This is the ground truth the bitsliced implementation and the
+//! generated ISA code are tested against, and it supplies the inverse
+//! round functions the attacker's chosen-plaintext computation needs
+//! (§V-A3: the attacker knows its own key, so it can run the cipher
+//! backwards from any desired intermediate state).
+//!
+//! The state is the FIPS-197 column-major layout: `state[r + 4c]` is
+//! row `r`, column `c`, loaded from input byte `r + 4c`... i.e. the
+//! input bytes fill columns first; we keep the flat `[u8; 16]` in input
+//! order and index with `r + 4c`.
+
+use crate::gf;
+use crate::keysched::RoundKeys;
+
+/// A 16-byte AES block.
+pub type Block = [u8; 16];
+
+#[inline]
+fn at(state: &Block, r: usize, c: usize) -> u8 {
+    state[r + 4 * c]
+}
+
+#[inline]
+fn set(state: &mut Block, r: usize, c: usize, v: u8) {
+    state[r + 4 * c] = v;
+}
+
+/// SubBytes: the S-box applied to every state byte.
+pub fn sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = gf::sbox(*b);
+    }
+}
+
+/// InvSubBytes.
+pub fn inv_sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = gf::inv_sbox(*b);
+    }
+}
+
+/// ShiftRows: row `r` rotates left by `r`.
+pub fn shift_rows(state: &mut Block) {
+    let old = *state;
+    for r in 0..4 {
+        for c in 0..4 {
+            set(state, r, c, at(&old, r, (c + r) % 4));
+        }
+    }
+}
+
+/// InvShiftRows.
+pub fn inv_shift_rows(state: &mut Block) {
+    let old = *state;
+    for r in 0..4 {
+        for c in 0..4 {
+            set(state, r, (c + r) % 4, at(&old, r, c));
+        }
+    }
+}
+
+/// MixColumns.
+pub fn mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col: Vec<u8> = (0..4).map(|r| at(state, r, c)).collect();
+        for r in 0..4 {
+            let v = gf::mul(col[r], 2)
+                ^ gf::mul(col[(r + 1) % 4], 3)
+                ^ col[(r + 2) % 4]
+                ^ col[(r + 3) % 4];
+            set(state, r, c, v);
+        }
+    }
+}
+
+/// InvMixColumns.
+pub fn inv_mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col: Vec<u8> = (0..4).map(|r| at(state, r, c)).collect();
+        for r in 0..4 {
+            let v = gf::mul(col[r], 0x0e)
+                ^ gf::mul(col[(r + 1) % 4], 0x0b)
+                ^ gf::mul(col[(r + 2) % 4], 0x0d)
+                ^ gf::mul(col[(r + 3) % 4], 0x09);
+            set(state, r, c, v);
+        }
+    }
+}
+
+/// AddRoundKey.
+pub fn add_round_key(state: &mut Block, rk: &Block) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+/// Encrypts one block under the expanded key.
+#[must_use]
+pub fn encrypt(rk: &RoundKeys, pt: &Block) -> Block {
+    let mut s = *pt;
+    add_round_key(&mut s, &rk.round(0));
+    for r in 1..10 {
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        mix_columns(&mut s);
+        add_round_key(&mut s, &rk.round(r));
+    }
+    sub_bytes(&mut s);
+    shift_rows(&mut s);
+    add_round_key(&mut s, &rk.round(10));
+    s
+}
+
+/// Decrypts one block under the expanded key.
+#[must_use]
+pub fn decrypt(rk: &RoundKeys, ct: &Block) -> Block {
+    let mut s = *ct;
+    add_round_key(&mut s, &rk.round(10));
+    inv_shift_rows(&mut s);
+    inv_sub_bytes(&mut s);
+    for r in (1..10).rev() {
+        add_round_key(&mut s, &rk.round(r));
+        inv_mix_columns(&mut s);
+        inv_shift_rows(&mut s);
+        inv_sub_bytes(&mut s);
+    }
+    add_round_key(&mut s, &rk.round(0));
+    s
+}
+
+/// The state immediately after the *final* SubBytes (before the final
+/// ShiftRows/AddRoundKey) — the intermediate the silent-store attack
+/// reconstructs (§V-A3).
+#[must_use]
+pub fn final_subbytes_state(rk: &RoundKeys, pt: &Block) -> Block {
+    let mut s = *pt;
+    add_round_key(&mut s, &rk.round(0));
+    for r in 1..10 {
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        mix_columns(&mut s);
+        add_round_key(&mut s, &rk.round(r));
+    }
+    sub_bytes(&mut s);
+    s
+}
+
+/// The plaintext that makes the final-SubBytes state equal `target`
+/// under the expanded key `rk` — the attacker's chosen-plaintext
+/// inversion: it knows its own key, so it runs the cipher backwards.
+#[must_use]
+pub fn plaintext_for_final_subbytes(rk: &RoundKeys, target: &Block) -> Block {
+    let mut s = *target;
+    inv_sub_bytes(&mut s);
+    for r in (1..10).rev() {
+        add_round_key(&mut s, &rk.round(r));
+        inv_mix_columns(&mut s);
+        inv_shift_rows(&mut s);
+        inv_sub_bytes(&mut s);
+    }
+    add_round_key(&mut s, &rk.round(0));
+    s
+}
+
+/// Recovers the last round key from a known (plaintext-independent)
+/// final-SubBytes state and the matching ciphertext:
+/// `k10 = C ^ ShiftRows(S)`.
+#[must_use]
+pub fn round10_key_from_leak(final_sb_state: &Block, ciphertext: &Block) -> Block {
+    let mut s = *final_sb_state;
+    shift_rows(&mut s);
+    let mut k = [0u8; 16];
+    for i in 0..16 {
+        k[i] = s[i] ^ ciphertext[i];
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keysched::RoundKeys;
+
+    fn fips_key() -> Block {
+        [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ]
+    }
+
+    fn fips_pt() -> Block {
+        [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ]
+    }
+
+    const FIPS_CT: Block = [
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5,
+        0x5a,
+    ];
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let rk = RoundKeys::expand(&fips_key());
+        assert_eq!(encrypt(&rk, &fips_pt()), FIPS_CT);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let rk = RoundKeys::expand(&fips_key());
+        assert_eq!(decrypt(&rk, &FIPS_CT), fips_pt());
+        let rk2 = RoundKeys::expand(&[0x2b; 16]);
+        let pt = [0x5a; 16];
+        assert_eq!(decrypt(&rk2, &encrypt(&rk2, &pt)), pt);
+    }
+
+    #[test]
+    fn shift_rows_round_trips() {
+        let mut s: Block = std::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_round_trips() {
+        let mut s: Block = std::array::from_fn(|i| (i * 17 + 3) as u8);
+        let orig = s;
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn chosen_plaintext_inversion_hits_target() {
+        let rk = RoundKeys::expand(&fips_key());
+        let target: Block = std::array::from_fn(|i| (i * 29 + 7) as u8);
+        let pt = plaintext_for_final_subbytes(&rk, &target);
+        assert_eq!(final_subbytes_state(&rk, &pt), target);
+    }
+
+    #[test]
+    fn round10_key_recovery_from_leak() {
+        let rk = RoundKeys::expand(&fips_key());
+        let pt = fips_pt();
+        let leak = final_subbytes_state(&rk, &pt);
+        let ct = encrypt(&rk, &pt);
+        assert_eq!(round10_key_from_leak(&leak, &ct), rk.round(10));
+    }
+}

@@ -1,0 +1,439 @@
+//! The bitsliced AES-128 (pure-Rust evaluation).
+//!
+//! The state of one block is held as **eight 16-bit slices**: bit `j`
+//! of slice `i` is bit `i` of state byte `j`, with lanes laid out
+//! row-major (`j = 4r + c`). Every round transformation then becomes a
+//! sequence of bitwise operations on whole slices:
+//!
+//! * SubBytes — GF(2^8) inversion by a fixed square-and-multiply chain
+//!   plus the affine transform, all expressed through matrices *derived
+//!   at runtime from [`crate::gf`]* (no transcribed constants),
+//! * ShiftRows — a fixed bit permutation of each slice,
+//! * MixColumns — slice rotations (row selection) plus the bitwise
+//!   `xtime`,
+//! * AddRoundKey — XOR with the bitsliced round key.
+//!
+//! This mirrors the paper's victim exactly (§V-A3): a constant-time
+//! implementation whose per-round intermediates are **eight 16-bit
+//! values**; the generated ISA code (see [`codegen`](crate::codegen))
+//! spills those eight values to the stack, where the silent-store
+//! attack reads them.
+
+use crate::aes_ref::Block;
+use crate::gf;
+use crate::keysched::RoundKeys;
+
+/// The eight 16-bit slices of one block.
+pub type Slices = [u16; 8];
+
+/// The input/output byte index carried in lane `j = 4r + c`
+/// (FIPS-197 loads input byte `r + 4c` into state row `r`, column `c`).
+#[must_use]
+pub fn lane_to_byte(j: usize) -> usize {
+    (j / 4) + 4 * (j % 4)
+}
+
+/// Packs a 16-byte state into slices.
+#[must_use]
+pub fn bitslice(state: &Block) -> Slices {
+    let mut s = [0u16; 8];
+    for (j, slot) in (0..16).map(|j| (j, lane_to_byte(j))) {
+        let byte = state[slot];
+        for (i, slice) in s.iter_mut().enumerate() {
+            *slice |= u16::from((byte >> i) & 1) << j;
+        }
+    }
+    s
+}
+
+/// Unpacks slices back into a 16-byte state.
+#[must_use]
+pub fn unbitslice(s: &Slices) -> Block {
+    let mut state = [0u8; 16];
+    for j in 0..16 {
+        let mut byte = 0u8;
+        for (i, slice) in s.iter().enumerate() {
+            byte |= (((slice >> j) & 1) as u8) << i;
+        }
+        state[lane_to_byte(j)] = byte;
+    }
+    state
+}
+
+// ---- Derived linear-algebra descriptions of the field ops ------------
+
+/// `SQ_ROWS[k]` = bitmask over input bits i that XOR into output bit k
+/// of the GF(2^8) squaring map (linear in characteristic 2).
+#[must_use]
+pub fn square_rows() -> [u8; 8] {
+    let mut rows = [0u8; 8];
+    for i in 0..8 {
+        let sq = gf::mul(1 << i, 1 << i);
+        for (k, row) in rows.iter_mut().enumerate() {
+            if (sq >> k) & 1 == 1 {
+                *row |= 1 << i;
+            }
+        }
+    }
+    rows
+}
+
+/// `MULT_PAIRS[k]` = the (i, j) partial products `a_i & b_j` that XOR
+/// into output bit k of GF(2^8) multiplication.
+#[must_use]
+pub fn mult_pairs() -> [Vec<(usize, usize)>; 8] {
+    let mut pairs: [Vec<(usize, usize)>; 8] = Default::default();
+    for i in 0..8 {
+        for j in 0..8 {
+            let p = gf::mul(1 << i, 1 << j);
+            for (k, list) in pairs.iter_mut().enumerate() {
+                if (p >> k) & 1 == 1 {
+                    list.push((i, j));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// `AFFINE_ROWS[k]` = input bitmask for output bit k of the S-box's
+/// affine transform; the constant 0x63 is applied separately.
+#[must_use]
+pub fn affine_rows() -> [u8; 8] {
+    let mut rows = [0u8; 8];
+    for (k, row) in rows.iter_mut().enumerate() {
+        for d in [0usize, 4, 5, 6, 7] {
+            *row |= 1 << ((k + d) % 8);
+        }
+    }
+    rows
+}
+
+/// The affine constant: slices whose bit is set in 0x63 get inverted.
+pub const AFFINE_CONST: u8 = 0x63;
+
+/// One step of the inversion exponentiation chain for x^254 = x^-1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GfStep {
+    /// `slot[dst] = slot[src]^2`
+    Square {
+        /// Destination slot.
+        dst: usize,
+        /// Source slot.
+        src: usize,
+    },
+    /// `slot[dst] = slot[a] * slot[b]`
+    Mult {
+        /// Destination slot.
+        dst: usize,
+        /// First operand slot.
+        a: usize,
+        /// Second operand slot.
+        b: usize,
+    },
+}
+
+/// The addition chain computing x^254 (= the field inverse) from x in
+/// slot 0, leaving the result in [`INV_RESULT_SLOT`]. Slots are scratch
+/// GF-element storage; [`INV_SLOT_COUNT`] slots are used in total.
+pub const INV_CHAIN: [GfStep; 11] = [
+    GfStep::Square { dst: 1, src: 0 },          // x^2
+    GfStep::Mult { dst: 2, a: 1, b: 0 },        // x^3
+    GfStep::Square { dst: 3, src: 2 },          // x^6
+    GfStep::Square { dst: 4, src: 3 },          // x^12
+    GfStep::Mult { dst: 5, a: 4, b: 2 },        // x^15
+    GfStep::Square { dst: 6, src: 5 },          // x^30
+    GfStep::Square { dst: 7, src: 6 },          // x^60
+    GfStep::Square { dst: 8, src: 7 },          // x^120
+    GfStep::Square { dst: 9, src: 8 },          // x^240
+    GfStep::Mult { dst: 10, a: 9, b: 4 },       // x^252
+    GfStep::Mult { dst: 11, a: 10, b: 1 },      // x^254
+];
+
+/// The slot the inversion chain leaves its result in.
+pub const INV_RESULT_SLOT: usize = 11;
+/// Scratch slots the inversion chain uses (0 is the input).
+pub const INV_SLOT_COUNT: usize = 12;
+
+// ---- Slice-level round transformations --------------------------------
+
+/// Squares each byte lane: a linear map over the slices.
+#[must_use]
+#[allow(clippy::needless_range_loop)]
+pub fn square_slices(s: &Slices) -> Slices {
+    let rows = square_rows();
+    let mut out = [0u16; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        for i in 0..8 {
+            if (rows[k] >> i) & 1 == 1 {
+                *o ^= s[i];
+            }
+        }
+    }
+    out
+}
+
+/// Multiplies byte lanes pairwise: `out lane = a lane * b lane` in
+/// GF(2^8).
+#[must_use]
+pub fn mul_slices(a: &Slices, b: &Slices) -> Slices {
+    let pairs = mult_pairs();
+    let mut out = [0u16; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        for &(i, j) in &pairs[k] {
+            *o ^= a[i] & b[j];
+        }
+    }
+    out
+}
+
+/// Inverts each byte lane via the [`INV_CHAIN`].
+#[must_use]
+pub fn inv_slices(x: &Slices) -> Slices {
+    let mut slots = [[0u16; 8]; INV_SLOT_COUNT];
+    slots[0] = *x;
+    for step in INV_CHAIN {
+        match step {
+            GfStep::Square { dst, src } => slots[dst] = square_slices(&slots[src]),
+            GfStep::Mult { dst, a, b } => {
+                slots[dst] = mul_slices(&slots[a].clone(), &slots[b].clone());
+            }
+        }
+    }
+    slots[INV_RESULT_SLOT]
+}
+
+/// The affine transform of each byte lane (matrix then constant).
+#[must_use]
+#[allow(clippy::needless_range_loop)]
+pub fn affine_slices(s: &Slices) -> Slices {
+    let rows = affine_rows();
+    let mut out = [0u16; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        for i in 0..8 {
+            if (rows[k] >> i) & 1 == 1 {
+                *o ^= s[i];
+            }
+        }
+        if (AFFINE_CONST >> k) & 1 == 1 {
+            *o = !*o;
+        }
+    }
+    out
+}
+
+/// Bitsliced SubBytes: inversion chain + affine transform.
+#[must_use]
+pub fn sub_bytes_slices(s: &Slices) -> Slices {
+    affine_slices(&inv_slices(s))
+}
+
+/// The ShiftRows lane permutation: `SHIFT_ROWS_SRC[j]` is the source
+/// lane for destination lane `j`.
+#[must_use]
+pub fn shift_rows_perm() -> [usize; 16] {
+    std::array::from_fn(|j| {
+        let (r, c) = (j / 4, j % 4);
+        4 * r + (c + r) % 4
+    })
+}
+
+/// Applies a 16-lane permutation to one slice.
+#[must_use]
+pub fn permute16(x: u16, src_for_dst: &[usize; 16]) -> u16 {
+    let mut out = 0u16;
+    for (j, &src) in src_for_dst.iter().enumerate() {
+        out |= ((x >> src) & 1) << j;
+    }
+    out
+}
+
+/// Bitsliced ShiftRows.
+#[must_use]
+pub fn shift_rows_slices(s: &Slices) -> Slices {
+    let perm = shift_rows_perm();
+    s.map(|x| permute16(x, &perm))
+}
+
+/// `xtime` (multiplication by x) on every byte lane.
+#[must_use]
+pub fn xtime_slices(s: &Slices) -> Slices {
+    // b = (a << 1) ^ (a >> 7) * 0x1b: bit 7 folds into bits 0, 1, 3, 4.
+    [
+        s[7],
+        s[0] ^ s[7],
+        s[1],
+        s[2] ^ s[7],
+        s[3] ^ s[7],
+        s[4],
+        s[5],
+        s[6],
+    ]
+}
+
+/// Rotates every slice so lane (r, c) reads lane (r + k, c): the "next
+/// row, same column" selector MixColumns needs.
+#[must_use]
+pub fn rot_rows(s: &Slices, k: u32) -> Slices {
+    s.map(|x| x.rotate_right(4 * k))
+}
+
+/// Bitsliced MixColumns:
+/// `b_r = xtime(a_r) ^ xtime(a_{r+1}) ^ a_{r+1} ^ a_{r+2} ^ a_{r+3}`.
+#[must_use]
+pub fn mix_columns_slices(s: &Slices) -> Slices {
+    let a1 = rot_rows(s, 1);
+    let a2 = rot_rows(s, 2);
+    let a3 = rot_rows(s, 3);
+    let xt = xtime_slices(s);
+    let xt1 = xtime_slices(&a1);
+    std::array::from_fn(|i| xt[i] ^ xt1[i] ^ a1[i] ^ a2[i] ^ a3[i])
+}
+
+/// Bitsliced AddRoundKey.
+#[must_use]
+pub fn add_round_key_slices(s: &Slices, rk: &Slices) -> Slices {
+    std::array::from_fn(|i| s[i] ^ rk[i])
+}
+
+/// All 11 round keys in bitsliced form.
+#[must_use]
+pub fn round_key_slices(rk: &RoundKeys) -> [Slices; 11] {
+    std::array::from_fn(|r| bitslice(&rk.round(r)))
+}
+
+/// Encrypts one block entirely in the bitsliced domain.
+#[must_use]
+pub fn encrypt(rk: &RoundKeys, pt: &Block) -> Block {
+    let rks = round_key_slices(rk);
+    let mut s = add_round_key_slices(&bitslice(pt), &rks[0]);
+    for rkr in rks.iter().take(10).skip(1) {
+        s = sub_bytes_slices(&s);
+        s = shift_rows_slices(&s);
+        s = mix_columns_slices(&s);
+        s = add_round_key_slices(&s, rkr);
+    }
+    s = sub_bytes_slices(&s);
+    s = shift_rows_slices(&s);
+    s = add_round_key_slices(&s, &rks[10]);
+    unbitslice(&s)
+}
+
+/// The eight 16-bit slice values immediately after the final SubBytes —
+/// exactly the "eight locations storing intermediate values that can be
+/// used to reconstruct the AES state after byte substitution" of §V-A3.
+#[must_use]
+pub fn final_subbytes_slices(rk: &RoundKeys, pt: &Block) -> Slices {
+    let rks = round_key_slices(rk);
+    let mut s = add_round_key_slices(&bitslice(pt), &rks[0]);
+    for rkr in rks.iter().take(10).skip(1) {
+        s = sub_bytes_slices(&s);
+        s = shift_rows_slices(&s);
+        s = mix_columns_slices(&s);
+        s = add_round_key_slices(&s, rkr);
+    }
+    sub_bytes_slices(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes_ref;
+
+    #[test]
+    fn bitslice_round_trips() {
+        let state: Block = std::array::from_fn(|i| (i * 37 + 11) as u8);
+        assert_eq!(unbitslice(&bitslice(&state)), state);
+    }
+
+    #[test]
+    fn lane_byte_map_is_a_bijection() {
+        let mut seen = [false; 16];
+        for j in 0..16 {
+            let b = lane_to_byte(j);
+            assert!(!seen[b]);
+            seen[b] = true;
+        }
+    }
+
+    #[test]
+    fn sliced_square_matches_gf() {
+        // 16 distinct byte lanes exercised at once.
+        let state: Block = std::array::from_fn(|i| (i * 13 + 5) as u8);
+        let squared = unbitslice(&square_slices(&bitslice(&state)));
+        for (i, &b) in state.iter().enumerate() {
+            assert_eq!(squared[i], gf::mul(b, b), "lane byte {b:#x}");
+        }
+    }
+
+    #[test]
+    fn sliced_mul_matches_gf() {
+        let a: Block = std::array::from_fn(|i| (i * 13 + 5) as u8);
+        let b: Block = std::array::from_fn(|i| (i * 7 + 31) as u8);
+        let prod = unbitslice(&mul_slices(&bitslice(&a), &bitslice(&b)));
+        for i in 0..16 {
+            assert_eq!(prod[i], gf::mul(a[i], b[i]));
+        }
+    }
+
+    #[test]
+    fn sliced_sub_bytes_matches_sbox_for_all_256_inputs() {
+        for base in (0..256).step_by(16) {
+            let state: Block = std::array::from_fn(|i| (base + i) as u8);
+            let out = unbitslice(&sub_bytes_slices(&bitslice(&state)));
+            for (i, &b) in state.iter().enumerate() {
+                assert_eq!(out[i], gf::sbox(b), "S({b:#x})");
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_shift_rows_matches_reference() {
+        let mut state: Block = std::array::from_fn(|i| (i * 41 + 3) as u8);
+        let sliced = unbitslice(&shift_rows_slices(&bitslice(&state)));
+        aes_ref::shift_rows(&mut state);
+        assert_eq!(sliced, state);
+    }
+
+    #[test]
+    fn sliced_mix_columns_matches_reference() {
+        let mut state: Block = std::array::from_fn(|i| (i * 59 + 17) as u8);
+        let sliced = unbitslice(&mix_columns_slices(&bitslice(&state)));
+        aes_ref::mix_columns(&mut state);
+        assert_eq!(sliced, state);
+    }
+
+    #[test]
+    fn bitsliced_encrypt_matches_reference() {
+        let key: [u8; 16] = std::array::from_fn(|i| i as u8);
+        let rk = RoundKeys::expand(&key);
+        let pt: Block = std::array::from_fn(|i| (i * 0x11) as u8);
+        assert_eq!(encrypt(&rk, &pt), aes_ref::encrypt(&rk, &pt));
+    }
+
+    #[test]
+    fn final_subbytes_slices_match_reference_state() {
+        let key = [0x3cu8; 16];
+        let rk = RoundKeys::expand(&key);
+        let pt: Block = std::array::from_fn(|i| (255 - i) as u8);
+        let slices = final_subbytes_slices(&rk, &pt);
+        assert_eq!(
+            unbitslice(&slices),
+            aes_ref::final_subbytes_state(&rk, &pt)
+        );
+    }
+
+    #[test]
+    fn inv_chain_exponents_reach_254() {
+        // Symbolically track exponents through the chain.
+        let mut exp = [0u32; INV_SLOT_COUNT];
+        exp[0] = 1;
+        for step in INV_CHAIN {
+            match step {
+                GfStep::Square { dst, src } => exp[dst] = exp[src] * 2,
+                GfStep::Mult { dst, a, b } => exp[dst] = exp[a] + exp[b],
+            }
+        }
+        assert_eq!(exp[INV_RESULT_SLOT], 254);
+    }
+}

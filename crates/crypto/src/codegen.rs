@@ -1,0 +1,473 @@
+//! Code generation: bitsliced AES-128 compiled to the Pandora ISA.
+//!
+//! [`emit_encrypt`] emits a straight-line, constant-time encryption of
+//! one block: no secret-dependent branches and no secret-dependent
+//! addresses — the victim discipline the paper's silent-store attack
+//! defeats (§V-A). The generated code mirrors
+//! [`bitslice`](crate::bitslice) step for step (both consume the same
+//! derived matrices), and the workspace tests check the machine output
+//! against the reference implementation bit for bit.
+//!
+//! After the **final SubBytes**, the eight 16-bit slice values are
+//! stored to eight fixed "stack" slots ([`BsaesLayout::spill`]) — the
+//! paper's "eight locations storing intermediate values that can be
+//! used to reconstruct the AES state after byte substitution". The
+//! returned [`EncryptArtifacts`] identifies those stores so attack
+//! harnesses can target them, and a hook lets harnesses inject the
+//! amplification gadget immediately before any of them.
+
+use pandora_isa::{Asm, Reg};
+
+use crate::bitslice::{
+    affine_rows, lane_to_byte, mult_pairs, square_rows, GfStep, AFFINE_CONST,
+    INV_CHAIN, INV_RESULT_SLOT, INV_SLOT_COUNT,
+};
+use crate::keysched::RoundKeys;
+
+/// Slice operand registers (loaded from memory).
+const A: [Reg; 8] = [
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::A4,
+    Reg::A5,
+    Reg::A6,
+    Reg::A7,
+];
+/// Slice result / second-operand registers.
+const B: [Reg; 8] = [
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+    Reg::S7,
+    Reg::S8,
+    Reg::S9,
+];
+const T0: Reg = Reg::T0;
+const T1: Reg = Reg::T1;
+const T2: Reg = Reg::T2;
+
+/// Memory layout of one BSAES instance. All addresses are absolute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BsaesLayout {
+    /// 11 bitsliced round keys: 11 × 8 slices × 8 bytes = 704 B.
+    pub rk: u64,
+    /// The 16-byte plaintext input.
+    pub pt: u64,
+    /// The 16-byte ciphertext output.
+    pub ct: u64,
+    /// Current state: 8 slices × 8 B.
+    pub state: u64,
+    /// GF-element scratch: [`INV_SLOT_COUNT`] slots × 8 slices × 8 B.
+    pub scratch: u64,
+    /// The eight final-SubBytes spill slots — the attack's target
+    /// stores write here. Slots are line-separated (64 B apart) like
+    /// distinct stack variables, so one slot's cache behaviour does not
+    /// shadow its neighbour's.
+    pub spill: u64,
+}
+
+impl BsaesLayout {
+    /// Lays an instance out contiguously starting at `base`.
+    #[must_use]
+    pub fn at(base: u64) -> BsaesLayout {
+        BsaesLayout {
+            rk: base,
+            pt: base + 704,
+            ct: base + 704 + 16,
+            state: base + 704 + 32,
+            scratch: base + 704 + 32 + 64,
+            spill: base + 704 + 32 + 64 + (INV_SLOT_COUNT as u64) * 64,
+        }
+    }
+
+    /// Total bytes occupied starting at `rk`.
+    #[must_use]
+    pub fn size() -> u64 {
+        704 + 32 + 64 + (INV_SLOT_COUNT as u64) * 64 + 8 * 64
+    }
+
+    /// The address of spill slot `k` (the k-th target store's address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 8`.
+    #[must_use]
+    pub fn spill_slot(&self, k: usize) -> u64 {
+        assert!(k < 8);
+        self.spill + 64 * k as u64
+    }
+
+    /// The bytes to preload at [`BsaesLayout::rk`]: the bitsliced round
+    /// keys for `rk` (8-byte little-endian slot per slice).
+    #[must_use]
+    pub fn round_key_bytes(rk: &RoundKeys) -> Vec<u8> {
+        let mut out = Vec::with_capacity(704);
+        for slices in crate::bitslice::round_key_slices(rk) {
+            for s in slices {
+                out.extend_from_slice(&u64::from(s).to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// Where a spill hook is invoked relative to its target store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpillHook {
+    /// Immediately before the spill store (gadget delay/flush go here).
+    Before,
+    /// Immediately after the spill store (SQ-pressure code goes here).
+    After,
+}
+
+/// What [`emit_encrypt`] produced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EncryptArtifacts {
+    /// Instruction indices of the eight final-SubBytes spill stores,
+    /// in slice order.
+    pub spill_store_pcs: [usize; 8],
+}
+
+fn slice_addr(base: u64, k: usize) -> i64 {
+    (base + 8 * k as u64) as i64
+}
+
+/// Loads the 8 slices at `addr` into `regs`.
+fn ld_slices(a: &mut Asm, regs: &[Reg; 8], addr: u64) {
+    for (k, &r) in regs.iter().enumerate() {
+        a.ld(r, Reg::ZERO, slice_addr(addr, k));
+    }
+}
+
+/// Stores the 8 slices in `regs` to `addr`.
+fn st_slices(a: &mut Asm, regs: &[Reg; 8], addr: u64) {
+    for (k, &r) in regs.iter().enumerate() {
+        a.sd(r, Reg::ZERO, slice_addr(addr, k));
+    }
+}
+
+/// XOR-folds the registers selected by `mask` (over `srcs`) into `dst`.
+/// `dst` must not be in `srcs`.
+fn emit_xor_fold(a: &mut Asm, dst: Reg, srcs: &[Reg; 8], mask: u8) {
+    let mut first = true;
+    for (i, &r) in srcs.iter().enumerate() {
+        if (mask >> i) & 1 == 0 {
+            continue;
+        }
+        if first {
+            a.mv(dst, r);
+            first = false;
+        } else {
+            a.xor(dst, dst, r);
+        }
+    }
+    if first {
+        a.li(dst, 0);
+    }
+}
+
+/// GF squaring of the 8 slices at `src` into `dst` (lanes squared).
+fn emit_square(a: &mut Asm, dst: u64, src: u64) {
+    let rows = square_rows();
+    ld_slices(a, &A, src);
+    for (k, &row) in rows.iter().enumerate() {
+        emit_xor_fold(a, B[k], &A, row);
+    }
+    st_slices(a, &B, dst);
+}
+
+/// GF multiplication of slices at `xa` and `ya` into `dst` (must not
+/// alias the operands).
+fn emit_mult(a: &mut Asm, dst: u64, xa: u64, ya: u64) {
+    debug_assert!(dst != xa && dst != ya, "mult destination must be fresh");
+    let pairs = mult_pairs();
+    ld_slices(a, &A, xa);
+    ld_slices(a, &B, ya);
+    for (k, list) in pairs.iter().enumerate() {
+        let mut first = true;
+        for &(i, j) in list {
+            if first {
+                a.and(T0, A[i], B[j]);
+                first = false;
+            } else {
+                a.and(T1, A[i], B[j]);
+                a.xor(T0, T0, T1);
+            }
+        }
+        a.sd(T0, Reg::ZERO, slice_addr(dst, k));
+    }
+}
+
+/// The S-box affine transform of the slices at `src` into `dst`.
+fn emit_affine(a: &mut Asm, dst: u64, src: u64) {
+    let rows = affine_rows();
+    ld_slices(a, &A, src);
+    for (k, &row) in rows.iter().enumerate() {
+        emit_xor_fold(a, B[k], &A, row);
+        if (AFFINE_CONST >> k) & 1 == 1 {
+            // Bitwise NOT within the 16 live lanes.
+            a.xori(B[k], B[k], 0xffff);
+        }
+    }
+    st_slices(a, &B, dst);
+}
+
+/// Bitsliced SubBytes of the state (in place), spilling GF elements
+/// through the scratch slots.
+fn emit_sub_bytes(a: &mut Asm, lay: &BsaesLayout) {
+    let slot = |i: usize| -> u64 {
+        if i == 0 {
+            lay.state
+        } else {
+            lay.scratch + 64 * (i as u64 - 1)
+        }
+    };
+    for step in INV_CHAIN {
+        match step {
+            GfStep::Square { dst, src } => emit_square(a, slot(dst), slot(src)),
+            GfStep::Mult { dst, a: x, b: y } => emit_mult(a, slot(dst), slot(x), slot(y)),
+        }
+    }
+    emit_affine(a, lay.state, slot(INV_RESULT_SLOT));
+}
+
+/// In-register rotate-right of the 16 live bits of `src` by `n`,
+/// into `dst` (clobbers `tmp`).
+fn emit_rot16(a: &mut Asm, dst: Reg, src: Reg, n: i64, tmp: Reg) {
+    debug_assert!((1..16).contains(&n));
+    a.srli(dst, src, n);
+    a.slli(tmp, src, 16 - n);
+    a.or(dst, dst, tmp);
+    a.andi(dst, dst, 0xffff);
+}
+
+/// Bitsliced ShiftRows of the state, in place.
+#[allow(clippy::needless_range_loop)]
+fn emit_shift_rows(a: &mut Asm, lay: &BsaesLayout) {
+    ld_slices(a, &A, lay.state);
+    for k in 0..8 {
+        let src = A[k];
+        let dst = B[k];
+        // Row 0 is unchanged.
+        a.andi(dst, src, 0xf);
+        for r in 1..4i64 {
+            // new_nibble = rotate_right(old_nibble, r) within 4 bits.
+            a.srli(T0, src, 4 * r);
+            a.andi(T0, T0, 0xf);
+            a.srli(T1, T0, r);
+            a.slli(T2, T0, 4 - r);
+            a.or(T1, T1, T2);
+            a.andi(T1, T1, 0xf);
+            a.slli(T1, T1, 4 * r);
+            a.or(dst, dst, T1);
+        }
+    }
+    st_slices(a, &B, lay.state);
+}
+
+/// Bitsliced MixColumns of the state, in place.
+///
+/// `b_i = xt(a)_i ^ xt(a1)_i ^ a1_i ^ a2_i ^ a3_i` where `a_k` is the
+/// state with lanes rotated to select row `r + k`, and `xt` is the
+/// bitwise xtime (slice-index shuffle folding slice 7 into 0, 1, 3, 4).
+#[allow(clippy::needless_range_loop)]
+fn emit_mix_columns(a: &mut Asm, lay: &BsaesLayout) {
+    /// xtime slice sources: output slice i = input slice XTIME_SRC[i],
+    /// XORed with input slice 7 when XTIME_FOLD[i].
+    const XTIME_SRC: [usize; 8] = [7, 0, 1, 2, 3, 4, 5, 6];
+    const XTIME_FOLD: [bool; 8] = [false, true, false, true, true, false, false, false];
+
+    ld_slices(a, &A, lay.state);
+    for i in 0..8 {
+        let out = B[i];
+        // xt(a)_i
+        let m = XTIME_SRC[i];
+        if XTIME_FOLD[i] {
+            a.xor(out, A[m], A[7]);
+        } else {
+            a.mv(out, A[m]);
+        }
+        // xt(a1)_i: same formula over rot4 slices.
+        emit_rot16(a, T0, A[m], 4, T2);
+        if XTIME_FOLD[i] {
+            emit_rot16(a, T1, A[7], 4, T2);
+            a.xor(T0, T0, T1);
+        }
+        a.xor(out, out, T0);
+        // a1_i, a2_i, a3_i.
+        for k in 1..4i64 {
+            emit_rot16(a, T0, A[i], 4 * k, T2);
+            a.xor(out, out, T0);
+        }
+    }
+    st_slices(a, &B, lay.state);
+}
+
+/// AddRoundKey for round `r`, in place.
+fn emit_add_round_key(a: &mut Asm, lay: &BsaesLayout, r: usize) {
+    ld_slices(a, &A, lay.state);
+    ld_slices(a, &B, lay.rk + 64 * r as u64);
+    for i in 0..8 {
+        a.xor(A[i], A[i], B[i]);
+    }
+    st_slices(a, &A, lay.state);
+}
+
+/// Bitslices the 16 plaintext bytes into the state slices.
+#[allow(clippy::needless_range_loop)]
+fn emit_bitslice_input(a: &mut Asm, lay: &BsaesLayout) {
+    for r in B {
+        a.li(r, 0);
+    }
+    for j in 0..16usize {
+        a.lbu(T0, Reg::ZERO, (lay.pt + lane_to_byte(j) as u64) as i64);
+        for i in 0..8usize {
+            a.srli(T1, T0, i as i64);
+            a.andi(T1, T1, 1);
+            if j > 0 {
+                a.slli(T1, T1, j as i64);
+            }
+            a.or(B[i], B[i], T1);
+        }
+    }
+    st_slices(a, &B, lay.state);
+}
+
+/// Un-bitslices the state slices into the 16 ciphertext bytes.
+#[allow(clippy::needless_range_loop)]
+fn emit_unbitslice_output(a: &mut Asm, lay: &BsaesLayout) {
+    ld_slices(a, &A, lay.state);
+    for j in 0..16usize {
+        a.li(T0, 0);
+        for i in 0..8usize {
+            a.srli(T1, A[i], j as i64);
+            a.andi(T1, T1, 1);
+            if i > 0 {
+                a.slli(T1, T1, i as i64);
+            }
+            a.or(T0, T0, T1);
+        }
+        a.sb(T0, Reg::ZERO, (lay.ct + lane_to_byte(j) as u64) as i64);
+    }
+}
+
+/// Emits one full BSAES encryption: `ct = AES(rk, pt)` over the
+/// addresses in `lay`. `spill_hook` is called immediately before and
+/// after each of the eight final-SubBytes spill stores with the slice
+/// index — attack harnesses use it to insert the amplification gadget
+/// (Fig 5) and its store-queue pressure tail.
+///
+/// Returns the instruction indices of the eight spill stores.
+pub fn emit_encrypt(
+    a: &mut Asm,
+    lay: &BsaesLayout,
+    mut spill_hook: impl FnMut(&mut Asm, SpillHook, usize),
+) -> EncryptArtifacts {
+    emit_bitslice_input(a, lay);
+    emit_add_round_key(a, lay, 0);
+    for r in 1..10 {
+        emit_sub_bytes(a, lay);
+        emit_shift_rows(a, lay);
+        emit_mix_columns(a, lay);
+        emit_add_round_key(a, lay, r);
+    }
+    emit_sub_bytes(a, lay);
+
+    // The eight 16-bit intermediate spills of §V-A3 — the attack's
+    // target stores. Each loads the slice and stores it to its fixed
+    // stack slot, overwriting whatever the previous call left there.
+    let mut spill_store_pcs = [0usize; 8];
+    for (k, pc_slot) in spill_store_pcs.iter_mut().enumerate() {
+        a.ld(T0, Reg::ZERO, slice_addr(lay.state, k));
+        spill_hook(a, SpillHook::Before, k);
+        *pc_slot = a.here();
+        a.sd(T0, Reg::ZERO, (lay.spill + 64 * k as u64) as i64);
+        spill_hook(a, SpillHook::After, k);
+    }
+
+    emit_shift_rows(a, lay);
+    emit_add_round_key(a, lay, 10);
+    emit_unbitslice_output(a, lay);
+    EncryptArtifacts { spill_store_pcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes_ref;
+    use crate::bitslice;
+    use pandora_sim::{Machine, SimConfig};
+
+    fn run_encrypt(key: [u8; 16], pt: [u8; 16]) -> (Machine, BsaesLayout, EncryptArtifacts) {
+        let lay = BsaesLayout::at(0x1_0000);
+        let mut a = Asm::new();
+        let art = emit_encrypt(&mut a, &lay, |_, _, _| {});
+        a.halt();
+        let prog = a.assemble().unwrap();
+
+        let rk = RoundKeys::expand(&key);
+        let mut m = Machine::new(SimConfig::default());
+        m.load_program(&prog);
+        m.mem_mut()
+            .write_bytes(lay.rk, &BsaesLayout::round_key_bytes(&rk))
+            .unwrap();
+        m.mem_mut().write_bytes(lay.pt, &pt).unwrap();
+        m.run(5_000_000).unwrap();
+        (m, lay, art)
+    }
+
+    #[test]
+    fn generated_code_matches_reference_encryption() {
+        let key: [u8; 16] = std::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = std::array::from_fn(|i| (i * 0x11) as u8);
+        let (m, lay, _) = run_encrypt(key, pt);
+        let ct = m.mem().read_bytes(lay.ct, 16).unwrap();
+        let expect = aes_ref::encrypt(&RoundKeys::expand(&key), &pt);
+        assert_eq!(ct, expect);
+    }
+
+    #[test]
+    fn fips197_vector_on_the_simulator() {
+        let key: [u8; 16] = std::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = std::array::from_fn(|i| (i * 0x11) as u8);
+        let (m, lay, _) = run_encrypt(key, pt);
+        assert_eq!(
+            m.mem().read_bytes(lay.ct, 16).unwrap(),
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn spill_slots_hold_final_subbytes_slices() {
+        let key = [0x51u8; 16];
+        let pt: [u8; 16] = std::array::from_fn(|i| (i * 7 + 1) as u8);
+        let (m, lay, art) = run_encrypt(key, pt);
+        let rk = RoundKeys::expand(&key);
+        let expect = bitslice::final_subbytes_slices(&rk, &pt);
+        for k in 0..8 {
+            let got = m.mem().read_u64(lay.spill_slot(k)).unwrap();
+            assert_eq!(got, u64::from(expect[k]), "spill slot {k}");
+        }
+        // The recorded pcs really are stores to the spill slots.
+        let prog_pc = art.spill_store_pcs[3];
+        assert!(prog_pc > 0);
+    }
+
+    #[test]
+    fn constant_time_same_cycles_for_different_keys_on_baseline() {
+        // On the baseline machine (no leaky optimizations) the generated
+        // code must be constant-time: same cycle count for any key/pt.
+        let pt: [u8; 16] = std::array::from_fn(|i| i as u8);
+        let (m1, _, _) = run_encrypt([0x00; 16], pt);
+        let (m2, _, _) = run_encrypt([0xff; 16], pt);
+        assert_eq!(m1.stats().cycles, m2.stats().cycles);
+    }
+}

@@ -1,0 +1,150 @@
+//! Arithmetic in GF(2^8) with the AES reduction polynomial
+//! x^8 + x^4 + x^3 + x + 1 (0x11b).
+//!
+//! Everything downstream — the S-box, the bitsliced inversion circuit,
+//! MixColumns — is *derived* from these few operations, so there are no
+//! hand-transcribed tables anywhere in the workspace to get wrong.
+
+/// The AES field polynomial, without the leading x^8 term.
+pub const POLY: u8 = 0x1b;
+
+/// Multiplication by x (the `xtime` operation).
+#[must_use]
+pub fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (if a & 0x80 != 0 { POLY } else { 0 })
+}
+
+/// Carry-less multiplication reduced mod the AES polynomial.
+#[must_use]
+pub fn mul(a: u8, b: u8) -> u8 {
+    let (mut a, mut b, mut r) = (a, b, 0u8);
+    while b != 0 {
+        if b & 1 != 0 {
+            r ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    r
+}
+
+/// Exponentiation by squaring.
+#[must_use]
+pub fn pow(mut a: u8, mut e: u32) -> u8 {
+    let mut r = 1u8;
+    while e != 0 {
+        if e & 1 != 0 {
+            r = mul(r, a);
+        }
+        a = mul(a, a);
+        e >>= 1;
+    }
+    r
+}
+
+/// The multiplicative inverse (0 maps to 0, as AES requires).
+#[must_use]
+pub fn inv(a: u8) -> u8 {
+    pow(a, 254)
+}
+
+/// The AES S-box: inversion followed by the affine transform.
+#[must_use]
+pub fn sbox(x: u8) -> u8 {
+    affine(inv(x))
+}
+
+/// The inverse AES S-box.
+#[must_use]
+pub fn inv_sbox(y: u8) -> u8 {
+    inv(inv_affine(y))
+}
+
+/// The AES affine transform: `b_i = a_i ^ a_{i+4} ^ a_{i+5} ^ a_{i+6}
+/// ^ a_{i+7} ^ c_i` with indices mod 8 and c = 0x63.
+#[must_use]
+pub fn affine(a: u8) -> u8 {
+    let mut b = 0u8;
+    for i in 0..8 {
+        let bit = bit(a, i) ^ bit(a, i + 4) ^ bit(a, i + 5) ^ bit(a, i + 6) ^ bit(a, i + 7);
+        b |= bit << i;
+    }
+    b ^ 0x63
+}
+
+/// The inverse of [`affine`].
+#[must_use]
+pub fn inv_affine(b: u8) -> u8 {
+    // b'_i = b_{i+2} ^ b_{i+5} ^ b_{i+7} ^ d_i with d = 0x05.
+    let mut a = 0u8;
+    for i in 0..8 {
+        let bit = bit(b, i + 2) ^ bit(b, i + 5) ^ bit(b, i + 7);
+        a |= bit << i;
+    }
+    a ^ 0x05
+}
+
+fn bit(v: u8, i: usize) -> u8 {
+    (v >> (i % 8)) & 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_basics() {
+        assert_eq!(mul(0x57, 0x83), 0xc1, "FIPS-197 §4.2 worked example");
+        assert_eq!(mul(0x57, 0x13), 0xfe, "FIPS-197 §4.2.1 worked example");
+        assert_eq!(mul(0, 0xff), 0);
+        assert_eq!(mul(1, 0xab), 0xab);
+    }
+
+    #[test]
+    fn xtime_matches_mul_by_two() {
+        for a in 0..=255u8 {
+            assert_eq!(xtime(a), mul(a, 2));
+        }
+    }
+
+    #[test]
+    fn inverse_is_an_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a:#x}");
+        }
+        assert_eq!(inv(0), 0);
+    }
+
+    #[test]
+    fn sbox_anchor_values() {
+        assert_eq!(sbox(0x00), 0x63);
+        assert_eq!(sbox(0x01), 0x7c);
+        assert_eq!(sbox(0x53), 0xed, "FIPS-197 §5.1.1 example");
+        assert_eq!(sbox(0xff), 0x16);
+    }
+
+    #[test]
+    fn sbox_is_a_bijection_and_inverts() {
+        let mut seen = [false; 256];
+        for x in 0..=255u8 {
+            let y = sbox(x);
+            assert!(!seen[y as usize], "collision at {x:#x}");
+            seen[y as usize] = true;
+            assert_eq!(inv_sbox(y), x);
+        }
+    }
+
+    #[test]
+    fn affine_round_trips() {
+        for a in 0..=255u8 {
+            assert_eq!(inv_affine(affine(a)), a);
+        }
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(pow(2, 0), 1);
+        assert_eq!(pow(2, 1), 2);
+        assert_eq!(pow(2, 8), mul(pow(2, 4), pow(2, 4)));
+    }
+}

@@ -1,0 +1,151 @@
+//! The AES-128 key schedule — expansion *and inversion*.
+//!
+//! Inversion is the attack's final step (§V-A3): "The key expansion
+//! algorithm is invertible, so knowing those sixteen bytes allows the
+//! attacker to reconstruct the entire original key."
+
+use crate::gf;
+
+/// Round-constant for word index `i` (i a multiple of 4): x^(i/4 - 1).
+fn rcon(i: usize) -> u8 {
+    gf::pow(2, (i / 4 - 1) as u32)
+}
+
+fn sub_word(w: [u8; 4]) -> [u8; 4] {
+    w.map(gf::sbox)
+}
+
+fn rot_word(w: [u8; 4]) -> [u8; 4] {
+    [w[1], w[2], w[3], w[0]]
+}
+
+fn xor_word(a: [u8; 4], b: [u8; 4]) -> [u8; 4] {
+    std::array::from_fn(|i| a[i] ^ b[i])
+}
+
+/// The 44 expanded words of an AES-128 key schedule (11 round keys).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoundKeys {
+    words: [[u8; 4]; 44],
+}
+
+impl RoundKeys {
+    /// Expands a 16-byte master key.
+    #[must_use]
+    pub fn expand(key: &[u8; 16]) -> RoundKeys {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t = sub_word(rot_word(t));
+                t[0] ^= rcon(i);
+            }
+            w[i] = xor_word(w[i - 4], t);
+        }
+        RoundKeys { words: w }
+    }
+
+    /// Reconstructs the full schedule — and thus the master key — from
+    /// the *last* round key alone, by running the recurrence backwards.
+    #[must_use]
+    pub fn from_round10(k10: &[u8; 16]) -> RoundKeys {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[40 + i] = [
+                k10[4 * i],
+                k10[4 * i + 1],
+                k10[4 * i + 2],
+                k10[4 * i + 3],
+            ];
+        }
+        for i in (4..44).rev() {
+            // w[i] = w[i-4] ^ f(w[i-1])  =>  w[i-4] = w[i] ^ f(w[i-1]).
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t = sub_word(rot_word(t));
+                t[0] ^= rcon(i);
+            }
+            w[i - 4] = xor_word(w[i], t);
+        }
+        RoundKeys { words: w }
+    }
+
+    /// The 16-byte round key for round `r` (0..=10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > 10`.
+    #[must_use]
+    pub fn round(&self, r: usize) -> [u8; 16] {
+        assert!(r <= 10, "AES-128 has rounds 0..=10");
+        let mut k = [0u8; 16];
+        for (c, word) in self.words[4 * r..4 * r + 4].iter().enumerate() {
+            k[4 * c..4 * c + 4].copy_from_slice(word);
+        }
+        k
+    }
+
+    /// The master key (round 0 key).
+    #[must_use]
+    pub fn master_key(&self) -> [u8; 16] {
+        self.round(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIPS_KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+
+    #[test]
+    fn fips197_appendix_a_expansion() {
+        let rk = RoundKeys::expand(&FIPS_KEY);
+        // w[4] = a0fafe17, w[43] = b6630ca6 (FIPS-197 Appendix A.1).
+        assert_eq!(rk.words[4], [0xa0, 0xfa, 0xfe, 0x17]);
+        assert_eq!(rk.words[43], [0xb6, 0x63, 0x0c, 0xa6]);
+        assert_eq!(
+            rk.round(10),
+            [
+                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6,
+                0x63, 0x0c, 0xa6
+            ]
+        );
+    }
+
+    #[test]
+    fn inversion_recovers_master_key() {
+        let rk = RoundKeys::expand(&FIPS_KEY);
+        let rebuilt = RoundKeys::from_round10(&rk.round(10));
+        assert_eq!(rebuilt, rk);
+        assert_eq!(rebuilt.master_key(), FIPS_KEY);
+    }
+
+    #[test]
+    fn inversion_works_for_many_keys() {
+        for seed in 0..32u8 {
+            let key: [u8; 16] = std::array::from_fn(|i| seed.wrapping_mul(31).wrapping_add(i as u8 * 7));
+            let rk = RoundKeys::expand(&key);
+            assert_eq!(RoundKeys::from_round10(&rk.round(10)).master_key(), key);
+        }
+    }
+
+    #[test]
+    fn round_zero_is_master_key() {
+        let rk = RoundKeys::expand(&FIPS_KEY);
+        assert_eq!(rk.round(0), FIPS_KEY);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds 0..=10")]
+    fn round_out_of_range_panics() {
+        let rk = RoundKeys::expand(&FIPS_KEY);
+        let _ = rk.round(11);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # pandora-crypto
+//!
+//! The victim cryptography for the Pandora reproduction of *"Opening
+//! Pandora's Box"* (ISCA 2021): a constant-time **bitsliced AES-128**
+//! (the paper's BSAES target, §V-A3) provided three ways:
+//!
+//! * [`aes_ref`] — a byte-wise reference implementation with the full
+//!   inverse round functions (the attacker's offline tool; also the
+//!   ground truth, validated against FIPS-197 Appendix C),
+//! * [`bitslice`] — the pure-Rust bitsliced implementation: one block
+//!   held as eight 16-bit slices, S-box as a GF(2^8) inversion chain
+//!   whose matrices are derived from [`gf`] at runtime,
+//! * [`codegen`] — the same computation compiled to the Pandora ISA so
+//!   it can run (and be attacked) on the simulator, with the eight
+//!   final-SubBytes slice spills exposed as attack targets.
+//!
+//! [`keysched`] implements AES-128 key expansion *and its inversion* —
+//! recovering the master key from the round-10 key, the final step of
+//! the paper's silent-store key-recovery attack.
+//!
+//! ```
+//! use pandora_crypto::{aes_ref, keysched::RoundKeys};
+//!
+//! let key = [7u8; 16];
+//! let rk = RoundKeys::expand(&key);
+//! let ct = aes_ref::encrypt(&rk, &[0u8; 16]);
+//! assert_eq!(aes_ref::decrypt(&rk, &ct), [0u8; 16]);
+//!
+//! // The attack pipeline: leak the final-SubBytes state, derive the
+//! // round-10 key, invert the schedule.
+//! let leak = aes_ref::final_subbytes_state(&rk, &[0u8; 16]);
+//! let k10 = aes_ref::round10_key_from_leak(&leak, &ct);
+//! assert_eq!(RoundKeys::from_round10(&k10).master_key(), key);
+//! ```
+
+pub mod aes_ref;
+pub mod bitslice;
+pub mod codegen;
+pub mod gf;
+pub mod keysched;
+
+pub use aes_ref::Block;
+pub use codegen::{BsaesLayout, EncryptArtifacts, SpillHook};
+pub use keysched::RoundKeys;

@@ -1,0 +1,101 @@
+//! Property-based tests of the field arithmetic, the bitsliced cipher,
+//! and the attack's inversion primitives.
+
+use pandora_crypto::{aes_ref, bitslice, gf, RoundKeys};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gf_mul_is_commutative_and_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(gf::mul(a, b), gf::mul(b, a));
+        prop_assert_eq!(gf::mul(gf::mul(a, b), c), gf::mul(a, gf::mul(b, c)));
+    }
+
+    #[test]
+    fn gf_mul_distributes_over_xor(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(gf::mul(a, b ^ c), gf::mul(a, b) ^ gf::mul(a, c));
+    }
+
+    #[test]
+    fn gf_inverse_law(a in 1u8..) {
+        prop_assert_eq!(gf::mul(a, gf::inv(a)), 1);
+        prop_assert_eq!(gf::inv(gf::inv(a)), a);
+    }
+
+    #[test]
+    fn gf_frobenius_squaring_is_additive(a: u8, b: u8) {
+        // (a + b)^2 = a^2 + b^2 in characteristic 2.
+        prop_assert_eq!(
+            gf::mul(a ^ b, a ^ b),
+            gf::mul(a, a) ^ gf::mul(b, b)
+        );
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip(key: [u8; 16], pt: [u8; 16]) {
+        let rk = RoundKeys::expand(&key);
+        prop_assert_eq!(aes_ref::decrypt(&rk, &aes_ref::encrypt(&rk, &pt)), pt);
+    }
+
+    #[test]
+    fn bitsliced_encrypt_matches_reference(key: [u8; 16], pt: [u8; 16]) {
+        let rk = RoundKeys::expand(&key);
+        prop_assert_eq!(bitslice::encrypt(&rk, &pt), aes_ref::encrypt(&rk, &pt));
+    }
+
+    #[test]
+    fn bitslice_round_trips(state: [u8; 16]) {
+        prop_assert_eq!(bitslice::unbitslice(&bitslice::bitslice(&state)), state);
+    }
+
+    #[test]
+    fn sliced_rounds_match_bytewise_rounds(state: [u8; 16]) {
+        let s = bitslice::bitslice(&state);
+        let mut sb = state;
+        aes_ref::sub_bytes(&mut sb);
+        prop_assert_eq!(bitslice::unbitslice(&bitslice::sub_bytes_slices(&s)), sb);
+
+        let mut sr = state;
+        aes_ref::shift_rows(&mut sr);
+        prop_assert_eq!(bitslice::unbitslice(&bitslice::shift_rows_slices(&s)), sr);
+
+        let mut mc = state;
+        aes_ref::mix_columns(&mut mc);
+        prop_assert_eq!(bitslice::unbitslice(&bitslice::mix_columns_slices(&s)), mc);
+    }
+
+    #[test]
+    fn key_schedule_inverts_from_any_round10(key: [u8; 16]) {
+        let rk = RoundKeys::expand(&key);
+        prop_assert_eq!(RoundKeys::from_round10(&rk.round(10)).master_key(), key);
+    }
+
+    #[test]
+    fn chosen_plaintext_inversion_is_exact(key: [u8; 16], target: [u8; 16]) {
+        let rk = RoundKeys::expand(&key);
+        let pt = aes_ref::plaintext_for_final_subbytes(&rk, &target);
+        prop_assert_eq!(aes_ref::final_subbytes_state(&rk, &pt), target);
+    }
+
+    #[test]
+    fn round10_key_recovery_is_exact(key: [u8; 16], pt: [u8; 16]) {
+        let rk = RoundKeys::expand(&key);
+        let leak = aes_ref::final_subbytes_state(&rk, &pt);
+        let ct = aes_ref::encrypt(&rk, &pt);
+        let k10 = aes_ref::round10_key_from_leak(&leak, &ct);
+        prop_assert_eq!(k10, rk.round(10));
+    }
+
+    #[test]
+    fn sliced_gf_ops_match_lanewise_gf(a: [u8; 16], b: [u8; 16]) {
+        let (sa, sb) = (bitslice::bitslice(&a), bitslice::bitslice(&b));
+        let prod = bitslice::unbitslice(&bitslice::mul_slices(&sa, &sb));
+        let sq = bitslice::unbitslice(&bitslice::square_slices(&sa));
+        let inv = bitslice::unbitslice(&bitslice::inv_slices(&sa));
+        for i in 0..16 {
+            prop_assert_eq!(prod[i], gf::mul(a[i], b[i]));
+            prop_assert_eq!(sq[i], gf::mul(a[i], a[i]));
+            prop_assert_eq!(inv[i], gf::inv(a[i]));
+        }
+    }
+}

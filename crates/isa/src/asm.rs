@@ -1,0 +1,460 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{AluOp, BranchCond, FpOp, Instr, Program, Reg, Width};
+
+/// Errors produced by [`Asm::assemble`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// A label-resolving assembler and program builder.
+///
+/// `Asm` collects instructions through mnemonic-style methods
+/// (`a.addi(..)`, `a.beq(..)`), records symbolic labels, and resolves
+/// all control-flow targets when [`assemble`](Asm::assemble) is called.
+/// Forward references are allowed.
+///
+/// Code generators elsewhere in the workspace (the bitsliced-AES
+/// compiler, the sandbox JIT, attack gadget builders) all target this
+/// interface.
+///
+/// ```
+/// use pandora_isa::{Asm, Reg};
+/// let mut a = Asm::new();
+/// a.li(Reg::T0, 5);
+/// a.label("spin");
+/// a.addi(Reg::T0, Reg::T0, -1);
+/// a.bnez(Reg::T0, "spin");
+/// a.halt();
+/// let p = a.assemble()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok::<(), pandora_isa::AsmError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, String)>,
+    duplicate: Option<String>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// The index the *next* emitted instruction will occupy.
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Defines `name` at the current position. Both forward and backward
+    /// references to it are permitted.
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.here()).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name);
+        }
+    }
+
+    /// Emits a raw instruction. Prefer the mnemonic helpers; this exists
+    /// for code generators that already hold an [`Instr`].
+    pub fn emit(&mut self, i: Instr) -> &mut Asm {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if any branch references an
+    /// unknown label, or [`AsmError::DuplicateLabel`] if a label was
+    /// defined more than once.
+    pub fn assemble(mut self) -> Result<Program, AsmError> {
+        if let Some(l) = self.duplicate {
+            return Err(AsmError::DuplicateLabel(l));
+        }
+        for (idx, label) in &self.fixups {
+            let &target = self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            match &mut self.instrs[*idx] {
+                Instr::Branch { target: t, .. } | Instr::Jal { target: t, .. } => *t = target,
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        Ok(Program::new(self.instrs))
+    }
+
+    // ---- ALU ---------------------------------------------------------
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::And, rd, rs1, rs2)
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Or, rd, rs1, rs2)
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sll, rd, rs1, rs2)
+    }
+    /// `rd = rs1 >> rs2` (logical)
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Srl, rd, rs1, rs2)
+    }
+    /// `rd = rs1 >> rs2` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sra, rd, rs1, rs2)
+    }
+    /// `rd = (rs1 < rs2)` signed
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Slt, rd, rs1, rs2)
+    }
+    /// `rd = (rs1 < rs2)` unsigned
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sltu, rd, rs1, rs2)
+    }
+    /// `rd = rs1 * rs2` (low 64 bits)
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+    /// `rd = rs1 / rs2` signed
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Div, rd, rs1, rs2)
+    }
+    /// `rd = rs1 / rs2` unsigned
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Divu, rd, rs1, rs2)
+    }
+    /// `rd = rs1 % rs2` unsigned
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Remu, rd, rs1, rs2)
+    }
+    /// Generic register-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.emit(Instr::AluRR { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.alui(AluOp::Or, rd, rs1, imm)
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.alui(AluOp::Xor, rd, rs1, imm)
+    }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.alui(AluOp::Sll, rd, rs1, imm)
+    }
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.alui(AluOp::Srl, rd, rs1, imm)
+    }
+    /// Generic register-immediate ALU operation.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.emit(Instr::AluRI { op, rd, rs1, imm })
+    }
+
+    /// Floating-point operation on f64 bit patterns.
+    pub fn fp(&mut self, op: FpOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.emit(Instr::Fp { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: u64) -> &mut Asm {
+        self.emit(Instr::Li { rd, imm })
+    }
+    /// `rd = rs` (pseudo-instruction: `add rd, rs, x0`)
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.add(rd, rs, Reg::ZERO)
+    }
+
+    // ---- Memory ------------------------------------------------------
+
+    /// Load double word: `rd = mem64[base + offset]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.load(rd, base, offset, Width::Dword, false)
+    }
+    /// Load word, zero-extended.
+    pub fn lwu(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.load(rd, base, offset, Width::Word, false)
+    }
+    /// Load word, sign-extended.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.load(rd, base, offset, Width::Word, true)
+    }
+    /// Load half word, zero-extended.
+    pub fn lhu(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.load(rd, base, offset, Width::Half, false)
+    }
+    /// Load byte, zero-extended.
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.load(rd, base, offset, Width::Byte, false)
+    }
+    /// Generic load.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64, width: Width, signed: bool) -> &mut Asm {
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset,
+            width,
+            signed,
+        })
+    }
+
+    /// Store double word.
+    pub fn sd(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.store(src, base, offset, Width::Dword)
+    }
+    /// Store word.
+    pub fn sw(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.store(src, base, offset, Width::Word)
+    }
+    /// Store half word.
+    pub fn sh(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.store(src, base, offset, Width::Half)
+    }
+    /// Store byte.
+    pub fn sb(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.store(src, base, offset, Width::Byte)
+    }
+    /// Generic store.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64, width: Width) -> &mut Asm {
+        self.emit(Instr::Store {
+            src,
+            base,
+            offset,
+            width,
+        })
+    }
+
+    // ---- Control flow ------------------------------------------------
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Asm {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Asm {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+    /// Branch if signed less-than.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Asm {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+    /// Branch if signed greater-or-equal.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Asm {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+    /// Branch if unsigned less-than.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Asm {
+        self.branch(BranchCond::Ltu, rs1, rs2, label)
+    }
+    /// Branch if unsigned greater-or-equal.
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Asm {
+        self.branch(BranchCond::Geu, rs1, rs2, label)
+    }
+    /// Branch if `rs != 0`.
+    pub fn bnez(&mut self, rs: Reg, label: impl Into<String>) -> &mut Asm {
+        self.bne(rs, Reg::ZERO, label)
+    }
+    /// Branch if `rs == 0`.
+    pub fn beqz(&mut self, rs: Reg, label: impl Into<String>) -> &mut Asm {
+        self.beq(rs, Reg::ZERO, label)
+    }
+    /// Generic conditional branch to a label.
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: impl Into<String>,
+    ) -> &mut Asm {
+        let idx = self.here();
+        self.fixups.push((idx, label.into()));
+        self.emit(Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: 0,
+        })
+    }
+
+    /// Unconditional jump to a label (discards the return address).
+    pub fn j(&mut self, label: impl Into<String>) -> &mut Asm {
+        self.jal(Reg::ZERO, label)
+    }
+    /// Jump-and-link to a label.
+    pub fn jal(&mut self, rd: Reg, label: impl Into<String>) -> &mut Asm {
+        let idx = self.here();
+        self.fixups.push((idx, label.into()));
+        self.emit(Instr::Jal { rd, target: 0 })
+    }
+    /// Indirect jump through `base + offset`.
+    pub fn jalr(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.emit(Instr::Jalr { rd, base, offset })
+    }
+    /// Return: `jalr x0, 0(ra)`.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.jalr(Reg::ZERO, Reg::RA, 0)
+    }
+
+    // ---- System ------------------------------------------------------
+
+    /// Read the cycle counter.
+    pub fn rdcycle(&mut self, rd: Reg) -> &mut Asm {
+        self.emit(Instr::RdCycle { rd })
+    }
+    /// Flush the cache line containing `base + offset`.
+    pub fn flush(&mut self, base: Reg, offset: i64) -> &mut Asm {
+        self.emit(Instr::Flush { base, offset })
+    }
+    /// Full fence.
+    pub fn fence(&mut self) -> &mut Asm {
+        self.emit(Instr::Fence)
+    }
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.emit(Instr::Nop)
+    }
+    /// Stop the machine.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.emit(Instr::Halt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.j("end"); // forward
+        a.label("mid");
+        a.nop();
+        a.label("end");
+        a.bnez(Reg::T0, "mid"); // backward
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(matches!(p[0], Instr::Jal { target: 2, .. }));
+        assert!(matches!(p[2], Instr::Branch { target: 1, .. }));
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut a = Asm::new();
+        a.label("l");
+        a.nop();
+        a.label("l");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("l".into())));
+    }
+
+    #[test]
+    fn mv_is_add_zero() {
+        let mut a = Asm::new();
+        a.mv(Reg::T0, Reg::T1);
+        let p = a.assemble().unwrap();
+        assert!(matches!(
+            p[0],
+            Instr::AluRR {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::ZERO
+            }
+        ));
+    }
+
+    #[test]
+    fn ret_is_jalr_ra() {
+        let mut a = Asm::new();
+        a.ret();
+        let p = a.assemble().unwrap();
+        assert!(matches!(
+            p[0],
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                base: Reg::RA,
+                offset: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Asm::new();
+        assert_eq!(a.here(), 0);
+        a.nop().nop();
+        assert_eq!(a.here(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            AsmError::UndefinedLabel("x".into()).to_string(),
+            "undefined label `x`"
+        );
+        assert_eq!(
+            AsmError::DuplicateLabel("x".into()).to_string(),
+            "duplicate label `x`"
+        );
+    }
+}

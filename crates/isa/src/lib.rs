@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # pandora-isa
+//!
+//! A small, RISC-like instruction set used as the compilation target for
+//! every victim and attacker program in the Pandora reproduction of
+//! *"Opening Pandora's Box: A Systematic Study of New Ways
+//! Microarchitecture Can Leak Private Data"* (ISCA 2021).
+//!
+//! The ISA is deliberately minimal but complete enough to express real
+//! programs (the repository compiles a constant-time bitsliced AES-128
+//! and an eBPF-style sandbox to it):
+//!
+//! * 32 general-purpose 64-bit registers, `x0` hardwired to zero,
+//! * the usual integer ALU operations including multiply and divide,
+//! * IEEE-754 double-precision operations on register bit patterns
+//!   (used to model subnormal-operand timing variation),
+//! * byte/half/word/dword loads and stores,
+//! * conditional branches, direct and indirect jumps,
+//! * `rdcycle` (the receiver's timer, §II of the paper), `flush`
+//!   (a clflush-like line eviction used by attack receivers), `fence`,
+//!   and `halt`.
+//!
+//! Programs are built with [`Asm`], a label-resolving assembler:
+//!
+//! ```
+//! use pandora_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new();
+//! let (t0, t1) = (Reg::T0, Reg::T1);
+//! a.li(t0, 0);
+//! a.li(t1, 10);
+//! a.label("loop");
+//! a.addi(t0, t0, 3);
+//! a.addi(t1, t1, -1);
+//! a.bnez(t1, "loop");
+//! a.halt();
+//! let prog = a.assemble().expect("labels resolve");
+//! assert_eq!(prog.len(), 6);
+//! ```
+
+mod asm;
+mod instr;
+pub mod parse;
+mod program;
+mod reg;
+
+pub use asm::{Asm, AsmError};
+pub use instr::{AluOp, BranchCond, FpOp, Instr, Width};
+pub use parse::{parse_program, ParseError};
+pub use program::Program;
+pub use reg::Reg;

@@ -1,0 +1,467 @@
+//! A text assembler: parse RISC-V-flavoured assembly into a
+//! [`Program`].
+//!
+//! The format is one instruction per line, `#` comments, `name:`
+//! labels, ABI or numeric register names, and `offset(base)` memory
+//! operands:
+//!
+//! ```text
+//! # sum 1..=10
+//!     li   t0, 0
+//!     li   t1, 10
+//! loop:
+//!     add  t0, t0, t1
+//!     addi t1, t1, -1
+//!     bnez t1, loop
+//!     halt
+//! ```
+//!
+//! ```
+//! use pandora_isa::parse_program;
+//! let p = parse_program("li t0, 7\nhalt\n").unwrap();
+//! assert_eq!(p.len(), 2);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{AluOp, Asm, AsmError, BranchCond, FpOp, Program, Reg, Width};
+
+/// A parse failure, with the 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> ParseError {
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a register name: `x0`–`x31` or an ABI alias.
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let t = tok.trim();
+    if let Some(num) = t.strip_prefix('x') {
+        if let Ok(i) = num.parse::<u8>() {
+            if (i as usize) < Reg::COUNT {
+                return Ok(Reg::new(i));
+            }
+        }
+    }
+    let named = match t {
+        "zero" => Reg::ZERO,
+        "ra" => Reg::RA,
+        "sp" => Reg::SP,
+        "gp" => Reg::GP,
+        "tp" => Reg::TP,
+        "t0" => Reg::T0,
+        "t1" => Reg::T1,
+        "t2" => Reg::T2,
+        "s0" | "fp" => Reg::S0,
+        "s1" => Reg::S1,
+        "a0" => Reg::A0,
+        "a1" => Reg::A1,
+        "a2" => Reg::A2,
+        "a3" => Reg::A3,
+        "a4" => Reg::A4,
+        "a5" => Reg::A5,
+        "a6" => Reg::A6,
+        "a7" => Reg::A7,
+        "s2" => Reg::S2,
+        "s3" => Reg::S3,
+        "s4" => Reg::S4,
+        "s5" => Reg::S5,
+        "s6" => Reg::S6,
+        "s7" => Reg::S7,
+        "s8" => Reg::S8,
+        "s9" => Reg::S9,
+        "s10" => Reg::S10,
+        "s11" => Reg::S11,
+        "t3" => Reg::T3,
+        "t4" => Reg::T4,
+        "t5" => Reg::T5,
+        "t6" => Reg::T6,
+        _ => return Err(err(line, format!("unknown register `{t}`"))),
+    };
+    Ok(named)
+}
+
+/// Parses a signed immediate, decimal or `0x`-hex.
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let t = tok.trim();
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<u64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{t}`")))?;
+    Ok(if neg {
+        (value as i64).wrapping_neg()
+    } else {
+        value as i64
+    })
+}
+
+/// Parses `offset(base)`.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i64, Reg), ParseError> {
+    let t = tok.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset(base), got `{t}`")))?;
+    if !t.ends_with(')') {
+        return Err(err(line, format!("expected offset(base), got `{t}`")));
+    }
+    let offset = if open == 0 {
+        0
+    } else {
+        parse_imm(&t[..open], line)?
+    };
+    let base = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((offset, base))
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    rest.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn arity(line: usize, ops: &[String], n: usize, mnemonic: &str) -> Result<(), ParseError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(err(
+            line,
+            format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()),
+        ))
+    }
+}
+
+/// Parses a program from assembly text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed line, or an
+/// assembler error (undefined/duplicate label) mapped to line 0.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut a = Asm::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let code = raw.split(['#', ';']).next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        // Leading labels (possibly several).
+        let mut code = code;
+        while let Some(colon) = code.find(':') {
+            let (label, rest) = code.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label `{label}`")));
+            }
+            a.label(label);
+            code = rest[1..].trim();
+        }
+        if code.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match code.find(char::is_whitespace) {
+            Some(ws) => code.split_at(ws),
+            None => (code, ""),
+        };
+        let m = mnemonic.to_ascii_lowercase();
+        let ops = split_operands(rest);
+        parse_instr(&mut a, &m, &ops, line)?;
+    }
+    a.assemble().map_err(ParseError::from)
+}
+
+fn parse_instr(a: &mut Asm, m: &str, ops: &[String], line: usize) -> Result<(), ParseError> {
+    let rrr = |a: &mut Asm, op: AluOp, ops: &[String]| -> Result<(), ParseError> {
+        arity(line, ops, 3, m)?;
+        a.alu(
+            op,
+            parse_reg(&ops[0], line)?,
+            parse_reg(&ops[1], line)?,
+            parse_reg(&ops[2], line)?,
+        );
+        Ok(())
+    };
+    let rri = |a: &mut Asm, op: AluOp, ops: &[String]| -> Result<(), ParseError> {
+        arity(line, ops, 3, m)?;
+        a.alui(
+            op,
+            parse_reg(&ops[0], line)?,
+            parse_reg(&ops[1], line)?,
+            parse_imm(&ops[2], line)?,
+        );
+        Ok(())
+    };
+    let fp3 = |a: &mut Asm, op: FpOp, ops: &[String]| -> Result<(), ParseError> {
+        arity(line, ops, 3, m)?;
+        a.fp(
+            op,
+            parse_reg(&ops[0], line)?,
+            parse_reg(&ops[1], line)?,
+            parse_reg(&ops[2], line)?,
+        );
+        Ok(())
+    };
+    let load = |a: &mut Asm, w: Width, signed: bool, ops: &[String]| -> Result<(), ParseError> {
+        arity(line, ops, 2, m)?;
+        let rd = parse_reg(&ops[0], line)?;
+        let (offset, base) = parse_mem_operand(&ops[1], line)?;
+        a.load(rd, base, offset, w, signed);
+        Ok(())
+    };
+    let store = |a: &mut Asm, w: Width, ops: &[String]| -> Result<(), ParseError> {
+        arity(line, ops, 2, m)?;
+        let src = parse_reg(&ops[0], line)?;
+        let (offset, base) = parse_mem_operand(&ops[1], line)?;
+        a.store(src, base, offset, w);
+        Ok(())
+    };
+    let branch = |a: &mut Asm, c: BranchCond, ops: &[String]| -> Result<(), ParseError> {
+        arity(line, ops, 3, m)?;
+        a.branch(
+            c,
+            parse_reg(&ops[0], line)?,
+            parse_reg(&ops[1], line)?,
+            ops[2].clone(),
+        );
+        Ok(())
+    };
+
+    match m {
+        "add" => rrr(a, AluOp::Add, ops),
+        "sub" => rrr(a, AluOp::Sub, ops),
+        "and" => rrr(a, AluOp::And, ops),
+        "or" => rrr(a, AluOp::Or, ops),
+        "xor" => rrr(a, AluOp::Xor, ops),
+        "sll" => rrr(a, AluOp::Sll, ops),
+        "srl" => rrr(a, AluOp::Srl, ops),
+        "sra" => rrr(a, AluOp::Sra, ops),
+        "slt" => rrr(a, AluOp::Slt, ops),
+        "sltu" => rrr(a, AluOp::Sltu, ops),
+        "mul" => rrr(a, AluOp::Mul, ops),
+        "mulh" => rrr(a, AluOp::Mulh, ops),
+        "div" => rrr(a, AluOp::Div, ops),
+        "divu" => rrr(a, AluOp::Divu, ops),
+        "rem" => rrr(a, AluOp::Rem, ops),
+        "remu" => rrr(a, AluOp::Remu, ops),
+        "addi" => rri(a, AluOp::Add, ops),
+        "andi" => rri(a, AluOp::And, ops),
+        "ori" => rri(a, AluOp::Or, ops),
+        "xori" => rri(a, AluOp::Xor, ops),
+        "slli" => rri(a, AluOp::Sll, ops),
+        "srli" => rri(a, AluOp::Srl, ops),
+        "srai" => rri(a, AluOp::Sra, ops),
+        "fadd" => fp3(a, FpOp::Add, ops),
+        "fsub" => fp3(a, FpOp::Sub, ops),
+        "fmul" => fp3(a, FpOp::Mul, ops),
+        "fdiv" => fp3(a, FpOp::Div, ops),
+        "li" => {
+            arity(line, ops, 2, m)?;
+            let rd = parse_reg(&ops[0], line)?;
+            a.li(rd, parse_imm(&ops[1], line)? as u64);
+            Ok(())
+        }
+        "mv" => {
+            arity(line, ops, 2, m)?;
+            a.mv(parse_reg(&ops[0], line)?, parse_reg(&ops[1], line)?);
+            Ok(())
+        }
+        "lb" => load(a, Width::Byte, true, ops),
+        "lbu" => load(a, Width::Byte, false, ops),
+        "lh" => load(a, Width::Half, true, ops),
+        "lhu" => load(a, Width::Half, false, ops),
+        "lw" => load(a, Width::Word, true, ops),
+        "lwu" => load(a, Width::Word, false, ops),
+        "ld" => load(a, Width::Dword, false, ops),
+        "sb" => store(a, Width::Byte, ops),
+        "sh" => store(a, Width::Half, ops),
+        "sw" => store(a, Width::Word, ops),
+        "sd" => store(a, Width::Dword, ops),
+        "beq" => branch(a, BranchCond::Eq, ops),
+        "bne" => branch(a, BranchCond::Ne, ops),
+        "blt" => branch(a, BranchCond::Lt, ops),
+        "bge" => branch(a, BranchCond::Ge, ops),
+        "bltu" => branch(a, BranchCond::Ltu, ops),
+        "bgeu" => branch(a, BranchCond::Geu, ops),
+        "beqz" => {
+            arity(line, ops, 2, m)?;
+            a.beqz(parse_reg(&ops[0], line)?, ops[1].clone());
+            Ok(())
+        }
+        "bnez" => {
+            arity(line, ops, 2, m)?;
+            a.bnez(parse_reg(&ops[0], line)?, ops[1].clone());
+            Ok(())
+        }
+        "j" => {
+            arity(line, ops, 1, m)?;
+            a.j(ops[0].clone());
+            Ok(())
+        }
+        "jal" => {
+            arity(line, ops, 2, m)?;
+            a.jal(parse_reg(&ops[0], line)?, ops[1].clone());
+            Ok(())
+        }
+        "jalr" => {
+            arity(line, ops, 2, m)?;
+            let rd = parse_reg(&ops[0], line)?;
+            let (offset, base) = parse_mem_operand(&ops[1], line)?;
+            a.jalr(rd, base, offset);
+            Ok(())
+        }
+        "ret" => {
+            arity(line, ops, 0, m)?;
+            a.ret();
+            Ok(())
+        }
+        "rdcycle" => {
+            arity(line, ops, 1, m)?;
+            a.rdcycle(parse_reg(&ops[0], line)?);
+            Ok(())
+        }
+        "flush" => {
+            arity(line, ops, 1, m)?;
+            let (offset, base) = parse_mem_operand(&ops[0], line)?;
+            a.flush(base, offset);
+            Ok(())
+        }
+        "fence" => {
+            arity(line, ops, 0, m)?;
+            a.fence();
+            Ok(())
+        }
+        "nop" => {
+            arity(line, ops, 0, m)?;
+            a.nop();
+            Ok(())
+        }
+        "halt" => {
+            arity(line, ops, 0, m)?;
+            a.halt();
+            Ok(())
+        }
+        _ => Err(err(line, format!("unknown mnemonic `{m}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instr;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let p = parse_program(
+            "# sum\n li t0, 0\n li t1, 10\nloop:\n add t0, t0, t1\n addi t1, t1, -1\n bnez t1, loop\n halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert!(matches!(p[4], Instr::Branch { target: 2, .. }));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let p = parse_program("ld t0, 8(sp)\nsd t0, -16(s0)\nflush 0(t1)\nhalt").unwrap();
+        assert!(matches!(
+            p[0],
+            Instr::Load {
+                offset: 8,
+                base: Reg::SP,
+                ..
+            }
+        ));
+        assert!(matches!(p[1], Instr::Store { offset: -16, .. }));
+        assert!(matches!(p[2], Instr::Flush { .. }));
+    }
+
+    #[test]
+    fn parses_hex_and_negative_immediates() {
+        let p = parse_program("li a0, 0xdead\naddi a0, a0, -3\nhalt").unwrap();
+        assert!(matches!(p[0], Instr::Li { imm: 0xdead, .. }));
+        assert!(matches!(p[1], Instr::AluRI { imm: -3, .. }));
+    }
+
+    #[test]
+    fn numeric_and_abi_register_names_agree() {
+        let p = parse_program("add x5, x6, x7\nadd t0, t1, t2\nhalt").unwrap();
+        assert_eq!(p[0], p[1]);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let e = parse_program("nop\nfrobnicate t0\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse_program("li q9, 3\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("q9"));
+
+        let e = parse_program("addi t0, t1\nhalt").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let e = parse_program("j nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let p = parse_program("\n# full line comment\n  ; also a comment\nnop # trailing\nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn multiple_labels_on_one_line() {
+        let p = parse_program("a: b: nop\nj a\nj b\nhalt").unwrap();
+        assert!(matches!(p[1], Instr::Jal { target: 0, .. }));
+        assert!(matches!(p[2], Instr::Jal { target: 0, .. }));
+    }
+
+    #[test]
+    fn fp_mnemonics() {
+        let p = parse_program("fmul t0, t1, t2\nhalt").unwrap();
+        assert!(matches!(
+            p[0],
+            Instr::Fp {
+                op: FpOp::Mul,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,181 @@
+use std::fmt;
+
+/// An architectural register identifier, `x0`–`x31`.
+///
+/// Register `x0` ([`Reg::ZERO`]) is hardwired to zero: writes to it are
+/// discarded and reads always return `0`, exactly as in RISC-V.
+///
+/// A handful of ABI-style aliases are provided as associated constants
+/// (`SP`, `T0`.., `A0`.., `S0`..) purely for readability of generated
+/// code; the hardware treats all non-zero registers identically.
+///
+/// ```
+/// use pandora_isa::Reg;
+/// assert_eq!(Reg::ZERO.index(), 0);
+/// assert_ne!(Reg::T0, Reg::T1);
+/// assert_eq!(Reg::new(7), Reg::T2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// `x0`, hardwired to zero.
+    pub const ZERO: Reg = Reg(0);
+    /// `x1`, the link register written by `jal`/`jalr`.
+    pub const RA: Reg = Reg(1);
+    /// `x2`, used as the stack pointer by generated code.
+    pub const SP: Reg = Reg(2);
+    /// `x3`, used as a global/base pointer by generated code.
+    pub const GP: Reg = Reg(3);
+    /// `x4`, a scratch register reserved for gadget insertion.
+    pub const TP: Reg = Reg(4);
+    /// Temporary `x5`.
+    pub const T0: Reg = Reg(5);
+    /// Temporary `x6`.
+    pub const T1: Reg = Reg(6);
+    /// Temporary `x7`.
+    pub const T2: Reg = Reg(7);
+    /// Saved register `x8` (frame pointer by convention).
+    pub const S0: Reg = Reg(8);
+    /// Saved register `x9`.
+    pub const S1: Reg = Reg(9);
+    /// Argument/result register `x10`.
+    pub const A0: Reg = Reg(10);
+    /// Argument register `x11`.
+    pub const A1: Reg = Reg(11);
+    /// Argument register `x12`.
+    pub const A2: Reg = Reg(12);
+    /// Argument register `x13`.
+    pub const A3: Reg = Reg(13);
+    /// Argument register `x14`.
+    pub const A4: Reg = Reg(14);
+    /// Argument register `x15`.
+    pub const A5: Reg = Reg(15);
+    /// Argument register `x16`.
+    pub const A6: Reg = Reg(16);
+    /// Argument register `x17`.
+    pub const A7: Reg = Reg(17);
+    /// Saved register `x18`.
+    pub const S2: Reg = Reg(18);
+    /// Saved register `x19`.
+    pub const S3: Reg = Reg(19);
+    /// Saved register `x20`.
+    pub const S4: Reg = Reg(20);
+    /// Saved register `x21`.
+    pub const S5: Reg = Reg(21);
+    /// Saved register `x22`.
+    pub const S6: Reg = Reg(22);
+    /// Saved register `x23`.
+    pub const S7: Reg = Reg(23);
+    /// Saved register `x24`.
+    pub const S8: Reg = Reg(24);
+    /// Saved register `x25`.
+    pub const S9: Reg = Reg(25);
+    /// Saved register `x26`.
+    pub const S10: Reg = Reg(26);
+    /// Saved register `x27`.
+    pub const S11: Reg = Reg(27);
+    /// Temporary `x28`.
+    pub const T3: Reg = Reg(28);
+    /// Temporary `x29`.
+    pub const T4: Reg = Reg(29);
+    /// Temporary `x30`.
+    pub const T5: Reg = Reg(30);
+    /// Temporary `x31`.
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range (0..32)"
+        );
+        Reg(index)
+    }
+
+    /// The register's index, `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register `x0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 architectural registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::COUNT as u8).map(Reg)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_index_zero() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::T0.is_zero());
+    }
+
+    #[test]
+    fn aliases_map_to_expected_indices() {
+        assert_eq!(Reg::RA.index(), 1);
+        assert_eq!(Reg::SP.index(), 2);
+        assert_eq!(Reg::T0.index(), 5);
+        assert_eq!(Reg::A0.index(), 10);
+        assert_eq!(Reg::S2.index(), 18);
+        assert_eq!(Reg::T6.index(), 31);
+    }
+
+    #[test]
+    fn all_yields_32_distinct_registers() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        assert_eq!(format!("{}", Reg::T0), "x5");
+        assert_eq!(format!("{:?}", Reg::T0), "x5");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the ISA's architectural semantics and the
+//! assembler.
+
+use pandora_isa::{AluOp, Asm, BranchCond, Instr, Reg};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_is_commutative_and_associative(a: u64, b: u64, c: u64) {
+        prop_assert_eq!(AluOp::Add.eval(a, b), AluOp::Add.eval(b, a));
+        prop_assert_eq!(
+            AluOp::Add.eval(AluOp::Add.eval(a, b), c),
+            AluOp::Add.eval(a, AluOp::Add.eval(b, c))
+        );
+    }
+
+    #[test]
+    fn xor_is_self_inverse(a: u64, b: u64) {
+        prop_assert_eq!(AluOp::Xor.eval(AluOp::Xor.eval(a, b), b), a);
+    }
+
+    #[test]
+    fn and_or_are_idempotent_and_absorbing(a: u64, b: u64) {
+        prop_assert_eq!(AluOp::And.eval(a, a), a);
+        prop_assert_eq!(AluOp::Or.eval(a, a), a);
+        // Absorption: a & (a | b) == a.
+        prop_assert_eq!(AluOp::And.eval(a, AluOp::Or.eval(a, b)), a);
+    }
+
+    #[test]
+    fn unsigned_division_algorithm_holds(a: u64, b in 1u64..) {
+        let q = AluOp::Divu.eval(a, b);
+        let r = AluOp::Remu.eval(a, b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+    }
+
+    #[test]
+    fn signed_division_algorithm_holds(a: i64, b in prop::num::i64::ANY.prop_filter("nonzero", |&b| b != 0)) {
+        // Skip the single overflow case, which has bespoke semantics.
+        prop_assume!(!(a == i64::MIN && b == -1));
+        let q = AluOp::Div.eval(a as u64, b as u64) as i64;
+        let r = AluOp::Rem.eval(a as u64, b as u64) as i64;
+        prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+        prop_assert!(r.unsigned_abs() < b.unsigned_abs());
+    }
+
+    #[test]
+    fn shifts_mask_their_amount(a: u64, s in 0u64..256) {
+        prop_assert_eq!(AluOp::Sll.eval(a, s), AluOp::Sll.eval(a, s & 63));
+        prop_assert_eq!(AluOp::Srl.eval(a, s), AluOp::Srl.eval(a, s & 63));
+        prop_assert_eq!(AluOp::Sra.eval(a, s), AluOp::Sra.eval(a, s & 63));
+    }
+
+    #[test]
+    fn slt_matches_rust_comparisons(a: u64, b: u64) {
+        prop_assert_eq!(AluOp::Slt.eval(a, b), u64::from((a as i64) < (b as i64)));
+        prop_assert_eq!(AluOp::Sltu.eval(a, b), u64::from(a < b));
+    }
+
+    #[test]
+    fn branch_conditions_partition(a: u64, b: u64) {
+        // Eq/Ne and Lt/Ge and Ltu/Geu are complementary pairs.
+        prop_assert_ne!(BranchCond::Eq.eval(a, b), BranchCond::Ne.eval(a, b));
+        prop_assert_ne!(BranchCond::Lt.eval(a, b), BranchCond::Ge.eval(a, b));
+        prop_assert_ne!(BranchCond::Ltu.eval(a, b), BranchCond::Geu.eval(a, b));
+    }
+
+    #[test]
+    fn mulh_matches_wide_multiplication(a: u64, b: u64) {
+        let wide = (a as u128) * (b as u128);
+        prop_assert_eq!(AluOp::Mulh.eval(a, b), (wide >> 64) as u64);
+        prop_assert_eq!(
+            AluOp::Mul.eval(a, b),
+            (wide & u128::from(u64::MAX)) as u64
+        );
+    }
+
+    #[test]
+    fn assembler_resolves_arbitrary_label_topologies(
+        // Jump targets as positions among n labelled slots.
+        jumps in prop::collection::vec(0usize..8, 1..8)
+    ) {
+        let mut a = Asm::new();
+        for (i, &target) in jumps.iter().enumerate() {
+            a.label(format!("slot{i}"));
+            a.j(format!("slot{}", target % jumps.len()));
+        }
+        // Terminator labels for any forward references.
+        for i in jumps.len()..8 {
+            a.label(format!("slot{i}"));
+        }
+        a.halt();
+        let prog = a.assemble().expect("all labels defined");
+        for (i, &target) in jumps.iter().enumerate() {
+            match prog[i] {
+                Instr::Jal { target: t, .. } => {
+                    prop_assert_eq!(t, target % jumps.len());
+                }
+                ref other => prop_assert!(false, "expected jal, got {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn sources_and_dest_are_consistent(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32) {
+        let i = Instr::AluRR {
+            op: AluOp::Add,
+            rd: Reg::new(rd),
+            rs1: Reg::new(rs1),
+            rs2: Reg::new(rs2),
+        };
+        prop_assert_eq!(i.sources().len(), 2);
+        prop_assert_eq!(i.dest().is_some(), rd != 0);
+    }
+}
+
+mod roundtrip {
+    use pandora_isa::{parse_program, AluOp, Asm, BranchCond, FpOp, Reg, Width};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Disassembly round-trips: parse(to_asm_text(p)) == p.
+        #[test]
+        fn disassembly_parses_back_to_the_same_program(
+            seeds in prop::collection::vec(any::<i64>(), 1..4),
+            ops in prop::collection::vec((0u8..16, 0u8..32, 0u8..32, 0u8..32), 0..12),
+            mems in prop::collection::vec((0u8..8, 0u8..4, -64i64..64), 0..6),
+            fp in prop::collection::vec((0u8..4, 1u8..32, 1u8..32, 1u8..32), 0..3),
+            taken_back in any::<bool>()
+        ) {
+            let alu_ops = [
+                AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor,
+                AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Slt, AluOp::Sltu,
+                AluOp::Mul, AluOp::Mulh, AluOp::Div, AluOp::Divu, AluOp::Rem,
+                AluOp::Remu,
+            ];
+            let widths = [Width::Byte, Width::Half, Width::Word, Width::Dword];
+            let fps = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div];
+            let mut a = Asm::new();
+            a.label("top");
+            for (i, &s) in seeds.iter().enumerate() {
+                a.li(Reg::new(5 + i as u8), s as u64);
+            }
+            for &(op, rd, rs1, rs2) in &ops {
+                a.alu(
+                    alu_ops[op as usize % alu_ops.len()],
+                    Reg::new(rd % 32),
+                    Reg::new(rs1 % 32),
+                    Reg::new(rs2 % 32),
+                );
+            }
+            for &(r, w, off) in &mems {
+                let width = widths[w as usize % 4];
+                a.store(Reg::new(r % 32), Reg::ZERO, 0x100 + off, width);
+                a.load(Reg::new(r % 32), Reg::ZERO, 0x100 + off, width, width != Width::Dword);
+            }
+            for &(op, rd, rs1, rs2) in &fp {
+                a.fp(fps[op as usize % 4], Reg::new(rd % 32), Reg::new(rs1 % 32), Reg::new(rs2 % 32));
+            }
+            if taken_back {
+                a.branch(BranchCond::Ltu, Reg::T0, Reg::T1, "top");
+            }
+            a.rdcycle(Reg::T2);
+            a.flush(Reg::ZERO, 0x40);
+            a.fence();
+            a.halt();
+            let prog = a.assemble().unwrap();
+
+            let text = prog.to_asm_text();
+            let reparsed = parse_program(&text)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+            prop_assert_eq!(reparsed, prog);
+        }
+    }
+}

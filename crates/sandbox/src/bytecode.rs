@@ -1,0 +1,273 @@
+//! The sandbox bytecode: a small eBPF-like instruction set.
+//!
+//! Programs operate on eight general registers and a set of declared
+//! *maps* (fixed-size arrays, as `BPF_ARRAY` in Fig 7a). The only way
+//! to touch memory is through [`Inst::Lookup`] — which, like eBPF's
+//! `bpf_map_lookup_elem`, returns a pointer **or null** — followed by
+//! [`Inst::LoadInd`]/[`Inst::StoreInd`] on a pointer the verifier has
+//! proven non-null. The JIT inlines the lookup's bounds check exactly
+//! as the kernel does (paper Fig 7b).
+
+use std::fmt;
+
+/// A bytecode register, `r0`–`r7`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BpfReg(pub u8);
+
+impl BpfReg {
+    /// Number of bytecode registers.
+    pub const COUNT: usize = 8;
+
+    /// The register index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register id is out of range.
+    #[must_use]
+    pub fn index(self) -> usize {
+        assert!((self.0 as usize) < BpfReg::COUNT, "bad register r{}", self.0);
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BpfReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// ALU operations available to sandbox code.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BpfAluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Lsh,
+    /// Logical shift right.
+    Rsh,
+    /// Wrapping multiplication.
+    Mul,
+}
+
+/// A second operand: register or immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Src {
+    /// A register operand.
+    Reg(BpfReg),
+    /// An immediate operand.
+    Imm(u64),
+}
+
+/// Comparison conditions for conditional jumps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+/// One bytecode instruction. Jump targets are instruction indices.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// `dst = imm`
+    MovImm {
+        /// Destination register.
+        dst: BpfReg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `dst = src`
+    MovReg {
+        /// Destination register.
+        dst: BpfReg,
+        /// Source register.
+        src: BpfReg,
+    },
+    /// `dst = op(dst, src)` — scalars only; pointer arithmetic is
+    /// rejected by the verifier.
+    Alu {
+        /// The operation.
+        op: BpfAluOp,
+        /// Destination (and first operand) register.
+        dst: BpfReg,
+        /// Second operand.
+        src: Src,
+    },
+    /// `dst = &maps[map][idx]` or null if `idx` is out of bounds —
+    /// the `BPF_ARRAY.lookup()` of Fig 7a.
+    Lookup {
+        /// Destination register (becomes a nullable pointer).
+        dst: BpfReg,
+        /// Map index.
+        map: usize,
+        /// Index register (scalar).
+        idx: BpfReg,
+    },
+    /// `dst = *ptr` (the map's element width). `ptr` must be a
+    /// verified non-null map pointer.
+    LoadInd {
+        /// Destination register.
+        dst: BpfReg,
+        /// Pointer register.
+        ptr: BpfReg,
+    },
+    /// `*ptr = src`.
+    StoreInd {
+        /// Pointer register.
+        ptr: BpfReg,
+        /// Source (data) register; must be a scalar.
+        src: BpfReg,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Conditional jump: `if cmp(a, b) goto target`.
+    JmpIf {
+        /// Comparison condition.
+        cmp: Cmp,
+        /// First comparison operand.
+        a: BpfReg,
+        /// Second comparison operand.
+        b: Src,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Read the cycle counter (models `bpf_ktime_get_ns`, the timer
+    /// sandboxed receivers use).
+    ReadClock {
+        /// Destination register.
+        dst: BpfReg,
+    },
+    /// Return from the program.
+    Exit,
+}
+
+/// A declared map: a fixed-length array of fixed-width elements.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapDef {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Element width in bytes: a power of two up to 256. Elements
+    /// wider than 8 bytes model arrays of structs (loads and stores
+    /// access the first 8 bytes of the element).
+    pub elem_size: usize,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl MapDef {
+    /// Creates a map definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_size` is not a power of two in `1..=256`, or
+    /// `len` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, elem_size: usize, len: u64) -> MapDef {
+        assert!(
+            elem_size.is_power_of_two() && elem_size <= 256,
+            "element size must be a power of two up to 256"
+        );
+        assert!(len > 0, "maps must have at least one element");
+        MapDef {
+            name: name.into(),
+            elem_size,
+            len,
+        }
+    }
+
+    /// The map's total size in bytes.
+    #[must_use]
+    pub fn byte_size(&self) -> u64 {
+        self.len * self.elem_size as u64
+    }
+}
+
+/// A sandbox program: maps plus bytecode.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BpfProgram {
+    /// Declared maps, referenced by index from [`Inst::Lookup`].
+    pub maps: Vec<MapDef>,
+    /// The instruction stream.
+    pub insts: Vec<Inst>,
+}
+
+impl BpfProgram {
+    /// Creates an empty program with the given maps.
+    #[must_use]
+    pub fn new(maps: Vec<MapDef>) -> BpfProgram {
+        BpfProgram {
+            maps,
+            insts: Vec::new(),
+        }
+    }
+
+    /// Appends an instruction, returning its index.
+    pub fn push(&mut self, i: Inst) -> usize {
+        self.insts.push(i);
+        self.insts.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_def_sizes() {
+        let m = MapDef::new("z", 8, 16);
+        assert_eq!(m.byte_size(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "element size")]
+    fn bad_elem_size_rejected() {
+        let _ = MapDef::new("z", 3, 16);
+    }
+
+    #[test]
+    fn struct_sized_elements_allowed() {
+        let m = MapDef::new("x", 64, 256);
+        assert_eq!(m.byte_size(), 16 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn empty_map_rejected() {
+        let _ = MapDef::new("z", 8, 0);
+    }
+
+    #[test]
+    fn program_push_returns_indices() {
+        let mut p = BpfProgram::new(vec![]);
+        assert_eq!(p.push(Inst::Exit), 0);
+        assert_eq!(p.push(Inst::Exit), 1);
+    }
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(BpfReg(3).to_string(), "r3");
+        assert_eq!(BpfReg(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad register")]
+    fn reg_index_out_of_range() {
+        let _ = BpfReg(8).index();
+    }
+}

@@ -1,0 +1,406 @@
+//! The JIT: compiles verified sandbox bytecode to the Pandora ISA.
+//!
+//! The lowering mirrors the kernel's eBPF JIT as shown in paper
+//! Fig 7b: a `Lookup` inlines the array bounds check (`bltu idx, len`)
+//! and computes `base + idx * elem_size`; a subsequent `LoadInd` is a
+//! plain load with **no additional memory accesses in between** — which
+//! is exactly what lets the IMP observe the `X[Y[Z[i]]]` value/address
+//! correlation (§V-B1).
+//!
+//! Only programs accepted by the [`verifier`](crate::verifier) can be
+//! compiled: the compiler consumes the verifier's type states (to learn
+//! each pointer's map, and thus access width).
+
+use pandora_isa::{AluOp, Asm, Reg};
+
+use crate::bytecode::{BpfAluOp, BpfProgram, BpfReg, Cmp, Inst, MapDef, Src};
+use crate::verifier::{verify, VerifiedProgram, VerifyError};
+
+/// Where each map lives in simulated memory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SandboxLayout {
+    bases: Vec<u64>,
+    end: u64,
+    region_start: u64,
+}
+
+impl SandboxLayout {
+    /// Lays the maps out contiguously from `base`, each aligned to a
+    /// 64-byte line.
+    #[must_use]
+    pub fn at(base: u64, maps: &[MapDef]) -> SandboxLayout {
+        let mut cur = (base + 63) & !63;
+        let region_start = cur;
+        let bases = maps
+            .iter()
+            .map(|m| {
+                let b = cur;
+                cur = (cur + m.byte_size() + 63) & !63;
+                b
+            })
+            .collect();
+        SandboxLayout {
+            bases,
+            end: cur,
+            region_start,
+        }
+    }
+
+    /// The base address of map `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn map_base(&self, i: usize) -> u64 {
+        self.bases[i]
+    }
+
+    /// The sandbox's address range `[start, end)` — everything the
+    /// verified program can architecturally touch.
+    #[must_use]
+    pub fn region(&self) -> (u64, u64) {
+        (self.region_start, self.end)
+    }
+}
+
+/// What the JIT produced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Compiled {
+    /// ISA instruction index at which each bytecode instruction starts.
+    pub inst_starts: Vec<usize>,
+    /// For each `LoadInd` bytecode instruction (by bytecode pc), the
+    /// ISA pc of the emitted load — the PCs the prefetcher trains on.
+    pub load_pcs: Vec<(usize, usize)>,
+}
+
+/// BPF register i is carried in ISA register a_i.
+fn isa_reg(r: BpfReg) -> Reg {
+    [
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+        Reg::A6,
+        Reg::A7,
+    ][r.index()]
+}
+
+fn isa_alu(op: BpfAluOp) -> AluOp {
+    match op {
+        BpfAluOp::Add => AluOp::Add,
+        BpfAluOp::Sub => AluOp::Sub,
+        BpfAluOp::And => AluOp::And,
+        BpfAluOp::Or => AluOp::Or,
+        BpfAluOp::Xor => AluOp::Xor,
+        BpfAluOp::Lsh => AluOp::Sll,
+        BpfAluOp::Rsh => AluOp::Srl,
+        BpfAluOp::Mul => AluOp::Mul,
+    }
+}
+
+fn width_of(elem: usize) -> pandora_isa::Width {
+    match elem {
+        1 => pandora_isa::Width::Byte,
+        2 => pandora_isa::Width::Half,
+        4 => pandora_isa::Width::Word,
+        // Struct-sized elements: access the first 8 bytes.
+        _ => pandora_isa::Width::Dword,
+    }
+}
+
+/// Verifies `prog` and, on success, emits it into `asm`.
+///
+/// `prefix` namespaces the internal labels so several programs can be
+/// compiled into one `Asm`. Execution falls through to the instruction
+/// after the emitted code when the program `Exit`s.
+///
+/// # Errors
+///
+/// Returns the verifier's error if the program is unsafe; unsafe
+/// programs are never emitted.
+pub fn compile(
+    asm: &mut Asm,
+    prefix: &str,
+    prog: &BpfProgram,
+    layout: &SandboxLayout,
+) -> Result<Compiled, VerifyError> {
+    let verified = verify(prog)?;
+    Ok(emit(asm, prefix, prog, &verified, layout))
+}
+
+fn label(prefix: &str, kind: &str, idx: usize) -> String {
+    format!("{prefix}_{kind}_{idx}")
+}
+
+fn emit(
+    asm: &mut Asm,
+    prefix: &str,
+    prog: &BpfProgram,
+    verified: &VerifiedProgram,
+    layout: &SandboxLayout,
+) -> Compiled {
+    let mut inst_starts = Vec::with_capacity(prog.insts.len());
+    let mut load_pcs = Vec::new();
+    let exit_label = format!("{prefix}_exit");
+
+    for (pc, &inst) in prog.insts.iter().enumerate() {
+        asm.label(label(prefix, "i", pc));
+        inst_starts.push(asm.here());
+        match inst {
+            Inst::MovImm { dst, imm } => {
+                asm.li(isa_reg(dst), imm);
+            }
+            Inst::MovReg { dst, src } => {
+                asm.mv(isa_reg(dst), isa_reg(src));
+            }
+            Inst::Alu { op, dst, src } => match src {
+                Src::Reg(r) => {
+                    asm.alu(isa_alu(op), isa_reg(dst), isa_reg(dst), isa_reg(r));
+                }
+                Src::Imm(v) => {
+                    asm.alui(isa_alu(op), isa_reg(dst), isa_reg(dst), v as i64);
+                }
+            },
+            Inst::Lookup { dst, map, idx } => {
+                // Fig 7b: bounds check, then base + idx * elem.
+                let m = &prog.maps[map];
+                let in_bounds = label(prefix, "ok", pc);
+                let done = label(prefix, "dn", pc);
+                asm.li(Reg::T0, m.len);
+                asm.bltu(isa_reg(idx), Reg::T0, in_bounds.clone());
+                asm.li(isa_reg(dst), 0); // out of bounds: NULL
+                asm.j(done.clone());
+                asm.label(in_bounds);
+                let shift = m.elem_size.trailing_zeros() as i64;
+                asm.slli(Reg::T1, isa_reg(idx), shift);
+                asm.li(isa_reg(dst), layout.map_base(map));
+                asm.add(isa_reg(dst), isa_reg(dst), Reg::T1);
+                asm.label(done);
+            }
+            Inst::LoadInd { dst, ptr } => {
+                let map = verified.ptr_map(pc, ptr);
+                load_pcs.push((pc, asm.here()));
+                asm.load(
+                    isa_reg(dst),
+                    isa_reg(ptr),
+                    0,
+                    width_of(prog.maps[map].elem_size),
+                    false,
+                );
+            }
+            Inst::StoreInd { ptr, src } => {
+                let map = verified.ptr_map(pc, ptr);
+                asm.store(
+                    isa_reg(src),
+                    isa_reg(ptr),
+                    0,
+                    width_of(prog.maps[map].elem_size),
+                );
+            }
+            Inst::Jmp { target } => {
+                asm.j(label(prefix, "i", target));
+            }
+            Inst::JmpIf { cmp, a, b, target } => {
+                let rb = match b {
+                    Src::Reg(r) => isa_reg(r),
+                    Src::Imm(0) => Reg::ZERO,
+                    Src::Imm(v) => {
+                        asm.li(Reg::T0, v);
+                        Reg::T0
+                    }
+                };
+                let t = label(prefix, "i", target);
+                match cmp {
+                    Cmp::Eq => asm.beq(isa_reg(a), rb, t),
+                    Cmp::Ne => asm.bne(isa_reg(a), rb, t),
+                    Cmp::Lt => asm.bltu(isa_reg(a), rb, t),
+                    Cmp::Ge => asm.bgeu(isa_reg(a), rb, t),
+                };
+            }
+            Inst::ReadClock { dst } => {
+                // Helper calls serialize: drain the pipeline first so
+                // the reading straddles exactly the preceding work.
+                asm.fence();
+                asm.rdcycle(isa_reg(dst));
+            }
+            Inst::Exit => {
+                asm.j(exit_label.clone());
+            }
+        }
+    }
+    asm.label(exit_label);
+    Compiled {
+        inst_starts,
+        load_pcs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_sim::{Machine, SimConfig};
+
+    fn r(i: u8) -> BpfReg {
+        BpfReg(i)
+    }
+
+    /// A verified program that sums map0[0..4] into map1[0].
+    fn sum_program() -> BpfProgram {
+        let mut p = BpfProgram::new(vec![
+            MapDef::new("src", 8, 4),
+            MapDef::new("dst", 8, 1),
+        ]);
+        p.push(Inst::MovImm { dst: r(1), imm: 0 }); // i = 0
+        p.push(Inst::MovImm { dst: r(2), imm: 0 }); // acc = 0
+        // 2: loop body
+        p.push(Inst::Lookup {
+            dst: r(3),
+            map: 0,
+            idx: r(1),
+        });
+        p.push(Inst::JmpIf {
+            cmp: Cmp::Eq,
+            a: r(3),
+            b: Src::Imm(0),
+            target: 9,
+        });
+        p.push(Inst::LoadInd {
+            dst: r(4),
+            ptr: r(3),
+        });
+        p.push(Inst::Alu {
+            op: BpfAluOp::Add,
+            dst: r(2),
+            src: Src::Reg(r(4)),
+        });
+        p.push(Inst::Alu {
+            op: BpfAluOp::Add,
+            dst: r(1),
+            src: Src::Imm(1),
+        });
+        p.push(Inst::JmpIf {
+            cmp: Cmp::Lt,
+            a: r(1),
+            b: Src::Imm(4),
+            target: 2,
+        });
+        // 8: store result
+        p.push(Inst::MovImm { dst: r(5), imm: 0 });
+        // 9: (also the null-exit target)
+        p.push(Inst::Lookup {
+            dst: r(6),
+            map: 1,
+            idx: r(5),
+        });
+        p.push(Inst::JmpIf {
+            cmp: Cmp::Eq,
+            a: r(6),
+            b: Src::Imm(0),
+            target: 13,
+        });
+        p.push(Inst::StoreInd {
+            ptr: r(6),
+            src: r(2),
+        });
+        p.push(Inst::Exit); // 12
+        p.push(Inst::Exit); // 13
+        p
+    }
+
+    #[test]
+    fn compiled_program_computes_correctly() {
+        let prog = sum_program();
+        let layout = SandboxLayout::at(0x8000, &prog.maps);
+        let mut asm = Asm::new();
+        let compiled = compile(&mut asm, "sbx", &prog, &layout).expect("verifies");
+        asm.halt();
+        let isa = asm.assemble().unwrap();
+
+        let mut m = Machine::new(SimConfig::default());
+        m.load_program(&isa);
+        for (i, v) in [11u64, 22, 33, 44].iter().enumerate() {
+            m.mem_mut()
+                .write_u64(layout.map_base(0) + 8 * i as u64, *v)
+                .unwrap();
+        }
+        m.run(1_000_000).unwrap();
+        assert_eq!(m.mem().read_u64(layout.map_base(1)).unwrap(), 110);
+        assert!(!compiled.load_pcs.is_empty());
+    }
+
+    #[test]
+    fn bug_path_sets_null_and_exits() {
+        // Wait for r5 = 99 (out of bounds): lookup must yield null and
+        // the program must exit without storing.
+        let mut p = BpfProgram::new(vec![MapDef::new("m", 8, 4)]);
+        p.push(Inst::MovImm { dst: r(1), imm: 99 });
+        p.push(Inst::Lookup {
+            dst: r(2),
+            map: 0,
+            idx: r(1),
+        });
+        p.push(Inst::JmpIf {
+            cmp: Cmp::Eq,
+            a: r(2),
+            b: Src::Imm(0),
+            target: 5,
+        });
+        p.push(Inst::MovImm { dst: r(3), imm: 1 });
+        p.push(Inst::StoreInd {
+            ptr: r(2),
+            src: r(3),
+        });
+        p.push(Inst::Exit);
+
+        let layout = SandboxLayout::at(0x8000, &p.maps);
+        let mut asm = Asm::new();
+        compile(&mut asm, "sbx", &p, &layout).expect("verifies");
+        asm.halt();
+        let isa = asm.assemble().unwrap();
+        let mut m = Machine::new(SimConfig::default());
+        m.load_program(&isa);
+        m.run(100_000).unwrap();
+        // Nothing was stored anywhere in the map.
+        for i in 0..4 {
+            assert_eq!(m.mem().read_u64(layout.map_base(0) + 8 * i).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn unsafe_program_is_never_emitted() {
+        let mut p = BpfProgram::new(vec![MapDef::new("m", 8, 4)]);
+        p.push(Inst::MovImm { dst: r(1), imm: 0 });
+        p.push(Inst::Lookup {
+            dst: r(2),
+            map: 0,
+            idx: r(1),
+        });
+        p.push(Inst::LoadInd {
+            dst: r(3),
+            ptr: r(2),
+        }); // no null check
+        p.push(Inst::Exit);
+        let layout = SandboxLayout::at(0x8000, &p.maps);
+        let mut asm = Asm::new();
+        assert!(compile(&mut asm, "sbx", &p, &layout).is_err());
+        assert_eq!(asm.here(), 0, "nothing emitted");
+    }
+
+    #[test]
+    fn layout_is_line_aligned_and_disjoint() {
+        let maps = vec![
+            MapDef::new("a", 1, 100),
+            MapDef::new("b", 8, 7),
+            MapDef::new("c", 4, 3),
+        ];
+        let l = SandboxLayout::at(0x1001, &maps);
+        assert_eq!(l.map_base(0) % 64, 0);
+        assert!(l.map_base(1) >= l.map_base(0) + 100);
+        assert!(l.map_base(2) >= l.map_base(1) + 56);
+        let (s, e) = l.region();
+        assert!(s <= l.map_base(0) && e >= l.map_base(2) + 12);
+    }
+}

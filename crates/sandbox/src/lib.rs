@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # pandora-sandbox
+//!
+//! An eBPF-like sandbox — bytecode, static verifier, and JIT to the
+//! Pandora ISA — reproducing the attack setting of §V-B of *"Opening
+//! Pandora's Box"* (ISCA 2021): the attacker runs code inside a
+//! software sandbox whose verifier enforces memory safety, and uses the
+//! data memory-dependent prefetcher to read outside it anyway.
+//!
+//! * [`bytecode`] — the instruction set: scalars, map lookups that
+//!   return pointer-or-null (as `BPF_ARRAY.lookup()`), and guarded
+//!   dereferences.
+//! * [`verifier`] — abstract interpretation enforcing the null-check /
+//!   no-pointer-arithmetic discipline; unsafe programs are rejected
+//!   before emission.
+//! * [`compile()`](crate::compile::compile) — the JIT, lowering lookups to the inline bounds check
+//!   + `base + idx * elem` sequence of the paper's Fig 7b.
+//!
+//! ```
+//! use pandora_sandbox::bytecode::{BpfProgram, BpfReg, Cmp, Inst, MapDef, Src};
+//! use pandora_sandbox::verifier::verify;
+//!
+//! let mut p = BpfProgram::new(vec![MapDef::new("z", 8, 16)]);
+//! let r = |i| BpfReg(i);
+//! p.push(Inst::MovImm { dst: r(1), imm: 3 });
+//! p.push(Inst::Lookup { dst: r(2), map: 0, idx: r(1) });
+//! p.push(Inst::JmpIf { cmp: Cmp::Eq, a: r(2), b: Src::Imm(0), target: 4 });
+//! p.push(Inst::LoadInd { dst: r(3), ptr: r(2) });
+//! p.push(Inst::Exit);
+//! assert!(verify(&p).is_ok());
+//! ```
+
+pub mod bytecode;
+pub mod compile;
+#[cfg(test)]
+mod tests_prop;
+pub mod verifier;
+
+pub use bytecode::{BpfAluOp, BpfProgram, BpfReg, Cmp, Inst, MapDef, Src};
+pub use compile::{compile, Compiled, SandboxLayout};
+pub use verifier::{verify, RegType, VerifiedProgram, VerifyError};

@@ -1,0 +1,559 @@
+//! The static verifier: the sandbox's software memory-safety checks.
+//!
+//! An abstract interpretation over a small register-type lattice,
+//! modelled on the eBPF verifier's pointer discipline:
+//!
+//! * the only way to obtain a pointer is [`Inst::Lookup`], which yields
+//!   a **nullable** map pointer;
+//! * a nullable pointer must be compared against null before it can be
+//!   dereferenced (the `if (!v) return 0;` incantations of Fig 7a —
+//!   "bounds checks in disguise", because an out-of-bounds lookup
+//!   returns null);
+//! * pointer arithmetic, storing pointers to memory, and ordered
+//!   pointer comparisons are rejected.
+//!
+//! A program that passes this verifier cannot architecturally read or
+//! write outside its declared maps. The paper's point (§V-B) is that
+//! the 3-level IMP breaks this guarantee *microarchitecturally* — the
+//! very same verified program steers the prefetcher to arbitrary
+//! memory.
+//!
+//! Unlike the kernel's verifier this one does not prove *termination*
+//! (no instruction-budget simulation): the property the attack bypasses
+//! — and that the property-based soundness tests check — is memory
+//! safety, which is independent of run length.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::bytecode::{BpfProgram, BpfReg, Cmp, Inst, Src};
+
+/// The abstract type of one register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RegType {
+    /// Unusable (e.g. an imprecise join of incompatible types).
+    #[default]
+    Unusable,
+    /// An integer.
+    Scalar,
+    /// A pointer into map `map`'s value space, possibly null.
+    NullablePtr {
+        /// The map the pointer belongs to.
+        map: usize,
+    },
+    /// A pointer into map `map`, proven non-null.
+    Ptr {
+        /// The map the pointer belongs to.
+        map: usize,
+    },
+}
+
+impl RegType {
+    fn join(a: RegType, b: RegType) -> RegType {
+        use RegType::{NullablePtr, Ptr, Scalar, Unusable};
+        match (a, b) {
+            _ if a == b => a,
+            (Ptr { map: m1 }, NullablePtr { map: m2 })
+            | (NullablePtr { map: m1 }, Ptr { map: m2 })
+                if m1 == m2 =>
+            {
+                NullablePtr { map: m1 }
+            }
+            // A null-branch pointer degrades to a scalar; joining it
+            // with the pointer view keeps the nullable pointer.
+            (Scalar, p @ NullablePtr { .. }) | (p @ NullablePtr { .. }, Scalar) => p,
+            (Unusable, _) | (_, Unusable) => Unusable,
+            _ => Unusable,
+        }
+    }
+}
+
+/// Why verification failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// Arithmetic on (or with) a pointer.
+    PointerArithmetic {
+        /// The offending instruction index.
+        pc: usize,
+        /// The offending register.
+        reg: BpfReg,
+    },
+    /// Dereference of a possibly-null pointer (missing null check).
+    DerefNullable {
+        /// The offending instruction index.
+        pc: usize,
+        /// The offending register.
+        reg: BpfReg,
+    },
+    /// Dereference of a non-pointer.
+    DerefNonPointer {
+        /// The offending instruction index.
+        pc: usize,
+        /// The offending register.
+        reg: BpfReg,
+    },
+    /// Storing a pointer value into a map.
+    PointerStore {
+        /// The offending instruction index.
+        pc: usize,
+        /// The offending register.
+        reg: BpfReg,
+    },
+    /// Ordered comparison involving a pointer, or comparison against a
+    /// non-zero constant.
+    PointerComparison {
+        /// The offending instruction index.
+        pc: usize,
+        /// The offending register.
+        reg: BpfReg,
+    },
+    /// `Lookup` index operand is not a scalar.
+    NonScalarIndex {
+        /// The offending instruction index.
+        pc: usize,
+        /// The offending register.
+        reg: BpfReg,
+    },
+    /// Reference to an undeclared map.
+    UnknownMap {
+        /// The offending instruction index.
+        pc: usize,
+        /// The undeclared map index.
+        map: usize,
+    },
+    /// A jump target outside the program.
+    BadJumpTarget {
+        /// The offending instruction index.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// Control flow can fall off the end of the program.
+    MissingExit {
+        /// The offending instruction index.
+        pc: usize,
+    },
+    /// An instruction is unreachable (as in eBPF, dead code is
+    /// rejected rather than left unverified).
+    UnreachableCode {
+        /// The offending instruction index.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::PointerArithmetic { pc, reg } => {
+                write!(f, "pc {pc}: arithmetic on pointer {reg}")
+            }
+            VerifyError::DerefNullable { pc, reg } => write!(
+                f,
+                "pc {pc}: dereference of possibly-null pointer {reg} (missing null check)"
+            ),
+            VerifyError::DerefNonPointer { pc, reg } => {
+                write!(f, "pc {pc}: dereference of non-pointer {reg}")
+            }
+            VerifyError::PointerStore { pc, reg } => {
+                write!(f, "pc {pc}: storing pointer {reg} to memory")
+            }
+            VerifyError::PointerComparison { pc, reg } => {
+                write!(f, "pc {pc}: invalid comparison involving pointer {reg}")
+            }
+            VerifyError::NonScalarIndex { pc, reg } => {
+                write!(f, "pc {pc}: lookup index {reg} is not a scalar")
+            }
+            VerifyError::UnknownMap { pc, map } => write!(f, "pc {pc}: unknown map {map}"),
+            VerifyError::BadJumpTarget { pc, target } => {
+                write!(f, "pc {pc}: jump target {target} out of range")
+            }
+            VerifyError::MissingExit { pc } => {
+                write!(f, "pc {pc}: control flow falls off the program end")
+            }
+            VerifyError::UnreachableCode { pc } => {
+                write!(f, "pc {pc}: unreachable instruction")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// One abstract machine state: the types of all registers.
+pub type RegState = [RegType; BpfReg::COUNT];
+
+/// A successfully verified program: the per-instruction incoming
+/// register states the compiler uses (e.g. to learn which map a
+/// dereferenced pointer belongs to).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifiedProgram {
+    /// State *before* each instruction (None = unreachable).
+    pub in_states: Vec<Option<RegState>>,
+}
+
+impl VerifiedProgram {
+    /// The map a pointer register refers to at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is unreachable or the register is not a pointer —
+    /// impossible for a program this verifier accepted.
+    #[must_use]
+    pub fn ptr_map(&self, pc: usize, reg: BpfReg) -> usize {
+        match self.in_states[pc].expect("reachable")[reg.index()] {
+            RegType::Ptr { map } | RegType::NullablePtr { map } => map,
+            t => panic!("{reg} at pc {pc} is not a pointer (found {t:?})"),
+        }
+    }
+}
+
+/// Verifies `prog`, returning per-instruction type states on success.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered (by worklist order).
+pub fn verify(prog: &BpfProgram) -> Result<VerifiedProgram, VerifyError> {
+    let n = prog.insts.len();
+    let mut in_states: Vec<Option<RegState>> = vec![None; n];
+    let mut work: VecDeque<(usize, RegState)> = VecDeque::new();
+    work.push_back((0, [RegType::Scalar; BpfReg::COUNT]));
+
+    let check_target = |pc: usize, target: usize| -> Result<(), VerifyError> {
+        if target >= n {
+            Err(VerifyError::BadJumpTarget { pc, target })
+        } else {
+            Ok(())
+        }
+    };
+
+    while let Some((pc, state)) = work.pop_front() {
+        if pc >= n {
+            return Err(VerifyError::MissingExit { pc: pc.saturating_sub(1) });
+        }
+        // Join with anything previously seen at this pc; skip if no change.
+        let merged = match in_states[pc] {
+            Some(old) => {
+                let joined: RegState =
+                    std::array::from_fn(|i| RegType::join(old[i], state[i]));
+                if joined == old {
+                    continue;
+                }
+                joined
+            }
+            None => state,
+        };
+        in_states[pc] = Some(merged);
+        let mut st = merged;
+
+        let scalar_of = |st: &RegState, r: BpfReg| st[r.index()];
+
+        match prog.insts[pc] {
+            Inst::MovImm { dst, .. } | Inst::ReadClock { dst } => {
+                st[dst.index()] = RegType::Scalar;
+                work.push_back((pc + 1, st));
+            }
+            Inst::MovReg { dst, src } => {
+                st[dst.index()] = st[src.index()];
+                work.push_back((pc + 1, st));
+            }
+            Inst::Alu { dst, src, .. } => {
+                if !matches!(scalar_of(&st, dst), RegType::Scalar) {
+                    return Err(VerifyError::PointerArithmetic { pc, reg: dst });
+                }
+                if let Src::Reg(r) = src {
+                    if !matches!(scalar_of(&st, r), RegType::Scalar) {
+                        return Err(VerifyError::PointerArithmetic { pc, reg: r });
+                    }
+                }
+                st[dst.index()] = RegType::Scalar;
+                work.push_back((pc + 1, st));
+            }
+            Inst::Lookup { dst, map, idx } => {
+                if map >= prog.maps.len() {
+                    return Err(VerifyError::UnknownMap { pc, map });
+                }
+                if !matches!(scalar_of(&st, idx), RegType::Scalar) {
+                    return Err(VerifyError::NonScalarIndex { pc, reg: idx });
+                }
+                st[dst.index()] = RegType::NullablePtr { map };
+                work.push_back((pc + 1, st));
+            }
+            Inst::LoadInd { dst, ptr } => {
+                match scalar_of(&st, ptr) {
+                    RegType::Ptr { .. } => {}
+                    RegType::NullablePtr { .. } => {
+                        return Err(VerifyError::DerefNullable { pc, reg: ptr })
+                    }
+                    _ => return Err(VerifyError::DerefNonPointer { pc, reg: ptr }),
+                }
+                st[dst.index()] = RegType::Scalar;
+                work.push_back((pc + 1, st));
+            }
+            Inst::StoreInd { ptr, src } => {
+                match scalar_of(&st, ptr) {
+                    RegType::Ptr { .. } => {}
+                    RegType::NullablePtr { .. } => {
+                        return Err(VerifyError::DerefNullable { pc, reg: ptr })
+                    }
+                    _ => return Err(VerifyError::DerefNonPointer { pc, reg: ptr }),
+                }
+                if !matches!(scalar_of(&st, src), RegType::Scalar) {
+                    return Err(VerifyError::PointerStore { pc, reg: src });
+                }
+                work.push_back((pc + 1, st));
+            }
+            Inst::Jmp { target } => {
+                check_target(pc, target)?;
+                work.push_back((target, st));
+            }
+            Inst::JmpIf { cmp, a, b, target } => {
+                check_target(pc, target)?;
+                let a_ty = scalar_of(&st, a);
+                match (a_ty, b) {
+                    (RegType::Scalar, Src::Imm(_)) => {
+                        work.push_back((target, st));
+                        work.push_back((pc + 1, st));
+                    }
+                    (RegType::Scalar, Src::Reg(r)) => {
+                        if !matches!(scalar_of(&st, r), RegType::Scalar) {
+                            return Err(VerifyError::PointerComparison { pc, reg: r });
+                        }
+                        work.push_back((target, st));
+                        work.push_back((pc + 1, st));
+                    }
+                    (RegType::NullablePtr { map }, Src::Imm(0)) => {
+                        // The null check: refine on each edge.
+                        let (mut taken, mut fall) = (st, st);
+                        match cmp {
+                            Cmp::Eq => {
+                                // taken: a is null (a scalar 0);
+                                // fallthrough: a is a valid pointer.
+                                taken[a.index()] = RegType::Scalar;
+                                fall[a.index()] = RegType::Ptr { map };
+                            }
+                            Cmp::Ne => {
+                                taken[a.index()] = RegType::Ptr { map };
+                                fall[a.index()] = RegType::Scalar;
+                            }
+                            Cmp::Lt | Cmp::Ge => {
+                                return Err(VerifyError::PointerComparison { pc, reg: a })
+                            }
+                        }
+                        work.push_back((target, taken));
+                        work.push_back((pc + 1, fall));
+                    }
+                    _ => return Err(VerifyError::PointerComparison { pc, reg: a }),
+                }
+            }
+            Inst::Exit => {}
+        }
+        // Straight-line fall-off detection.
+        if pc + 1 == n
+            && !matches!(prog.insts[pc], Inst::Exit | Inst::Jmp { .. })
+        {
+            return Err(VerifyError::MissingExit { pc });
+        }
+    }
+    if let Some(pc) = in_states.iter().position(Option::is_none) {
+        return Err(VerifyError::UnreachableCode { pc });
+    }
+    Ok(VerifiedProgram { in_states })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{BpfAluOp, MapDef};
+
+    fn r(i: u8) -> BpfReg {
+        BpfReg(i)
+    }
+
+    fn one_map() -> Vec<MapDef> {
+        vec![MapDef::new("z", 8, 16)]
+    }
+
+    #[test]
+    fn accepts_null_checked_deref() {
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm { dst: r(1), imm: 3 });
+        p.push(Inst::Lookup {
+            dst: r(2),
+            map: 0,
+            idx: r(1),
+        });
+        let exit = 5;
+        p.push(Inst::JmpIf {
+            cmp: Cmp::Eq,
+            a: r(2),
+            b: Src::Imm(0),
+            target: exit,
+        });
+        p.push(Inst::LoadInd {
+            dst: r(3),
+            ptr: r(2),
+        });
+        p.push(Inst::StoreInd {
+            ptr: r(2),
+            src: r(3),
+        });
+        p.push(Inst::Exit);
+        let v = verify(&p).expect("null-checked program verifies");
+        assert_eq!(v.ptr_map(3, r(2)), 0);
+    }
+
+    #[test]
+    fn rejects_unchecked_deref() {
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm { dst: r(1), imm: 3 });
+        p.push(Inst::Lookup {
+            dst: r(2),
+            map: 0,
+            idx: r(1),
+        });
+        p.push(Inst::LoadInd {
+            dst: r(3),
+            ptr: r(2),
+        });
+        p.push(Inst::Exit);
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::DerefNullable { pc: 2, reg: r(2) })
+        );
+    }
+
+    #[test]
+    fn rejects_pointer_arithmetic() {
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm { dst: r(1), imm: 0 });
+        p.push(Inst::Lookup {
+            dst: r(2),
+            map: 0,
+            idx: r(1),
+        });
+        p.push(Inst::Alu {
+            op: BpfAluOp::Add,
+            dst: r(2),
+            src: Src::Imm(64),
+        });
+        p.push(Inst::Exit);
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::PointerArithmetic { pc: 2, reg: r(2) })
+        );
+    }
+
+    #[test]
+    fn rejects_deref_of_scalar() {
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm {
+            dst: r(2),
+            imm: 0x4000,
+        });
+        p.push(Inst::LoadInd {
+            dst: r(3),
+            ptr: r(2),
+        });
+        p.push(Inst::Exit);
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::DerefNonPointer { pc: 1, reg: r(2) })
+        );
+    }
+
+    #[test]
+    fn rejects_pointer_store() {
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm { dst: r(1), imm: 0 });
+        p.push(Inst::Lookup {
+            dst: r(2),
+            map: 0,
+            idx: r(1),
+        });
+        p.push(Inst::JmpIf {
+            cmp: Cmp::Eq,
+            a: r(2),
+            b: Src::Imm(0),
+            target: 4,
+        });
+        p.push(Inst::StoreInd {
+            ptr: r(2),
+            src: r(2),
+        });
+        p.push(Inst::Exit);
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::PointerStore { pc: 3, reg: r(2) })
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_map_and_bad_target() {
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm { dst: r(1), imm: 0 });
+        p.push(Inst::Lookup {
+            dst: r(2),
+            map: 7,
+            idx: r(1),
+        });
+        p.push(Inst::Exit);
+        assert_eq!(verify(&p), Err(VerifyError::UnknownMap { pc: 1, map: 7 }));
+
+        let mut q = BpfProgram::new(one_map());
+        q.push(Inst::Jmp { target: 99 });
+        assert_eq!(
+            verify(&q),
+            Err(VerifyError::BadJumpTarget { pc: 0, target: 99 })
+        );
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm { dst: r(1), imm: 0 });
+        assert_eq!(verify(&p), Err(VerifyError::MissingExit { pc: 0 }));
+    }
+
+    #[test]
+    fn loop_with_back_edge_verifies() {
+        // for (i = 10; i != 0; i--) {}
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm { dst: r(1), imm: 10 }); // 0
+        p.push(Inst::Alu {
+            op: BpfAluOp::Sub,
+            dst: r(1),
+            src: Src::Imm(1),
+        }); // 1
+        p.push(Inst::JmpIf {
+            cmp: Cmp::Ne,
+            a: r(1),
+            b: Src::Imm(0),
+            target: 1,
+        }); // 2
+        p.push(Inst::Exit); // 3
+        assert!(verify(&p).is_ok());
+    }
+
+    #[test]
+    fn ordered_pointer_comparison_rejected() {
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm { dst: r(1), imm: 0 });
+        p.push(Inst::Lookup {
+            dst: r(2),
+            map: 0,
+            idx: r(1),
+        });
+        p.push(Inst::JmpIf {
+            cmp: Cmp::Lt,
+            a: r(2),
+            b: Src::Imm(0),
+            target: 3,
+        });
+        p.push(Inst::Exit);
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::PointerComparison { pc: 2, reg: r(2) })
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Machine configuration: pipeline geometry, latencies, cache
+//! geometry, and the per-optimization switches of the paper's Table I.
+
+use crate::mem::cache::CacheConfig;
+use crate::mem::hierarchy::{MemLatency, PrefetchFill};
+
+/// Pipeline structure sizes and widths.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PipelineConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub dispatch_width: usize,
+    /// Instructions issued to execution per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder buffer entries.
+    pub rob_size: usize,
+    /// Issue queue entries.
+    pub iq_size: usize,
+    /// Load queue entries.
+    pub lq_size: usize,
+    /// Store queue entries. The paper's amplification experiment uses a
+    /// 5-entry SQ (§V-A3).
+    pub sq_size: usize,
+    /// Physical register file size (tags available for renaming).
+    pub prf_size: usize,
+    /// Cycles between a squash and the first refetched instruction.
+    pub redirect_penalty: u64,
+    /// Simple-ALU ports per cycle.
+    pub alu_ports: usize,
+    /// Multiply/divide ports per cycle.
+    pub muldiv_ports: usize,
+    /// Floating-point ports per cycle.
+    pub fp_ports: usize,
+    /// Load (cache read) ports per cycle. SS-loads steal these.
+    pub load_ports: usize,
+    /// Store-address/data ports per cycle.
+    pub store_ports: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            fetch_width: 4,
+            dispatch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_size: 64,
+            iq_size: 32,
+            lq_size: 16,
+            sq_size: 5,
+            prf_size: 96,
+            redirect_penalty: 6,
+            alu_ports: 2,
+            muldiv_ports: 1,
+            fp_ports: 1,
+            load_ports: 2,
+            store_ports: 1,
+        }
+    }
+}
+
+/// Execution latencies (cycles) of each operation class, before any
+/// computation-simplification optimization shortens them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyConfig {
+    /// Simple integer ALU operations.
+    pub alu: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Integer divide/remainder.
+    pub div: u64,
+    /// Floating-point operations (non-subnormal operands).
+    pub fp: u64,
+    /// Extra cycles when a floating-point operand or result is subnormal
+    /// and the subnormal slow path is enabled.
+    pub fp_subnormal_penalty: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> LatencyConfig {
+        LatencyConfig {
+            alu: 1,
+            mul: 4,
+            div: 12,
+            fp: 4,
+            fp_subnormal_penalty: 40,
+        }
+    }
+}
+
+/// Which values the register-file compressor can share (§IV-D1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RfcMatch {
+    /// Only results equal to 0 or 1 compress (Balakrishnan & Sohi 0/1
+    /// variant; MLD Example 8).
+    #[default]
+    ZeroOne,
+    /// Any result equal to a value currently live in the committed
+    /// architectural register file compresses.
+    Any,
+}
+
+/// How the computation-reuse memo table is keyed (§IV-C2, §VI-A3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReuseKey {
+    /// Sv: key on (pc, operand *values*) — highest reuse, leaks operand
+    /// values.
+    #[default]
+    Values,
+    /// Sn: key on (pc, operand *register ids*) — leaks only which
+    /// instruction executes (control flow), the paper's suggested
+    /// security-conscious variant.
+    RegIds,
+}
+
+/// Configuration of the seven optimization classes studied by the paper.
+/// Everything defaults to *off*: the default machine is the paper's
+/// "Baseline" column of Table I.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OptConfig {
+    /// Silent stores (§IV-C1, §V-A): read-port-stealing SS-loads; silent
+    /// stores dequeue without a cache write, consecutive silent stores
+    /// dequeue together.
+    pub silent_stores: bool,
+    /// Computation simplification (§IV-B1): zero/one-skip multiply,
+    /// trivial ALU bypass, early-exit divide.
+    pub comp_simpl: bool,
+    /// Floating-point subnormal slow path (classic CS instance).
+    pub fp_subnormal: bool,
+    /// Pipeline compression (§IV-B2): two narrow-operand ALU operations
+    /// pack into one issue port (Brooks & Martonosi).
+    pub operand_packing: bool,
+    /// Computation reuse (§IV-C2): memoize mul/div/fp results.
+    pub comp_reuse: bool,
+    /// Memo-table key flavour.
+    pub reuse_key: ReuseKey,
+    /// Number of memo-table entries.
+    pub reuse_entries: usize,
+    /// Whether simple ALU operations are memoized too (Sodani & Sohi's
+    /// Sv covers "potentially any arithmetic instruction"); multiply,
+    /// divide and floating-point are always eligible when reuse is on.
+    pub reuse_simple_alu: bool,
+    /// Value prediction for loads (§IV-C3): last-value, confidence
+    /// threshold; mispredict squashes.
+    pub value_pred: bool,
+    /// Predictions are made once confidence reaches this count.
+    pub vp_confidence: u8,
+    /// The prediction heuristic (last-value or stride).
+    pub vp_kind: crate::opt::value_pred::VpKind,
+    /// Register-file compression (§IV-D1).
+    pub rf_compress: bool,
+    /// Which values compress.
+    pub rfc_match: RfcMatch,
+    /// Data memory-dependent prefetcher (§IV-D2, §V-B): the IMP.
+    pub dmp: bool,
+    /// Number of indirection levels the IMP chases (2 or 3).
+    pub dmp_levels: u8,
+    /// Prefetch distance Δ in elements ahead of the stream.
+    pub dmp_distance: u64,
+    /// Where prefetches install lines (models §V-B3 prefetch buffers).
+    pub dmp_fill: PrefetchFill,
+    /// Content-directed (pointer-chasing) prefetcher: scan demand-filled
+    /// lines for pointer-shaped values and prefetch their targets
+    /// (Cooksey et al., the paper's other DMP family).
+    pub cdp: bool,
+}
+
+impl OptConfig {
+    /// The baseline machine: every optimization off.
+    #[must_use]
+    pub fn baseline() -> OptConfig {
+        OptConfig {
+            reuse_entries: 64,
+            reuse_simple_alu: true,
+            vp_confidence: 3,
+            dmp_levels: 3,
+            dmp_distance: 4,
+            ..OptConfig::default()
+        }
+    }
+
+    /// Baseline plus silent stores.
+    #[must_use]
+    pub fn with_silent_stores() -> OptConfig {
+        OptConfig {
+            silent_stores: true,
+            ..OptConfig::baseline()
+        }
+    }
+
+    /// Baseline plus the 3-level IMP.
+    #[must_use]
+    pub fn with_dmp(levels: u8) -> OptConfig {
+        OptConfig {
+            dmp: true,
+            dmp_levels: levels,
+            ..OptConfig::baseline()
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SimConfig {
+    /// Data memory size in bytes.
+    pub mem_size: usize,
+    /// Pipeline geometry.
+    pub pipeline: PipelineConfig,
+    /// Execution latencies.
+    pub latency: LatencyConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// Hierarchy latencies.
+    pub mem_latency: MemLatency,
+    /// Optimization switches.
+    pub opts: OptConfig,
+    /// Seed for all randomized structures (replacement, etc.).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            mem_size: 4 << 20,
+            pipeline: PipelineConfig::default(),
+            latency: LatencyConfig::default(),
+            l1d: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            mem_latency: MemLatency::default(),
+            opts: OptConfig::baseline(),
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default machine with the given optimization switches.
+    #[must_use]
+    pub fn with_opts(opts: OptConfig) -> SimConfig {
+        SimConfig {
+            opts,
+            ..SimConfig::default()
+        }
+    }
+
+    /// A small 2-wide core (shallow queues, one load port) — the
+    /// ablation point for attack viability on little machines.
+    #[must_use]
+    pub fn little_core() -> SimConfig {
+        SimConfig {
+            pipeline: PipelineConfig {
+                fetch_width: 2,
+                dispatch_width: 2,
+                issue_width: 2,
+                commit_width: 2,
+                rob_size: 24,
+                iq_size: 12,
+                lq_size: 8,
+                sq_size: 4,
+                prf_size: 64,
+                redirect_penalty: 4,
+                alu_ports: 1,
+                muldiv_ports: 1,
+                fp_ports: 1,
+                load_ports: 1,
+                store_ports: 1,
+            },
+            ..SimConfig::default()
+        }
+    }
+
+    /// A wide 8-issue core with deep queues.
+    #[must_use]
+    pub fn big_core() -> SimConfig {
+        SimConfig {
+            pipeline: PipelineConfig {
+                fetch_width: 8,
+                dispatch_width: 8,
+                issue_width: 8,
+                commit_width: 8,
+                rob_size: 192,
+                iq_size: 96,
+                lq_size: 48,
+                sq_size: 24,
+                prf_size: 256,
+                redirect_penalty: 8,
+                alu_ports: 4,
+                muldiv_ports: 2,
+                fp_ports: 2,
+                load_ports: 3,
+                store_ports: 2,
+            },
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_baseline() {
+        let c = SimConfig::default();
+        assert!(!c.opts.silent_stores);
+        assert!(!c.opts.dmp);
+        assert!(!c.opts.value_pred);
+        assert_eq!(c.pipeline.sq_size, 5, "paper's SQ depth");
+    }
+
+    #[test]
+    fn opt_presets() {
+        assert!(OptConfig::with_silent_stores().silent_stores);
+        let d = OptConfig::with_dmp(2);
+        assert!(d.dmp);
+        assert_eq!(d.dmp_levels, 2);
+        assert_eq!(d.dmp_distance, 4, "paper's i + 4 delta");
+    }
+
+    #[test]
+    fn core_presets_are_distinct_and_consistent() {
+        let little = SimConfig::little_core();
+        let big = SimConfig::big_core();
+        assert!(little.pipeline.issue_width < big.pipeline.issue_width);
+        assert!(little.pipeline.rob_size < big.pipeline.rob_size);
+        assert!(!little.opts.silent_stores && !big.opts.dmp, "presets stay baseline");
+    }
+
+    #[test]
+    fn with_opts_overrides_only_opts() {
+        let c = SimConfig::with_opts(OptConfig::with_silent_stores());
+        assert!(c.opts.silent_stores);
+        assert_eq!(c.mem_size, SimConfig::default().mem_size);
+    }
+}

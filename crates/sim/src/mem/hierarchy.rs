@@ -1,0 +1,220 @@
+//! The two-level cache hierarchy in front of DRAM.
+
+use crate::mem::cache::{Cache, CacheConfig};
+
+/// Access latencies (in cycles) of each level of the memory hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemLatency {
+    /// L1 data cache hit.
+    pub l1: u64,
+    /// L2 hit (L1 miss).
+    pub l2: u64,
+    /// Main memory (both caches miss).
+    pub dram: u64,
+}
+
+impl Default for MemLatency {
+    fn default() -> MemLatency {
+        MemLatency {
+            l1: 2,
+            l2: 12,
+            dram: 120,
+        }
+    }
+}
+
+/// Which level served an access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServedBy {
+    /// L1 data cache.
+    L1,
+    /// Unified L2.
+    L2,
+    /// Main memory.
+    Dram,
+}
+
+/// Where a prefetch is allowed to install lines.
+///
+/// `L2Only` models the *prefetch buffer* discussion of §V-B3: fills are
+/// kept out of the L1 so un-consumed prefetches never appear there, but
+/// the receiver can simply monitor the unbuffered L2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PrefetchFill {
+    /// Fill both L1 and L2 (default IMP behaviour).
+    #[default]
+    AllLevels,
+    /// Fill only the L2.
+    L2Only,
+}
+
+/// The result of a hierarchy access: the latency it took and the level
+/// that served it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// Total access latency in cycles.
+    pub latency: u64,
+    /// Which level had the line.
+    pub served_by: ServedBy,
+}
+
+/// A two-level cache hierarchy in front of flat DRAM.
+///
+/// Both caches track tags only; data lives in [`Memory`]. Fills are
+/// inclusive: an access that misses everywhere installs the line in both
+/// L2 and L1.
+///
+/// [`Memory`]: crate::Memory
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    lat: MemLatency,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from per-level geometry and latencies. `seed`
+    /// drives random replacement (if configured).
+    #[must_use]
+    pub fn new(l1: CacheConfig, l2: CacheConfig, lat: MemLatency, seed: u64) -> Hierarchy {
+        Hierarchy {
+            l1: Cache::new(l1, seed ^ 0x1),
+            l2: Cache::new(l2, seed ^ 0x2),
+            lat,
+        }
+    }
+
+    /// A demand access (load, store-fill or SS-load) to `addr`:
+    /// looks up L1, then L2, then DRAM, filling on the way back.
+    pub fn access(&mut self, addr: u64) -> Access {
+        if self.l1.access(addr).is_hit() {
+            return Access {
+                latency: self.lat.l1,
+                served_by: ServedBy::L1,
+            };
+        }
+        if self.l2.access(addr).is_hit() {
+            return Access {
+                latency: self.lat.l2,
+                served_by: ServedBy::L2,
+            };
+        }
+        Access {
+            latency: self.lat.dram,
+            served_by: ServedBy::Dram,
+        }
+    }
+
+    /// A prefetch fill of the line containing `addr`. Does not return a
+    /// latency: prefetches run off the critical path.
+    pub fn prefetch(&mut self, addr: u64, fill: PrefetchFill) {
+        match fill {
+            PrefetchFill::AllLevels => {
+                self.l1.fill(addr);
+                self.l2.fill(addr);
+            }
+            PrefetchFill::L2Only => self.l2.fill(addr),
+        }
+    }
+
+    /// Whether the line containing `addr` is in the L1 (no state change).
+    #[must_use]
+    pub fn in_l1(&self, addr: u64) -> bool {
+        self.l1.probe(addr)
+    }
+
+    /// Whether the line containing `addr` is in the L2 (no state change).
+    #[must_use]
+    pub fn in_l2(&self, addr: u64) -> bool {
+        self.l2.probe(addr)
+    }
+
+    /// Evicts the line containing `addr` from every level (clflush).
+    pub fn flush_line(&mut self, addr: u64) {
+        self.l1.flush_line(addr);
+        self.l2.flush_line(addr);
+    }
+
+    /// Empties every level.
+    pub fn flush_all(&mut self) {
+        self.l1.flush_all();
+        self.l2.flush_all();
+    }
+
+    /// The configured latencies.
+    #[must_use]
+    pub fn latency(&self) -> MemLatency {
+        self.lat
+    }
+
+    /// The L1 cache (read-only view).
+    #[must_use]
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The L2 cache (read-only view).
+    #[must_use]
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Mutable access to the L2, so a multicore harness can thread one
+    /// shared L2 through several cores (see [`DuoMachine`]).
+    ///
+    /// [`DuoMachine`]: crate::DuoMachine
+    pub fn l2_mut(&mut self) -> &mut Cache {
+        &mut self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> Hierarchy {
+        Hierarchy::new(CacheConfig::l1d(), CacheConfig::l2(), MemLatency::default(), 7)
+    }
+
+    #[test]
+    fn cold_access_costs_dram_then_warms_both_levels() {
+        let mut m = h();
+        let a = m.access(0x4000);
+        assert_eq!(a.served_by, ServedBy::Dram);
+        assert_eq!(a.latency, MemLatency::default().dram);
+        assert!(m.in_l1(0x4000));
+        assert!(m.in_l2(0x4000));
+        assert_eq!(m.access(0x4000).served_by, ServedBy::L1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = h();
+        m.access(0x4000);
+        m.l1.flush_line(0x4000);
+        let a = m.access(0x4000);
+        assert_eq!(a.served_by, ServedBy::L2);
+        assert_eq!(a.latency, MemLatency::default().l2);
+    }
+
+    #[test]
+    fn prefetch_l2_only_keeps_l1_clean() {
+        let mut m = h();
+        m.prefetch(0x8000, PrefetchFill::L2Only);
+        assert!(!m.in_l1(0x8000));
+        assert!(m.in_l2(0x8000));
+        m.prefetch(0x9000, PrefetchFill::AllLevels);
+        assert!(m.in_l1(0x9000));
+        assert!(m.in_l2(0x9000));
+    }
+
+    #[test]
+    fn flush_line_clears_both_levels() {
+        let mut m = h();
+        m.access(0x4000);
+        m.flush_line(0x4000);
+        assert!(!m.in_l1(0x4000));
+        assert!(!m.in_l2(0x4000));
+        assert_eq!(m.access(0x4000).served_by, ServedBy::Dram);
+    }
+}

@@ -1,0 +1,243 @@
+//! Flat, byte-addressable data memory.
+
+use std::fmt;
+
+use pandora_isa::Width;
+
+/// A fault raised by an out-of-bounds data memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemFault {
+    /// The faulting byte address.
+    pub addr: u64,
+    /// The access size in bytes.
+    pub len: usize,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory fault: {}-byte access at {:#x} out of bounds",
+            self.len, self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Flat, byte-addressable data memory.
+///
+/// The simulator uses a single physical address space (virtual ==
+/// physical); software-level protection is provided by the sandbox
+/// verifier, not by paging — which is exactly the setting of the
+/// paper's DMP attack (§V-B).
+///
+/// ```
+/// use pandora_sim::Memory;
+/// let mut m = Memory::new(4096);
+/// m.write_u64(16, 0xdead_beef).unwrap();
+/// assert_eq!(m.read_u64(16).unwrap(), 0xdead_beef);
+/// assert!(m.read_u64(4090).is_err());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("size", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Creates a zero-filled memory of `size` bytes.
+    #[must_use]
+    pub fn new(size: usize) -> Memory {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// The memory size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether an access of `len` bytes at `addr` lies in bounds.
+    #[must_use]
+    pub fn contains(&self, addr: u64, len: usize) -> bool {
+        (addr as usize)
+            .checked_add(len)
+            .is_some_and(|end| end <= self.bytes.len())
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<usize, MemFault> {
+        if self.contains(addr, len) {
+            Ok(addr as usize)
+        } else {
+            Err(MemFault { addr, len })
+        }
+    }
+
+    /// Reads `width` bytes at `addr` as a little-endian value,
+    /// zero-extended to 64 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the access is out of bounds.
+    pub fn read(&self, addr: u64, width: Width) -> Result<u64, MemFault> {
+        let n = width.bytes();
+        let base = self.check(addr, n)?;
+        let mut v: u64 = 0;
+        for (i, &b) in self.bytes[base..base + n].iter().enumerate() {
+            v |= u64::from(b) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Writes the low `width` bytes of `value` at `addr`, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the access is out of bounds.
+    pub fn write(&mut self, addr: u64, value: u64, width: Width) -> Result<(), MemFault> {
+        let n = width.bytes();
+        let base = self.check(addr, n)?;
+        for i in 0..n {
+            self.bytes[base + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Reads a `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the access is out of bounds.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemFault> {
+        self.read(addr, Width::Dword)
+    }
+
+    /// Writes a `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the access is out of bounds.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), MemFault> {
+        self.write(addr, value, Width::Dword)
+    }
+
+    /// Reads a single byte at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the access is out of bounds.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemFault> {
+        self.read(addr, Width::Byte).map(|v| v as u8)
+    }
+
+    /// Writes a single byte at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the access is out of bounds.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), MemFault> {
+        self.write(addr, u64::from(value), Width::Byte)
+    }
+
+    /// Copies `data` into memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the region is out of bounds.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        let base = self.check(addr, data.len())?;
+        self.bytes[base..base + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the region is out of bounds.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], MemFault> {
+        let base = self.check(addr, len)?;
+        Ok(&self.bytes[base..base + len])
+    }
+
+    /// Zero-fills `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the region is out of bounds.
+    pub fn clear(&mut self, addr: u64, len: usize) -> Result<(), MemFault> {
+        let base = self.check(addr, len)?;
+        self.bytes[base..base + len].fill(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_all_widths() {
+        let mut m = Memory::new(64);
+        for (w, mask) in [
+            (Width::Byte, 0xffu64),
+            (Width::Half, 0xffff),
+            (Width::Word, 0xffff_ffff),
+            (Width::Dword, u64::MAX),
+        ] {
+            m.write(8, 0x1122_3344_5566_7788, w).unwrap();
+            assert_eq!(m.read(8, w).unwrap(), 0x1122_3344_5566_7788 & mask);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(16);
+        m.write_u64(0, 0x0807_0605_0403_0201).unwrap();
+        for i in 0..8 {
+            assert_eq!(m.read_u8(i).unwrap(), (i + 1) as u8);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let m = Memory::new(16);
+        assert_eq!(m.read_u64(9), Err(MemFault { addr: 9, len: 8 }));
+        assert_eq!(m.read_u64(16), Err(MemFault { addr: 16, len: 8 }));
+        assert!(m.read_u8(15).is_ok());
+        assert!(m.read_u8(16).is_err());
+    }
+
+    #[test]
+    fn overflowing_address_faults_instead_of_panicking() {
+        let m = Memory::new(16);
+        assert!(m.read_u64(u64::MAX - 3).is_err());
+        assert!(!m.contains(u64::MAX, 8));
+    }
+
+    #[test]
+    fn bulk_bytes() {
+        let mut m = Memory::new(32);
+        m.write_bytes(4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read_bytes(4, 4).unwrap(), &[1, 2, 3, 4]);
+        m.clear(5, 2).unwrap();
+        assert_eq!(m.read_bytes(4, 4).unwrap(), &[1, 0, 0, 4]);
+        assert!(m.write_bytes(30, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn fault_display() {
+        let e = MemFault { addr: 0x20, len: 8 };
+        assert!(e.to_string().contains("0x20"));
+    }
+}

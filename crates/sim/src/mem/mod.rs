@@ -1,0 +1,6 @@
+//! The memory subsystem: flat data memory, set-associative caches, and
+//! the two-level hierarchy the receivers' channels live in.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod memory;

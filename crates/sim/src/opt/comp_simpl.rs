@@ -1,0 +1,331 @@
+//! Computation simplification (§IV-B1) and the execution-latency model.
+//!
+//! This module is the single place that decides how long an operation
+//! takes to execute and which functional-unit port it occupies — i.e.,
+//! it is where data-dependent timing enters the pipeline. With the
+//! optimizations *off* it returns fixed, operand-independent latencies
+//! (the constant-time baseline); with them *on* it implements:
+//!
+//! * **zero/one-skip multiply** — `x*0` and `x*1` bypass the multiplier
+//!   (the paper's running example, MLD Example 2),
+//! * **multiply strength reduction** — `x * 2^k` becomes a shift, the
+//!   §VI-B example of a *continuous optimization* that leaks beyond
+//!   control flow ("if one were to apply a strength reduction
+//!   optimization based on the value of a specific operand, this would
+//!   create a security issue"),
+//! * **early-exit divide** — latency grows with the magnitude of the
+//!   dividend (Coppens et al.-style early termination),
+//! * **divide-to-shift strength reduction** for power-of-two divisors,
+//! * **trivial ALU bypass** — `x+0`, `x&0`, `x|0`, `x^0`, `x<<0`, … skip
+//!   the ALU port entirely (Yi & Lilja; Islam & Stenström),
+//! * **subnormal floating-point slow path** — the classic documented
+//!   instance (Andrysco et al.) the paper builds its taxonomy on.
+
+use pandora_isa::{AluOp, FpOp};
+
+use crate::config::{LatencyConfig, OptConfig};
+
+/// The functional-unit port class an operation occupies for a cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortClass {
+    /// A simple-ALU port.
+    Alu,
+    /// The multiply/divide port.
+    MulDiv,
+    /// The floating-point port.
+    Fp,
+    /// A load (cache read) port.
+    Load,
+    /// The store port.
+    Store,
+    /// No execution port: the operation was simplified away, memoized,
+    /// or is a non-executing internal op.
+    None,
+}
+
+/// What the simplification logic decided about one dynamic operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExecPlan {
+    /// Cycles from issue to result broadcast (minimum 1).
+    pub latency: u64,
+    /// Port consumed at issue.
+    pub port: PortClass,
+    /// Which simplification fired, for statistics.
+    pub event: Option<SimplEvent>,
+}
+
+/// Statistics tag for a simplification event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimplEvent {
+    /// A multiply was skipped due to a 0/1 operand.
+    MulSkip,
+    /// A multiply by a power of two was strength-reduced to a shift
+    /// (§VI-B's continuous-optimization example).
+    MulStrengthReduced,
+    /// A divide exited early (or was strength-reduced).
+    DivEarlyExit,
+    /// A trivial ALU operation bypassed the ALU.
+    TrivialSkip,
+    /// A floating-point op took the subnormal slow path.
+    FpSubnormal,
+}
+
+/// Whether `v` (as an f64 bit pattern) is subnormal (nonzero with a zero
+/// exponent field).
+#[must_use]
+pub fn is_subnormal_bits(v: u64) -> bool {
+    let exp = (v >> 52) & 0x7ff;
+    let frac = v & ((1 << 52) - 1);
+    exp == 0 && frac != 0
+}
+
+/// The number of significant bits in `v` (64 - leading zeros; 0 for 0).
+#[must_use]
+pub fn significant_bits(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Plans the execution of an integer ALU operation with resolved
+/// operand values `a` and `b`.
+#[must_use]
+pub fn plan_alu(op: AluOp, a: u64, b: u64, lat: &LatencyConfig, opts: &OptConfig) -> ExecPlan {
+    if op.is_mul() {
+        return plan_mul(a, b, lat, opts);
+    }
+    if op.is_div() {
+        return plan_div(a, b, lat, opts);
+    }
+    if opts.comp_simpl && is_trivial_alu(op, a, b) {
+        return ExecPlan {
+            latency: 1,
+            port: PortClass::None,
+            event: Some(SimplEvent::TrivialSkip),
+        };
+    }
+    ExecPlan {
+        latency: lat.alu,
+        port: PortClass::Alu,
+        event: None,
+    }
+}
+
+fn plan_mul(a: u64, b: u64, lat: &LatencyConfig, opts: &OptConfig) -> ExecPlan {
+    if opts.comp_simpl {
+        if a <= 1 || b <= 1 {
+            return ExecPlan {
+                latency: 1,
+                port: PortClass::None,
+                event: Some(SimplEvent::MulSkip),
+            };
+        }
+        if a.is_power_of_two() || b.is_power_of_two() {
+            // Strength-reduce to a shift: a different unit (the ALU)
+            // executes — observable both as latency and as arithmetic
+            // port contention, the channel §VI-B points at.
+            return ExecPlan {
+                latency: lat.alu,
+                port: PortClass::Alu,
+                event: Some(SimplEvent::MulStrengthReduced),
+            };
+        }
+    }
+    ExecPlan {
+        latency: lat.mul,
+        port: PortClass::MulDiv,
+        event: None,
+    }
+}
+
+fn plan_div(a: u64, b: u64, lat: &LatencyConfig, opts: &OptConfig) -> ExecPlan {
+    if opts.comp_simpl {
+        if b.is_power_of_two() {
+            // Strength-reduce to a shift.
+            return ExecPlan {
+                latency: lat.alu,
+                port: PortClass::Alu,
+                event: Some(SimplEvent::DivEarlyExit),
+            };
+        }
+        // Early exit: a digit-serial divider retires bits of the
+        // dividend per cycle; latency follows the dividend's magnitude.
+        let latency = 3 + u64::from(significant_bits(a)) / 8;
+        let event = (latency < lat.div).then_some(SimplEvent::DivEarlyExit);
+        return ExecPlan {
+            latency,
+            port: PortClass::MulDiv,
+            event,
+        };
+    }
+    ExecPlan {
+        latency: lat.div,
+        port: PortClass::MulDiv,
+        event: None,
+    }
+}
+
+/// Plans a floating-point operation on f64 bit patterns.
+#[must_use]
+pub fn plan_fp(op: FpOp, a: u64, b: u64, lat: &LatencyConfig, opts: &OptConfig) -> ExecPlan {
+    if opts.fp_subnormal {
+        let result = op.eval(a, b);
+        if is_subnormal_bits(a) || is_subnormal_bits(b) || is_subnormal_bits(result) {
+            return ExecPlan {
+                latency: lat.fp + lat.fp_subnormal_penalty,
+                port: PortClass::Fp,
+                event: Some(SimplEvent::FpSubnormal),
+            };
+        }
+    }
+    ExecPlan {
+        latency: lat.fp,
+        port: PortClass::Fp,
+        event: None,
+    }
+}
+
+/// Whether the operation produces its result without real computation:
+/// identity, annihilator, or zero-shift cases on either operand.
+#[must_use]
+pub fn is_trivial_alu(op: AluOp, a: u64, b: u64) -> bool {
+    match op {
+        AluOp::Add => a == 0 || b == 0,
+        AluOp::Sub => b == 0,
+        AluOp::And => a == 0 || b == 0 || a == u64::MAX || b == u64::MAX,
+        AluOp::Or => a == 0 || b == 0 || a == u64::MAX || b == u64::MAX,
+        AluOp::Xor => a == 0 || b == 0,
+        AluOp::Sll | AluOp::Srl | AluOp::Sra => b & 63 == 0 || a == 0,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat() -> LatencyConfig {
+        LatencyConfig::default()
+    }
+
+    fn on() -> OptConfig {
+        OptConfig {
+            comp_simpl: true,
+            fp_subnormal: true,
+            ..OptConfig::baseline()
+        }
+    }
+
+    fn off() -> OptConfig {
+        OptConfig::baseline()
+    }
+
+    #[test]
+    fn baseline_latencies_are_operand_independent() {
+        for (a, b) in [(0, 0), (1, 7), (u64::MAX, 3)] {
+            let p = plan_alu(AluOp::Mul, a, b, &lat(), &off());
+            assert_eq!(p.latency, lat().mul);
+            assert_eq!(p.port, PortClass::MulDiv);
+            assert_eq!(p.event, None);
+            let d = plan_alu(AluOp::Divu, a, b, &lat(), &off());
+            assert_eq!(d.latency, lat().div);
+        }
+    }
+
+    #[test]
+    fn zero_skip_multiply() {
+        let p = plan_alu(AluOp::Mul, 0, 1234, &lat(), &on());
+        assert_eq!(p.latency, 1);
+        assert_eq!(p.port, PortClass::None);
+        assert_eq!(p.event, Some(SimplEvent::MulSkip));
+        let q = plan_alu(AluOp::Mul, 7, 9, &lat(), &on());
+        assert_eq!(q.latency, lat().mul);
+        assert_eq!(q.event, None);
+    }
+
+    #[test]
+    fn one_skip_multiply() {
+        let p = plan_alu(AluOp::Mul, 99, 1, &lat(), &on());
+        assert_eq!(p.event, Some(SimplEvent::MulSkip));
+    }
+
+    #[test]
+    fn power_of_two_multiply_strength_reduces() {
+        let p = plan_alu(AluOp::Mul, 99, 8, &lat(), &on());
+        assert_eq!(p.event, Some(SimplEvent::MulStrengthReduced));
+        assert_eq!(p.latency, lat().alu);
+        assert_eq!(p.port, PortClass::Alu);
+        // Non-power-of-two operands take the full multiplier.
+        let q = plan_alu(AluOp::Mul, 99, 6, &lat(), &on());
+        assert_eq!(q.event, None);
+        assert_eq!(q.port, PortClass::MulDiv);
+    }
+
+    #[test]
+    fn early_exit_divide_scales_with_dividend_magnitude() {
+        let small = plan_alu(AluOp::Divu, 0xff, 3, &lat(), &on());
+        let big = plan_alu(AluOp::Divu, u64::MAX, 3, &lat(), &on());
+        assert!(small.latency < big.latency);
+        assert_eq!(big.latency, 3 + 8);
+        assert_eq!(small.latency, 3 + 1);
+    }
+
+    #[test]
+    fn power_of_two_divisor_strength_reduces() {
+        let p = plan_alu(AluOp::Divu, 12345, 8, &lat(), &on());
+        assert_eq!(p.latency, lat().alu);
+        assert_eq!(p.port, PortClass::Alu);
+        assert_eq!(p.event, Some(SimplEvent::DivEarlyExit));
+    }
+
+    #[test]
+    fn trivial_alu_bypass() {
+        let p = plan_alu(AluOp::Add, 5, 0, &lat(), &on());
+        assert_eq!(p.port, PortClass::None);
+        assert_eq!(p.event, Some(SimplEvent::TrivialSkip));
+        let q = plan_alu(AluOp::Xor, 5, 6, &lat(), &on());
+        assert_eq!(q.port, PortClass::Alu);
+    }
+
+    #[test]
+    fn trivial_cases_table() {
+        assert!(is_trivial_alu(AluOp::And, u64::MAX, 9));
+        assert!(is_trivial_alu(AluOp::Or, 9, 0));
+        assert!(is_trivial_alu(AluOp::Sll, 9, 64), "shift by 64 == 0 mod 64");
+        assert!(!is_trivial_alu(AluOp::Sub, 0, 5), "0 - x is not trivial");
+        assert!(!is_trivial_alu(AluOp::Slt, 0, 5));
+    }
+
+    #[test]
+    fn subnormal_fp_slow_path() {
+        let sub = f64::from_bits(1); // smallest subnormal
+        let p = plan_fp(FpOp::Mul, sub.to_bits(), 2.0f64.to_bits(), &lat(), &on());
+        assert_eq!(p.latency, lat().fp + lat().fp_subnormal_penalty);
+        assert_eq!(p.event, Some(SimplEvent::FpSubnormal));
+        let q = plan_fp(FpOp::Mul, 1.5f64.to_bits(), 2.0f64.to_bits(), &lat(), &on());
+        assert_eq!(q.latency, lat().fp);
+    }
+
+    #[test]
+    fn subnormal_result_also_slow() {
+        // min_positive / 4 is subnormal even though inputs are normal.
+        let a = f64::MIN_POSITIVE.to_bits();
+        let b = 4.0f64.to_bits();
+        let p = plan_fp(FpOp::Div, a, b, &lat(), &on());
+        assert_eq!(p.event, Some(SimplEvent::FpSubnormal));
+    }
+
+    #[test]
+    fn is_subnormal_bits_cases() {
+        assert!(!is_subnormal_bits(0), "zero is not subnormal");
+        assert!(is_subnormal_bits(1));
+        assert!(!is_subnormal_bits(1.0f64.to_bits()));
+        assert!(is_subnormal_bits((f64::MIN_POSITIVE / 2.0).to_bits()));
+    }
+
+    #[test]
+    fn significant_bits_cases() {
+        assert_eq!(significant_bits(0), 0);
+        assert_eq!(significant_bits(1), 1);
+        assert_eq!(significant_bits(0xff), 8);
+        assert_eq!(significant_bits(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,134 @@
+//! Pipeline compression via narrow-operand packing (§IV-B2; MLD
+//! Example 4, after Brooks & Martonosi HPCA'99).
+//!
+//! Two pending ALU operations whose operands are all *narrow* (most
+//! significant on-bit below bit 16) can be packed into the two halves of
+//! one 64-bit execution unit, doubling effective ALU throughput. The
+//! leakage: issue bandwidth — and therefore runtime — becomes a function
+//! of operand *magnitudes*, breaking constant-time code that assumed
+//! bitwise/arithmetic ops were safe.
+//!
+//! The pipeline models packing by accounting ALU ports in halves: a wide
+//! operation consumes a whole port, a narrow one half a port, so two
+//! narrow operations co-issued in the same cycle share one port exactly
+//! when the MLD's condition (`msb(v) < 16` for all four operands) holds.
+
+/// The bit position below which an operand counts as narrow.
+pub const NARROW_BITS: u32 = 16;
+
+/// Whether `v`'s most-significant on-bit is below [`NARROW_BITS`]
+/// (`msb(v) < 16` in the paper's MLD notation; zero is narrow).
+#[must_use]
+pub fn is_narrow(v: u64) -> bool {
+    v < (1 << NARROW_BITS)
+}
+
+/// Whether an operation with resolved operands `a`, `b` is packable.
+#[must_use]
+pub fn packable(a: u64, b: u64) -> bool {
+    is_narrow(a) && is_narrow(b)
+}
+
+/// Half-port accounting for one issue cycle.
+///
+/// ```
+/// use pandora_sim::opt::pipe_compress::AluSlots;
+/// let mut s = AluSlots::new(1, true); // one ALU port, packing on
+/// assert!(s.take(true));  // narrow op: half the port
+/// assert!(s.take(true));  // second narrow op: other half
+/// assert!(!s.take(true)); // port exhausted
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AluSlots {
+    halves_left: usize,
+    packing: bool,
+    narrow_issued: u64,
+}
+
+impl AluSlots {
+    /// Slots for `ports` ALU ports; `packing` enables half-port sharing.
+    #[must_use]
+    pub fn new(ports: usize, packing: bool) -> AluSlots {
+        AluSlots {
+            halves_left: ports * 2,
+            packing,
+            narrow_issued: 0,
+        }
+    }
+
+    /// Tries to claim capacity for one operation; `narrow` is whether
+    /// all its operands are narrow. Returns whether it can issue this
+    /// cycle.
+    pub fn take(&mut self, narrow: bool) -> bool {
+        let need = if self.packing && narrow { 1 } else { 2 };
+        if self.halves_left >= need {
+            self.halves_left -= need;
+            if need == 1 {
+                self.narrow_issued += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The number of packed *pairs* formed this cycle.
+    #[must_use]
+    pub fn packed_pairs(&self) -> u64 {
+        self.narrow_issued / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrowness_boundary() {
+        assert!(is_narrow(0));
+        assert!(is_narrow(0xffff));
+        assert!(!is_narrow(0x1_0000));
+        assert!(!is_narrow(u64::MAX));
+    }
+
+    #[test]
+    fn packable_requires_both_operands_narrow() {
+        assert!(packable(1, 2));
+        assert!(!packable(1, 0x10000));
+        assert!(!packable(0x10000, 1));
+    }
+
+    #[test]
+    fn without_packing_each_op_takes_a_full_port() {
+        let mut s = AluSlots::new(1, false);
+        assert!(s.take(true));
+        assert!(!s.take(true), "second op needs a second port");
+        assert_eq!(s.packed_pairs(), 0);
+    }
+
+    #[test]
+    fn packing_fits_two_narrow_ops_per_port() {
+        let mut s = AluSlots::new(1, true);
+        assert!(s.take(true));
+        assert!(s.take(true));
+        assert!(!s.take(true));
+        assert_eq!(s.packed_pairs(), 1);
+    }
+
+    #[test]
+    fn wide_op_blocks_packing() {
+        let mut s = AluSlots::new(1, true);
+        assert!(s.take(false), "wide takes the whole port");
+        assert!(!s.take(true));
+    }
+
+    #[test]
+    fn mixed_two_ports() {
+        let mut s = AluSlots::new(2, true);
+        assert!(s.take(false)); // port 1
+        assert!(s.take(true)); // half of port 2
+        assert!(s.take(true)); // other half of port 2
+        assert!(!s.take(true));
+        assert_eq!(s.packed_pairs(), 1);
+    }
+}

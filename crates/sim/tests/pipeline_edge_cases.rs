@@ -1,0 +1,262 @@
+//! Edge cases of the out-of-order pipeline that the attacks implicitly
+//! rely on: forwarding semantics, wrong-path containment, flush timing,
+//! silent-store batching, and stats consistency.
+
+use pandora_isa::{Asm, Reg, Width};
+use pandora_sim::{Machine, OptConfig, SimConfig, TraceEvent};
+
+fn run(cfg: SimConfig, build: impl FnOnce(&mut Asm)) -> Machine {
+    let mut a = Asm::new();
+    build(&mut a);
+    a.halt();
+    let prog = a.assemble().unwrap();
+    let mut m = Machine::new(cfg);
+    m.load_program(&prog);
+    m.enable_trace();
+    m.run(10_000_000).unwrap();
+    m
+}
+
+#[test]
+fn partial_overlap_store_then_wider_load_is_exact() {
+    // sb writes one byte; the following ld must observe it even though
+    // forwarding cannot service the partial overlap directly.
+    let m = run(SimConfig::default(), |a| {
+        a.li(Reg::T0, 0x1111_1111_1111_1111);
+        a.sd(Reg::T0, Reg::ZERO, 0x100);
+        a.li(Reg::T1, 0xAB);
+        a.sb(Reg::T1, Reg::ZERO, 0x102);
+        a.ld(Reg::T2, Reg::ZERO, 0x100);
+    });
+    assert_eq!(m.reg(Reg::T2), 0x1111_1111_11AB_1111);
+}
+
+#[test]
+fn narrow_load_forwards_from_exact_narrow_store() {
+    let m = run(SimConfig::default(), |a| {
+        a.li(Reg::T0, 0x1234_5678);
+        a.sw(Reg::T0, Reg::ZERO, 0x200);
+        a.lwu(Reg::T1, Reg::ZERO, 0x200);
+        a.load(Reg::T2, Reg::ZERO, 0x200, Width::Word, true);
+    });
+    assert_eq!(m.reg(Reg::T1), 0x1234_5678);
+    assert_eq!(m.reg(Reg::T2), 0x1234_5678);
+}
+
+#[test]
+fn wrong_path_stores_never_reach_memory() {
+    let m = run(SimConfig::default(), |a| {
+        a.li(Reg::T0, 1);
+        a.li(Reg::T1, 0xBAD);
+        a.bnez(Reg::T0, "skip"); // initially predicted not-taken
+        a.sd(Reg::T1, Reg::ZERO, 0x300); // wrong-path store
+        a.label("skip");
+        a.fence();
+    });
+    assert_eq!(m.mem().read_u64(0x300).unwrap(), 0, "squashed store leaked");
+    assert!(m.stats().branch_squashes >= 1);
+}
+
+#[test]
+fn flush_instruction_makes_reload_slow_again() {
+    let m = run(SimConfig::default(), |a| {
+        // Warm, time a hit, flush, time the re-load.
+        a.ld(Reg::T0, Reg::ZERO, 0x4000);
+        a.fence();
+        a.rdcycle(Reg::S0);
+        a.ld(Reg::T0, Reg::ZERO, 0x4000);
+        a.fence();
+        a.rdcycle(Reg::S1);
+        a.flush(Reg::ZERO, 0x4000);
+        a.fence();
+        a.rdcycle(Reg::S2);
+        a.ld(Reg::T0, Reg::ZERO, 0x4000);
+        a.fence();
+        a.rdcycle(Reg::S3);
+    });
+    let hit = m.reg(Reg::S1) - m.reg(Reg::S0);
+    let miss = m.reg(Reg::S3) - m.reg(Reg::S2);
+    assert!(hit + 50 < miss, "hit {hit} vs post-flush {miss}");
+}
+
+#[test]
+fn set_reg_seeds_initial_state() {
+    let mut a = Asm::new();
+    a.add(Reg::T2, Reg::T0, Reg::T1);
+    a.halt();
+    let prog = a.assemble().unwrap();
+    let mut m = Machine::new(SimConfig::default());
+    m.load_program(&prog);
+    m.set_reg(Reg::T0, 40);
+    m.set_reg(Reg::T1, 2);
+    m.run(10_000).unwrap();
+    assert_eq!(m.reg(Reg::T2), 42);
+}
+
+#[test]
+fn load_waits_for_unknown_older_store_address() {
+    // The older store's address depends on a slow load; the younger
+    // load to the same address must still see the stored value.
+    let m = run(SimConfig::default(), |a| {
+        // mem[0x500] = 0x600 (pointer), planted via a store.
+        a.li(Reg::T0, 0x600);
+        a.sd(Reg::T0, Reg::ZERO, 0x500);
+        a.fence();
+        a.flush(Reg::ZERO, 0x500); // make the pointer load slow
+        a.ld(Reg::T1, Reg::ZERO, 0x500); // slow: addr of the store below
+        a.li(Reg::T2, 77);
+        a.sd(Reg::T2, Reg::T1, 0); // store to *pointer (addr late)
+        a.ld(Reg::T3, Reg::ZERO, 0x600); // must see 77
+    });
+    assert_eq!(m.reg(Reg::T3), 77);
+}
+
+#[test]
+fn consecutive_silent_stores_dequeue_in_one_cycle() {
+    let cfg = SimConfig::with_opts(OptConfig::with_silent_stores());
+    let m = run(cfg, |a| {
+        // Warm the line and plant matching values. (Three stores: the
+        // slow load plus three stores fill one 4-wide commit group.)
+        for i in 0..3i64 {
+            a.li(Reg::T0, 9);
+            a.sd(Reg::T0, Reg::ZERO, 0x700 + 8 * i);
+        }
+        a.fence();
+        // A slow load ahead of the stores holds up in-order commit, so
+        // all four stores (already executed and checked silent) commit
+        // in one commit group...
+        a.ld(Reg::T5, Reg::ZERO, 0x9000);
+        // ...and re-storing the same values makes all three silent.
+        for i in 0..3i64 {
+            a.sd(Reg::T0, Reg::ZERO, 0x700 + 8 * i);
+        }
+        a.fence();
+    });
+    assert_eq!(m.stats().silent_stores, 3);
+    // All three silent dequeues share one cycle.
+    let cycles: Vec<u64> = m
+        .trace()
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::StoreSilentDequeue { cycle, .. } => Some(cycle),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cycles.len(), 3);
+    assert!(
+        cycles.windows(2).all(|w| w[0] == w[1]),
+        "silent batch split across cycles: {cycles:?}"
+    );
+}
+
+#[test]
+fn demand_access_counters_are_consistent() {
+    let m = run(SimConfig::default(), |a| {
+        for i in 0..32i64 {
+            a.ld(Reg::T0, Reg::ZERO, 0x1000 + 64 * i);
+        }
+        for i in 0..32i64 {
+            a.ld(Reg::T0, Reg::ZERO, 0x1000 + 64 * i);
+        }
+        a.fence();
+    });
+    let s = m.stats();
+    // First sweep misses to DRAM; second sweep hits the L1.
+    assert!(s.dram_accesses >= 32);
+    assert!(s.l1_hits >= 32);
+    assert!(s.ipc() > 0.0);
+    assert!(s.committed > 64);
+}
+
+#[test]
+fn baseline_machine_has_no_optimization_activity() {
+    let m = run(SimConfig::default(), |a| {
+        a.li(Reg::T0, 7);
+        a.li(Reg::T1, 0);
+        a.mul(Reg::T2, Reg::T0, Reg::T1); // would zero-skip if CS were on
+        a.sd(Reg::T2, Reg::ZERO, 0x100);
+        a.fence();
+        a.sd(Reg::T2, Reg::ZERO, 0x100); // would be silent if SS were on
+        a.fence();
+    });
+    let s = m.stats();
+    assert_eq!(s.silent_stores, 0);
+    assert_eq!(s.mul_skips, 0);
+    assert_eq!(s.reuse_hits, 0);
+    assert_eq!(s.vp_predictions, 0);
+    assert_eq!(s.rfc_shares, 0);
+    assert_eq!(s.dmp_prefetches, 0);
+    assert_eq!(s.packed_pairs, 0);
+}
+
+#[test]
+fn jalr_through_a_function_pointer_table() {
+    // Exercises BTB mispredict-then-learn on indirect jumps.
+    let m = run(SimConfig::default(), |a| {
+        a.li(Reg::S0, 0); // accumulator
+        a.li(Reg::T6, 6); // iterations
+        a.label("loop");
+        a.jal(Reg::RA, "callee");
+        a.addi(Reg::T6, Reg::T6, -1);
+        a.bnez(Reg::T6, "loop");
+        a.j("end");
+        a.label("callee");
+        a.addi(Reg::S0, Reg::S0, 5);
+        a.ret(); // jalr via RA
+        a.label("end");
+    });
+    assert_eq!(m.reg(Reg::S0), 30);
+}
+
+#[test]
+fn store_queue_depth_limits_inflight_stores() {
+    // With a 1-entry SQ every store serializes; with the default 5 the
+    // same program overlaps them. Timing must reflect it.
+    let time = |sq: usize| {
+        let mut cfg = SimConfig::default();
+        cfg.pipeline.sq_size = sq;
+        let m = run(cfg, |a| {
+            for i in 0..10i64 {
+                a.sd(Reg::ZERO, Reg::ZERO, 0x1000 + 64 * i); // 10 cold lines
+            }
+            a.fence();
+        });
+        m.stats().cycles
+    };
+    assert!(time(1) >= time(8), "{} vs {}", time(1), time(8));
+}
+
+#[test]
+fn cdp_leaks_pointer_values_at_rest() {
+    // The victim loads one field of a struct; the same line holds a
+    // "private" pointer the program never dereferences. With the
+    // content-directed prefetcher on, the pointer's target line is
+    // filled anyway — data at rest leaks (Table I, DMP column).
+    let secret_ptr = 0x9_0000u64;
+    let run_with = |cdp: bool| {
+        let mut cfg = SimConfig::default();
+        cfg.opts.cdp = cdp;
+        let mut a = Asm::new();
+        a.ld(Reg::T0, Reg::ZERO, 0x5000); // demand-load the struct field
+        a.fence();
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let mut m = Machine::new(cfg);
+        m.load_program(&prog);
+        m.mem_mut().write_u64(0x5008, secret_ptr).unwrap(); // same line
+        m.run(100_000).unwrap();
+        m
+    };
+    let with = run_with(true);
+    assert!(
+        with.hierarchy().in_l1(secret_ptr) || with.hierarchy().in_l2(secret_ptr),
+        "pointer target must be filled"
+    );
+    assert!(with.stats().cdp_prefetches >= 1);
+    let without = run_with(false);
+    assert!(
+        !without.hierarchy().in_l1(secret_ptr) && !without.hierarchy().in_l2(secret_ptr),
+        "baseline must not touch the pointer target"
+    );
+}

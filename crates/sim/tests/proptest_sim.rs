@@ -1,0 +1,150 @@
+//! Property-based tests of the memory subsystem and pipeline
+//! invariants.
+
+use pandora_isa::{Asm, Reg, Width};
+use pandora_sim::{
+    Cache, CacheConfig, Hierarchy, Machine, MemLatency, Memory, Replacement, SimConfig,
+};
+use proptest::prelude::*;
+
+fn width_strategy() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::Byte),
+        Just(Width::Half),
+        Just(Width::Word),
+        Just(Width::Dword),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn memory_read_back_what_was_written(
+        addr in 0u64..4000,
+        value: u64,
+        w in width_strategy()
+    ) {
+        let mut m = Memory::new(4096);
+        m.write(addr, value, w).unwrap();
+        let mask = match w.bytes() {
+            1 => 0xffu64,
+            2 => 0xffff,
+            4 => 0xffff_ffff,
+            _ => u64::MAX,
+        };
+        prop_assert_eq!(m.read(addr, w).unwrap(), value & mask);
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_interfere(
+        a in 0u64..256,
+        b in 0u64..256,
+        va: u64,
+        vb: u64
+    ) {
+        prop_assume!(a.abs_diff(b) >= 1);
+        let mut m = Memory::new(8192);
+        m.write_u64(a * 8, va).unwrap();
+        m.write_u64(b * 8 + 2048, vb).unwrap();
+        prop_assert_eq!(m.read_u64(a * 8).unwrap(), va);
+        prop_assert_eq!(m.read_u64(b * 8 + 2048).unwrap(), vb);
+    }
+
+    #[test]
+    fn cache_access_makes_line_resident(addr: u64, seed: u64) {
+        let mut c = Cache::new(CacheConfig::l1d(), seed);
+        c.access(addr);
+        prop_assert!(c.probe(addr));
+        prop_assert!(c.probe(c.line_addr(addr)));
+    }
+
+    #[test]
+    fn cache_flush_removes_exactly_the_line(addr: u64, other: u64) {
+        let mut c = Cache::new(CacheConfig::l1d(), 0);
+        c.access(addr);
+        c.access(other);
+        c.flush_line(addr);
+        prop_assert!(!c.probe(addr));
+        if c.line_addr(other) != c.line_addr(addr) {
+            prop_assert!(c.probe(other));
+        }
+    }
+
+    #[test]
+    fn conflicting_addrs_always_share_a_set(addr: u64, n in 0usize..16) {
+        for cfg in [CacheConfig::l1d(), CacheConfig::l2()] {
+            let c = Cache::new(cfg, 0);
+            let e = c.conflicting_addr(addr, n);
+            prop_assert_eq!(c.set_index(e), c.set_index(addr));
+            prop_assert_ne!(c.line_addr(e), c.line_addr(addr));
+        }
+    }
+
+    #[test]
+    fn lru_set_never_exceeds_ways(
+        addrs in prop::collection::vec(any::<u64>(), 1..200),
+        ways in 1usize..8
+    ) {
+        let mut c = Cache::new(
+            CacheConfig { sets: 16, ways, line: 64, replacement: Replacement::Lru },
+            0,
+        );
+        for a in &addrs {
+            c.access(*a);
+        }
+        for set in 0..16 {
+            prop_assert!(c.resident_lines(set).len() <= ways);
+        }
+    }
+
+    #[test]
+    fn second_access_is_always_faster(addr: u64, seed: u64) {
+        let mut h = Hierarchy::new(
+            CacheConfig::l1d(),
+            CacheConfig::l2(),
+            MemLatency::default(),
+            seed,
+        );
+        let first = h.access(addr).latency;
+        let second = h.access(addr).latency;
+        prop_assert!(second <= first);
+        prop_assert_eq!(second, MemLatency::default().l1);
+    }
+
+    #[test]
+    fn committed_count_matches_dynamic_instructions(iters in 1u64..40) {
+        // A counted loop commits exactly (2 li + iters * 3 + 1 halt).
+        let mut a = Asm::new();
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, iters);
+        a.label("l");
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.addi(Reg::T1, Reg::T1, -1);
+        a.bnez(Reg::T1, "l");
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let mut m = Machine::new(SimConfig::default());
+        m.load_program(&prog);
+        let stats = m.run(1_000_000).unwrap();
+        prop_assert_eq!(stats.committed, 2 + iters * 3 + 1);
+        prop_assert_eq!(m.reg(Reg::T0), iters);
+    }
+
+    #[test]
+    fn rdcycle_is_monotone_within_a_program(work in 1u64..30) {
+        let mut a = Asm::new();
+        a.fence();
+        a.rdcycle(Reg::S0);
+        a.li(Reg::T1, work);
+        a.label("l");
+        a.addi(Reg::T1, Reg::T1, -1);
+        a.bnez(Reg::T1, "l");
+        a.fence();
+        a.rdcycle(Reg::S1);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let mut m = Machine::new(SimConfig::default());
+        m.load_program(&prog);
+        m.run(1_000_000).unwrap();
+        prop_assert!(m.reg(Reg::S1) > m.reg(Reg::S0));
+    }
+}

@@ -1,0 +1,51 @@
+//! A cache covert channel on the simulator: send bytes by touching
+//! lines, receive them by timing probes — the final hop of both of the
+//! paper's proofs of concept (§II), with the §IV-A3 capacity bound.
+//!
+//! ```sh
+//! cargo run --release --example covert_channel
+//! ```
+
+use pandora::channels::CovertChannel;
+use pandora::sim::SimConfig;
+
+fn main() {
+    let ch = CovertChannel::byte_channel(0x4_0000, 0x800);
+    println!(
+        "one-shot channel: {} symbols, capacity <= {:.1} bits/round\n",
+        ch.symbols,
+        ch.capacity_bits()
+    );
+
+    let message = b"uarch!";
+    let mut recovered = Vec::new();
+    let mut total_cycles = 0u64;
+    for &byte in message {
+        // Each round is a fresh machine: sender touches X[byte],
+        // receiver times all 256 lines.
+        let decoded = ch
+            .round_trip(SimConfig::default(), byte as usize)
+            .expect("round decodes");
+        recovered.push(decoded as u8);
+        total_cycles += 1; // per-round bookkeeping below uses cycles of one run
+    }
+    let _ = total_cycles;
+    println!("sent:      {:?}", String::from_utf8_lossy(message));
+    println!("received:  {:?}", String::from_utf8_lossy(&recovered));
+    assert_eq!(&recovered, message);
+
+    // Effective bandwidth estimate from one measured round.
+    let mut a = pandora::isa::Asm::new();
+    ch.emit_send(&mut a, 42);
+    ch.emit_receive(&mut a);
+    a.halt();
+    let prog = a.assemble().unwrap();
+    let mut m = pandora::sim::Machine::new(SimConfig::default());
+    m.load_program(&prog);
+    let stats = m.run(20_000_000).unwrap();
+    println!(
+        "\none round = {} cycles -> ~{:.1} bits / kilocycle",
+        stats.cycles,
+        8.0 * 1000.0 / stats.cycles as f64
+    );
+}

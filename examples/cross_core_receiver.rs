@@ -1,0 +1,113 @@
+//! The cloud-setting receiver placement (§II-3): the victim core runs
+//! the verified sandbox trigger; the *receiver runs on another core*
+//! and observes the prefetcher's fills through the shared L2 — no
+//! in-sandbox timer needed.
+//!
+//! ```sh
+//! cargo run --release --example cross_core_receiver
+//! ```
+
+use pandora::isa::{Asm, Reg};
+use pandora::sandbox::{compile, BpfAluOp, BpfProgram, BpfReg, Cmp, Inst, MapDef, SandboxLayout, Src};
+use pandora::sim::{DuoMachine, Machine, OptConfig, SimConfig};
+
+const SECRET_ADDR: u64 = 0x20_0000;
+const SECRET: u8 = 0x6B;
+
+fn r(i: u8) -> BpfReg {
+    BpfReg(i)
+}
+
+/// The Fig 7a trigger loop only (the receiver lives on the other core).
+fn trigger_program() -> BpfProgram {
+    let mut p = BpfProgram::new(vec![
+        MapDef::new("Z", 8, 16),
+        MapDef::new("Y", 1, 64),
+        MapDef::new("X", 64, 256),
+    ]);
+    p.push(Inst::MovImm { dst: r(1), imm: 0 });
+    let head = p.insts.len();
+    p.push(Inst::Lookup { dst: r(2), map: 0, idx: r(1) });
+    let cont = 11;
+    p.push(Inst::JmpIf { cmp: Cmp::Eq, a: r(2), b: Src::Imm(0), target: cont });
+    p.push(Inst::LoadInd { dst: r(3), ptr: r(2) });
+    p.push(Inst::Lookup { dst: r(4), map: 1, idx: r(3) });
+    p.push(Inst::JmpIf { cmp: Cmp::Eq, a: r(4), b: Src::Imm(0), target: cont });
+    p.push(Inst::LoadInd { dst: r(5), ptr: r(4) });
+    p.push(Inst::Lookup { dst: r(6), map: 2, idx: r(5) });
+    p.push(Inst::JmpIf { cmp: Cmp::Eq, a: r(6), b: Src::Imm(0), target: cont });
+    p.push(Inst::LoadInd { dst: r(7), ptr: r(6) });
+    p.push(Inst::MovReg { dst: r(0), src: r(7) });
+    assert_eq!(p.insts.len(), cont);
+    p.push(Inst::Alu { op: BpfAluOp::Add, dst: r(1), src: Src::Imm(1) });
+    p.push(Inst::JmpIf { cmp: Cmp::Lt, a: r(1), b: Src::Imm(15), target: head });
+    p.push(Inst::Exit);
+    p
+}
+
+fn main() {
+    let prog = trigger_program();
+    pandora::sandbox::verify(&prog).expect("trigger verifies");
+    let layout = SandboxLayout::at(0x4_0000, &prog.maps);
+
+    // Victim core: the sandboxed trigger under a 3-level IMP.
+    let mut asm = Asm::new();
+    compile(&mut asm, "t", &prog, &layout).expect("compiles");
+    asm.halt();
+    let mut victim = Machine::new(SimConfig::with_opts(OptConfig::with_dmp(3)));
+    victim.load_program(&asm.assemble().expect("assembles"));
+    victim.mem_mut().write_u8(SECRET_ADDR, SECRET).unwrap();
+    let (z, y) = (layout.map_base(0), layout.map_base(1));
+    for i in 0..15u64 {
+        victim.mem_mut().write_u64(z + 8 * i, 1 + i % 3).unwrap();
+    }
+    victim
+        .mem_mut()
+        .write_u64(z + 8 * 15, SECRET_ADDR - y)
+        .unwrap();
+    for j in 0..64u64 {
+        victim.mem_mut().write_u8(y + j, (1 + j % 3) as u8).unwrap();
+    }
+
+    // Receiver core: waits, then times every X line through its own
+    // (cold) L1 — shared-L2 hits reveal the prefetcher's fill.
+    let x_base = layout.map_base(2);
+    let result = 0x100u64;
+    let mut rx = Asm::new();
+    rx.li(Reg::T6, 3000);
+    rx.label("wait");
+    rx.addi(Reg::T6, Reg::T6, -1);
+    rx.bnez(Reg::T6, "wait");
+    for k in 0..256u64 {
+        let i = (k * 167) % 256;
+        rx.fence();
+        rx.rdcycle(Reg::T3);
+        rx.ld(Reg::T4, Reg::ZERO, (x_base + i * 64) as i64);
+        rx.fence();
+        rx.rdcycle(Reg::T5);
+        rx.sub(Reg::T5, Reg::T5, Reg::T3);
+        rx.sd(Reg::T5, Reg::ZERO, (result + i * 8) as i64);
+    }
+    rx.halt();
+    let mut receiver = Machine::new(SimConfig::default());
+    receiver.load_program(&rx.assemble().expect("assembles"));
+
+    let mut duo = DuoMachine::new(victim, receiver);
+    duo.run(10_000_000).expect("both cores halt");
+
+    let timings: Vec<u64> = (0..256)
+        .map(|i| duo.core_b().mem().read_u64(result + i * 8).unwrap())
+        .collect();
+    let hot: Vec<usize> = timings
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t < 60)
+        .map(|(i, _)| i)
+        .collect();
+    println!("receiver core saw hot X lines: {hot:?}");
+    println!("training lines 1..=3 excluded; remaining candidate = the secret");
+    let leaked: Vec<usize> = hot.into_iter().filter(|&i| !(1..=3).contains(&i)).collect();
+    println!("leaked byte: {leaked:02x?} (planted {SECRET:#04x})");
+    assert_eq!(leaked, vec![SECRET as usize]);
+    println!("cross-core leak: SUCCESS — no timer ever ran inside the sandbox");
+}

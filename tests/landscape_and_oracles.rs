@@ -1,0 +1,91 @@
+//! Integration of the conceptual framework with the measured machine:
+//! every Table I "U" cell we implement is backed by a working timing
+//! oracle, and every defense closes its leak.
+
+use pandora::attacks::defense::{
+    msb_retrofit_vs_packing, sn_keying_vs_reuse, targeted_clearing_vs_silent_stores,
+};
+use pandora::attacks::stateful::{reuse_equality_cycles, rfc_equality_cycles, vp_equality_cycles};
+use pandora::attacks::stateless::{
+    early_exit_div_cycles, fp_subnormal_cycles, operand_packing_cycles, zero_skip_mul_cycles,
+};
+use pandora::core::{DataItem, Mark, OptClass};
+use pandora::sim::{ReuseKey, RfcMatch};
+
+#[test]
+fn table1_u_cells_are_backed_by_measured_leaks() {
+    // CS: operands of int mul (U).
+    assert_eq!(
+        OptClass::CompSimplification.mark(DataItem::OperandIntMul),
+        Mark::NewlyUnsafe
+    );
+    assert!(zero_skip_mul_cycles(0, 5, true) < zero_skip_mul_cycles(7, 5, true));
+
+    // CS: operands of int div (U' — already unsafe, new function).
+    assert_eq!(
+        OptClass::CompSimplification.mark(DataItem::OperandIntDiv),
+        Mark::DifferentlyUnsafe
+    );
+    assert!(early_exit_div_cycles(0xff, true) < early_exit_div_cycles(u64::MAX / 5, true));
+
+    // PC: operands of int simple ops (U).
+    assert_eq!(
+        OptClass::PipelineCompression.mark(DataItem::OperandIntSimple),
+        Mark::NewlyUnsafe
+    );
+    assert!(operand_packing_cycles(3, true, false) < operand_packing_cycles(1 << 20, true, false));
+
+    // CR: operands (U) via the equality oracle.
+    assert_eq!(
+        OptClass::ComputationReuse.mark(DataItem::OperandIntMul),
+        Mark::NewlyUnsafe
+    );
+    assert!(
+        reuse_equality_cycles(5, 5, ReuseKey::Values)
+            < reuse_equality_cycles(5, 6, ReuseKey::Values)
+    );
+
+    // VP: load data (U).
+    assert_eq!(
+        OptClass::ValuePrediction.mark(DataItem::DataLoad),
+        Mark::NewlyUnsafe
+    );
+    assert!(vp_equality_cycles(9, 9) < vp_equality_cycles(9, 10));
+
+    // RFC: results (U).
+    assert_eq!(
+        OptClass::RegFileCompression.mark(DataItem::ResultIntSimple),
+        Mark::NewlyUnsafe
+    );
+    assert!(
+        rfc_equality_cycles(9, 9, RfcMatch::ZeroOne) < rfc_equality_cycles(9, 12, RfcMatch::ZeroOne)
+    );
+}
+
+#[test]
+fn fp_operand_leak_is_the_known_subnormal_channel() {
+    assert!(fp_subnormal_cycles(1.0f64.to_bits(), true) < fp_subnormal_cycles(1, true));
+}
+
+#[test]
+fn all_defenses_close_their_leaks() {
+    assert!(msb_retrofit_vs_packing().closed(10));
+    assert!(sn_keying_vs_reuse().closed(10));
+    assert!(targeted_clearing_vs_silent_stores().closed(30));
+}
+
+#[test]
+fn baseline_is_constant_time_for_every_oracle_workload() {
+    assert_eq!(
+        zero_skip_mul_cycles(0, 5, false),
+        zero_skip_mul_cycles(7, 5, false)
+    );
+    assert_eq!(
+        early_exit_div_cycles(1, false),
+        early_exit_div_cycles(u64::MAX, false)
+    );
+    assert_eq!(
+        operand_packing_cycles(1, false, false),
+        operand_packing_cycles(u64::MAX, false, false)
+    );
+}
