@@ -22,8 +22,9 @@ use pandora_crypto::aes_ref;
 use pandora_crypto::bitslice::{self, Slices};
 use pandora_crypto::codegen::{emit_encrypt, BsaesLayout, SpillHook};
 use pandora_crypto::{Block, RoundKeys};
+use pandora_channels::retry::{RetryError, RetryPolicy};
 use pandora_isa::{Asm, Program};
-use pandora_sim::{Machine, OptConfig, SimConfig};
+use pandora_sim::{FaultPlan, Machine, OptConfig, SimConfig, SimError};
 
 use crate::amplify::{AmplifyGadget, FlushKind};
 use crate::util::precondition_noise;
@@ -63,6 +64,9 @@ pub struct BsaesAttack {
     nominal: Slices,
     /// The two-request program, built once.
     program: Program,
+    /// Fault plan installed on every measuring machine (noise
+    /// injection for robustness experiments).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl BsaesAttack {
@@ -106,7 +110,15 @@ impl BsaesAttack {
             gadget,
             nominal,
             program,
+            fault_plan: None,
         }
+    }
+
+    /// Installs (or clears) a fault plan applied to every subsequent
+    /// measuring run — used to model a disturbed machine when
+    /// exercising retry-based recovery.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
     }
 
     /// The machine configuration (silent stores enabled).
@@ -164,9 +176,26 @@ impl BsaesAttack {
     ///
     /// # Panics
     ///
-    /// Panics if the simulation fails — a harness bug.
+    /// Panics if the simulation fails; use
+    /// [`BsaesAttack::try_run_with_plaintext`] to recover instead.
     #[must_use]
     pub fn run_with_plaintext(&self, attacker_pt: &Block, noise_seed: Option<u64>) -> RunOutcome {
+        self.try_run_with_plaintext(attacker_pt, noise_seed)
+            .expect("attack experiment completed abnormally")
+    }
+
+    /// Runs one experiment with the given attacker plaintext, surfacing
+    /// simulator failures (timeouts, deadlocks under injected faults)
+    /// as errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] from the measuring run.
+    pub fn try_run_with_plaintext(
+        &self,
+        attacker_pt: &Block,
+        noise_seed: Option<u64>,
+    ) -> Result<RunOutcome, SimError> {
         let mut m = Machine::new(self.cfg);
         m.load_program(&self.program);
         let mem = m.mem_mut();
@@ -188,13 +217,16 @@ impl BsaesAttack {
         if let Some(seed) = noise_seed {
             precondition_noise(&mut m, seed, 4, NOISE_BASE, NOISE_SPAN);
         }
-        m.run(50_000_000).expect("attack program completes");
+        if let Some(plan) = &self.fault_plan {
+            m.inject_faults(plan.clone());
+        }
+        m.run(50_000_000)?;
         let mut victim_ct = [0u8; 16];
         victim_ct.copy_from_slice(m.mem().read_bytes(self.lay_victim.ct, 16).expect("ct"));
-        RunOutcome {
+        Ok(RunOutcome {
             cycles: m.stats().cycles,
             victim_ct,
-        }
+        })
     }
 
     /// Measures one guess: runtime of the experiment with the chosen
@@ -202,6 +234,19 @@ impl BsaesAttack {
     #[must_use]
     pub fn measure_guess(&self, guess: u16, noise_seed: Option<u64>) -> RunOutcome {
         self.run_with_plaintext(&self.plaintext_for_guess(guess), noise_seed)
+    }
+
+    /// Fallible form of [`BsaesAttack::measure_guess`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] from the measuring run.
+    pub fn try_measure_guess(
+        &self,
+        guess: u16,
+        noise_seed: Option<u64>,
+    ) -> Result<RunOutcome, SimError> {
+        self.try_run_with_plaintext(&self.plaintext_for_guess(guess), noise_seed)
     }
 
     /// Recovers the target slice by measuring every guess in `guesses`
@@ -237,6 +282,54 @@ impl BsaesAttack {
             Some(s) if s >= t + min_gap => Some(g),
             _ => None,
         }
+    }
+
+    /// Like [`BsaesAttack::recover_slice`], but each guess's experiment
+    /// is retried under `policy`: a run that fails with a [`SimError`]
+    /// (e.g. a deadlock under an injected fault) is re-measured on a
+    /// clean machine — disturbances are transient, so retries drop the
+    /// installed fault plan.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError::Sim`] if some guess could not be measured within
+    /// `policy.max_attempts`.
+    pub fn recover_slice_with_retry(
+        &self,
+        guesses: impl IntoIterator<Item = u16>,
+        min_gap: u64,
+        policy: &RetryPolicy,
+    ) -> Result<Option<u16>, RetryError> {
+        let mut best: Option<(u16, u64)> = None;
+        let mut second: Option<u64> = None;
+        for g in guesses {
+            let t = policy
+                .retry(|attempt| {
+                    if attempt == 0 {
+                        self.try_measure_guess(g, None)
+                    } else {
+                        let mut clean = self.clone();
+                        clean.fault_plan = None;
+                        clean.try_measure_guess(g, None)
+                    }
+                })?
+                .cycles;
+            match best {
+                None => best = Some((g, t)),
+                Some((_, bt)) if t < bt => {
+                    second = Some(bt);
+                    best = Some((g, t));
+                }
+                Some(_) => {
+                    second = Some(second.map_or(t, |s| s.min(t)));
+                }
+            }
+        }
+        let Some((g, t)) = best else { return Ok(None) };
+        Ok(match second {
+            Some(s) if s >= t + min_gap => Some(g),
+            _ => None,
+        })
     }
 
     /// The full key-recovery pipeline over per-slice guess windows:
@@ -314,6 +407,36 @@ mod tests {
         let lo = truth.saturating_sub(4);
         let window: Vec<u16> = (0..12).map(|d| lo.wrapping_add(d)).collect();
         assert_eq!(atk.recover_slice(window, 60), Some(truth));
+    }
+
+    #[test]
+    fn injected_wedge_surfaces_as_structured_error() {
+        use pandora_sim::FaultKind;
+        let (vk, ak, vpt) = keys();
+        let mut atk = BsaesAttack::new(vk, ak, vpt, 0);
+        let truth = atk.true_slice_value();
+        atk.set_fault_plan(Some(FaultPlan::single(200, FaultKind::DroppedCompletion)));
+        let err = atk.try_measure_guess(truth, None).unwrap_err();
+        assert!(
+            matches!(err, SimError::Deadlock { .. }),
+            "a lost completion must wedge into a watchdog deadlock, got {err}"
+        );
+    }
+
+    #[test]
+    fn retry_recovers_slice_despite_injected_wedge() {
+        use pandora_sim::FaultKind;
+        let (vk, ak, vpt) = keys();
+        let mut atk = BsaesAttack::new(vk, ak, vpt, 1);
+        let truth = atk.true_slice_value();
+        // Every first-attempt run wedges; retries measure clean.
+        atk.set_fault_plan(Some(FaultPlan::single(200, FaultKind::DroppedCompletion)));
+        let lo = truth.saturating_sub(2);
+        let window: Vec<u16> = (0..6).map(|d| lo.wrapping_add(d)).collect();
+        let got = atk
+            .recover_slice_with_retry(window, 60, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(got, Some(truth));
     }
 
     #[test]

@@ -22,12 +22,13 @@
 //! reaches an attacker-visible address (§IV-D4) — asserted by the
 //! workspace tests.
 
+use pandora_channels::retry::{RetryError, RetryPolicy};
 use pandora_channels::stats::Summary;
 use pandora_isa::Asm;
 use pandora_sandbox::{
     compile, BpfAluOp, BpfProgram, BpfReg, Cmp, Inst, MapDef, SandboxLayout, Src,
 };
-use pandora_sim::{Machine, OptConfig, PrefetchFill, SimConfig, TraceEvent};
+use pandora_sim::{FaultPlan, Machine, OptConfig, PrefetchFill, SimConfig, SimError, TraceEvent};
 
 const SANDBOX_BASE: u64 = 0x4_0000;
 /// Stream array length (Fig 7a's N).
@@ -204,6 +205,9 @@ pub struct UrgAttack {
     layout: SandboxLayout,
     prog: BpfProgram,
     plants: Vec<(u64, u8)>,
+    /// Fault plan installed on every leak run (noise injection for
+    /// robustness experiments).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl UrgAttack {
@@ -251,7 +255,15 @@ impl UrgAttack {
             layout,
             prog,
             plants: Vec::new(),
+            fault_plan: None,
         }
+    }
+
+    /// Installs (or clears) a fault plan applied to every subsequent
+    /// leak run — used to model a disturbed machine when exercising
+    /// retry-based recovery.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
     }
 
     /// Plants a "private" byte in simulated memory for the experiment
@@ -286,9 +298,31 @@ impl UrgAttack {
     ///
     /// # Panics
     ///
-    /// Panics on harness bugs (layout out of memory, program failure).
+    /// Panics on harness bugs (layout out of memory) or simulator
+    /// failures; use [`UrgAttack::try_run`] to recover from the latter.
     #[must_use]
     pub fn run(&self, secret_addr: u64, train_base: u64) -> (LeakRun, Machine) {
+        self.try_run(secret_addr, train_base)
+            .expect("URG leak run completed abnormally")
+    }
+
+    /// Fallible form of [`UrgAttack::run`]: simulator failures
+    /// (timeouts, deadlocks under injected faults) surface as errors
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] from the leak run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on harness bugs (secret inside the sandbox, layout out of
+    /// memory).
+    pub fn try_run(
+        &self,
+        secret_addr: u64,
+        train_base: u64,
+    ) -> Result<(LeakRun, Machine), SimError> {
         let mut asm = Asm::new();
         compile(&mut asm, "urg", &self.prog, &self.layout).expect("verified program compiles");
         asm.halt();
@@ -325,18 +359,21 @@ impl UrgAttack {
                 .write_u8(y + j, (train_base + j % TRAIN_MOD) as u8)
                 .expect("Y in memory");
         }
-        m.run(50_000_000).expect("URG program completes");
+        if let Some(plan) = &self.fault_plan {
+            m.inject_faults(plan.clone());
+        }
+        m.run(50_000_000)?;
 
         let timings = pandora_channels::read_timings(&m, self.layout.map_base(MAP_R), 256);
         let candidates = self.classify(&timings, train_base);
-        (
+        Ok((
             LeakRun {
                 candidates,
                 timings,
                 sandbox: self.layout.region(),
             },
             m,
-        )
+        ))
     }
 
     /// Classifies probe timings into hot lines, excluding the training
@@ -372,6 +409,46 @@ impl UrgAttack {
             [b] => Some(*b),
             _ => None,
         }
+    }
+
+    /// Like [`UrgAttack::leak_byte`], but each leak run is retried
+    /// under `policy`: a run that fails with a [`SimError`] (e.g. a
+    /// deadlock under an injected fault) is re-run on a clean machine —
+    /// disturbances are transient, so retries drop the installed fault
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError::Sim`] if a run could not complete within
+    /// `policy.max_attempts`.
+    pub fn leak_byte_with_retry(
+        &self,
+        secret_addr: u64,
+        policy: &RetryPolicy,
+    ) -> Result<Option<u8>, RetryError> {
+        let leak = |train_base: u64| {
+            policy.retry(|attempt| {
+                if attempt == 0 {
+                    self.try_run(secret_addr, train_base)
+                } else {
+                    let mut clean = self.clone();
+                    clean.fault_plan = None;
+                    clean.try_run(secret_addr, train_base)
+                }
+            })
+        };
+        let (run1, _) = leak(1)?;
+        let (run2, _) = leak(4)?;
+        let both: Vec<u8> = run1
+            .candidates
+            .iter()
+            .copied()
+            .filter(|c| run2.candidates.contains(c))
+            .collect();
+        Ok(match both.as_slice() {
+            [b] => Some(*b),
+            _ => None,
+        })
     }
 
     /// The universal read gadget: dumps `len` bytes starting at `addr`
@@ -470,6 +547,18 @@ mod tests {
         let mut atk = UrgAttack::with_fill(3, PrefetchFill::L2Only);
         atk.plant_secret(SECRET_ADDR, 0xB3);
         assert_eq!(atk.leak_byte(SECRET_ADDR), Some(0xB3));
+    }
+
+    #[test]
+    fn retry_leaks_byte_despite_injected_wedge() {
+        use pandora_sim::FaultKind;
+        let mut atk = attack(3, 0x42);
+        // Every first-attempt run wedges; retries run clean.
+        atk.set_fault_plan(Some(FaultPlan::single(500, FaultKind::DroppedCompletion)));
+        let got = atk
+            .leak_byte_with_retry(SECRET_ADDR, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(got, Some(0x42));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Shared harness utilities: building and timing victim programs.
 
 use pandora_isa::{Asm, Program};
-use pandora_sim::{Machine, SimConfig};
+use pandora_sim::{Machine, SimConfig, SimError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,13 +32,24 @@ pub fn run_cycles(cfg: SimConfig, prog: &Program) -> u64 {
 ///
 /// # Panics
 ///
-/// Panics if the program fails to complete — a harness bug.
+/// Panics if the program fails to complete — a harness bug. Use
+/// [`try_run_machine`] where a structured error is wanted instead.
 #[must_use]
 pub fn run_machine(cfg: SimConfig, prog: &Program) -> Machine {
+    try_run_machine(cfg, prog).expect("harness program completed abnormally")
+}
+
+/// Fallible form of [`run_machine`]: simulator failures (timeouts,
+/// deadlocks, faults in adversarial programs) surface as errors.
+///
+/// # Errors
+///
+/// Any [`SimError`] from the run.
+pub fn try_run_machine(cfg: SimConfig, prog: &Program) -> Result<Machine, SimError> {
     let mut m = Machine::new(cfg);
     m.load_program(prog);
-    m.run(200_000_000).expect("harness program completes");
-    m
+    m.run(200_000_000)?;
+    Ok(m)
 }
 
 /// Builds and times a program in one step.

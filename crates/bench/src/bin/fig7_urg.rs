@@ -6,17 +6,35 @@
 //! Also reports the §IV-D4 comparison: the 2-level IMP does *not* form
 //! a URG (its probe results are secret-independent).
 //!
+//! The byte-leak step runs under a [`RetryPolicy`] with an injected
+//! fault wedging the first attempt, demonstrating the hardened driver.
+//! Simulator failures surface as structured errors and the driver
+//! reports partial results with a nonzero exit instead of panicking.
+//!
 //! `cargo run --release -p pandora-bench --bin fig7_urg`
 
 use pandora_attacks::UrgAttack;
+use pandora_channels::RetryPolicy;
 use pandora_sandbox::verify;
+use pandora_sim::{FaultKind, FaultPlan};
+use std::process::ExitCode;
 
 const SECRET_ADDR: u64 = 0x20_0000;
 const SECRET: &[u8] = b"PANDORA!";
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig7_urg: aborting with partial results: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     pandora_bench::header("Fig 7a: the attacker program passes the verifier");
-    let atk3 = {
+    let mut atk3 = {
         let mut a = UrgAttack::new(3);
         for (i, &b) in SECRET.iter().enumerate() {
             a.plant_secret(SECRET_ADDR + i as u64, b);
@@ -31,7 +49,7 @@ fn main() {
     println!("sandbox region: [{lo:#x}, {hi:#x}); secret at {SECRET_ADDR:#x} (outside)");
 
     pandora_bench::header("3-level IMP: leaking one byte");
-    let (run, machine) = atk3.run(SECRET_ADDR, 1);
+    let (run, machine) = atk3.try_run(SECRET_ADDR, 1)?;
     let hot: Vec<(usize, u64)> = run
         .timings
         .iter()
@@ -46,6 +64,24 @@ fn main() {
         "prefetcher dereferenced the private address: {}",
         UrgAttack::deref_addresses(&machine).contains(&SECRET_ADDR)
     );
+
+    pandora_bench::header("Robustness: leaking through an injected wedge");
+    atk3.set_fault_plan(Some(FaultPlan::single(500, FaultKind::DroppedCompletion)));
+    let policy = RetryPolicy::default();
+    let leaked = atk3.leak_byte_with_retry(SECRET_ADDR, &policy)?;
+    println!(
+        "leaked {leaked:02x?} (expected {:#x}) despite a DroppedCompletion \
+         fault on the first attempt",
+        SECRET[0]
+    );
+    atk3.set_fault_plan(None);
+    if leaked != Some(SECRET[0]) {
+        return Err(format!(
+            "retrying driver failed to land the attack: got {leaked:?}, want {:#x}",
+            SECRET[0]
+        )
+        .into());
+    }
 
     pandora_bench::header("Universal read gadget: dumping a secret string");
     let dumped = atk3.dump(SECRET_ADDR, SECRET.len());
@@ -69,12 +105,12 @@ fn main() {
     let run2a = {
         let mut a = UrgAttack::new(2);
         a.plant_secret(SECRET_ADDR, 0x11);
-        a.run(SECRET_ADDR, 1).0
+        a.try_run(SECRET_ADDR, 1)?.0
     };
     let run2b = {
         let mut a = UrgAttack::new(2);
         a.plant_secret(SECRET_ADDR, 0xEE);
-        a.run(SECRET_ADDR, 1).0
+        a.try_run(SECRET_ADDR, 1)?.0
     };
     println!(
         "2-level candidates for secret 0x11: {:?}; for 0xEE: {:?}  (identical: {})",
@@ -94,7 +130,7 @@ fn main() {
             delta,
         );
         a.plant_secret(SECRET_ADDR, 0x33);
-        let (_, m) = a.run(SECRET_ADDR, 1);
+        let (_, m) = a.try_run(SECRET_ADDR, 1)?;
         let max_deref = UrgAttack::deref_addresses(&m).into_iter().max().unwrap_or(0);
         let z_end = a.layout().map_base(0) + 16 * 8; // Z: 16 x u64
         let past = (max_deref as i64 - z_end as i64) / 8;
@@ -110,4 +146,5 @@ fn main() {
          sandbox setting; the 2-level IMP leaks only a Δ-element window\n\
          past the stream array."
     );
+    Ok(())
 }

@@ -7,8 +7,10 @@
 //! conceptual basis of the amplification gadget's flush sub-gadget.
 
 use pandora_isa::{Asm, Reg};
+use pandora_sim::{FaultPlan, Machine, SimConfig, SimError};
 
 use crate::prime_probe::EvictionSet;
+use crate::retry::{Calibration, RetryError, RetryPolicy};
 
 /// Emits the eviction step: touch every conflicting line of `set`,
 /// displacing the target set's contents, then fence.
@@ -35,6 +37,83 @@ pub fn emit_timed_victim(
     a.rdcycle(Reg::T4);
     a.sub(Reg::T4, Reg::T4, Reg::T3);
     a.sd(Reg::T4, Reg::ZERO, result_addr as i64);
+}
+
+/// One Evict+Time calibration round: times a victim load `trials` times
+/// with an *unrelated* set evicted beforehand (fast — the victim's line
+/// stays resident) and `trials` times with the victim's own set evicted
+/// (slow), returning `(fast, slow)`.
+///
+/// `faults` optionally installs a [`FaultPlan`] on the measuring
+/// machine, for harnesses exercising [`RetryPolicy`] recovery under
+/// injected noise.
+///
+/// # Errors
+///
+/// Any [`SimError`] from the measuring run.
+pub fn evict_time_round(
+    cfg: &SimConfig,
+    trials: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<(Vec<u64>, Vec<u64>), SimError> {
+    let victim_addr = 0x10_0000u64;
+    let other_addr = 0x18_0040u64; // maps to a different L1 set
+    let fast_buf = 0x1000u64;
+    let slow_buf = fast_buf + 8 * trials as u64;
+    let ways = cfg.l1d.ways + 8; // over-provision to defeat LRU noise
+
+    let victim_set = EvictionSet::for_target(&cfg.l1d, victim_addr, ways);
+    let other_set = EvictionSet::for_target(&cfg.l1d, other_addr, ways);
+
+    let mut a = Asm::new();
+    a.ld(Reg::T0, Reg::ZERO, victim_addr as i64); // steady state
+    a.fence();
+    for i in 0..trials as u64 {
+        emit_evict(&mut a, &other_set);
+        emit_timed_victim(&mut a, fast_buf + 8 * i, |v| {
+            v.ld(Reg::T0, Reg::ZERO, victim_addr as i64);
+        });
+    }
+    for i in 0..trials as u64 {
+        emit_evict(&mut a, &victim_set);
+        emit_timed_victim(&mut a, slow_buf + 8 * i, |v| {
+            v.ld(Reg::T0, Reg::ZERO, victim_addr as i64);
+        });
+    }
+    a.halt();
+    let prog = a.assemble().expect("calibration program assembles");
+
+    let mut m = Machine::new(*cfg);
+    m.load_program(&prog);
+    if let Some(plan) = faults {
+        m.inject_faults(plan.clone());
+    }
+    m.run(50_000_000)?;
+    let read = |buf: u64| -> Vec<u64> {
+        (0..trials as u64)
+            .map(|i| {
+                m.mem()
+                    .read_u64(buf + 8 * i)
+                    .expect("result buffer in bounds")
+            })
+            .collect()
+    };
+    Ok((read(fast_buf), read(slow_buf)))
+}
+
+/// Calibrates the Evict+Time runtime margin for `cfg` under `policy`:
+/// the returned [`Calibration`]'s threshold separates "victim used the
+/// evicted set" from "victim untouched" runtimes.
+///
+/// # Errors
+///
+/// See [`RetryPolicy::calibrate`].
+pub fn calibrate_evict_margin(
+    cfg: &SimConfig,
+    policy: &RetryPolicy,
+    base_trials: usize,
+) -> Result<Calibration, RetryError> {
+    policy.calibrate(base_trials, |trials, _| evict_time_round(cfg, trials, None))
 }
 
 #[cfg(test)]

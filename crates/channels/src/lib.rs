@@ -14,16 +14,21 @@
 //!   proofs of concept.
 //! * [`stats`] — Welch's t distinguishability, thresholds, and the
 //!   histogram shape of Figure 6.
+//! * [`retry`] — bounded-retry calibration ([`RetryPolicy`]): noisy
+//!   rounds are retried with more trials until the timing populations
+//!   separate, and failures surface as structured [`RetryError`]s.
 
 pub mod covert;
 pub mod evict_time;
 pub mod prime_probe;
+pub mod retry;
 pub mod stats;
 
 pub use covert::CovertChannel;
-pub use evict_time::{emit_evict, emit_timed_victim};
+pub use evict_time::{calibrate_evict_margin, emit_evict, emit_timed_victim, evict_time_round};
 pub use prime_probe::{
-    emit_probe_lines, emit_prime, emit_timed_probe, fastest_index, hits_below, probe_oracle,
-    read_timings, EvictionSet,
+    calibrate_probe_threshold, emit_probe_lines, emit_prime, emit_timed_probe, fastest_index,
+    hits_below, probe_calibration_round, probe_oracle, read_timings, EvictionSet,
 };
+pub use retry::{Calibration, RetryError, RetryPolicy};
 pub use stats::{midpoint_threshold, welch_t, Histogram, Summary};

@@ -16,7 +16,9 @@
 //!   separate channel noise from transmitter behaviour.
 
 use pandora_isa::{Asm, Reg};
-use pandora_sim::{Cache, CacheConfig, Machine};
+use pandora_sim::{Cache, CacheConfig, FaultPlan, Machine, SimConfig, SimError};
+
+use crate::retry::{Calibration, RetryError, RetryPolicy};
 
 /// An eviction set: addresses that all map to the target's cache set.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -138,6 +140,70 @@ pub fn fastest_index(timings: &[u64]) -> Option<usize> {
         .map(|(i, _)| i)
 }
 
+/// One probe-threshold calibration round: measures `trials` timed
+/// probes of a warmed line (hits) and `trials` probes of untouched,
+/// pairwise-distinct lines (misses), returning `(hits, misses)`.
+///
+/// `faults` optionally installs a [`FaultPlan`] on the measuring
+/// machine — harnesses use periodic line evictions to model co-tenant
+/// noise when exercising [`RetryPolicy`] recovery.
+///
+/// # Errors
+///
+/// Any [`SimError`] from the measuring run (including injected-fault
+/// outcomes such as a deadlock).
+pub fn probe_calibration_round(
+    cfg: &SimConfig,
+    trials: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<(Vec<u64>, Vec<u64>), SimError> {
+    let hit_addr = 0x10_0000u64;
+    let cold_base = 0x20_0000u64;
+    let hit_buf = 0x1000u64;
+    let miss_buf = hit_buf + 8 * trials as u64;
+
+    let mut a = Asm::new();
+    a.ld(Reg::T0, Reg::ZERO, hit_addr as i64); // warm the hit line
+    a.fence();
+    for i in 0..trials as u64 {
+        emit_timed_probe(&mut a, hit_addr, hit_buf + 8 * i);
+    }
+    for i in 0..trials as u64 {
+        // A fresh line per trial, so every probe is a genuine miss.
+        emit_timed_probe(&mut a, cold_base + 64 * i, miss_buf + 8 * i);
+    }
+    a.halt();
+    let prog = a.assemble().expect("calibration program assembles");
+
+    let mut m = Machine::new(*cfg);
+    m.load_program(&prog);
+    if let Some(plan) = faults {
+        m.inject_faults(plan.clone());
+    }
+    m.run(10_000_000)?;
+    Ok((
+        read_timings(&m, hit_buf, trials),
+        read_timings(&m, miss_buf, trials),
+    ))
+}
+
+/// Calibrates the hit/miss probe threshold for `cfg` under `policy`:
+/// retries noisy rounds with more trials until the hit and miss timing
+/// populations separate by at least `policy.min_t`.
+///
+/// # Errors
+///
+/// See [`RetryPolicy::calibrate`].
+pub fn calibrate_probe_threshold(
+    cfg: &SimConfig,
+    policy: &RetryPolicy,
+    base_trials: usize,
+) -> Result<Calibration, RetryError> {
+    policy.calibrate(base_trials, |trials, _| {
+        probe_calibration_round(cfg, trials, None)
+    })
+}
+
 /// The idealized residency oracle: whether each of `count` lines
 /// starting at `base` (stride `stride`) is resident in the L1 or L2.
 #[must_use]
@@ -238,5 +304,51 @@ mod tests {
     fn hits_below_filters() {
         assert_eq!(hits_below(&[200, 20, 210, 25], 100), vec![1, 3]);
         assert!(hits_below(&[200, 210], 100).is_empty());
+    }
+
+    #[test]
+    fn calibration_separates_hit_from_miss() {
+        let cfg = SimConfig::default();
+        let policy = crate::retry::RetryPolicy::default();
+        let cal = calibrate_probe_threshold(&cfg, &policy, 16).unwrap();
+        assert_eq!(cal.attempts, 1, "a quiet machine calibrates first try");
+        assert!(cal.t >= policy.min_t);
+        let lat = MemLatency::default();
+        assert!(
+            (cal.threshold as f64) > cal.fast.mean
+                && (cal.threshold) < lat.dram,
+            "threshold {} sits between hit ({:.1}) and miss ({:.1}) means",
+            cal.threshold,
+            cal.fast.mean,
+            cal.slow.mean,
+        );
+    }
+
+    #[test]
+    fn noisy_calibration_round_recovers_via_retry() {
+        use pandora_sim::{FaultEvent, FaultKind};
+        let cfg = SimConfig::default();
+        let policy = crate::retry::RetryPolicy::default();
+        // Evict the hit line every cycle through the measurement window:
+        // the "hit" population degrades to misses and Welch's t
+        // collapses, so attempt 0 must be rejected.
+        let noise = FaultPlan::new(
+            (0..5_000)
+                .map(|cycle| FaultEvent {
+                    cycle,
+                    kind: FaultKind::EvictLine { addr: 0x10_0000 },
+                })
+                .collect(),
+        );
+        let cal = policy
+            .calibrate(12, |trials, attempt| {
+                probe_calibration_round(&cfg, trials, (attempt == 0).then_some(&noise))
+            })
+            .unwrap();
+        assert!(
+            cal.attempts >= 2,
+            "the jammed first round must have been retried"
+        );
+        assert!(cal.t >= policy.min_t);
     }
 }

@@ -1,0 +1,141 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate, providing
+//! the subset the Pandora workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`criterion_group!`] and [`criterion_main!`].
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors this minimal implementation. It times each benchmark with
+//! `std::time::Instant` over `sample_size` samples (auto-scaling the
+//! per-sample iteration count toward ~10 ms) and prints median and
+//! min/max per-iteration times. There are no plots, no statistical
+//! regression, and no baseline comparison — enough to eyeball relative
+//! cost, not to publish numbers.
+
+use std::time::{Duration, Instant};
+
+/// Runs closures repeatedly and reports per-iteration timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration budget.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver: collects samples and prints a report line.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`, printing median and min/max per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        // Calibrate: grow the iteration count until one sample takes
+        // ~10 ms, so fast routines are not dominated by timer noise.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples x {iters} iters)",
+            fmt_time(per_iter[0]),
+            fmt_time(median),
+            fmt_time(per_iter[per_iter.len() - 1]),
+            per_iter.len(),
+        );
+        self
+    }
+
+    /// Runs after all groups complete (a no-op in this stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export matching the real crate; benches may use either this or
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group: a function running each target against
+/// a shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

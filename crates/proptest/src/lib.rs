@@ -1,0 +1,333 @@
+//! Offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate, providing the
+//! subset of its API the Pandora workspace uses: the [`proptest!`]
+//! macro (both `x in strategy` and `x: Type` parameter forms),
+//! integer-range / tuple / collection strategies, [`any`],
+//! [`strategy::Strategy::prop_map`] / `prop_filter`, [`prop_oneof!`],
+//! and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors this small deterministic implementation. Differences from
+//! the real crate:
+//!
+//! * generation is seeded and fully deterministic per (test name, case
+//!   index) — there is no persistence file and no environment override;
+//! * failing cases are **not shrunk**; the failure report prints the
+//!   offending input as generated;
+//! * integer `any` deliberately mixes uniform values with boundary
+//!   values (0, MAX, small counts) to keep edge-case coverage close to
+//!   the real crate's.
+
+use std::fmt;
+
+pub mod strategy;
+
+pub use strategy::{Arbitrary, Just, Strategy, TestRng};
+
+/// Why a single generated test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The input did not satisfy a `prop_assume!` precondition; the
+    /// case is skipped without counting toward the case budget.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A precondition rejection with the given message.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-test configuration (case count).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one property test: generates `config.cases` inputs from
+/// `strategy` and runs `test` on each. Panics (failing the enclosing
+/// `#[test]`) on the first assertion failure, printing the input.
+///
+/// Rejected cases (via `prop_assume!` or `prop_filter`) are retried
+/// with fresh inputs, up to a global attempt ceiling.
+pub fn run_proptest<S: Strategy>(
+    config: ProptestConfig,
+    strategy: S,
+    test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    name: &str,
+) where
+    S::Value: fmt::Debug,
+{
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(1000);
+    let mut passed: u64 = 0;
+    let mut attempts: u64 = 0;
+    // A fixed per-test stream keeps runs reproducible; hashing the name
+    // decorrelates sibling tests in one binary.
+    let mut rng = TestRng::new(0x5eed_c0de ^ fxhash(name));
+    while passed < u64::from(config.cases) {
+        if attempts >= max_attempts {
+            panic!(
+                "proptest {name}: gave up after {attempts} attempts \
+                 ({passed} cases passed; too many rejects?)"
+            );
+        }
+        attempts += 1;
+        let Some(input) = strategy.generate(&mut rng) else {
+            continue; // strategy-level filter reject
+        };
+        // Described up front: the test consumes the input by value.
+        let described = format!("{input:?}");
+        match test(input) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name} failed after {passed} passing cases\n\
+                     input: {described}\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Creates a strategy producing arbitrary values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, TestRng};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn
+    /// from `size` (a `usize` for exact lengths, or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.size.pick(rng);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Per-type numeric strategies (`prop::num::i64::ANY`, ...).
+pub mod num {
+    macro_rules! num_mod {
+        ($($m:ident => $t:ty),*) => {$(
+            /// Strategies for the primitive of the same name.
+            pub mod $m {
+                /// Any value of this type, edge cases included.
+                pub const ANY: crate::strategy::Any<$t> = crate::strategy::Any::new();
+            }
+        )*};
+    }
+
+    num_mod!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize
+    );
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+// ---- Macros ----------------------------------------------------------
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and test functions whose parameters are
+/// either `name in strategy` or `name: Type` (sugar for
+/// `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case! { @parse ($cfg) $name $body [] [] $($params)* }
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: accumulates `(pattern)` and
+/// `(strategy)` lists from the mixed parameter syntax, then emits the
+/// runner call.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: run.
+    (@parse ($cfg:expr) $name:ident $body:block [$(($pat:pat_param))+] [$(($strat:expr))+]) => {
+        $crate::run_proptest(
+            $cfg,
+            ($($strat,)+),
+            |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            },
+            stringify!($name),
+        );
+    };
+    // `x in strategy, ...`
+    (@parse $cfg:tt $name:ident $body:block [$($pats:tt)*] [$($strats:tt)*] $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case! { @parse $cfg $name $body [$($pats)* ($pat)] [$($strats)* ($strat)] $($rest)* }
+    };
+    // `x in strategy` (final)
+    (@parse $cfg:tt $name:ident $body:block [$($pats:tt)*] [$($strats:tt)*] $pat:pat_param in $strat:expr) => {
+        $crate::__proptest_case! { @parse $cfg $name $body [$($pats)* ($pat)] [$($strats)* ($strat)] }
+    };
+    // `x: Type, ...`
+    (@parse $cfg:tt $name:ident $body:block [$($pats:tt)*] [$($strats:tt)*] $pat:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case! { @parse $cfg $name $body [$($pats)* ($pat)] [$($strats)* ($crate::any::<$ty>())] $($rest)* }
+    };
+    // `x: Type` (final)
+    (@parse $cfg:tt $name:ident $body:block [$($pats:tt)*] [$($strats:tt)*] $pat:ident : $ty:ty) => {
+        $crate::__proptest_case! { @parse $cfg $name $body [$($pats)* ($pat)] [$($strats)* ($crate::any::<$ty>())] }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current
+/// case (with its input printed) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), a, b
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{}\n  both: {:?}", format!($($fmt)*), a);
+    }};
+}
+
+/// Skips the current case (without failing) when a precondition on the
+/// generated input does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type (weights are not supported by this stand-in).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}

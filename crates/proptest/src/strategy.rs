@@ -1,0 +1,430 @@
+//! Strategies: deterministic seeded value generators.
+//!
+//! A [`Strategy`] produces values of its associated type from a
+//! [`TestRng`]. `generate` returns `Option`: `None` signals a
+//! filter-style rejection, which the runner retries with fresh
+//! randomness. There is no shrinking in this stand-in.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom};
+
+/// The deterministic generator driving all strategies (xoshiro256++
+/// seeded via SplitMix64; the same construction as the workspace's
+/// vendored `rand`, duplicated here to keep the crates dependency-free).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> TestRng {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Produces one value, or `None` on a filter rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms produced values with `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards values for which `pred` is false (retried by the
+    /// runner); `whence` labels the filter in diagnostics.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            _whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Erases the concrete strategy type (used by [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    _whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // A few local retries before deferring to the runner keeps
+        // cheap filters from inflating the global attempt count.
+        for _ in 0..8 {
+            if let Some(v) = self.inner.generate(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// An object-safe view of [`Strategy`], for boxing.
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> Option<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// A uniform choice among several strategies of one value type — the
+/// expansion of [`prop_oneof!`].
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`; must be nonempty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// ---- Integer ranges --------------------------------------------------
+
+/// Integers generable uniformly and with edge-case bias.
+pub trait GenInt: Copy {
+    /// Uniform sample from `[lo, hi)`; panics on an empty range.
+    fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// The inclusive type maximum (for `lo..` ranges).
+    const MAX: Self;
+    /// An arbitrary value: mostly uniform, sometimes an edge case.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_gen_int {
+    ($($t:ty),*) => {$(
+        impl GenInt for $t {
+            const MAX: $t = <$t>::MAX;
+
+            fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let r = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                (lo as i128 + r) as $t
+            }
+
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                match rng.below(8) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => (rng.below(16) as i64) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_gen_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: GenInt + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::sample(rng, self.start, self.end))
+    }
+}
+
+impl<T: GenInt + PartialOrd> Strategy for RangeFrom<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        // `lo..` means [lo, MAX]: widen through i128 to cover MAX itself.
+        let v = T::sample(rng, self.start, T::MAX);
+        Some(if rng.below(64) == 0 { T::MAX } else { v })
+    }
+}
+
+// ---- any::<T>() ------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Produces an arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                <$t as GenInt>::arbitrary(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.below(2) == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary_value(rng))
+    }
+}
+
+/// The strategy returned by [`any`](crate::any) (and the `ANY`
+/// constants in [`num`](crate::num)).
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> Any<T> {
+    /// The `any` strategy for `T` (const-constructible).
+    #[must_use]
+    pub const fn new() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Any<T> {
+        Any::new()
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary_value(rng))
+    }
+}
+
+// ---- Tuples ----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0/v0);
+impl_tuple_strategy!(S0/v0, S1/v1);
+impl_tuple_strategy!(S0/v0, S1/v1, S2/v2);
+impl_tuple_strategy!(S0/v0, S1/v1, S2/v2, S3/v3);
+impl_tuple_strategy!(S0/v0, S1/v1, S2/v2, S3/v3, S4/v4);
+impl_tuple_strategy!(S0/v0, S1/v1, S2/v2, S3/v3, S4/v4, S5/v5);
+impl_tuple_strategy!(S0/v0, S1/v1, S2/v2, S3/v3, S4/v4, S5/v5, S6/v6);
+impl_tuple_strategy!(S0/v0, S1/v1, S2/v2, S3/v3, S4/v4, S5/v5, S6/v6, S7/v7);
+
+// ---- Collection sizes ------------------------------------------------
+
+/// A collection length specification: exact or a half-open range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    /// Picks a length.
+    pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            usize::sample(rng, self.lo, self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange {
+            lo: r.start,
+            hi: r.end.max(r.start + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (5u64..10).generate(&mut rng).unwrap();
+            assert!((5..10).contains(&v));
+            let s = (-3i64..3).generate(&mut rng).unwrap();
+            assert!((-3..3).contains(&s));
+            let f = (1u64..).generate(&mut rng).unwrap();
+            assert!(f >= 1);
+        }
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let mut rng = TestRng::new(2);
+        let s = (0u64..10).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            if let Some(v) = s.generate(&mut rng) {
+                assert_eq!(v % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn union_uses_every_arm() {
+        let mut rng = TestRng::new(3);
+        let u = Union::new(vec![Just(1u64).boxed(), Just(2u64).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn tuples_and_maps_compose() {
+        let mut rng = TestRng::new(4);
+        let s = ((0u8..4), (10u64..20)).prop_map(|(a, b)| u64::from(a) + b);
+        let v = s.generate(&mut rng).unwrap();
+        assert!((10..24).contains(&v));
+    }
+}

@@ -221,6 +221,16 @@ pub struct SimConfig {
     pub opts: OptConfig,
     /// Seed for all randomized structures (replacement, etc.).
     pub seed: u64,
+    /// Deadlock watchdog window: if no instruction commits and no store
+    /// dequeues for this many cycles while work is in flight, the run
+    /// stops with [`SimError::Deadlock`] and a pipeline snapshot instead
+    /// of spinning to the cycle cap. `None` disables the watchdog. The
+    /// default (10 000) is far above any legitimate stall on these
+    /// machines (the worst case — a full store queue of DRAM misses
+    /// draining serially — is a few hundred cycles).
+    ///
+    /// [`SimError::Deadlock`]: crate::SimError::Deadlock
+    pub watchdog_cycles: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -234,6 +244,7 @@ impl Default for SimConfig {
             mem_latency: MemLatency::default(),
             opts: OptConfig::baseline(),
             seed: 0x9e3779b97f4a7c15,
+            watchdog_cycles: Some(10_000),
         }
     }
 }

@@ -39,6 +39,7 @@
 
 pub mod config;
 pub mod duo;
+pub mod fault;
 pub mod func;
 pub mod machine;
 pub mod mem;
@@ -50,7 +51,8 @@ pub use config::{LatencyConfig, OptConfig, PipelineConfig, ReuseKey, RfcMatch, S
 pub use opt::value_pred::VpKind;
 pub use func::{EmuError, Emulator};
 pub use duo::DuoMachine;
-pub use machine::{Machine, SimError};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use machine::{DeadlockDiagnostics, Machine, SimError};
 pub use mem::cache::{Cache, CacheConfig, CacheOutcome, Replacement};
 pub use mem::hierarchy::{Access, Hierarchy, MemLatency, PrefetchFill, ServedBy};
 pub use mem::memory::{MemFault, Memory};

@@ -30,6 +30,7 @@ use std::fmt;
 use pandora_isa::{Instr, Program, Reg, Width};
 
 use crate::config::SimConfig;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::func::sign_extend;
 use crate::mem::hierarchy::{Hierarchy, ServedBy};
 use crate::mem::memory::{MemFault, Memory};
@@ -45,10 +46,65 @@ use crate::opt::value_pred::ValuePredictor;
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent};
 
-/// Why a simulation run stopped abnormally.
+/// The pipeline snapshot captured when the deadlock watchdog fires —
+/// enough to see *what* wedged without re-running under a tracer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeadlockDiagnostics {
+    /// The ROB head's (sequence number, pc) — the instruction commit is
+    /// stuck behind — if the ROB is nonempty.
+    pub rob_head: Option<(u64, usize)>,
+    /// Reorder-buffer occupancy.
+    pub rob_len: usize,
+    /// The store-queue head's (sequence number, pc), if any.
+    pub sq_head: Option<(u64, usize)>,
+    /// Store-queue occupancy.
+    pub sq_len: usize,
+    /// Load-queue occupancy.
+    pub lq_len: usize,
+    /// Live physical register tags (free list occupancy is
+    /// `prf_size - live_tags`).
+    pub live_tags: usize,
+    /// Configured physical register file size.
+    pub prf_size: usize,
+    /// Where fetch was pointing.
+    pub fetch_pc: usize,
+    /// The last cycle that committed an instruction or dequeued a
+    /// store.
+    pub last_progress_cycle: u64,
+}
+
+impl fmt::Display for DeadlockDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rob={}{} sq={}{} lq={} prf={}/{} fetch_pc={} last_progress={}",
+            self.rob_len,
+            self.rob_head
+                .map(|(s, pc)| format!(" (head seq {s} pc {pc})"))
+                .unwrap_or_default(),
+            self.sq_len,
+            self.sq_head
+                .map(|(s, pc)| format!(" (head seq {s} pc {pc})"))
+                .unwrap_or_default(),
+            self.lq_len,
+            self.live_tags,
+            self.prf_size,
+            self.fetch_pc,
+            self.last_progress_cycle,
+        )
+    }
+}
+
+/// Why a simulation run stopped abnormally.
+///
+/// Every abnormal outcome — including pipeline states that earlier
+/// revisions treated as internal panics — is reported through this
+/// enum, so harnesses driving adversarial or fault-injected programs
+/// can recover, log, and retry instead of aborting the process.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SimError {
-    /// The cycle budget ran out before `halt` committed.
+    /// The cycle budget ran out before `halt` committed (the machine
+    /// was still making progress — contrast [`SimError::Deadlock`]).
     Timeout {
         /// The budget that was exhausted.
         cycles: u64,
@@ -65,6 +121,34 @@ pub enum SimError {
         /// The runaway instruction index.
         pc: usize,
     },
+    /// The watchdog saw no commit or store-dequeue progress for the
+    /// configured window ([`SimConfig::watchdog_cycles`]): the pipeline
+    /// is wedged, not slow.
+    Deadlock {
+        /// The cycle the watchdog fired.
+        cycle: u64,
+        /// Pipeline state at that moment.
+        diagnostics: DeadlockDiagnostics,
+    },
+    /// A structural resource could not be allocated when the pipeline's
+    /// own gating said it must be available — the recoverable form of
+    /// what used to be an allocation panic.
+    ResourceExhausted {
+        /// Which resource ran out.
+        resource: String,
+        /// The cycle it happened.
+        cycle: u64,
+    },
+    /// An internal pipeline invariant did not hold (e.g. a store
+    /// reaching dequeue without a resolved address). These indicate a
+    /// malformed program or an injected fault the pipeline could not
+    /// absorb; the machine stops cleanly instead of panicking.
+    InvalidState {
+        /// What was inconsistent, with enough context to debug.
+        context: String,
+        /// The cycle it was detected.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +157,15 @@ impl fmt::Display for SimError {
             SimError::Timeout { cycles } => write!(f, "no halt within {cycles} cycles"),
             SimError::Mem { fault, pc } => write!(f, "{fault} at pc {pc}"),
             SimError::WildPc { pc } => write!(f, "control flow left the program at pc {pc}"),
+            SimError::Deadlock { cycle, diagnostics } => {
+                write!(f, "pipeline deadlock at cycle {cycle}: {diagnostics}")
+            }
+            SimError::ResourceExhausted { resource, cycle } => {
+                write!(f, "resource exhausted at cycle {cycle}: {resource}")
+            }
+            SimError::InvalidState { context, cycle } => {
+                write!(f, "invalid pipeline state at cycle {cycle}: {context}")
+            }
         }
     }
 }
@@ -229,6 +322,13 @@ pub struct Machine {
 
     stats: SimStats,
     trace: Trace,
+
+    // Robustness runtime.
+    /// Last cycle that committed an instruction or dequeued a store —
+    /// the watchdog's notion of forward progress.
+    last_progress_cycle: u64,
+    fault_plan: Option<FaultPlan>,
+    fault_cursor: usize,
 }
 
 impl Machine {
@@ -276,6 +376,9 @@ impl Machine {
                 .then(|| Cdp::new(cfg.l1d.line, cfg.opts.dmp_fill)),
             stats: SimStats::default(),
             trace: Trace::new(),
+            last_progress_cycle: 0,
+            fault_plan: None,
+            fault_cursor: 0,
             prog: Program::default(),
             cfg,
         }
@@ -373,13 +476,30 @@ impl Machine {
             .unwrap_or_default()
     }
 
+    /// Installs a fault plan: each scheduled event is applied at the
+    /// start of its cycle on subsequent [`Machine::step`]s. Replaces
+    /// any previously installed plan; events scheduled at or before the
+    /// current cycle are dropped rather than fired retroactively.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault_cursor = plan
+            .events()
+            .iter()
+            .position(|e| e.cycle > self.cycle)
+            .unwrap_or(plan.len());
+        self.fault_plan = Some(plan);
+    }
+
     /// Runs until `halt` commits or `max_cycles` elapse.
     ///
     /// # Errors
     ///
     /// * [`SimError::Timeout`] if the budget runs out,
     /// * [`SimError::Mem`] if a committed access faults,
-    /// * [`SimError::WildPc`] if control flow leaves the program.
+    /// * [`SimError::WildPc`] if control flow leaves the program,
+    /// * [`SimError::Deadlock`] if the watchdog sees no progress,
+    /// * [`SimError::ResourceExhausted`] / [`SimError::InvalidState`]
+    ///   if a pipeline invariant breaks (malformed program or
+    ///   injected fault).
     pub fn run(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
         let limit = self.cycle + max_cycles;
         while !self.halted {
@@ -398,19 +518,20 @@ impl Machine {
     /// See [`Machine::run`].
     pub fn step(&mut self) -> Result<(), SimError> {
         self.cycle += 1;
+        self.apply_due_faults();
         self.commit()?;
         if self.halted {
             self.stats.cycles = self.cycle;
             return Ok(());
         }
         self.resolve_ss_loads();
-        self.dequeue_stores();
+        self.dequeue_stores()?;
         self.writeback();
         self.issue();
-        self.dispatch();
+        self.dispatch()?;
         self.fetch();
         self.stats.cycles = self.cycle;
-        // Deadlock detection: nothing in flight and nothing fetchable.
+        // Wild control flow: nothing in flight and nothing fetchable.
         if self.rob.is_empty()
             && self.fetch_buf.is_empty()
             && self.sq.is_empty()
@@ -420,7 +541,105 @@ impl Machine {
         {
             return Err(SimError::WildPc { pc: self.fetch_pc });
         }
+        // Watchdog: work is in flight but nothing has committed or
+        // drained for a whole window — the pipeline is wedged, and
+        // spinning to the cycle cap would only mislabel it a Timeout.
+        if let Some(window) = self.cfg.watchdog_cycles {
+            if self.cycle.saturating_sub(self.last_progress_cycle) >= window {
+                return Err(SimError::Deadlock {
+                    cycle: self.cycle,
+                    diagnostics: self.deadlock_snapshot(),
+                });
+            }
+        }
         Ok(())
+    }
+
+    fn deadlock_snapshot(&self) -> DeadlockDiagnostics {
+        DeadlockDiagnostics {
+            rob_head: self.rob.front().map(|u| (u.seq, u.pc)),
+            rob_len: self.rob.len(),
+            sq_head: self.sq.front().map(|e| (e.seq, e.pc)),
+            sq_len: self.sq.len(),
+            lq_len: self.lq.len(),
+            live_tags: self.live_tags,
+            prf_size: self.cfg.pipeline.prf_size,
+            fetch_pc: self.fetch_pc,
+            last_progress_cycle: self.last_progress_cycle,
+        }
+    }
+
+    fn invalid_state(&self, context: String) -> SimError {
+        SimError::InvalidState {
+            context,
+            cycle: self.cycle,
+        }
+    }
+
+    // ---- Fault injection ---------------------------------------------
+
+    /// Applies every installed fault event due at the current cycle.
+    fn apply_due_faults(&mut self) {
+        let Some(plan) = self.fault_plan.take() else {
+            return;
+        };
+        while let Some(ev) = plan.events().get(self.fault_cursor) {
+            if ev.cycle > self.cycle {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.apply_fault(ev.kind);
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::MemBitFlip { addr, bit } => {
+                // Out-of-bounds targets are no-ops: the plan may be
+                // random and the memory small.
+                if let Ok(b) = self.mem.read_u8(addr) {
+                    let _ = self.mem.write_u8(addr, b ^ (1 << (bit & 7)));
+                    self.stats.faults_injected += 1;
+                }
+            }
+            FaultKind::RegBitFlip { reg, bit } => {
+                if !reg.is_zero() {
+                    let mask = 1u64 << (bit & 63);
+                    self.arch_regs[reg.index()] ^= mask;
+                    // Mirror into the current physical mapping so
+                    // in-flight readers observe the flip too.
+                    let tag = self.rat[reg.index()] as usize;
+                    self.prf_vals[tag] ^= mask;
+                    self.stats.faults_injected += 1;
+                }
+            }
+            FaultKind::DropPrefetches { count } => {
+                self.hier.suppress_prefetches(count);
+                self.stats.faults_injected += 1;
+            }
+            FaultKind::EvictLine { addr } => {
+                self.hier.flush_line(addr);
+                self.stats.faults_injected += 1;
+            }
+            FaultKind::SpuriousSquash => {
+                if let Some(front) = self.rob.front() {
+                    let pc = front.pc;
+                    self.squash_newer_than(None, pc);
+                    self.stats.faults_injected += 1;
+                }
+            }
+            FaultKind::DroppedCompletion => {
+                if let Some(u) = self
+                    .rob
+                    .iter_mut()
+                    .find(|u| u.executing && !u.done)
+                {
+                    u.done_cycle = u64::MAX;
+                    self.stats.faults_injected += 1;
+                }
+            }
+        }
     }
 
     // ---- Register tag plumbing ---------------------------------------
@@ -473,13 +692,14 @@ impl Machine {
             if matches!(head.kind, UopKind::Fence | UopKind::Halt) && !self.sq.is_empty() {
                 break; // fences and halt drain the store queue first
             }
-            let uop = self.rob.pop_front().expect("head exists");
+            let Some(uop) = self.rob.pop_front() else { break };
             if let Some(fault) = uop.fault {
                 return Err(SimError::Mem {
                     fault,
                     pc: uop.pc,
                 });
             }
+            self.last_progress_cycle = self.cycle;
             match uop.kind {
                 UopKind::Halt => {
                     self.halted = true;
@@ -529,7 +749,13 @@ impl Machine {
                 _ => {}
             }
             if let Some((arch, prev)) = uop.prev {
-                let dst = uop.dst.expect("prev implies a destination");
+                let Some(dst) = uop.dst else {
+                    return Err(self.invalid_state(format!(
+                        "committing pc {} renames {arch} but has no \
+                         destination tag",
+                        uop.pc
+                    )));
+                };
                 self.arch_regs[arch.index()] = self.val(dst);
                 self.free_tag(prev);
             }
@@ -596,7 +822,7 @@ impl Machine {
         }
     }
 
-    fn dequeue_stores(&mut self) {
+    fn dequeue_stores(&mut self) -> Result<(), SimError> {
         loop {
             let cycle = self.cycle;
             let Some(head) = self.sq.front_mut() else { break };
@@ -610,15 +836,24 @@ impl Machine {
             }
             if let Some(t) = head.performing_until {
                 if cycle >= t {
-                    let (addr, data, width) = (
-                        head.addr.expect("performing store has an address"),
-                        head.data.expect("performing store has data"),
-                        head.width,
-                    );
-                    self.mem
-                        .write(addr, data, width)
-                        .expect("faulting stores never commit");
+                    let width = head.width;
+                    let (Some(addr), Some(data)) = (head.addr, head.data) else {
+                        return Err(self.invalid_state(format!(
+                            "committed store at pc {pc} reached dequeue \
+                             without a resolved address/data"
+                        )));
+                    };
+                    if let Err(fault) = self.mem.write(addr, data, width) {
+                        // A faulting store should have stopped at commit;
+                        // reaching here means memory changed under us
+                        // (e.g. an injected fault) after the bounds check.
+                        return Err(self.invalid_state(format!(
+                            "committed store at pc {pc} faulted at \
+                             dequeue: {fault}"
+                        )));
+                    }
                     self.sq.pop_front();
+                    self.last_progress_cycle = cycle;
                     self.stats.performed_stores += 1;
                     self.trace.push(TraceEvent::StoreDequeued { cycle, pc });
                     // One performed store completes per cycle.
@@ -636,6 +871,7 @@ impl Machine {
             match decision {
                 Ok(()) => {
                     self.sq.pop_front();
+                    self.last_progress_cycle = cycle;
                     self.stats.silent_stores += 1;
                     self.trace
                         .push(TraceEvent::StoreSilentDequeue { cycle, pc });
@@ -645,9 +881,19 @@ impl Machine {
                     if reason == crate::trace::NonSilentReason::SsLoadLate {
                         self.stats.ss_late += 1;
                     }
-                    let addr = head.addr.expect("committed store has an address");
+                    let Some(addr) = head.addr else {
+                        return Err(self.invalid_state(format!(
+                            "committed store at pc {pc} has no resolved \
+                             address at dequeue"
+                        )));
+                    };
                     let latency = self.demand_access(addr);
-                    let head = self.sq.front_mut().expect("still at head");
+                    let Some(head) = self.sq.front_mut() else {
+                        return Err(self.invalid_state(format!(
+                            "store queue emptied while the head store \
+                             (pc {pc}) was being sent to the cache"
+                        )));
+                    };
                     head.performing_until = Some(cycle + latency);
                     self.trace
                         .push(TraceEvent::StoreSentToCache { cycle, pc, reason });
@@ -655,6 +901,7 @@ impl Machine {
                 }
             }
         }
+        Ok(())
     }
 
     fn demand_access(&mut self, addr: u64) -> u64 {
@@ -772,12 +1019,19 @@ impl Machine {
     /// Squashes every uop younger than `seq` and redirects fetch to
     /// `redirect`, undoing renames by walking the ROB from the tail.
     fn squash_after(&mut self, seq: Seq, redirect: usize) {
+        self.squash_newer_than(Some(seq), redirect);
+    }
+
+    /// Squashes every uop younger than `keep_upto` (all of them when
+    /// `None` — the spurious-squash fault uses this to flush the whole
+    /// window), redirecting fetch to `redirect`.
+    fn squash_newer_than(&mut self, keep_upto: Option<Seq>, redirect: usize) {
         let cycle = self.cycle;
         while let Some(tail) = self.rob.back() {
-            if tail.seq <= seq {
+            if keep_upto.is_some_and(|seq| tail.seq <= seq) {
                 break;
             }
-            let uop = self.rob.pop_back().expect("tail exists");
+            let Some(uop) = self.rob.pop_back() else { break };
             if uop.in_iq {
                 self.iq_count -= 1;
             }
@@ -964,8 +1218,13 @@ impl Machine {
             }))
         } else {
             let latency = self.demand_access(addr);
-            let raw = self.mem.read(addr, width).expect("bounds checked");
-            (raw, latency, None)
+            match self.mem.read(addr, width) {
+                Ok(raw) => (raw, latency, None),
+                // `contains` passed just above, so this only happens if
+                // memory shrank under us; surface it as a load fault
+                // (reported at commit) rather than aborting.
+                Err(fault) => (0, 1, Some(fault)),
+            }
         };
         let value = if signed {
             sign_extend(value, width.bytes())
@@ -1250,7 +1509,7 @@ impl Machine {
 
     // ---- Dispatch / rename -------------------------------------------
 
-    fn dispatch(&mut self) {
+    fn dispatch(&mut self) -> Result<(), SimError> {
         let p = self.cfg.pipeline;
         for _ in 0..p.dispatch_width {
             let Some(&(pc, instr, pred_target)) = self.fetch_buf.front() else {
@@ -1292,7 +1551,18 @@ impl Machine {
                 .collect();
             let (dst, prev) = match dest {
                 Some(rd) => {
-                    let tag = self.alloc_tag().expect("availability checked above");
+                    let Some(tag) = self.alloc_tag() else {
+                        // Gated on live_tags < prf_size above, so the
+                        // free list can only be empty if tag accounting
+                        // was corrupted.
+                        return Err(SimError::ResourceExhausted {
+                            resource: format!(
+                                "physical register file ({} tags)",
+                                p.prf_size
+                            ),
+                            cycle: self.cycle,
+                        });
+                    };
                     let prev = self.rat[rd.index()];
                     self.rat[rd.index()] = tag;
                     self.reuse.invalidate_reg(rd);
@@ -1331,7 +1601,13 @@ impl Machine {
                     self.lq.push_back(seq);
                     if self.cfg.opts.value_pred {
                         if let Some(pred) = self.vp.predict(pc) {
-                            let tag = uop.dst.expect("loads have destinations") as usize;
+                            let Some(dst) = uop.dst else {
+                                return Err(self.invalid_state(format!(
+                                    "load at pc {pc} dispatched without a \
+                                     destination tag"
+                                )));
+                            };
+                            let tag = dst as usize;
                             self.prf_vals[tag] = pred;
                             self.prf_ready[tag] = true;
                             uop.vp_pred = Some(pred);
@@ -1365,6 +1641,7 @@ impl Machine {
             }
             self.rob.push_back(uop);
         }
+        Ok(())
     }
 
     // ---- Fetch -------------------------------------------------------
@@ -1751,5 +2028,58 @@ mod tests {
             });
             assert_eq!(m.reg(Reg::T2), if taken { 2 } else { 1 }, "{cond:?}");
         }
+    }
+
+    /// Builds a program wedged by a dropped completion: a load's result
+    /// never arrives, so commit stalls forever while cycles keep
+    /// ticking — the artificial no-progress case.
+    fn wedged_machine(cfg: SimConfig) -> Machine {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 100_000);
+        a.label("l");
+        a.ld(Reg::T1, Reg::ZERO, 0x100);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "l");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(cfg);
+        m.load_program(&p);
+        m.inject_faults(FaultPlan::single(50, FaultKind::DroppedCompletion));
+        m
+    }
+
+    #[test]
+    fn no_progress_yields_deadlock_not_timeout() {
+        let mut m = wedged_machine(SimConfig::default());
+        let err = m.run(10_000_000).unwrap_err();
+        let SimError::Deadlock { cycle, diagnostics } = err else {
+            panic!("expected Deadlock, got {err}");
+        };
+        assert!(
+            cycle < 1_000_000,
+            "watchdog fired long before the cycle budget (at {cycle})"
+        );
+        assert!(diagnostics.rob_len > 0, "the wedged uop is still in the ROB");
+        assert!(
+            cycle - diagnostics.last_progress_cycle
+                >= SimConfig::default().watchdog_cycles.unwrap()
+        );
+    }
+
+    #[test]
+    fn disabled_watchdog_reports_timeout_instead() {
+        let cfg = SimConfig { watchdog_cycles: None, ..SimConfig::default() };
+        let mut m = wedged_machine(cfg);
+        assert_eq!(m.run(30_000), Err(SimError::Timeout { cycles: 30_000 }));
+    }
+
+    #[test]
+    fn deadlock_diagnostics_render_the_stall_site() {
+        let mut m = wedged_machine(SimConfig::default());
+        let Err(SimError::Deadlock { diagnostics, .. }) = m.run(10_000_000) else {
+            panic!("expected Deadlock");
+        };
+        let text = diagnostics.to_string();
+        assert!(text.contains("rob"), "snapshot names the ROB: {text}");
     }
 }

@@ -228,10 +228,13 @@ impl Cache {
 
     /// An address (distinct from `addr`'s line) that maps to the same
     /// set, `n` conflict slots away. Used to build eviction sets.
+    /// Wraps around the address space: set geometry is power-of-two, so
+    /// the wrapped address still indexes the same set.
     #[must_use]
     pub fn conflicting_addr(&self, addr: u64, n: usize) -> u64 {
         let stride = (self.cfg.sets * self.cfg.line) as u64;
-        self.line_addr(addr) + stride * (n as u64 + 1)
+        self.line_addr(addr)
+            .wrapping_add(stride.wrapping_mul(n as u64 + 1))
     }
 }
 

@@ -70,6 +70,9 @@ pub struct Hierarchy {
     l1: Cache,
     l2: Cache,
     lat: MemLatency,
+    /// Pending prefetch fills to swallow (fault injection: models lost
+    /// fill responses). Decremented by [`Hierarchy::prefetch`].
+    suppressed_prefetches: u32,
 }
 
 impl Hierarchy {
@@ -81,7 +84,15 @@ impl Hierarchy {
             l1: Cache::new(l1, seed ^ 0x1),
             l2: Cache::new(l2, seed ^ 0x2),
             lat,
+            suppressed_prefetches: 0,
         }
+    }
+
+    /// Drops the next `count` prefetch fills before they install a line
+    /// (fault injection: lost fill responses / a full prefetch queue).
+    /// Counts accumulate if called again before draining.
+    pub fn suppress_prefetches(&mut self, count: u32) {
+        self.suppressed_prefetches = self.suppressed_prefetches.saturating_add(count);
     }
 
     /// A demand access (load, store-fill or SS-load) to `addr`:
@@ -108,6 +119,10 @@ impl Hierarchy {
     /// A prefetch fill of the line containing `addr`. Does not return a
     /// latency: prefetches run off the critical path.
     pub fn prefetch(&mut self, addr: u64, fill: PrefetchFill) {
+        if self.suppressed_prefetches > 0 {
+            self.suppressed_prefetches -= 1;
+            return;
+        }
         match fill {
             PrefetchFill::AllLevels => {
                 self.l1.fill(addr);

@@ -72,6 +72,10 @@ pub struct SimStats {
     pub dmp_dropped: u64,
     /// Content-directed prefetches issued (pointer-shaped values chased).
     pub cdp_prefetches: u64,
+    /// Fault-plan events that actually took effect (a scheduled event
+    /// whose target was out of range — e.g. a bit-flip past the end of
+    /// memory — does not count).
+    pub faults_injected: u64,
 }
 
 impl SimStats {
@@ -137,7 +141,11 @@ impl fmt::Display for SimStats {
             self.vp_predictions,
             self.rfc_shares,
             self.dmp_prefetches
-        )
+        )?;
+        if self.faults_injected > 0 {
+            write!(f, "\nfaults injected: {}", self.faults_injected)?;
+        }
+        Ok(())
     }
 }
 

@@ -9,7 +9,7 @@
 use pandora::channels::CovertChannel;
 use pandora::sim::SimConfig;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ch = CovertChannel::byte_channel(0x4_0000, 0x800);
     println!(
         "one-shot channel: {} symbols, capacity <= {:.1} bits/round\n",
@@ -39,13 +39,14 @@ fn main() {
     ch.emit_send(&mut a, 42);
     ch.emit_receive(&mut a);
     a.halt();
-    let prog = a.assemble().unwrap();
+    let prog = a.assemble()?;
     let mut m = pandora::sim::Machine::new(SimConfig::default());
     m.load_program(&prog);
-    let stats = m.run(20_000_000).unwrap();
+    let stats = m.run(20_000_000)?;
     println!(
         "\none round = {} cycles -> ~{:.1} bits / kilocycle",
         stats.cycles,
         8.0 * 1000.0 / stats.cycles as f64
     );
+    Ok(())
 }

@@ -45,7 +45,7 @@ fn trigger_program() -> BpfProgram {
     p
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prog = trigger_program();
     pandora::sandbox::verify(&prog).expect("trigger verifies");
     let layout = SandboxLayout::at(0x4_0000, &prog.maps);
@@ -56,17 +56,14 @@ fn main() {
     asm.halt();
     let mut victim = Machine::new(SimConfig::with_opts(OptConfig::with_dmp(3)));
     victim.load_program(&asm.assemble().expect("assembles"));
-    victim.mem_mut().write_u8(SECRET_ADDR, SECRET).unwrap();
+    victim.mem_mut().write_u8(SECRET_ADDR, SECRET)?;
     let (z, y) = (layout.map_base(0), layout.map_base(1));
     for i in 0..15u64 {
-        victim.mem_mut().write_u64(z + 8 * i, 1 + i % 3).unwrap();
+        victim.mem_mut().write_u64(z + 8 * i, 1 + i % 3)?;
     }
-    victim
-        .mem_mut()
-        .write_u64(z + 8 * 15, SECRET_ADDR - y)
-        .unwrap();
+    victim.mem_mut().write_u64(z + 8 * 15, SECRET_ADDR - y)?;
     for j in 0..64u64 {
-        victim.mem_mut().write_u8(y + j, (1 + j % 3) as u8).unwrap();
+        victim.mem_mut().write_u8(y + j, (1 + j % 3) as u8)?;
     }
 
     // Receiver core: waits, then times every X line through its own
@@ -96,7 +93,12 @@ fn main() {
     duo.run(10_000_000).expect("both cores halt");
 
     let timings: Vec<u64> = (0..256)
-        .map(|i| duo.core_b().mem().read_u64(result + i * 8).unwrap())
+        .map(|i| {
+            duo.core_b()
+                .mem()
+                .read_u64(result + i * 8)
+                .expect("receiver stored a timing for every probed line")
+        })
         .collect();
     let hot: Vec<usize> = timings
         .iter()
@@ -110,4 +112,5 @@ fn main() {
     println!("leaked byte: {leaked:02x?} (planted {SECRET:#04x})");
     assert_eq!(leaked, vec![SECRET as usize]);
     println!("cross-core leak: SUCCESS — no timer ever ran inside the sandbox");
+    Ok(())
 }

@@ -46,8 +46,14 @@ fn main() {
     );
     println!(
         "  memory value:   {} == {}",
-        baseline.mem().read_u64(0x1000).unwrap(),
-        silent.mem().read_u64(0x1000).unwrap()
+        baseline
+            .mem()
+            .read_u64(0x1000)
+            .expect("0x1000 is mapped: the store loop wrote it"),
+        silent
+            .mem()
+            .read_u64(0x1000)
+            .expect("0x1000 is mapped: it was pre-seeded before the run")
     );
     println!();
     println!("that timing difference is a function of *store data* — data the");
