@@ -2,6 +2,10 @@
 //! experiment: the end-to-end runtime of a single amplified store when
 //! it is silent vs not, for both gadget flavours, plus the ablations
 //! DESIGN.md calls out (store-queue depth sweep; no-gadget control).
+//!
+//! Pass `--smoke` to run only the gadget matrix (the headline result),
+//! skipping the three ablation sections — the mode CI uses to keep the
+//! binary exercised without paying for the full sweep.
 
 use pandora_attacks::{AmplifyGadget, FlushKind};
 use pandora_isa::{Asm, Reg};
@@ -41,6 +45,7 @@ fn experiment(cfg: SimConfig, kind: Option<FlushKind>, old: u64, new: u64) -> u6
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let base = SimConfig::with_opts(OptConfig::with_silent_stores());
 
     pandora_bench::header("Fig 5: amplification gadget (silent vs non-silent target store)");
@@ -59,6 +64,11 @@ fn main() {
             loud,
             loud as i64 - silent as i64
         );
+    }
+
+    if smoke {
+        println!("\n(--smoke: skipping the ablation sections)");
+        return;
     }
 
     pandora_bench::header("Ablation: store-queue depth (head-of-line blocking lever)");

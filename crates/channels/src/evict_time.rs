@@ -56,6 +56,18 @@ pub fn evict_time_round(
     trials: usize,
     faults: Option<&FaultPlan>,
 ) -> Result<(Vec<u64>, Vec<u64>), SimError> {
+    let mut m = Machine::new(*cfg);
+    evict_round_on(&mut m, trials, faults)
+}
+
+/// One Evict+Time round on an existing (already-reset) machine, so
+/// retry loops can reuse one allocation across attempts.
+fn evict_round_on(
+    m: &mut Machine,
+    trials: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<(Vec<u64>, Vec<u64>), SimError> {
+    let cfg = *m.config();
     let victim_addr = 0x10_0000u64;
     let other_addr = 0x18_0040u64; // maps to a different L1 set
     let fast_buf = 0x1000u64;
@@ -83,7 +95,6 @@ pub fn evict_time_round(
     a.halt();
     let prog = a.assemble().expect("calibration program assembles");
 
-    let mut m = Machine::new(*cfg);
     m.load_program(&prog);
     if let Some(plan) = faults {
         m.inject_faults(plan.clone());
@@ -113,7 +124,15 @@ pub fn calibrate_evict_margin(
     policy: &RetryPolicy,
     base_trials: usize,
 ) -> Result<Calibration, RetryError> {
-    policy.calibrate(base_trials, |trials, _| evict_time_round(cfg, trials, None))
+    // One machine for every attempt: [`Machine::reset`] rewinds to the
+    // post-construction state while keeping allocations warm.
+    let mut m = Machine::new(*cfg);
+    policy.calibrate(base_trials, |trials, attempt| {
+        if attempt > 0 {
+            m.reset();
+        }
+        evict_round_on(&mut m, trials, None)
+    })
 }
 
 #[cfg(test)]

@@ -157,6 +157,17 @@ pub fn probe_calibration_round(
     trials: usize,
     faults: Option<&FaultPlan>,
 ) -> Result<(Vec<u64>, Vec<u64>), SimError> {
+    let mut m = Machine::new(*cfg);
+    probe_round_on(&mut m, trials, faults)
+}
+
+/// One calibration round on an existing (already-reset) machine, so
+/// retry loops can reuse one allocation across attempts.
+fn probe_round_on(
+    m: &mut Machine,
+    trials: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<(Vec<u64>, Vec<u64>), SimError> {
     let hit_addr = 0x10_0000u64;
     let cold_base = 0x20_0000u64;
     let hit_buf = 0x1000u64;
@@ -175,15 +186,14 @@ pub fn probe_calibration_round(
     a.halt();
     let prog = a.assemble().expect("calibration program assembles");
 
-    let mut m = Machine::new(*cfg);
     m.load_program(&prog);
     if let Some(plan) = faults {
         m.inject_faults(plan.clone());
     }
     m.run(10_000_000)?;
     Ok((
-        read_timings(&m, hit_buf, trials),
-        read_timings(&m, miss_buf, trials),
+        read_timings(m, hit_buf, trials),
+        read_timings(m, miss_buf, trials),
     ))
 }
 
@@ -199,8 +209,14 @@ pub fn calibrate_probe_threshold(
     policy: &RetryPolicy,
     base_trials: usize,
 ) -> Result<Calibration, RetryError> {
-    policy.calibrate(base_trials, |trials, _| {
-        probe_calibration_round(cfg, trials, None)
+    // One machine for every attempt: [`Machine::reset`] rewinds to the
+    // post-construction state while keeping allocations warm.
+    let mut m = Machine::new(*cfg);
+    policy.calibrate(base_trials, |trials, attempt| {
+        if attempt > 0 {
+            m.reset();
+        }
+        probe_round_on(&mut m, trials, None)
     })
 }
 

@@ -1,0 +1,244 @@
+//! Simulation error taxonomy.
+//!
+//! Every abnormal run outcome is reported through [`SimError`] — there
+//! are no internal panics on malformed programs or injected faults —
+//! so retrying harnesses ([`pandora_channels`-style calibration and
+//! attack drivers]) can recover, log, and retry instead of aborting
+//! the process.
+//!
+//! [`pandora_channels`-style calibration and attack drivers]: SimError
+
+use std::error::Error;
+use std::fmt;
+
+use crate::mem::memory::MemFault;
+
+/// The pipeline snapshot captured when the deadlock watchdog fires —
+/// enough to see *what* wedged without re-running under a tracer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeadlockDiagnostics {
+    /// The ROB head's (sequence number, pc) — the instruction commit is
+    /// stuck behind — if the ROB is nonempty.
+    pub rob_head: Option<(u64, usize)>,
+    /// Reorder-buffer occupancy.
+    pub rob_len: usize,
+    /// The store-queue head's (sequence number, pc), if any.
+    pub sq_head: Option<(u64, usize)>,
+    /// Store-queue occupancy.
+    pub sq_len: usize,
+    /// Load-queue occupancy.
+    pub lq_len: usize,
+    /// Live physical register tags (free list occupancy is
+    /// `prf_size - live_tags`).
+    pub live_tags: usize,
+    /// Configured physical register file size.
+    pub prf_size: usize,
+    /// Where fetch was pointing.
+    pub fetch_pc: usize,
+    /// The last cycle that committed an instruction or dequeued a
+    /// store.
+    pub last_progress_cycle: u64,
+}
+
+impl fmt::Display for DeadlockDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rob={}{} sq={}{} lq={} prf={}/{} fetch_pc={} last_progress={}",
+            self.rob_len,
+            self.rob_head
+                .map(|(s, pc)| format!(" (head seq {s} pc {pc})"))
+                .unwrap_or_default(),
+            self.sq_len,
+            self.sq_head
+                .map(|(s, pc)| format!(" (head seq {s} pc {pc})"))
+                .unwrap_or_default(),
+            self.lq_len,
+            self.live_tags,
+            self.prf_size,
+            self.fetch_pc,
+            self.last_progress_cycle,
+        )
+    }
+}
+
+/// Why a simulation run stopped abnormally.
+///
+/// Every abnormal outcome — including pipeline states that earlier
+/// revisions treated as internal panics — is reported through this
+/// enum, so harnesses driving adversarial or fault-injected programs
+/// can recover, log, and retry instead of aborting the process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The cycle budget ran out before `halt` committed (the machine
+    /// was still making progress — contrast [`SimError::Deadlock`]).
+    Timeout {
+        /// The budget that was exhausted.
+        cycles: u64,
+    },
+    /// A committed (architecturally real) memory access faulted.
+    Mem {
+        /// The fault.
+        fault: MemFault,
+        /// The faulting instruction's index.
+        pc: usize,
+    },
+    /// Control flow left the program without halting.
+    WildPc {
+        /// The runaway instruction index.
+        pc: usize,
+    },
+    /// The watchdog saw no commit or store-dequeue progress for the
+    /// configured window ([`watchdog_cycles`]): the pipeline is wedged,
+    /// not slow.
+    ///
+    /// [`watchdog_cycles`]: crate::SimConfig::watchdog_cycles
+    Deadlock {
+        /// The cycle the watchdog fired.
+        cycle: u64,
+        /// Pipeline state at that moment.
+        diagnostics: DeadlockDiagnostics,
+    },
+    /// A structural resource could not be allocated when the pipeline's
+    /// own gating said it must be available — the recoverable form of
+    /// what used to be an allocation panic.
+    ResourceExhausted {
+        /// Which resource ran out.
+        resource: String,
+        /// The cycle it happened.
+        cycle: u64,
+    },
+    /// An internal pipeline invariant did not hold (e.g. a store
+    /// reaching dequeue without a resolved address). These indicate a
+    /// malformed program or an injected fault the pipeline could not
+    /// absorb; the machine stops cleanly instead of panicking.
+    InvalidState {
+        /// What was inconsistent, with enough context to debug.
+        context: String,
+        /// The cycle it was detected.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { cycles } => write!(f, "no halt within {cycles} cycles"),
+            SimError::Mem { fault, pc } => write!(f, "{fault} at pc {pc}"),
+            SimError::WildPc { pc } => write!(f, "control flow left the program at pc {pc}"),
+            SimError::Deadlock { cycle, diagnostics } => {
+                write!(f, "pipeline deadlock at cycle {cycle}: {diagnostics}")
+            }
+            SimError::ResourceExhausted { resource, cycle } => {
+                write!(f, "resource exhausted at cycle {cycle}: {resource}")
+            }
+            SimError::InvalidState { context, cycle } => {
+                write!(f, "invalid pipeline state at cycle {cycle}: {context}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagnostics() -> DeadlockDiagnostics {
+        DeadlockDiagnostics {
+            rob_head: Some((7, 3)),
+            rob_len: 12,
+            sq_head: Some((5, 2)),
+            sq_len: 4,
+            lq_len: 6,
+            live_tags: 40,
+            prf_size: 96,
+            fetch_pc: 17,
+            last_progress_cycle: 100,
+        }
+    }
+
+    #[test]
+    fn timeout_renders() {
+        let e = SimError::Timeout { cycles: 5000 };
+        assert_eq!(e.to_string(), "no halt within 5000 cycles");
+    }
+
+    #[test]
+    fn mem_renders_fault_and_pc() {
+        let e = SimError::Mem {
+            fault: MemFault { addr: 0x100, len: 8 },
+            pc: 42,
+        };
+        assert_eq!(
+            e.to_string(),
+            "memory fault: 8-byte access at 0x100 out of bounds at pc 42"
+        );
+    }
+
+    #[test]
+    fn wild_pc_renders() {
+        let e = SimError::WildPc { pc: 99 };
+        assert_eq!(e.to_string(), "control flow left the program at pc 99");
+    }
+
+    #[test]
+    fn deadlock_renders_snapshot() {
+        let e = SimError::Deadlock {
+            cycle: 10_100,
+            diagnostics: diagnostics(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "pipeline deadlock at cycle 10100: rob=12 (head seq 7 pc 3) \
+             sq=4 (head seq 5 pc 2) lq=6 prf=40/96 fetch_pc=17 last_progress=100"
+        );
+    }
+
+    #[test]
+    fn deadlock_diagnostics_elide_empty_queues() {
+        let d = DeadlockDiagnostics {
+            rob_head: None,
+            sq_head: None,
+            rob_len: 0,
+            sq_len: 0,
+            ..diagnostics()
+        };
+        assert_eq!(
+            d.to_string(),
+            "rob=0 sq=0 lq=6 prf=40/96 fetch_pc=17 last_progress=100"
+        );
+    }
+
+    #[test]
+    fn resource_exhausted_renders() {
+        let e = SimError::ResourceExhausted {
+            resource: "physical register file (96 tags)".into(),
+            cycle: 12,
+        };
+        assert_eq!(
+            e.to_string(),
+            "resource exhausted at cycle 12: physical register file (96 tags)"
+        );
+    }
+
+    #[test]
+    fn invalid_state_renders() {
+        let e = SimError::InvalidState {
+            context: "committed store at pc 3 has no resolved address at dequeue".into(),
+            cycle: 77,
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid pipeline state at cycle 77: committed store at pc 3 \
+             has no resolved address at dequeue"
+        );
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::WildPc { pc: 1 });
+        assert!(e.source().is_none());
+    }
+}

@@ -39,16 +39,20 @@
 
 pub mod config;
 pub mod duo;
+pub mod error;
+pub mod event;
 pub mod fault;
 pub mod func;
 pub mod machine;
 pub mod mem;
 pub mod opt;
+pub mod pipeline;
 pub mod stats;
 pub mod trace;
 
 pub use config::{LatencyConfig, OptConfig, PipelineConfig, ReuseKey, RfcMatch, SimConfig};
 pub use opt::value_pred::VpKind;
+pub use event::{EventBus, PrefetchSource, SimEvent, SquashReason, StallReason};
 pub use func::{EmuError, Emulator};
 pub use duo::DuoMachine;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
@@ -56,5 +60,7 @@ pub use machine::{DeadlockDiagnostics, Machine, SimError};
 pub use mem::cache::{Cache, CacheConfig, CacheOutcome, Replacement};
 pub use mem::hierarchy::{Access, Hierarchy, MemLatency, PrefetchFill, ServedBy};
 pub use mem::memory::{MemFault, Memory};
+pub use opt::hook::{FaultHook, Hooks, MemoLookup, OptHook};
+pub use pipeline::{PipelineStage, PipelineState, Stages};
 pub use stats::SimStats;
 pub use trace::{NonSilentReason, Trace, TraceEvent};

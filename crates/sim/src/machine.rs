@@ -1,4 +1,4 @@
-//! The cycle-level out-of-order pipeline.
+//! The machine facade: a thin scheduler over the stage modules.
 //!
 //! A single-core, speculative, out-of-order machine in the shape of the
 //! paper's "Baseline" (§III): fetch with branch prediction → rename
@@ -9,257 +9,31 @@
 //! (§V-A1) — the property the silent-store amplification gadget relies
 //! on.
 //!
-//! The seven optimization classes from Table I hook in at the stages
-//! the paper describes:
-//!
-//! * **silent stores** — store execute (SS-load issue) and SQ dequeue,
-//! * **computation simplification** — execution-latency planning,
-//! * **pipeline compression** — ALU port accounting at issue,
-//! * **computation reuse** — memo lookup at issue, insert at writeback,
-//! * **value prediction** — predict at dispatch, verify at writeback,
-//! * **register-file compression** — early tag release at writeback,
-//! * **data memory-dependent prefetching** — observe at commit.
+//! The pipeline itself lives in [`crate::pipeline`], one module per
+//! stage; the seven Table I optimization classes are
+//! [`crate::opt::hook::OptHook`]s assembled by
+//! [`Hooks::from_config`], so a [`Machine`] is "baseline stages + a
+//! list of hooks". All cross-cutting observation (statistics, trace,
+//! DMP patterns) flows through the state's single
+//! [`crate::event::EventBus`]. Fault injection
+//! ([`Machine::inject_faults`]) installs a
+//! [`crate::opt::hook::FaultHook`] on the same layer.
 //!
 //! Recovery from branch and value mispredictions uses ROB-walk rename
 //! undo, so any instruction can be a squash point without checkpoints.
 
-use std::collections::VecDeque;
-use std::error::Error;
-use std::fmt;
-
-use pandora_isa::{Instr, Program, Reg, Width};
+use pandora_isa::{Program, Reg};
 
 use crate::config::SimConfig;
-use crate::fault::{FaultKind, FaultPlan};
-use crate::func::sign_extend;
-use crate::mem::hierarchy::{Hierarchy, ServedBy};
-use crate::mem::memory::{MemFault, Memory};
-use crate::opt::bpred::{Bimodal, Btb};
-use crate::opt::cdp::Cdp;
-use crate::opt::comp_reuse::ReuseTable;
-use crate::opt::comp_simpl::{plan_alu, plan_fp, ExecPlan, PortClass, SimplEvent};
-use crate::opt::dmp::Imp;
-use crate::opt::pipe_compress::{packable, AluSlots};
-use crate::opt::rf_compress::RfCompressor;
-use crate::opt::silent_store::SsState;
-use crate::opt::value_pred::ValuePredictor;
+use crate::fault::FaultPlan;
+use crate::mem::hierarchy::Hierarchy;
+use crate::mem::memory::Memory;
+use crate::opt::hook::{FaultHook, Hooks};
+use crate::pipeline::{PipelineStage, PipelineState, Stages};
 use crate::stats::SimStats;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::Trace;
 
-/// The pipeline snapshot captured when the deadlock watchdog fires —
-/// enough to see *what* wedged without re-running under a tracer.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct DeadlockDiagnostics {
-    /// The ROB head's (sequence number, pc) — the instruction commit is
-    /// stuck behind — if the ROB is nonempty.
-    pub rob_head: Option<(u64, usize)>,
-    /// Reorder-buffer occupancy.
-    pub rob_len: usize,
-    /// The store-queue head's (sequence number, pc), if any.
-    pub sq_head: Option<(u64, usize)>,
-    /// Store-queue occupancy.
-    pub sq_len: usize,
-    /// Load-queue occupancy.
-    pub lq_len: usize,
-    /// Live physical register tags (free list occupancy is
-    /// `prf_size - live_tags`).
-    pub live_tags: usize,
-    /// Configured physical register file size.
-    pub prf_size: usize,
-    /// Where fetch was pointing.
-    pub fetch_pc: usize,
-    /// The last cycle that committed an instruction or dequeued a
-    /// store.
-    pub last_progress_cycle: u64,
-}
-
-impl fmt::Display for DeadlockDiagnostics {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "rob={}{} sq={}{} lq={} prf={}/{} fetch_pc={} last_progress={}",
-            self.rob_len,
-            self.rob_head
-                .map(|(s, pc)| format!(" (head seq {s} pc {pc})"))
-                .unwrap_or_default(),
-            self.sq_len,
-            self.sq_head
-                .map(|(s, pc)| format!(" (head seq {s} pc {pc})"))
-                .unwrap_or_default(),
-            self.lq_len,
-            self.live_tags,
-            self.prf_size,
-            self.fetch_pc,
-            self.last_progress_cycle,
-        )
-    }
-}
-
-/// Why a simulation run stopped abnormally.
-///
-/// Every abnormal outcome — including pipeline states that earlier
-/// revisions treated as internal panics — is reported through this
-/// enum, so harnesses driving adversarial or fault-injected programs
-/// can recover, log, and retry instead of aborting the process.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum SimError {
-    /// The cycle budget ran out before `halt` committed (the machine
-    /// was still making progress — contrast [`SimError::Deadlock`]).
-    Timeout {
-        /// The budget that was exhausted.
-        cycles: u64,
-    },
-    /// A committed (architecturally real) memory access faulted.
-    Mem {
-        /// The fault.
-        fault: MemFault,
-        /// The faulting instruction's index.
-        pc: usize,
-    },
-    /// Control flow left the program without halting.
-    WildPc {
-        /// The runaway instruction index.
-        pc: usize,
-    },
-    /// The watchdog saw no commit or store-dequeue progress for the
-    /// configured window ([`SimConfig::watchdog_cycles`]): the pipeline
-    /// is wedged, not slow.
-    Deadlock {
-        /// The cycle the watchdog fired.
-        cycle: u64,
-        /// Pipeline state at that moment.
-        diagnostics: DeadlockDiagnostics,
-    },
-    /// A structural resource could not be allocated when the pipeline's
-    /// own gating said it must be available — the recoverable form of
-    /// what used to be an allocation panic.
-    ResourceExhausted {
-        /// Which resource ran out.
-        resource: String,
-        /// The cycle it happened.
-        cycle: u64,
-    },
-    /// An internal pipeline invariant did not hold (e.g. a store
-    /// reaching dequeue without a resolved address). These indicate a
-    /// malformed program or an injected fault the pipeline could not
-    /// absorb; the machine stops cleanly instead of panicking.
-    InvalidState {
-        /// What was inconsistent, with enough context to debug.
-        context: String,
-        /// The cycle it was detected.
-        cycle: u64,
-    },
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::Timeout { cycles } => write!(f, "no halt within {cycles} cycles"),
-            SimError::Mem { fault, pc } => write!(f, "{fault} at pc {pc}"),
-            SimError::WildPc { pc } => write!(f, "control flow left the program at pc {pc}"),
-            SimError::Deadlock { cycle, diagnostics } => {
-                write!(f, "pipeline deadlock at cycle {cycle}: {diagnostics}")
-            }
-            SimError::ResourceExhausted { resource, cycle } => {
-                write!(f, "resource exhausted at cycle {cycle}: {resource}")
-            }
-            SimError::InvalidState { context, cycle } => {
-                write!(f, "invalid pipeline state at cycle {cycle}: {context}")
-            }
-        }
-    }
-}
-
-impl Error for SimError {}
-
-type Seq = u64;
-type PTag = u32;
-
-/// Classification of an instruction for dispatch-time bookkeeping.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum UopKind {
-    Alu,
-    Fp,
-    Load,
-    Store,
-    Branch,
-    Jal,
-    Jalr,
-    Flush,
-    RdCycle,
-    Li,
-    Nop,
-    Fence,
-    Halt,
-}
-
-fn classify(i: &Instr) -> UopKind {
-    match i {
-        Instr::AluRR { .. } | Instr::AluRI { .. } => UopKind::Alu,
-        Instr::Fp { .. } => UopKind::Fp,
-        Instr::Li { .. } => UopKind::Li,
-        Instr::Load { .. } => UopKind::Load,
-        Instr::Store { .. } => UopKind::Store,
-        Instr::Branch { .. } => UopKind::Branch,
-        Instr::Jal { .. } => UopKind::Jal,
-        Instr::Jalr { .. } => UopKind::Jalr,
-        Instr::RdCycle { .. } => UopKind::RdCycle,
-        Instr::Flush { .. } => UopKind::Flush,
-        Instr::Fence => UopKind::Fence,
-        Instr::Nop => UopKind::Nop,
-        Instr::Halt => UopKind::Halt,
-    }
-}
-
-/// One in-flight dynamic instruction.
-#[derive(Clone, Debug)]
-struct Uop {
-    seq: Seq,
-    pc: usize,
-    instr: Instr,
-    kind: UopKind,
-    srcs: Vec<PTag>,
-    dst: Option<PTag>,
-    /// The architectural register this uop redefines and its previous
-    /// physical mapping — fuels both commit-time freeing and
-    /// squash-time rename undo.
-    prev: Option<(Reg, PTag)>,
-    in_iq: bool,
-    executing: bool,
-    done: bool,
-    done_cycle: u64,
-    result: u64,
-    /// Loads/stores: the resolved effective address.
-    addr: Option<u64>,
-    /// Loads: access width (for DMP training).
-    mem_width: Option<Width>,
-    fault: Option<MemFault>,
-    /// Branches/jalr: the fetch-time predicted next pc.
-    pred_target: usize,
-    /// Branches/jalr: the resolved next pc.
-    actual_target: usize,
-    /// Value prediction made at dispatch, if any.
-    vp_pred: Option<u64>,
-    /// Memo-table insertion info captured at issue on a reuse miss.
-    reuse_info: Option<([u64; 2], [Option<Reg>; 2])>,
-    /// Simplification event to count when the uop completes.
-    simpl_event: Option<SimplEvent>,
-}
-
-/// A store-queue entry; lives from dispatch until dequeue (possibly
-/// after commit).
-#[derive(Clone, Copy, Debug)]
-struct SqEntry {
-    seq: Seq,
-    pc: usize,
-    width: Width,
-    addr: Option<u64>,
-    data: Option<u64>,
-    committed: bool,
-    ss: SsState,
-    performing_until: Option<u64>,
-    at_head_traced: bool,
-}
+pub use crate::error::{DeadlockDiagnostics, SimError};
 
 /// The simulated machine: one out-of-order core, two cache levels, flat
 /// memory.
@@ -282,123 +56,38 @@ struct SqEntry {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Machine {
-    cfg: SimConfig,
-    prog: Program,
-    mem: Memory,
-    hier: Hierarchy,
-    cycle: u64,
-    next_seq: Seq,
-    halted: bool,
-
-    // Frontend.
-    fetch_pc: usize,
-    fetch_stall_until: u64,
-    fetch_blocked: bool,
-    fetch_buf: VecDeque<(usize, Instr, usize)>, // (pc, instr, predicted next pc)
-    bimodal: Bimodal,
-    btb: Btb,
-
-    // Rename / register state.
-    rat: [PTag; Reg::COUNT],
-    prf_vals: Vec<u64>,
-    prf_ready: Vec<bool>,
-    live_tags: usize,
-    shared_tags: Vec<PTag>,
-    arch_regs: [u64; Reg::COUNT],
-
-    // Backend.
-    rob: VecDeque<Uop>,
-    iq_count: usize,
-    lq: VecDeque<Seq>,
-    sq: VecDeque<SqEntry>,
-    fences_inflight: usize,
-
-    // Optimizations.
-    vp: ValuePredictor,
-    reuse: ReuseTable,
-    rfc: RfCompressor,
-    imp: Option<Imp>,
-    cdp: Option<Cdp>,
-
-    stats: SimStats,
-    trace: Trace,
-
-    // Robustness runtime.
-    /// Last cycle that committed an instruction or dequeued a store —
-    /// the watchdog's notion of forward progress.
-    last_progress_cycle: u64,
-    fault_plan: Option<FaultPlan>,
-    fault_cursor: usize,
+    state: PipelineState,
+    stages: Stages,
+    hooks: Hooks,
 }
 
 impl Machine {
-    /// Creates a machine with zeroed memory and registers.
+    /// Creates a machine with zeroed memory and registers; the enabled
+    /// Table I optimization classes in `cfg.opts` become the hook list.
     #[must_use]
     pub fn new(cfg: SimConfig) -> Machine {
-        let mut prf_vals = Vec::with_capacity(cfg.pipeline.prf_size);
-        let mut prf_ready = Vec::with_capacity(cfg.pipeline.prf_size);
-        let mut rat = [0 as PTag; Reg::COUNT];
-        for (i, slot) in rat.iter_mut().enumerate() {
-            *slot = i as PTag;
-            prf_vals.push(0);
-            prf_ready.push(true);
-        }
         Machine {
-            mem: Memory::new(cfg.mem_size),
-            hier: Hierarchy::new(cfg.l1d, cfg.l2, cfg.mem_latency, cfg.seed),
-            cycle: 0,
-            next_seq: 0,
-            halted: false,
-            fetch_pc: 0,
-            fetch_stall_until: 0,
-            fetch_blocked: false,
-            fetch_buf: VecDeque::new(),
-            bimodal: Bimodal::new(1024),
-            btb: Btb::new(),
-            rat,
-            prf_vals,
-            prf_ready,
-            live_tags: Reg::COUNT,
-            shared_tags: Vec::new(),
-            arch_regs: [0; Reg::COUNT],
-            rob: VecDeque::new(),
-            iq_count: 0,
-            lq: VecDeque::new(),
-            sq: VecDeque::new(),
-            fences_inflight: 0,
-            vp: ValuePredictor::with_kind(cfg.opts.vp_confidence, cfg.opts.vp_kind),
-            reuse: ReuseTable::new(cfg.opts.reuse_entries.max(1), cfg.opts.reuse_key),
-            rfc: RfCompressor::new(cfg.opts.rfc_match),
-            imp: cfg.opts.dmp.then(|| Imp::new(&cfg.opts)),
-            cdp: cfg
-                .opts
-                .cdp
-                .then(|| Cdp::new(cfg.l1d.line, cfg.opts.dmp_fill)),
-            stats: SimStats::default(),
-            trace: Trace::new(),
-            last_progress_cycle: 0,
-            fault_plan: None,
-            fault_cursor: 0,
-            prog: Program::default(),
-            cfg,
+            hooks: Hooks::from_config(&cfg),
+            state: PipelineState::new(cfg),
+            stages: Stages::default(),
         }
     }
 
     /// Installs the program to run (fetch starts at instruction 0).
     pub fn load_program(&mut self, prog: &Program) {
-        self.prog = prog.clone();
+        self.state.prog = prog.clone();
     }
 
     /// The machine configuration.
     #[must_use]
     pub fn config(&self) -> &SimConfig {
-        &self.cfg
+        &self.state.cfg
     }
 
     /// The committed architectural value of register `r`.
     #[must_use]
     pub fn reg(&self, r: Reg) -> u64 {
-        self.arch_regs[r.index()]
+        self.state.arch_regs[r.index()]
     }
 
     /// Sets register `r` before the run starts (`x0` is ignored).
@@ -407,73 +96,84 @@ impl Machine {
     ///
     /// Panics if called after the machine has started executing.
     pub fn set_reg(&mut self, r: Reg, v: u64) {
-        assert_eq!(self.cycle, 0, "set_reg is only valid before run()");
+        assert_eq!(self.state.cycle, 0, "set_reg is only valid before run()");
         if r.is_zero() {
             return;
         }
-        self.arch_regs[r.index()] = v;
-        let tag = self.rat[r.index()] as usize;
-        self.prf_vals[tag] = v;
+        self.state.arch_regs[r.index()] = v;
+        let tag = self.state.rat[r.index()] as usize;
+        self.state.prf_vals[tag] = v;
     }
 
     /// Read-only memory access.
     #[must_use]
     pub fn mem(&self) -> &Memory {
-        &self.mem
+        &self.state.mem
     }
 
     /// Mutable memory access (for setting up experiment state).
     pub fn mem_mut(&mut self) -> &mut Memory {
-        &mut self.mem
+        &mut self.state.mem
     }
 
     /// The cache hierarchy (for receivers probing residency).
     #[must_use]
     pub fn hierarchy(&self) -> &Hierarchy {
-        &self.hier
+        &self.state.hier
     }
 
     /// Mutable hierarchy access (for priming/flushing cache state).
     pub fn hierarchy_mut(&mut self) -> &mut Hierarchy {
-        &mut self.hier
+        &mut self.state.hier
     }
 
     /// The current cycle.
     #[must_use]
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.state.cycle
     }
 
     /// Whether `halt` has committed.
     #[must_use]
     pub fn is_halted(&self) -> bool {
-        self.halted
+        self.state.halted
     }
 
     /// Statistics accumulated so far.
     #[must_use]
     pub fn stats(&self) -> &SimStats {
-        &self.stats
+        self.state.bus.stats()
     }
 
     /// Enables microarchitectural event tracing.
     pub fn enable_trace(&mut self) {
-        self.trace.enable();
+        self.state.bus.trace_mut().enable();
     }
 
     /// The event trace recorded so far.
     #[must_use]
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        self.state.bus.trace()
     }
 
-    /// The DMP's confirmed patterns, if a DMP is configured (tests).
+    /// The DMP's confirmed `(src_pc, dst_pc, base, scale)` patterns, as
+    /// retained by the event bus (empty without a DMP).
     #[must_use]
-    pub fn dmp_patterns(&self) -> Vec<(usize, usize, u64, u64)> {
-        self.imp
-            .as_ref()
-            .map(Imp::confirmed_patterns)
-            .unwrap_or_default()
+    pub fn dmp_patterns(&self) -> &[(usize, usize, u64, u64)] {
+        self.state.bus.dmp_patterns()
+    }
+
+    /// Rewinds to the post-construction state — cycle 0, zeroed memory
+    /// and registers, cold caches and predictors, fresh statistics —
+    /// while keeping every allocation and the loaded program, so
+    /// calibration loops can re-run trials without re-allocating a
+    /// machine. The hook list is rebuilt from the configuration, which
+    /// also discards any installed [`FaultPlan`] and all optimization
+    /// learning state (reuse memos, value-predictor confidence, DMP
+    /// correlations).
+    pub fn reset(&mut self) {
+        self.state.reset();
+        self.hooks = Hooks::from_config(&self.state.cfg);
     }
 
     /// Installs a fault plan: each scheduled event is applied at the
@@ -481,12 +181,12 @@ impl Machine {
     /// any previously installed plan; events scheduled at or before the
     /// current cycle are dropped rather than fired retroactively.
     pub fn inject_faults(&mut self, plan: FaultPlan) {
-        self.fault_cursor = plan
+        let cursor = plan
             .events()
             .iter()
-            .position(|e| e.cycle > self.cycle)
+            .position(|e| e.cycle > self.state.cycle)
             .unwrap_or(plan.len());
-        self.fault_plan = Some(plan);
+        self.hooks.install(Box::new(FaultHook::new(plan, cursor)));
     }
 
     /// Runs until `halt` commits or `max_cycles` elapse.
@@ -501,1585 +201,60 @@ impl Machine {
     ///   if a pipeline invariant breaks (malformed program or
     ///   injected fault).
     pub fn run(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
-        let limit = self.cycle + max_cycles;
-        while !self.halted {
-            if self.cycle >= limit {
+        let limit = self.state.cycle + max_cycles;
+        while !self.state.halted {
+            if self.state.cycle >= limit {
                 return Err(SimError::Timeout { cycles: max_cycles });
             }
             self.step()?;
         }
-        Ok(self.stats)
+        Ok(*self.state.bus.stats())
     }
 
-    /// Advances the machine one cycle.
+    /// Advances the machine one cycle: stages tick in reverse pipeline
+    /// order (commit first) so a result produced in cycle *n* is
+    /// consumed no earlier than cycle *n + 1*.
     ///
     /// # Errors
     ///
     /// See [`Machine::run`].
     pub fn step(&mut self) -> Result<(), SimError> {
-        self.cycle += 1;
-        self.apply_due_faults();
-        self.commit()?;
-        if self.halted {
-            self.stats.cycles = self.cycle;
+        let st = &mut self.state;
+        st.cycle += 1;
+        st.bus.begin_cycle(st.cycle);
+        self.hooks.on_cycle_start(st);
+        self.stages.commit.tick(st, &mut self.hooks)?;
+        if st.halted {
+            st.bus.set_cycles(st.cycle);
             return Ok(());
         }
-        self.resolve_ss_loads();
-        self.dequeue_stores()?;
-        self.writeback();
-        self.issue();
-        self.dispatch()?;
-        self.fetch();
-        self.stats.cycles = self.cycle;
+        self.stages.lsq.tick(st, &mut self.hooks)?;
+        self.stages.execute.tick(st, &mut self.hooks)?;
+        self.stages.issue.tick(st, &mut self.hooks)?;
+        self.stages.rename.tick(st, &mut self.hooks)?;
+        self.stages.fetch.tick(st, &mut self.hooks)?;
+        st.bus.set_cycles(st.cycle);
         // Wild control flow: nothing in flight and nothing fetchable.
-        if self.rob.is_empty()
-            && self.fetch_buf.is_empty()
-            && self.sq.is_empty()
-            && !self.fetch_blocked
-            && self.cycle >= self.fetch_stall_until
-            && self.prog.get(self.fetch_pc).is_none()
+        if st.rob.is_empty()
+            && st.fetch_buf.is_empty()
+            && st.sq.is_empty()
+            && !st.fetch_blocked
+            && st.cycle >= st.fetch_stall_until
+            && st.prog.get(st.fetch_pc).is_none()
         {
-            return Err(SimError::WildPc { pc: self.fetch_pc });
+            return Err(SimError::WildPc { pc: st.fetch_pc });
         }
         // Watchdog: work is in flight but nothing has committed or
         // drained for a whole window — the pipeline is wedged, and
         // spinning to the cycle cap would only mislabel it a Timeout.
-        if let Some(window) = self.cfg.watchdog_cycles {
-            if self.cycle.saturating_sub(self.last_progress_cycle) >= window {
+        if let Some(window) = st.cfg.watchdog_cycles {
+            if st.cycle.saturating_sub(st.last_progress_cycle) >= window {
                 return Err(SimError::Deadlock {
-                    cycle: self.cycle,
-                    diagnostics: self.deadlock_snapshot(),
+                    cycle: st.cycle,
+                    diagnostics: st.deadlock_snapshot(),
                 });
             }
         }
         Ok(())
-    }
-
-    fn deadlock_snapshot(&self) -> DeadlockDiagnostics {
-        DeadlockDiagnostics {
-            rob_head: self.rob.front().map(|u| (u.seq, u.pc)),
-            rob_len: self.rob.len(),
-            sq_head: self.sq.front().map(|e| (e.seq, e.pc)),
-            sq_len: self.sq.len(),
-            lq_len: self.lq.len(),
-            live_tags: self.live_tags,
-            prf_size: self.cfg.pipeline.prf_size,
-            fetch_pc: self.fetch_pc,
-            last_progress_cycle: self.last_progress_cycle,
-        }
-    }
-
-    fn invalid_state(&self, context: String) -> SimError {
-        SimError::InvalidState {
-            context,
-            cycle: self.cycle,
-        }
-    }
-
-    // ---- Fault injection ---------------------------------------------
-
-    /// Applies every installed fault event due at the current cycle.
-    fn apply_due_faults(&mut self) {
-        let Some(plan) = self.fault_plan.take() else {
-            return;
-        };
-        while let Some(ev) = plan.events().get(self.fault_cursor) {
-            if ev.cycle > self.cycle {
-                break;
-            }
-            self.fault_cursor += 1;
-            self.apply_fault(ev.kind);
-        }
-        self.fault_plan = Some(plan);
-    }
-
-    fn apply_fault(&mut self, kind: FaultKind) {
-        match kind {
-            FaultKind::MemBitFlip { addr, bit } => {
-                // Out-of-bounds targets are no-ops: the plan may be
-                // random and the memory small.
-                if let Ok(b) = self.mem.read_u8(addr) {
-                    let _ = self.mem.write_u8(addr, b ^ (1 << (bit & 7)));
-                    self.stats.faults_injected += 1;
-                }
-            }
-            FaultKind::RegBitFlip { reg, bit } => {
-                if !reg.is_zero() {
-                    let mask = 1u64 << (bit & 63);
-                    self.arch_regs[reg.index()] ^= mask;
-                    // Mirror into the current physical mapping so
-                    // in-flight readers observe the flip too.
-                    let tag = self.rat[reg.index()] as usize;
-                    self.prf_vals[tag] ^= mask;
-                    self.stats.faults_injected += 1;
-                }
-            }
-            FaultKind::DropPrefetches { count } => {
-                self.hier.suppress_prefetches(count);
-                self.stats.faults_injected += 1;
-            }
-            FaultKind::EvictLine { addr } => {
-                self.hier.flush_line(addr);
-                self.stats.faults_injected += 1;
-            }
-            FaultKind::SpuriousSquash => {
-                if let Some(front) = self.rob.front() {
-                    let pc = front.pc;
-                    self.squash_newer_than(None, pc);
-                    self.stats.faults_injected += 1;
-                }
-            }
-            FaultKind::DroppedCompletion => {
-                if let Some(u) = self
-                    .rob
-                    .iter_mut()
-                    .find(|u| u.executing && !u.done)
-                {
-                    u.done_cycle = u64::MAX;
-                    self.stats.faults_injected += 1;
-                }
-            }
-        }
-    }
-
-    // ---- Register tag plumbing ---------------------------------------
-
-    fn alloc_tag(&mut self) -> Option<PTag> {
-        if self.live_tags >= self.cfg.pipeline.prf_size {
-            return None;
-        }
-        let tag = self.prf_vals.len() as PTag;
-        self.prf_vals.push(0);
-        self.prf_ready.push(false);
-        self.live_tags += 1;
-        Some(tag)
-    }
-
-    fn free_tag(&mut self, tag: PTag) {
-        if let Some(i) = self.shared_tags.iter().position(|&t| t == tag) {
-            // Already released early by register-file compression.
-            self.shared_tags.swap_remove(i);
-        } else {
-            self.live_tags -= 1;
-        }
-    }
-
-    fn srcs_ready(&self, uop: &Uop) -> bool {
-        uop.srcs.iter().all(|&t| self.prf_ready[t as usize])
-    }
-
-    fn val(&self, tag: PTag) -> u64 {
-        self.prf_vals[tag as usize]
-    }
-
-    /// Removes the uop at ROB index `idx` from the issue queue (called
-    /// when it starts executing).
-    fn leave_iq(&mut self, idx: usize) {
-        let uop = &mut self.rob[idx];
-        debug_assert!(uop.in_iq);
-        uop.in_iq = false;
-        self.iq_count -= 1;
-    }
-
-    // ---- Commit ------------------------------------------------------
-
-    fn commit(&mut self) -> Result<(), SimError> {
-        for _ in 0..self.cfg.pipeline.commit_width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.done {
-                break;
-            }
-            if matches!(head.kind, UopKind::Fence | UopKind::Halt) && !self.sq.is_empty() {
-                break; // fences and halt drain the store queue first
-            }
-            let Some(uop) = self.rob.pop_front() else { break };
-            if let Some(fault) = uop.fault {
-                return Err(SimError::Mem {
-                    fault,
-                    pc: uop.pc,
-                });
-            }
-            self.last_progress_cycle = self.cycle;
-            match uop.kind {
-                UopKind::Halt => {
-                    self.halted = true;
-                    self.stats.committed += 1;
-                    return Ok(());
-                }
-                UopKind::Fence => {
-                    self.fences_inflight -= 1;
-                    if self.fences_inflight == 0 {
-                        self.fetch_blocked = false;
-                    }
-                }
-                UopKind::Store => {
-                    if let Some(e) = self.sq.iter_mut().find(|e| e.seq == uop.seq) {
-                        e.committed = true;
-                    }
-                }
-                UopKind::Load => {
-                    self.lq.retain(|&s| s != uop.seq);
-                    if let (Some(cdp), Some(addr)) = (self.cdp, uop.addr) {
-                        cdp.observe(
-                            addr,
-                            &self.mem,
-                            &mut self.hier,
-                            &mut self.trace,
-                            &mut self.stats,
-                            self.cycle,
-                        );
-                    }
-                    if let (Some(mut imp), Some(addr), Some(width)) =
-                        (self.imp.take(), uop.addr, uop.mem_width)
-                    {
-                        imp.observe(
-                            uop.pc,
-                            addr,
-                            uop.result,
-                            width,
-                            &self.mem,
-                            &mut self.hier,
-                            &mut self.trace,
-                            &mut self.stats,
-                            self.cycle,
-                        );
-                        self.imp = Some(imp);
-                    }
-                }
-                _ => {}
-            }
-            if let Some((arch, prev)) = uop.prev {
-                let Some(dst) = uop.dst else {
-                    return Err(self.invalid_state(format!(
-                        "committing pc {} renames {arch} but has no \
-                         destination tag",
-                        uop.pc
-                    )));
-                };
-                self.arch_regs[arch.index()] = self.val(dst);
-                self.free_tag(prev);
-            }
-            self.stats.committed += 1;
-        }
-        Ok(())
-    }
-
-    // ---- Store queue -------------------------------------------------
-
-    fn resolve_ss_loads(&mut self) {
-        let cycle = self.cycle;
-        'entries: for i in 0..self.sq.len() {
-            let e = self.sq[i];
-            if let SsState::Outstanding { done_cycle } = e.ss {
-                if done_cycle <= cycle {
-                    let (Some(addr), Some(data)) = (e.addr, e.data) else {
-                        continue;
-                    };
-                    // The SS-load is a load: it observes older in-flight
-                    // stores through store-to-load forwarding, youngest
-                    // first. An unresolved or partially overlapping older
-                    // store defers the check (retried next cycle; the
-                    // store may end up case D instead).
-                    let n = e.width.bytes() as u64;
-                    let mut current: Option<u64> = None;
-                    for j in (0..i).rev() {
-                        let older = self.sq[j];
-                        let Some(o_addr) = older.addr else {
-                            continue 'entries;
-                        };
-                        let o_n = older.width.bytes() as u64;
-                        let overlap = o_addr < addr + n && addr < o_addr + o_n;
-                        if !overlap {
-                            continue;
-                        }
-                        if o_addr == addr && o_n == n {
-                            match older.data {
-                                Some(d) => {
-                                    current = Some(d & width_mask(e.width));
-                                    break;
-                                }
-                                None => continue 'entries,
-                            }
-                        }
-                        continue 'entries; // partial overlap: defer
-                    }
-                    let current = match current {
-                        Some(v) => v,
-                        None => match self.mem.read(addr, e.width) {
-                            Ok(v) => v,
-                            Err(_) => continue,
-                        },
-                    };
-                    let silent = current == data & width_mask(e.width);
-                    self.sq[i].ss = SsState::Checked { silent };
-                    self.trace.push(TraceEvent::SsLoadReturned {
-                        cycle,
-                        pc: e.pc,
-                        silent,
-                    });
-                }
-            }
-        }
-    }
-
-    fn dequeue_stores(&mut self) -> Result<(), SimError> {
-        loop {
-            let cycle = self.cycle;
-            let Some(head) = self.sq.front_mut() else { break };
-            if !head.committed {
-                break;
-            }
-            let pc = head.pc;
-            if !head.at_head_traced {
-                head.at_head_traced = true;
-                self.trace.push(TraceEvent::StoreAtHead { cycle, pc });
-            }
-            if let Some(t) = head.performing_until {
-                if cycle >= t {
-                    let width = head.width;
-                    let (Some(addr), Some(data)) = (head.addr, head.data) else {
-                        return Err(self.invalid_state(format!(
-                            "committed store at pc {pc} reached dequeue \
-                             without a resolved address/data"
-                        )));
-                    };
-                    if let Err(fault) = self.mem.write(addr, data, width) {
-                        // A faulting store should have stopped at commit;
-                        // reaching here means memory changed under us
-                        // (e.g. an injected fault) after the bounds check.
-                        return Err(self.invalid_state(format!(
-                            "committed store at pc {pc} faulted at \
-                             dequeue: {fault}"
-                        )));
-                    }
-                    self.sq.pop_front();
-                    self.last_progress_cycle = cycle;
-                    self.stats.performed_stores += 1;
-                    self.trace.push(TraceEvent::StoreDequeued { cycle, pc });
-                    // One performed store completes per cycle.
-                    break;
-                }
-                break;
-            }
-            let decision = if self.cfg.opts.silent_stores {
-                head.ss.dequeue_decision()
-            } else {
-                head.ss.dequeue_decision().and(Err(
-                    crate::trace::NonSilentReason::NoLoadPort,
-                ))
-            };
-            match decision {
-                Ok(()) => {
-                    self.sq.pop_front();
-                    self.last_progress_cycle = cycle;
-                    self.stats.silent_stores += 1;
-                    self.trace
-                        .push(TraceEvent::StoreSilentDequeue { cycle, pc });
-                    // Consecutive silent stores dequeue in the same cycle.
-                }
-                Err(reason) => {
-                    if reason == crate::trace::NonSilentReason::SsLoadLate {
-                        self.stats.ss_late += 1;
-                    }
-                    let Some(addr) = head.addr else {
-                        return Err(self.invalid_state(format!(
-                            "committed store at pc {pc} has no resolved \
-                             address at dequeue"
-                        )));
-                    };
-                    let latency = self.demand_access(addr);
-                    let Some(head) = self.sq.front_mut() else {
-                        return Err(self.invalid_state(format!(
-                            "store queue emptied while the head store \
-                             (pc {pc}) was being sent to the cache"
-                        )));
-                    };
-                    head.performing_until = Some(cycle + latency);
-                    self.trace
-                        .push(TraceEvent::StoreSentToCache { cycle, pc, reason });
-                    break;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn demand_access(&mut self, addr: u64) -> u64 {
-        let acc = self.hier.access(addr);
-        match acc.served_by {
-            ServedBy::L1 => self.stats.l1_hits += 1,
-            ServedBy::L2 => self.stats.l2_hits += 1,
-            ServedBy::Dram => self.stats.dram_accesses += 1,
-        }
-        acc.latency
-    }
-
-    // ---- Writeback ---------------------------------------------------
-
-    fn writeback(&mut self) {
-        loop {
-            let cycle = self.cycle;
-            let Some(idx) = self
-                .rob
-                .iter()
-                .position(|u| u.executing && !u.done && u.done_cycle <= cycle)
-            else {
-                break;
-            };
-            let seq = self.rob[idx].seq;
-            // Mark complete and broadcast the result.
-            {
-                let uop = &mut self.rob[idx];
-                uop.done = true;
-                uop.executing = false;
-            }
-            let uop = self.rob[idx].clone();
-            if let Some(dst) = uop.dst {
-                self.prf_vals[dst as usize] = uop.result;
-                self.prf_ready[dst as usize] = true;
-            }
-            if let Some(ev) = uop.simpl_event {
-                match ev {
-                    SimplEvent::MulSkip => self.stats.mul_skips += 1,
-                    SimplEvent::MulStrengthReduced => {
-                        self.stats.mul_strength_reductions += 1;
-                    }
-                    SimplEvent::DivEarlyExit => self.stats.div_early_exits += 1,
-                    SimplEvent::TrivialSkip => self.stats.trivial_skips += 1,
-                    SimplEvent::FpSubnormal => self.stats.fp_subnormal_slow += 1,
-                }
-            }
-            if let Some((vals, srcs)) = uop.reuse_info {
-                // Insert-after-invalidate hazard, Sn only: a younger
-                // in-flight instruction may already have redefined one
-                // of this entry's source registers — its rename-time
-                // invalidation ran before this insert, so inserting now
-                // would resurrect a stale register binding. (Sv keys on
-                // operand *values*, which are correct by construction.)
-                let stale = self.reuse.key_kind() == crate::config::ReuseKey::RegIds
-                    && self.rob.iter().any(|u| {
-                        u.seq > seq
-                            && matches!(u.prev, Some((r, _)) if srcs.contains(&Some(r)))
-                    });
-                if !stale {
-                    self.reuse.insert(uop.pc, vals, srcs, uop.result);
-                }
-            }
-            // Register-file compression: early tag release.
-            if self.cfg.opts.rf_compress {
-                if let Some(dst) = uop.dst {
-                    if !self.shared_tags.contains(&dst)
-                        && self.rfc.compresses(uop.result, &self.arch_regs)
-                    {
-                        self.shared_tags.push(dst);
-                        self.live_tags -= 1;
-                        self.stats.rfc_shares += 1;
-                    }
-                }
-            }
-            // Control-flow verification.
-            match uop.kind {
-                UopKind::Branch => {
-                    if let Instr::Branch { .. } = uop.instr {
-                        self.bimodal
-                            .update(uop.pc, uop.actual_target != uop.pc + 1);
-                    }
-                    if uop.actual_target != uop.pred_target {
-                        self.stats.branch_squashes += 1;
-                        self.squash_after(seq, uop.actual_target);
-                        continue;
-                    }
-                }
-                UopKind::Jalr => {
-                    self.btb.update(uop.pc, uop.actual_target);
-                    if uop.actual_target != uop.pred_target {
-                        self.stats.branch_squashes += 1;
-                        self.squash_after(seq, uop.actual_target);
-                        continue;
-                    }
-                }
-                UopKind::Load
-                    if self.cfg.opts.value_pred && uop.fault.is_none() => {
-                        self.vp.update(uop.pc, uop.result);
-                        if let Some(pred) = uop.vp_pred {
-                            if pred == uop.result {
-                                self.stats.vp_correct += 1;
-                            } else {
-                                self.stats.vp_squashes += 1;
-                                self.squash_after(seq, uop.pc + 1);
-                                continue;
-                            }
-                        }
-                    }
-                _ => {}
-            }
-        }
-    }
-
-    /// Squashes every uop younger than `seq` and redirects fetch to
-    /// `redirect`, undoing renames by walking the ROB from the tail.
-    fn squash_after(&mut self, seq: Seq, redirect: usize) {
-        self.squash_newer_than(Some(seq), redirect);
-    }
-
-    /// Squashes every uop younger than `keep_upto` (all of them when
-    /// `None` — the spurious-squash fault uses this to flush the whole
-    /// window), redirecting fetch to `redirect`.
-    fn squash_newer_than(&mut self, keep_upto: Option<Seq>, redirect: usize) {
-        let cycle = self.cycle;
-        while let Some(tail) = self.rob.back() {
-            if keep_upto.is_some_and(|seq| tail.seq <= seq) {
-                break;
-            }
-            let Some(uop) = self.rob.pop_back() else { break };
-            if uop.in_iq {
-                self.iq_count -= 1;
-            }
-            if let Some((arch, prev)) = uop.prev {
-                self.rat[arch.index()] = prev;
-            }
-            if let Some(dst) = uop.dst {
-                self.free_tag(dst);
-            }
-            match uop.kind {
-                UopKind::Load => self.lq.retain(|&s| s != uop.seq),
-                UopKind::Store => self.sq.retain(|e| e.seq != uop.seq),
-                UopKind::Fence => {
-                    self.fences_inflight -= 1;
-                }
-                _ => {}
-            }
-        }
-        self.fetch_buf.clear();
-        self.fetch_pc = redirect;
-        self.fetch_stall_until = cycle + self.cfg.pipeline.redirect_penalty;
-        self.fetch_blocked = self.fences_inflight > 0;
-        self.trace.push(TraceEvent::Squash {
-            cycle,
-            pc: redirect,
-        });
-    }
-
-    // ---- Issue / execute ---------------------------------------------
-
-    fn issue(&mut self) {
-        let p = self.cfg.pipeline;
-        let mut alu = AluSlots::new(p.alu_ports, self.cfg.opts.operand_packing);
-        let mut muldiv = p.muldiv_ports;
-        let mut fp = p.fp_ports;
-        let mut loads = p.load_ports;
-        let mut stores = p.store_ports;
-        let mut issued = 0usize;
-        let mut newly_resolved_stores: Vec<Seq> = Vec::new();
-
-        for idx in 0..self.rob.len() {
-            if issued >= p.issue_width {
-                break;
-            }
-            let uop = &self.rob[idx];
-            if !uop.in_iq || uop.executing || uop.done {
-                continue;
-            }
-            if !self.srcs_ready(uop) {
-                continue;
-            }
-            let kind = uop.kind;
-            match kind {
-                UopKind::Load => {
-                    if loads == 0 {
-                        continue;
-                    }
-                    if self.try_issue_load(idx) {
-                        loads -= 1;
-                        issued += 1;
-                        self.leave_iq(idx);
-                    }
-                }
-                UopKind::Store => {
-                    if stores == 0 {
-                        continue;
-                    }
-                    let seq = self.issue_store(idx);
-                    newly_resolved_stores.push(seq);
-                    stores -= 1;
-                    issued += 1;
-                    self.leave_iq(idx);
-                }
-                UopKind::Flush => {
-                    if loads == 0 {
-                        continue;
-                    }
-                    self.issue_flush(idx);
-                    loads -= 1;
-                    issued += 1;
-                    self.leave_iq(idx);
-                }
-                _ => {
-                    if self.try_issue_compute(idx, &mut alu, &mut muldiv, &mut fp) {
-                        issued += 1;
-                        self.leave_iq(idx);
-                    }
-                }
-            }
-        }
-        self.stats.packed_pairs += alu.packed_pairs();
-
-        // Read-port stealing: stores whose address just resolved get an
-        // SS-load if a load port is still free this cycle (Fig 4 A/D vs C).
-        if self.cfg.opts.silent_stores {
-            for seq in newly_resolved_stores {
-                let Some(e) = self.sq.iter().position(|e| e.seq == seq) else {
-                    continue;
-                };
-                let entry = self.sq[e];
-                let (Some(addr), cycle) = (entry.addr, self.cycle) else {
-                    continue;
-                };
-                if entry.ss != SsState::NotChecked {
-                    continue;
-                }
-                if loads == 0 {
-                    self.sq[e].ss = SsState::NoPort;
-                    self.stats.ss_no_port += 1;
-                    continue;
-                }
-                loads -= 1;
-                if !self.mem.contains(addr, entry.width.bytes()) {
-                    // A faulting store never performs; skip the check.
-                    self.sq[e].ss = SsState::NoPort;
-                    continue;
-                }
-                let latency = self.demand_access(addr);
-                self.sq[e].ss = SsState::Outstanding {
-                    done_cycle: cycle + latency,
-                };
-                self.stats.ss_loads += 1;
-                self.trace.push(TraceEvent::SsLoadIssued {
-                    cycle,
-                    pc: entry.pc,
-                    addr,
-                });
-            }
-        }
-    }
-
-    /// Attempts to execute the load at ROB index `idx`. Returns whether
-    /// it issued (false = blocked on an older store, retry next cycle).
-    fn try_issue_load(&mut self, idx: usize) -> bool {
-        let uop = &self.rob[idx];
-        let Instr::Load {
-            base: _,
-            offset,
-            width,
-            signed,
-            ..
-        } = uop.instr
-        else {
-            unreachable!("load uop holds a load instruction");
-        };
-        let addr = self.val(uop.srcs[0]).wrapping_add(offset as u64);
-        let seq = uop.seq;
-        let n = width.bytes() as u64;
-
-        // Scan older stores, youngest first.
-        let mut forwarded: Option<u64> = None;
-        for e in self.sq.iter().rev() {
-            if e.seq >= seq {
-                continue;
-            }
-            let Some(st_addr) = e.addr else {
-                return false; // unknown older store address: wait
-            };
-            let st_n = e.width.bytes() as u64;
-            let overlap = st_addr < addr + n && addr < st_addr + st_n;
-            if !overlap {
-                continue;
-            }
-            if st_addr == addr && st_n == n {
-                match e.data {
-                    Some(d) => {
-                        forwarded = Some(d & width_mask(width));
-                        break;
-                    }
-                    None => return false, // data not ready yet
-                }
-            } else {
-                return false; // partial overlap: wait for the store to drain
-            }
-        }
-
-        let cycle = self.cycle;
-        let (value, latency, fault) = if let Some(v) = forwarded {
-            (v, 1, None)
-        } else if !self.mem.contains(addr, width.bytes()) {
-            (0, 1, Some(MemFault {
-                addr,
-                len: width.bytes(),
-            }))
-        } else {
-            let latency = self.demand_access(addr);
-            match self.mem.read(addr, width) {
-                Ok(raw) => (raw, latency, None),
-                // `contains` passed just above, so this only happens if
-                // memory shrank under us; surface it as a load fault
-                // (reported at commit) rather than aborting.
-                Err(fault) => (0, 1, Some(fault)),
-            }
-        };
-        let value = if signed {
-            sign_extend(value, width.bytes())
-        } else {
-            value
-        };
-        let uop = &mut self.rob[idx];
-        uop.executing = true;
-        uop.done_cycle = cycle + latency;
-        uop.result = value;
-        uop.addr = Some(addr);
-        uop.mem_width = Some(width);
-        uop.fault = fault;
-        true
-    }
-
-    /// Executes the store at ROB index `idx` (address + data capture).
-    fn issue_store(&mut self, idx: usize) -> Seq {
-        let uop = &self.rob[idx];
-        let Instr::Store { offset, width, .. } = uop.instr else {
-            unreachable!("store uop holds a store instruction");
-        };
-        let addr = self.val(uop.srcs[0]).wrapping_add(offset as u64);
-        let data = self.val(uop.srcs[1]);
-        let seq = uop.seq;
-        let cycle = self.cycle;
-        let fault = (!self.mem.contains(addr, width.bytes())).then_some(MemFault {
-            addr,
-            len: width.bytes(),
-        });
-        if let Some(e) = self.sq.iter_mut().find(|e| e.seq == seq) {
-            e.addr = Some(addr);
-            e.data = Some(data);
-        }
-        let uop = &mut self.rob[idx];
-        uop.executing = true;
-        uop.done_cycle = cycle + 1;
-        uop.addr = Some(addr);
-        uop.fault = fault;
-        self.trace.push(TraceEvent::StoreResolved {
-            cycle,
-            pc: uop.pc,
-            addr,
-        });
-        seq
-    }
-
-    fn issue_flush(&mut self, idx: usize) {
-        let uop = &self.rob[idx];
-        let Instr::Flush { offset, .. } = uop.instr else {
-            unreachable!("flush uop holds a flush instruction");
-        };
-        let addr = self.val(uop.srcs[0]).wrapping_add(offset as u64);
-        self.hier.flush_line(addr);
-        let cycle = self.cycle;
-        let uop = &mut self.rob[idx];
-        uop.executing = true;
-        uop.done_cycle = cycle + 2;
-    }
-
-    /// Issues a non-memory uop if a port is available.
-    fn try_issue_compute(
-        &mut self,
-        idx: usize,
-        alu: &mut AluSlots,
-        muldiv: &mut usize,
-        fp: &mut usize,
-    ) -> bool {
-        let (instr, pc, srcs, pred_target, kind) = {
-            let uop = &self.rob[idx];
-            (
-                uop.instr,
-                uop.pc,
-                uop.srcs.clone(),
-                uop.pred_target,
-                uop.kind,
-            )
-        };
-        let lat = self.cfg.latency;
-        let opts = self.cfg.opts;
-        let cycle = self.cycle;
-
-        // Resolve operand values and the execution plan.
-        #[allow(clippy::type_complexity)]
-        let (plan, result, actual_target, reuse_info, reuse_hit): (
-            ExecPlan,
-            u64,
-            usize,
-            Option<([u64; 2], [Option<Reg>; 2])>,
-            bool,
-        ) = match instr {
-            Instr::AluRR { op, rs1, rs2, .. } => {
-                let (a, b) = (self.val(srcs[0]), self.val(srcs[1]));
-                let regs = [Some(rs1), Some(rs2)];
-                let eligible = op.is_mul() || op.is_div() || opts.reuse_simple_alu;
-                if let Some((plan, r, info, hit)) =
-                    self.plan_reusable(pc, a, b, regs, eligible, || {
-                        op.eval(a, b)
-                    }, |a, b| plan_alu(op, a, b, &lat, &opts))
-                {
-                    (plan, r, 0, info, hit)
-                } else {
-                    return false;
-                }
-            }
-            Instr::AluRI { op, imm, rs1, .. } => {
-                let (a, b) = (self.val(srcs[0]), imm as u64);
-                let regs = [Some(rs1), None];
-                let eligible = op.is_mul() || op.is_div() || opts.reuse_simple_alu;
-                if let Some((plan, r, info, hit)) =
-                    self.plan_reusable(pc, a, b, regs, eligible, || {
-                        op.eval(a, b)
-                    }, |a, b| plan_alu(op, a, b, &lat, &opts))
-                {
-                    (plan, r, 0, info, hit)
-                } else {
-                    return false;
-                }
-            }
-            Instr::Fp { op, rs1, rs2, .. } => {
-                let (a, b) = (self.val(srcs[0]), self.val(srcs[1]));
-                let regs = [Some(rs1), Some(rs2)];
-                if let Some((plan, r, info, hit)) = self.plan_reusable(
-                    pc,
-                    a,
-                    b,
-                    regs,
-                    true,
-                    || op.eval(a, b),
-                    |a, b| plan_fp(op, a, b, &lat, &opts),
-                ) {
-                    (plan, r, 0, info, hit)
-                } else {
-                    return false;
-                }
-            }
-            Instr::Li { imm, .. } => (
-                ExecPlan {
-                    latency: 1,
-                    port: PortClass::None,
-                    event: None,
-                },
-                imm,
-                0,
-                None,
-                false,
-            ),
-            Instr::RdCycle { .. } => (
-                ExecPlan {
-                    latency: 1,
-                    port: PortClass::None,
-                    event: None,
-                },
-                cycle,
-                0,
-                None,
-                false,
-            ),
-            Instr::Jal { .. } => (
-                ExecPlan {
-                    latency: 1,
-                    port: PortClass::None,
-                    event: None,
-                },
-                (pc + 1) as u64,
-                pred_target,
-                None,
-                false,
-            ),
-            Instr::Jalr { offset, .. } => {
-                let target = self.val(srcs[0]).wrapping_add(offset as u64) as usize;
-                (
-                    ExecPlan {
-                        latency: 1,
-                        port: PortClass::Alu,
-                        event: None,
-                    },
-                    (pc + 1) as u64,
-                    target,
-                    None,
-                    false,
-                )
-            }
-            Instr::Branch { cond, target, .. } => {
-                let (a, b) = (self.val(srcs[0]), self.val(srcs[1]));
-                let taken = cond.eval(a, b);
-                (
-                    ExecPlan {
-                        latency: 1,
-                        port: PortClass::Alu,
-                        event: None,
-                    },
-                    0,
-                    if taken { target } else { pc + 1 },
-                    None,
-                    false,
-                )
-            }
-            _ => unreachable!("memory and system uops are issued elsewhere"),
-        };
-
-        // Port availability.
-        let narrow = match instr {
-            Instr::AluRR { .. } => {
-                packable(self.val(srcs[0]), self.val(srcs[1]))
-            }
-            Instr::AluRI { imm, .. } => packable(self.val(srcs[0]), imm as u64),
-            _ => false,
-        };
-        match plan.port {
-            PortClass::Alu => {
-                if !alu.take(narrow && matches!(kind, UopKind::Alu)) {
-                    return false;
-                }
-            }
-            PortClass::MulDiv => {
-                if *muldiv == 0 {
-                    return false;
-                }
-                *muldiv -= 1;
-            }
-            PortClass::Fp => {
-                if *fp == 0 {
-                    return false;
-                }
-                *fp -= 1;
-            }
-            PortClass::None => {}
-            PortClass::Load | PortClass::Store => {
-                unreachable!("memory ports handled in issue()")
-            }
-        }
-
-        if reuse_hit {
-            self.stats.reuse_hits += 1;
-        } else if reuse_info.is_some() {
-            self.stats.reuse_misses += 1;
-        }
-        let uop = &mut self.rob[idx];
-        uop.executing = true;
-        uop.done_cycle = cycle + plan.latency.max(1);
-        uop.result = result;
-        uop.actual_target = actual_target;
-        uop.reuse_info = reuse_info;
-        uop.simpl_event = plan.event;
-        true
-    }
-
-    /// Wraps plan construction with the computation-reuse lookup. Always
-    /// returns `Some`; the `Option` keeps call sites uniform. The last
-    /// tuple element reports a memo hit; hit/miss statistics are
-    /// accounted by the caller once the uop actually issues (a
-    /// port-blocked uop retries and must not double-count).
-    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
-    fn plan_reusable(
-        &mut self,
-        pc: usize,
-        a: u64,
-        b: u64,
-        srcs: [Option<Reg>; 2],
-        eligible: bool,
-        eval: impl FnOnce() -> u64,
-        plan: impl FnOnce(u64, u64) -> ExecPlan,
-    ) -> Option<(ExecPlan, u64, Option<([u64; 2], [Option<Reg>; 2])>, bool)> {
-        if self.cfg.opts.comp_reuse && eligible {
-            if let Some(result) = self.reuse.lookup(pc, [a, b], srcs) {
-                return Some((
-                    ExecPlan {
-                        latency: 1,
-                        port: PortClass::None,
-                        event: None,
-                    },
-                    result,
-                    None,
-                    true,
-                ));
-            }
-            return Some((plan(a, b), eval(), Some(([a, b], srcs)), false));
-        }
-        Some((plan(a, b), eval(), None, false))
-    }
-
-    // ---- Dispatch / rename -------------------------------------------
-
-    fn dispatch(&mut self) -> Result<(), SimError> {
-        let p = self.cfg.pipeline;
-        for _ in 0..p.dispatch_width {
-            let Some(&(pc, instr, pred_target)) = self.fetch_buf.front() else {
-                break;
-            };
-            if self.rob.len() >= p.rob_size {
-                self.stats.backend_stalls += 1;
-                break;
-            }
-            let kind = classify(&instr);
-            let needs_iq = !matches!(kind, UopKind::Nop | UopKind::Fence | UopKind::Halt);
-            if needs_iq && self.iq_count >= p.iq_size {
-                self.stats.backend_stalls += 1;
-                break;
-            }
-            match kind {
-                UopKind::Load if self.lq.len() >= p.lq_size => {
-                    self.stats.backend_stalls += 1;
-                    break;
-                }
-                UopKind::Store if self.sq.len() >= p.sq_size => {
-                    self.stats.sq_full_stalls += 1;
-                    break;
-                }
-                _ => {}
-            }
-            let dest = instr.dest();
-            if dest.is_some() && self.live_tags >= p.prf_size {
-                self.stats.rename_stalls_prf += 1;
-                break;
-            }
-
-            // All resources available: rename and dispatch.
-            self.fetch_buf.pop_front();
-            let srcs: Vec<PTag> = instr
-                .sources()
-                .iter()
-                .map(|r| self.rat[r.index()])
-                .collect();
-            let (dst, prev) = match dest {
-                Some(rd) => {
-                    let Some(tag) = self.alloc_tag() else {
-                        // Gated on live_tags < prf_size above, so the
-                        // free list can only be empty if tag accounting
-                        // was corrupted.
-                        return Err(SimError::ResourceExhausted {
-                            resource: format!(
-                                "physical register file ({} tags)",
-                                p.prf_size
-                            ),
-                            cycle: self.cycle,
-                        });
-                    };
-                    let prev = self.rat[rd.index()];
-                    self.rat[rd.index()] = tag;
-                    self.reuse.invalidate_reg(rd);
-                    (Some(tag), Some((rd, prev)))
-                }
-                None => (None, None),
-            };
-            let seq = self.next_seq;
-            self.next_seq += 1;
-
-            let mut uop = Uop {
-                seq,
-                pc,
-                instr,
-                kind,
-                srcs,
-                dst,
-                prev,
-                in_iq: needs_iq,
-                executing: false,
-                done: !needs_iq,
-                done_cycle: self.cycle,
-                result: 0,
-                addr: None,
-                mem_width: None,
-                fault: None,
-                pred_target,
-                actual_target: 0,
-                vp_pred: None,
-                reuse_info: None,
-                simpl_event: None,
-            };
-
-            match kind {
-                UopKind::Load => {
-                    self.lq.push_back(seq);
-                    if self.cfg.opts.value_pred {
-                        if let Some(pred) = self.vp.predict(pc) {
-                            let Some(dst) = uop.dst else {
-                                return Err(self.invalid_state(format!(
-                                    "load at pc {pc} dispatched without a \
-                                     destination tag"
-                                )));
-                            };
-                            let tag = dst as usize;
-                            self.prf_vals[tag] = pred;
-                            self.prf_ready[tag] = true;
-                            uop.vp_pred = Some(pred);
-                            self.stats.vp_predictions += 1;
-                        }
-                    }
-                }
-                UopKind::Store => {
-                    let Instr::Store { width, .. } = instr else {
-                        unreachable!("store kind");
-                    };
-                    self.sq.push_back(SqEntry {
-                        seq,
-                        pc,
-                        width,
-                        addr: None,
-                        data: None,
-                        committed: false,
-                        ss: SsState::NotChecked,
-                        performing_until: None,
-                        at_head_traced: false,
-                    });
-                }
-                UopKind::Fence => {
-                    self.fences_inflight += 1;
-                }
-                _ => {}
-            }
-            if needs_iq {
-                self.iq_count += 1;
-            }
-            self.rob.push_back(uop);
-        }
-        Ok(())
-    }
-
-    // ---- Fetch -------------------------------------------------------
-
-    fn fetch(&mut self) {
-        if self.halted || self.fetch_blocked || self.cycle < self.fetch_stall_until {
-            return;
-        }
-        for _ in 0..self.cfg.pipeline.fetch_width {
-            if self.fetch_buf.len() >= 2 * self.cfg.pipeline.dispatch_width.max(4) {
-                break;
-            }
-            let Some(&instr) = self.prog.get(self.fetch_pc) else {
-                break;
-            };
-            let pc = self.fetch_pc;
-            match instr {
-                Instr::Branch { target, .. } => {
-                    let taken = self.bimodal.predict(pc);
-                    let next = if taken { target } else { pc + 1 };
-                    self.fetch_buf.push_back((pc, instr, next));
-                    self.fetch_pc = next;
-                    if taken {
-                        break;
-                    }
-                }
-                Instr::Jal { target, .. } => {
-                    self.fetch_buf.push_back((pc, instr, target));
-                    self.fetch_pc = target;
-                    break;
-                }
-                Instr::Jalr { .. } => {
-                    let next = self.btb.predict(pc).unwrap_or(pc + 1);
-                    self.fetch_buf.push_back((pc, instr, next));
-                    self.fetch_pc = next;
-                    break;
-                }
-                Instr::Fence | Instr::Halt => {
-                    self.fetch_buf.push_back((pc, instr, pc + 1));
-                    self.fetch_pc = pc + 1;
-                    self.fetch_blocked = true;
-                    break;
-                }
-                _ => {
-                    self.fetch_buf.push_back((pc, instr, pc + 1));
-                    self.fetch_pc = pc + 1;
-                }
-            }
-        }
-    }
-}
-
-fn width_mask(w: Width) -> u64 {
-    match w.bytes() {
-        1 => 0xff,
-        2 => 0xffff,
-        4 => 0xffff_ffff,
-        _ => u64::MAX,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::OptConfig;
-    use pandora_isa::{Asm, BranchCond};
-
-    fn run_prog(cfg: SimConfig, build: impl FnOnce(&mut Asm)) -> Machine {
-        let mut a = Asm::new();
-        build(&mut a);
-        a.halt();
-        let p = a.assemble().unwrap();
-        let mut m = Machine::new(cfg);
-        m.load_program(&p);
-        m.run(1_000_000).unwrap();
-        m
-    }
-
-    #[test]
-    fn straight_line_arithmetic() {
-        let m = run_prog(SimConfig::default(), |a| {
-            a.li(Reg::T0, 6);
-            a.li(Reg::T1, 7);
-            a.mul(Reg::T2, Reg::T0, Reg::T1);
-            a.addi(Reg::T2, Reg::T2, 100);
-        });
-        assert_eq!(m.reg(Reg::T2), 142);
-    }
-
-    #[test]
-    fn loops_and_branches() {
-        let m = run_prog(SimConfig::default(), |a| {
-            a.li(Reg::T0, 0);
-            a.li(Reg::T1, 100);
-            a.label("l");
-            a.add(Reg::T0, Reg::T0, Reg::T1);
-            a.addi(Reg::T1, Reg::T1, -1);
-            a.bnez(Reg::T1, "l");
-        });
-        assert_eq!(m.reg(Reg::T0), 5050);
-    }
-
-    #[test]
-    fn memory_store_load_roundtrip() {
-        let m = run_prog(SimConfig::default(), |a| {
-            a.li(Reg::T0, 0xabcd);
-            a.sd(Reg::T0, Reg::ZERO, 256);
-            a.ld(Reg::T1, Reg::ZERO, 256);
-        });
-        assert_eq!(m.reg(Reg::T1), 0xabcd);
-        assert_eq!(m.mem().read_u64(256).unwrap(), 0xabcd);
-    }
-
-    #[test]
-    fn store_to_load_forwarding_before_dequeue() {
-        // The load must see the in-flight store's data even though the
-        // store has not written memory yet.
-        let m = run_prog(SimConfig::default(), |a| {
-            a.li(Reg::T0, 7);
-            a.sd(Reg::T0, Reg::ZERO, 64);
-            a.ld(Reg::T1, Reg::ZERO, 64);
-            a.addi(Reg::T1, Reg::T1, 1);
-        });
-        assert_eq!(m.reg(Reg::T1), 8);
-    }
-
-    #[test]
-    fn branch_mispredicts_squash_correctly() {
-        // Data-dependent branch pattern the bimodal predictor cannot
-        // track perfectly; architectural result must still be exact.
-        let m = run_prog(SimConfig::default(), |a| {
-            a.li(Reg::T0, 0); // acc
-            a.li(Reg::T1, 50); // i
-            a.label("l");
-            a.andi(Reg::T2, Reg::T1, 1);
-            a.beqz(Reg::T2, "even");
-            a.addi(Reg::T0, Reg::T0, 3);
-            a.j("next");
-            a.label("even");
-            a.addi(Reg::T0, Reg::T0, 5);
-            a.label("next");
-            a.addi(Reg::T1, Reg::T1, -1);
-            a.bnez(Reg::T1, "l");
-        });
-        // 25 odd iterations (+3) and 25 even iterations (+5).
-        assert_eq!(m.reg(Reg::T0), 25 * 3 + 25 * 5);
-        assert!(m.stats().branch_squashes > 0, "pattern must mispredict");
-    }
-
-    #[test]
-    fn jalr_via_btb() {
-        let m = run_prog(SimConfig::default(), |a| {
-            a.jal(Reg::RA, "f");
-            a.li(Reg::T1, 1);
-            a.j("end");
-            a.label("f");
-            a.li(Reg::T0, 9);
-            a.ret();
-            a.label("end");
-        });
-        assert_eq!(m.reg(Reg::T0), 9);
-        assert_eq!(m.reg(Reg::T1), 1);
-    }
-
-    #[test]
-    fn rdcycle_monotonic() {
-        let m = run_prog(SimConfig::default(), |a| {
-            a.rdcycle(Reg::T0);
-            a.fence();
-            a.li(Reg::T2, 10);
-            a.label("l");
-            a.addi(Reg::T2, Reg::T2, -1);
-            a.bnez(Reg::T2, "l");
-            a.fence();
-            a.rdcycle(Reg::T1);
-        });
-        assert!(m.reg(Reg::T1) > m.reg(Reg::T0));
-    }
-
-    #[test]
-    fn fence_drains_store_queue() {
-        let m = run_prog(SimConfig::default(), |a| {
-            a.li(Reg::T0, 5);
-            a.sd(Reg::T0, Reg::ZERO, 128);
-            a.fence();
-            a.rdcycle(Reg::T1);
-        });
-        // After the fence the store must be in memory.
-        assert_eq!(m.mem().read_u64(128).unwrap(), 5);
-        assert_eq!(m.stats().performed_stores, 1);
-    }
-
-    #[test]
-    fn timeout_on_infinite_loop() {
-        let mut a = Asm::new();
-        a.label("spin");
-        a.j("spin");
-        let p = a.assemble().unwrap();
-        let mut m = Machine::new(SimConfig::default());
-        m.load_program(&p);
-        assert_eq!(m.run(1000), Err(SimError::Timeout { cycles: 1000 }));
-    }
-
-    #[test]
-    fn committed_fault_is_reported() {
-        let mut a = Asm::new();
-        a.li(Reg::T0, 1 << 40);
-        a.ld(Reg::T1, Reg::T0, 0);
-        a.halt();
-        let p = a.assemble().unwrap();
-        let mut m = Machine::new(SimConfig::default());
-        m.load_program(&p);
-        assert!(matches!(m.run(100_000), Err(SimError::Mem { pc: 1, .. })));
-    }
-
-    #[test]
-    fn wrong_path_fault_is_harmless() {
-        // A load behind a mispredicted branch accesses garbage; once the
-        // branch resolves the load is squashed and the program finishes.
-        let m = run_prog(SimConfig::default(), |a| {
-            a.li(Reg::T0, 1 << 40); // wild address
-            a.li(Reg::T1, 1);
-            a.bnez(Reg::T1, "skip"); // predicted not-taken initially
-            a.ld(Reg::T2, Reg::T0, 0); // wrong-path wild load
-            a.label("skip");
-            a.li(Reg::T3, 77);
-        });
-        assert_eq!(m.reg(Reg::T3), 77);
-    }
-
-    #[test]
-    fn silent_store_detected_and_skipped() {
-        let cfg = SimConfig::with_opts(OptConfig::with_silent_stores());
-        let m = run_prog(cfg, |a| {
-            a.li(Reg::T0, 42);
-            a.sd(Reg::T0, Reg::ZERO, 512); // writes 42
-            a.fence();
-            a.sd(Reg::T0, Reg::ZERO, 512); // same value: silent
-            a.fence();
-        });
-        assert_eq!(m.stats().silent_stores, 1);
-        assert_eq!(m.stats().performed_stores, 1);
-        assert_eq!(m.mem().read_u64(512).unwrap(), 42);
-    }
-
-    #[test]
-    fn non_silent_store_performs() {
-        let cfg = SimConfig::with_opts(OptConfig::with_silent_stores());
-        let m = run_prog(cfg, |a| {
-            a.li(Reg::T0, 42);
-            a.li(Reg::T1, 43);
-            a.sd(Reg::T0, Reg::ZERO, 512);
-            a.fence();
-            a.sd(Reg::T1, Reg::ZERO, 512); // different value
-            a.fence();
-        });
-        assert_eq!(m.stats().silent_stores, 0);
-        assert_eq!(m.mem().read_u64(512).unwrap(), 43);
-    }
-
-    #[test]
-    fn value_prediction_squashes_on_change() {
-        let mut opts = OptConfig::baseline();
-        opts.value_pred = true;
-        opts.vp_confidence = 2;
-        let m = run_prog(SimConfig::with_opts(opts), |a| {
-            a.li(Reg::T3, 9);
-            a.sd(Reg::T3, Reg::ZERO, 640);
-            a.fence();
-            a.li(Reg::T1, 16); // loop counter
-            a.li(Reg::T6, 8); // iteration at which the value changes
-            a.label("l");
-            a.ld(Reg::T2, Reg::ZERO, 640); // same static load every iteration
-            a.addi(Reg::T1, Reg::T1, -1);
-            a.bne(Reg::T1, Reg::T6, "skip");
-            // Halfway through, overwrite the loaded location: the next
-            // trip around mispredicts the trained value.
-            a.li(Reg::T4, 10);
-            a.sd(Reg::T4, Reg::ZERO, 640);
-            a.fence();
-            a.label("skip");
-            a.bnez(Reg::T1, "l");
-            a.mv(Reg::T5, Reg::T2);
-        });
-        assert_eq!(m.reg(Reg::T5), 10, "architectural correctness");
-        assert!(m.stats().vp_predictions > 0);
-        assert!(m.stats().vp_squashes >= 1);
-    }
-
-    #[test]
-    fn computation_reuse_hits_on_repeat() {
-        let mut opts = OptConfig::baseline();
-        opts.comp_reuse = true;
-        let m = run_prog(SimConfig::with_opts(opts), |a| {
-            a.li(Reg::T0, 123);
-            a.li(Reg::T1, 77);
-            a.li(Reg::T3, 6);
-            a.label("l");
-            a.mul(Reg::T2, Reg::T0, Reg::T1); // same pc, same operands
-            a.addi(Reg::T3, Reg::T3, -1);
-            a.bnez(Reg::T3, "l");
-        });
-        assert_eq!(m.reg(Reg::T2), 123 * 77);
-        assert!(m.stats().reuse_hits >= 4, "later iterations memoized");
-    }
-
-    #[test]
-    fn comp_simpl_changes_mul_timing() {
-        let time = |operand: u64| {
-            let mut opts = OptConfig::baseline();
-            opts.comp_simpl = true;
-            let m = run_prog(SimConfig::with_opts(opts), |a| {
-                a.li(Reg::T0, operand);
-                a.li(Reg::T1, 3);
-                a.li(Reg::T3, 200);
-                a.label("l");
-                // Dependent chain so latency accumulates.
-                a.mul(Reg::T1, Reg::T1, Reg::T0);
-                a.alui(pandora_isa::AluOp::Or, Reg::T1, Reg::T1, 3);
-                a.addi(Reg::T3, Reg::T3, -1);
-                a.bnez(Reg::T3, "l");
-            });
-            m.stats().cycles
-        };
-        let zero = time(0);
-        let nonzero = time(5);
-        assert!(
-            zero + 100 < nonzero,
-            "zero-skip must be clearly faster: {zero} vs {nonzero}"
-        );
-    }
-
-    #[test]
-    fn rfc_reduces_prf_pressure() {
-        // Tight PRF: producing many zeros compresses and renames faster.
-        let mut cfg = SimConfig::default();
-        cfg.pipeline.prf_size = 36;
-        let body = |val: u64| {
-            move |a: &mut Asm| {
-                a.li(Reg::T0, val);
-                a.li(Reg::T3, 300);
-                a.label("l");
-                for rd in [Reg::T1, Reg::T2, Reg::T4, Reg::T5, Reg::S2, Reg::S3] {
-                    a.alu(pandora_isa::AluOp::And, rd, Reg::T0, Reg::T0);
-                }
-                a.addi(Reg::T3, Reg::T3, -1);
-                a.bnez(Reg::T3, "l");
-            }
-        };
-        let mut on = cfg;
-        on.opts.rf_compress = true;
-        let compressed = {
-            let m = run_prog(on, body(0));
-            assert!(m.stats().rfc_shares > 0);
-            m.stats().cycles
-        };
-        let uncompressed = {
-            let m = run_prog(on, body(0xdead_beef_cafe));
-            m.stats().cycles
-        };
-        assert!(
-            compressed < uncompressed,
-            "zero results compress: {compressed} vs {uncompressed}"
-        );
-    }
-
-    #[test]
-    fn branch_cond_variants_execute() {
-        for (cond, a_val, b_val, taken) in [
-            (BranchCond::Eq, 3u64, 3u64, true),
-            (BranchCond::Ne, 3, 3, false),
-            (BranchCond::Ltu, 2, 3, true),
-            (BranchCond::Geu, 2, 3, false),
-        ] {
-            let m = run_prog(SimConfig::default(), |asm| {
-                asm.li(Reg::T0, a_val);
-                asm.li(Reg::T1, b_val);
-                asm.branch(cond, Reg::T0, Reg::T1, "yes");
-                asm.li(Reg::T2, 1);
-                asm.j("end");
-                asm.label("yes");
-                asm.li(Reg::T2, 2);
-                asm.label("end");
-            });
-            assert_eq!(m.reg(Reg::T2), if taken { 2 } else { 1 }, "{cond:?}");
-        }
-    }
-
-    /// Builds a program wedged by a dropped completion: a load's result
-    /// never arrives, so commit stalls forever while cycles keep
-    /// ticking — the artificial no-progress case.
-    fn wedged_machine(cfg: SimConfig) -> Machine {
-        let mut a = Asm::new();
-        a.li(Reg::T0, 100_000);
-        a.label("l");
-        a.ld(Reg::T1, Reg::ZERO, 0x100);
-        a.addi(Reg::T0, Reg::T0, -1);
-        a.bnez(Reg::T0, "l");
-        a.halt();
-        let p = a.assemble().unwrap();
-        let mut m = Machine::new(cfg);
-        m.load_program(&p);
-        m.inject_faults(FaultPlan::single(50, FaultKind::DroppedCompletion));
-        m
-    }
-
-    #[test]
-    fn no_progress_yields_deadlock_not_timeout() {
-        let mut m = wedged_machine(SimConfig::default());
-        let err = m.run(10_000_000).unwrap_err();
-        let SimError::Deadlock { cycle, diagnostics } = err else {
-            panic!("expected Deadlock, got {err}");
-        };
-        assert!(
-            cycle < 1_000_000,
-            "watchdog fired long before the cycle budget (at {cycle})"
-        );
-        assert!(diagnostics.rob_len > 0, "the wedged uop is still in the ROB");
-        assert!(
-            cycle - diagnostics.last_progress_cycle
-                >= SimConfig::default().watchdog_cycles.unwrap()
-        );
-    }
-
-    #[test]
-    fn disabled_watchdog_reports_timeout_instead() {
-        let cfg = SimConfig { watchdog_cycles: None, ..SimConfig::default() };
-        let mut m = wedged_machine(cfg);
-        assert_eq!(m.run(30_000), Err(SimError::Timeout { cycles: 30_000 }));
-    }
-
-    #[test]
-    fn deadlock_diagnostics_render_the_stall_site() {
-        let mut m = wedged_machine(SimConfig::default());
-        let Err(SimError::Deadlock { diagnostics, .. }) = m.run(10_000_000) else {
-            panic!("expected Deadlock");
-        };
-        let text = diagnostics.to_string();
-        assert!(text.contains("rob"), "snapshot names the ROB: {text}");
     }
 }

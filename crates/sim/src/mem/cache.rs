@@ -137,6 +137,17 @@ impl Cache {
         &self.cfg
     }
 
+    /// Empties every set and reseeds the replacement RNG, keeping set
+    /// allocations. Equivalent to [`Cache::new`] with the same config
+    /// and `seed`.
+    pub fn reset(&mut self, seed: u64) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.clock = 0;
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
     /// The set index `addr` maps to.
     #[must_use]
     pub fn set_index(&self, addr: u64) -> usize {

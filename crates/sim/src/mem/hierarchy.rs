@@ -88,6 +88,14 @@ impl Hierarchy {
         }
     }
 
+    /// Empties both levels and reseeds replacement, keeping allocations.
+    /// Equivalent to [`Hierarchy::new`] with the same geometry and `seed`.
+    pub fn reset(&mut self, seed: u64) {
+        self.l1.reset(seed ^ 0x1);
+        self.l2.reset(seed ^ 0x2);
+        self.suppressed_prefetches = 0;
+    }
+
     /// Drops the next `count` prefetch fills before they install a line
     /// (fault injection: lost fill responses / a full prefetch queue).
     /// Counts accumulate if called again before draining.

@@ -36,6 +36,12 @@ impl Bimodal {
         self.counters[pc & self.mask] >= 2
     }
 
+    /// Restores every counter to weakly-not-taken, keeping the table
+    /// allocation. Equivalent to a freshly constructed predictor.
+    pub fn reset(&mut self) {
+        self.counters.fill(1);
+    }
+
     /// Trains the counter for `pc` with the resolved direction.
     pub fn update(&mut self, pc: usize, taken: bool) {
         let c = &mut self.counters[pc & self.mask];
@@ -70,6 +76,11 @@ impl Btb {
     /// Records the resolved target of the jump at `pc`.
     pub fn update(&mut self, pc: usize, target: usize) {
         self.targets.insert(pc, target);
+    }
+
+    /// Forgets every recorded target, keeping the table allocation.
+    pub fn reset(&mut self) {
+        self.targets.clear();
     }
 }
 

@@ -13,10 +13,9 @@
 
 use pandora_isa::Width;
 
+use crate::event::{EventBus, PrefetchSource, SimEvent};
 use crate::mem::hierarchy::{Hierarchy, PrefetchFill};
 use crate::mem::memory::Memory;
-use crate::stats::SimStats;
-use crate::trace::{Trace, TraceEvent};
 
 /// The content-directed prefetcher.
 #[derive(Clone, Copy, Debug)]
@@ -43,16 +42,9 @@ impl Cdp {
     }
 
     /// Feeds one committed load: scans the loaded line for candidate
-    /// pointers and prefetches their targets.
-    pub fn observe(
-        &self,
-        addr: u64,
-        mem: &Memory,
-        hier: &mut Hierarchy,
-        trace: &mut Trace,
-        stats: &mut SimStats,
-        cycle: u64,
-    ) {
+    /// pointers and prefetches their targets, reporting each chase
+    /// through the event bus.
+    pub fn observe(&self, addr: u64, mem: &Memory, hier: &mut Hierarchy, bus: &mut EventBus) {
         let line_base = addr & !(self.line - 1);
         for off in (0..self.line).step_by(8) {
             let Ok(v) = mem.read(line_base + off, Width::Dword) else {
@@ -60,14 +52,13 @@ impl Cdp {
             };
             if Cdp::looks_like_pointer(v, mem) {
                 hier.prefetch(v, self.fill);
-                stats.cdp_prefetches += 1;
-                trace.push(TraceEvent::DmpDeref {
-                    cycle,
+                bus.emit(SimEvent::PointerDeref {
+                    source: PrefetchSource::Cdp,
                     addr: line_base + off,
                     value: v,
                 });
-                trace.push(TraceEvent::DmpPrefetch {
-                    cycle,
+                bus.emit(SimEvent::Prefetch {
+                    source: PrefetchSource::Cdp,
                     addr: v,
                     level: 1,
                 });
@@ -82,7 +73,7 @@ mod tests {
     use crate::mem::cache::CacheConfig;
     use crate::mem::hierarchy::MemLatency;
 
-    fn rig() -> (Memory, Hierarchy, Trace, SimStats) {
+    fn rig() -> (Memory, Hierarchy, EventBus) {
         (
             Memory::new(1 << 16),
             Hierarchy::new(
@@ -91,40 +82,39 @@ mod tests {
                 MemLatency::default(),
                 3,
             ),
-            Trace::new(),
-            SimStats::default(),
+            EventBus::new(),
         )
     }
 
     #[test]
     fn pointer_shaped_values_get_their_targets_prefetched() {
-        let (mut mem, mut hier, mut trace, mut stats) = rig();
+        let (mut mem, mut hier, mut bus) = rig();
         // A line holding one secret pointer among non-pointers.
         mem.write_u64(0x1000, 0x4321).unwrap(); // unaligned value: not a pointer
         mem.write_u64(0x1008, 0x8000).unwrap(); // the secret pointer
         mem.write_u64(0x1010, 0).unwrap(); // null: not a pointer
         let cdp = Cdp::new(64, PrefetchFill::AllLevels);
-        cdp.observe(0x1000, &mem, &mut hier, &mut trace, &mut stats, 1);
+        cdp.observe(0x1000, &mem, &mut hier, &mut bus);
         assert!(hier.in_l1(0x8000), "the pointed-to line must be filled");
         assert!(!hier.in_l1(0x4321 & !63), "non-pointer value ignored");
-        assert_eq!(stats.cdp_prefetches, 1);
+        assert_eq!(bus.stats().cdp_prefetches, 1);
     }
 
     #[test]
     fn out_of_memory_values_are_not_chased() {
-        let (mut mem, mut hier, mut trace, mut stats) = rig();
+        let (mut mem, mut hier, mut bus) = rig();
         mem.write_u64(0x1000, 1 << 40).unwrap();
         let cdp = Cdp::new(64, PrefetchFill::AllLevels);
-        cdp.observe(0x1000, &mem, &mut hier, &mut trace, &mut stats, 1);
-        assert_eq!(stats.cdp_prefetches, 0);
+        cdp.observe(0x1000, &mem, &mut hier, &mut bus);
+        assert_eq!(bus.stats().cdp_prefetches, 0);
     }
 
     #[test]
     fn scans_the_whole_line_not_just_the_accessed_word() {
-        let (mut mem, mut hier, mut trace, mut stats) = rig();
+        let (mut mem, mut hier, mut bus) = rig();
         mem.write_u64(0x1038, 0x9000).unwrap(); // last word of the line
         let cdp = Cdp::new(64, PrefetchFill::AllLevels);
-        cdp.observe(0x1000, &mem, &mut hier, &mut trace, &mut stats, 1);
+        cdp.observe(0x1000, &mem, &mut hier, &mut bus);
         assert!(hier.in_l1(0x9000));
     }
 

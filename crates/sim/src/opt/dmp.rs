@@ -20,10 +20,9 @@ use std::collections::{HashMap, VecDeque};
 use pandora_isa::Width;
 
 use crate::config::OptConfig;
+use crate::event::{EventBus, PrefetchSource, SimEvent};
 use crate::mem::hierarchy::{Hierarchy, PrefetchFill};
 use crate::mem::memory::Memory;
-use crate::stats::SimStats;
-use crate::trace::{Trace, TraceEvent};
 
 /// Scales (element sizes, bytes) the base-solver hypothesizes.
 const SCALES: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
@@ -105,7 +104,8 @@ impl Imp {
     }
 
     /// Feeds one committed load into the prefetcher and performs any
-    /// resulting prefetch chain against `mem`/`hier`.
+    /// resulting prefetch chain against `mem`/`hier`, reporting
+    /// observation through the event bus.
     #[allow(clippy::too_many_arguments)]
     pub fn observe(
         &mut self,
@@ -115,18 +115,16 @@ impl Imp {
         width: Width,
         mem: &Memory,
         hier: &mut Hierarchy,
-        trace: &mut Trace,
-        stats: &mut SimStats,
-        cycle: u64,
+        bus: &mut EventBus,
     ) {
-        self.correlate(pc, addr, width);
+        self.correlate(pc, addr, width, bus);
         let stream_ready = self.update_stream(pc, addr);
         self.recent.push_back(LoadObs { pc, value });
         if self.recent.len() > RECENT_WINDOW {
             self.recent.pop_front();
         }
         if stream_ready {
-            self.launch(pc, addr, width, mem, hier, trace, stats, cycle);
+            self.launch(pc, addr, width, mem, hier, bus);
         }
     }
 
@@ -155,7 +153,7 @@ impl Imp {
 
     /// Correlates this load's *address* against recently returned
     /// *values* to grow indirection hypotheses.
-    fn correlate(&mut self, pc: usize, addr: u64, width: Width) {
+    fn correlate(&mut self, pc: usize, addr: u64, width: Width, bus: &mut EventBus) {
         for obs in self.recent.iter().rev() {
             if obs.pc == pc {
                 continue;
@@ -175,6 +173,12 @@ impl Imp {
                             .iter()
                             .any(|k| k.src_pc == c.src_pc && k.dst_pc == c.dst_pc)
                     {
+                        bus.emit(SimEvent::PatternConfirmed {
+                            src_pc: c.src_pc,
+                            dst_pc: c.dst_pc,
+                            base: c.base,
+                            scale: c.scale,
+                        });
                         self.confirmed.push(*c);
                     }
                 } else if self.candidates.len() < MAX_CANDIDATES {
@@ -195,7 +199,6 @@ impl Imp {
     /// element address is `addr`: the stream element `Δ` ahead, then up
     /// to `levels - 1` dependent indirections through the confirmed
     /// chain (`Y[Z[i+Δ]]`, `X[Y[Z[i+Δ]]]`, `W[X[Y[Z[i+Δ]]]]`, …).
-    #[allow(clippy::too_many_arguments)]
     fn launch(
         &mut self,
         pc: usize,
@@ -203,9 +206,7 @@ impl Imp {
         width: Width,
         mem: &Memory,
         hier: &mut Hierarchy,
-        trace: &mut Trace,
-        stats: &mut SimStats,
-        cycle: u64,
+        bus: &mut EventBus,
     ) {
         let Some(stream) = self.streams.get(&pc) else {
             return;
@@ -218,13 +219,12 @@ impl Imp {
         for level in 0..self.levels {
             // Prefetch the line for the current hop.
             if !mem.contains(cur_addr, cur_width.bytes()) {
-                stats.dmp_dropped += 1;
+                bus.emit(SimEvent::PrefetchDropped);
                 return;
             }
             hier.prefetch(cur_addr, self.fill);
-            stats.dmp_prefetches += 1;
-            trace.push(TraceEvent::DmpPrefetch {
-                cycle,
+            bus.emit(SimEvent::Prefetch {
+                source: PrefetchSource::Imp,
                 addr: cur_addr,
                 level,
             });
@@ -244,12 +244,11 @@ impl Imp {
                 return;
             };
             let Ok(value) = mem.read(cur_addr, cur_width) else {
-                stats.dmp_dropped += 1;
+                bus.emit(SimEvent::PrefetchDropped);
                 return;
             };
-            stats.dmp_deref_reads += 1;
-            trace.push(TraceEvent::DmpDeref {
-                cycle,
+            bus.emit(SimEvent::PointerDeref {
+                source: PrefetchSource::Imp,
                 addr: cur_addr,
                 value,
             });
@@ -266,13 +265,13 @@ mod tests {
     use crate::config::OptConfig;
     use crate::mem::cache::CacheConfig;
     use crate::mem::hierarchy::MemLatency;
+    use crate::trace::TraceEvent;
 
     struct Rig {
         imp: Imp,
         mem: Memory,
         hier: Hierarchy,
-        trace: Trace,
-        stats: SimStats,
+        bus: EventBus,
     }
 
     fn rig(levels: u8) -> Rig {
@@ -287,8 +286,7 @@ mod tests {
                 MemLatency::default(),
                 1,
             ),
-            trace: Trace::new(),
-            stats: SimStats::default(),
+            bus: EventBus::new(),
         }
     }
 
@@ -305,17 +303,9 @@ mod tests {
     /// of bounds — the way verified sandbox code would.
     fn drive(r: &mut Rig, n: u64) {
         let observe = |r: &mut Rig, pc: usize, addr: u64, value: u64, i: u64| {
-            r.imp.observe(
-                pc,
-                addr,
-                value,
-                Width::Dword,
-                &r.mem,
-                &mut r.hier,
-                &mut r.trace,
-                &mut r.stats,
-                i,
-            );
+            r.bus.begin_cycle(i);
+            r.imp
+                .observe(pc, addr, value, Width::Dword, &r.mem, &mut r.hier, &mut r.bus);
         };
         for i in 0..n {
             let addr_z = Z_BASE + 8 * i;
@@ -360,10 +350,11 @@ mod tests {
     fn three_level_prefetches_through_both_indirections() {
         let mut r = rig(3);
         seed_arrays(&mut r, &[3, 1, 4, 7, 5, 0, 2, 6], &[23, 5, 71, 13, 47, 2, 90, 31]);
-        r.trace.enable();
+        r.bus.trace_mut().enable();
         drive(&mut r, 6);
         let l2_prefetches: Vec<u64> = r
-            .trace
+            .bus
+            .trace()
             .events()
             .iter()
             .filter_map(|e| match *e {
@@ -378,17 +369,18 @@ mod tests {
         for a in l2_prefetches {
             assert!(a >= X_BASE, "X prefetch below X base: {a:#x}");
         }
-        assert!(r.stats.dmp_deref_reads > 0);
+        assert!(r.bus.stats().dmp_deref_reads > 0);
     }
 
     #[test]
     fn two_level_never_dereferences_y() {
         let mut r = rig(2);
         seed_arrays(&mut r, &[3, 1, 4, 7, 5, 0, 2, 6], &[23, 5, 71, 13, 47, 2, 90, 31]);
-        r.trace.enable();
+        r.bus.trace_mut().enable();
         drive(&mut r, 6);
         let max_level = r
-            .trace
+            .bus
+            .trace()
             .events()
             .iter()
             .filter_map(|e| match *e {
@@ -412,7 +404,7 @@ mod tests {
         for y in [23u64, 5, 71, 13, 47, 2, 90, 31] {
             r.mem.write_u64(X_BASE + 64 * y, (y % 7) + 1).unwrap();
         }
-        r.trace.enable();
+        r.bus.trace_mut().enable();
         // Drive the 4-deep demand pattern.
         for i in 0..6u64 {
             let addr_z = Z_BASE + 8 * i;
@@ -429,21 +421,14 @@ mod tests {
                 (X_PC, addr_x, x),
                 (W_PC, addr_w, w),
             ] {
-                r.imp.observe(
-                    pc,
-                    addr,
-                    value,
-                    Width::Dword,
-                    &r.mem,
-                    &mut r.hier,
-                    &mut r.trace,
-                    &mut r.stats,
-                    i,
-                );
+                r.bus.begin_cycle(i);
+                r.imp
+                    .observe(pc, addr, value, Width::Dword, &r.mem, &mut r.hier, &mut r.bus);
             }
         }
         let max_level = r
-            .trace
+            .bus
+            .trace()
             .events()
             .iter()
             .filter_map(|e| match *e {
@@ -453,7 +438,7 @@ mod tests {
             .max()
             .unwrap_or(0);
         assert_eq!(max_level, 3, "4-level IMP must reach W");
-        let w_prefetches = r.trace.events().iter().any(|e| {
+        let w_prefetches = r.bus.trace().events().iter().any(|e| {
             matches!(*e, TraceEvent::DmpPrefetch { addr, level: 3, .. } if addr >= W_BASE)
         });
         assert!(w_prefetches, "a W-array line must be prefetched");
@@ -471,10 +456,11 @@ mod tests {
             &[3, 1, 4, 7, 5, 0, target_index, 2],
             &[23, 5, 71, 13, 47, 2, 90, 31],
         );
-        r.trace.enable();
+        r.bus.trace_mut().enable();
         drive(&mut r, 5); // prefetch distance 2 → deref reaches Z[6]
         let y_prefetches: Vec<u64> = r
-            .trace
+            .bus
+            .trace()
             .events()
             .iter()
             .filter_map(|e| match *e {
@@ -495,7 +481,7 @@ mod tests {
         // at iteration 3 (the first confident-stream iteration).
         seed_arrays(&mut r, &[3, 1, 4, 7, 5, 1 << 20, 2, 6], &[23, 5, 71, 13, 47, 2, 90, 31]);
         drive(&mut r, 5);
-        assert!(r.stats.dmp_dropped > 0);
+        assert!(r.bus.stats().dmp_dropped > 0);
     }
 
     #[test]
@@ -503,19 +489,11 @@ mod tests {
         let mut r = rig(2);
         // Random (non-strided) Z addresses: observe directly.
         for (i, addr) in [0x1000u64, 0x1040, 0x1008, 0x1100].into_iter().enumerate() {
-            r.imp.observe(
-                Z_PC,
-                addr,
-                0,
-                Width::Dword,
-                &r.mem,
-                &mut r.hier,
-                &mut r.trace,
-                &mut r.stats,
-                i as u64,
-            );
+            r.bus.begin_cycle(i as u64);
+            r.imp
+                .observe(Z_PC, addr, 0, Width::Dword, &r.mem, &mut r.hier, &mut r.bus);
         }
-        assert_eq!(r.stats.dmp_prefetches, 0);
+        assert_eq!(r.bus.stats().dmp_prefetches, 0);
     }
 
     #[test]
@@ -524,7 +502,7 @@ mod tests {
         seed_arrays(&mut r, &[3, 1, 4, 7, 5, 0, 2, 6], &[23, 5, 71, 13, 47, 2, 90, 31]);
         drive(&mut r, 6);
         // The stream prefetch for Z[i+Δ] must be resident.
-        assert!(r.stats.dmp_prefetches > 0);
+        assert!(r.bus.stats().dmp_prefetches > 0);
         assert!(r.hier.in_l1(Z_BASE + 8 * 7) || r.hier.in_l2(Z_BASE + 8 * 7));
     }
 }

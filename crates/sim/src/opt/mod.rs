@@ -2,15 +2,18 @@
 //! paper (Table I / Table II), plus the baseline branch predictor.
 //!
 //! Each submodule documents which paper section and MLD it implements;
-//! the pipeline in [`crate::Machine`] wires them together. Everything
-//! is off by default ([`crate::OptConfig::baseline`]) so the default
-//! machine matches Table I's "Baseline" column.
+//! [`hook`] packages each class as an [`hook::OptHook`] the pipeline
+//! stages consult, so a [`crate::Machine`] is "baseline + a list of
+//! hooks". Everything is off by default
+//! ([`crate::OptConfig::baseline`]) so the default machine matches
+//! Table I's "Baseline" column.
 
 pub mod bpred;
 pub mod cdp;
 pub mod comp_reuse;
 pub mod comp_simpl;
 pub mod dmp;
+pub mod hook;
 pub mod pipe_compress;
 pub mod rf_compress;
 pub mod silent_store;

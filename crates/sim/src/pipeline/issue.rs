@@ -1,0 +1,128 @@
+//! Issue: port-constrained selection of ready uops from the ROB.
+//!
+//! Walks the ROB oldest-first and issues up to `issue_width` uops whose
+//! sources are ready, subject to per-class port budgets. ALU port
+//! accounting goes through [`AluSlots`] so the pipeline-compression
+//! hook can pack two narrow operations into one port. Stores whose
+//! address just resolved get a silent-store check load ("SS-load") on a
+//! leftover load port when [`Hooks::silent_stores`] is active (Fig 4
+//! A/D vs C).
+
+use crate::error::SimError;
+use crate::event::SimEvent;
+use crate::opt::hook::Hooks;
+use crate::opt::pipe_compress::AluSlots;
+use crate::opt::silent_store::SsState;
+
+use super::execute::{issue_flush, issue_store, try_issue_compute, try_issue_load};
+use super::{PipelineStage, PipelineState, Seq, UopKind};
+
+/// The issue stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IssueStage;
+
+impl PipelineStage for IssueStage {
+    fn name(&self) -> &'static str {
+        "issue"
+    }
+
+    fn tick(&mut self, st: &mut PipelineState, hooks: &mut Hooks) -> Result<(), SimError> {
+        let p = st.cfg.pipeline;
+        let mut alu = AluSlots::new(p.alu_ports, hooks.operand_packing());
+        let mut muldiv = p.muldiv_ports;
+        let mut fp = p.fp_ports;
+        let mut loads = p.load_ports;
+        let mut stores = p.store_ports;
+        let mut issued = 0usize;
+        let mut newly_resolved_stores: Vec<Seq> = Vec::new();
+
+        for idx in 0..st.rob.len() {
+            if issued >= p.issue_width {
+                break;
+            }
+            let uop = &st.rob[idx];
+            if !uop.in_iq || uop.executing || uop.done {
+                continue;
+            }
+            if !st.srcs_ready(uop) {
+                continue;
+            }
+            let kind = uop.kind;
+            match kind {
+                UopKind::Load => {
+                    if loads == 0 {
+                        continue;
+                    }
+                    if try_issue_load(st, idx) {
+                        loads -= 1;
+                        issued += 1;
+                        st.leave_iq(idx);
+                    }
+                }
+                UopKind::Store => {
+                    if stores == 0 {
+                        continue;
+                    }
+                    let seq = issue_store(st, idx);
+                    newly_resolved_stores.push(seq);
+                    stores -= 1;
+                    issued += 1;
+                    st.leave_iq(idx);
+                }
+                UopKind::Flush => {
+                    if loads == 0 {
+                        continue;
+                    }
+                    issue_flush(st, idx);
+                    loads -= 1;
+                    issued += 1;
+                    st.leave_iq(idx);
+                }
+                _ => {
+                    if try_issue_compute(st, hooks, idx, &mut alu, &mut muldiv, &mut fp) {
+                        issued += 1;
+                        st.leave_iq(idx);
+                    }
+                }
+            }
+        }
+        st.bus.emit(SimEvent::PackedPairs {
+            pairs: alu.packed_pairs(),
+        });
+
+        // Read-port stealing: stores whose address just resolved get an
+        // SS-load if a load port is still free this cycle (Fig 4 A/D vs C).
+        if hooks.silent_stores() {
+            for seq in newly_resolved_stores {
+                let Some(e) = st.sq.iter().position(|e| e.seq == seq) else {
+                    continue;
+                };
+                let entry = st.sq[e];
+                let Some(addr) = entry.addr else {
+                    continue;
+                };
+                let cycle = st.cycle;
+                if entry.ss != SsState::NotChecked {
+                    continue;
+                }
+                if loads == 0 {
+                    st.sq[e].ss = SsState::NoPort;
+                    st.bus.emit(SimEvent::SsLoadNoPort { pc: entry.pc });
+                    continue;
+                }
+                loads -= 1;
+                if !st.mem.contains(addr, entry.width.bytes()) {
+                    // A faulting store never performs; skip the check.
+                    st.sq[e].ss = SsState::NoPort;
+                    continue;
+                }
+                let latency = st.demand_access(addr);
+                st.sq[e].ss = SsState::Outstanding {
+                    done_cycle: cycle + latency,
+                };
+                st.bus.emit(SimEvent::SsLoadIssued { pc: entry.pc, addr });
+            }
+        }
+        Ok(())
+    }
+}

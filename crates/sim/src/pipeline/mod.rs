@@ -1,0 +1,407 @@
+//! The decomposed out-of-order pipeline: one module per stage.
+//!
+//! The monolithic `Machine::step` is split into stage modules, each
+//! implementing [`PipelineStage`] over the shared [`PipelineState`]:
+//!
+//! ```text
+//!   fetch ─→ rename/dispatch ─→ issue ─→ execute ─→ lsq ─→ commit
+//!     ▲                                                      │
+//!     └───────────────── squash (ROB-walk undo) ◀────────────┘
+//! ```
+//!
+//! [`crate::Machine::step`] drives the stages **commit-first** (reverse
+//! pipeline order) so a result produced in cycle *n* is consumed no
+//! earlier than cycle *n + 1*, exactly as the monolith did:
+//! commit → lsq → execute → issue → rename → fetch.
+//!
+//! Stages hold no state of their own — everything lives in
+//! [`PipelineState`] — and report cross-cutting observations
+//! (statistics, trace, DMP patterns) by emitting
+//! [`crate::event::SimEvent`]s on the state's [`EventBus`]. Optimization
+//! behavior is injected through [`crate::opt::hook::Hooks`], so the
+//! baseline stages contain no per-optimization branches.
+
+use std::collections::VecDeque;
+
+use pandora_isa::{Instr, Program, Reg, Width};
+
+use crate::config::SimConfig;
+use crate::error::{DeadlockDiagnostics, SimError};
+use crate::event::{EventBus, SimEvent};
+use crate::mem::hierarchy::Hierarchy;
+use crate::mem::memory::{MemFault, Memory};
+use crate::opt::bpred::{Bimodal, Btb};
+use crate::opt::comp_simpl::SimplEvent;
+use crate::opt::hook::Hooks;
+use crate::opt::silent_store::SsState;
+
+pub mod commit;
+pub mod execute;
+pub mod fetch;
+pub mod issue;
+pub mod lsq;
+pub mod rename;
+pub mod squash;
+
+#[cfg(test)]
+mod tests;
+
+pub use commit::CommitStage;
+pub use execute::ExecuteStage;
+pub use fetch::FetchStage;
+pub use issue::IssueStage;
+pub use lsq::LsqStage;
+pub use rename::RenameStage;
+
+pub(crate) type Seq = u64;
+pub(crate) type PTag = u32;
+
+/// One stage of the pipeline, ticked once per cycle by
+/// [`crate::Machine::step`].
+///
+/// Stages are stateless schedulers over [`PipelineState`]; optimization
+/// behavior reaches them only through the [`Hooks`] argument, and all
+/// observation leaves them only as [`crate::event::SimEvent`]s.
+pub trait PipelineStage {
+    /// A short stable name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Advances this stage by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the stage detects an abnormal
+    /// condition (committed memory fault, broken invariant, exhausted
+    /// resource); the machine stops cleanly instead of panicking.
+    fn tick(&mut self, st: &mut PipelineState, hooks: &mut Hooks) -> Result<(), SimError>;
+}
+
+/// The six stage instances [`crate::Machine`] drives each cycle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stages {
+    /// In-order commit (retires, trains prefetch hooks, frees tags).
+    pub commit: CommitStage,
+    /// Load/store-queue upkeep: SS-load resolution + store dequeue.
+    pub lsq: LsqStage,
+    /// Writeback / completion and control-flow verification.
+    pub execute: ExecuteStage,
+    /// Port-constrained selection of ready uops.
+    pub issue: IssueStage,
+    /// Rename and dispatch from the fetch buffer into the backend.
+    pub rename: RenameStage,
+    /// In-order fetch with branch prediction.
+    pub fetch: FetchStage,
+}
+
+/// Classification of an instruction for dispatch-time bookkeeping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum UopKind {
+    Alu,
+    Fp,
+    Load,
+    Store,
+    Branch,
+    Jal,
+    Jalr,
+    Flush,
+    RdCycle,
+    Li,
+    Nop,
+    Fence,
+    Halt,
+}
+
+pub(crate) fn classify(i: &Instr) -> UopKind {
+    match i {
+        Instr::AluRR { .. } | Instr::AluRI { .. } => UopKind::Alu,
+        Instr::Fp { .. } => UopKind::Fp,
+        Instr::Li { .. } => UopKind::Li,
+        Instr::Load { .. } => UopKind::Load,
+        Instr::Store { .. } => UopKind::Store,
+        Instr::Branch { .. } => UopKind::Branch,
+        Instr::Jal { .. } => UopKind::Jal,
+        Instr::Jalr { .. } => UopKind::Jalr,
+        Instr::RdCycle { .. } => UopKind::RdCycle,
+        Instr::Flush { .. } => UopKind::Flush,
+        Instr::Fence => UopKind::Fence,
+        Instr::Nop => UopKind::Nop,
+        Instr::Halt => UopKind::Halt,
+    }
+}
+
+/// One in-flight dynamic instruction.
+#[derive(Clone, Debug)]
+pub(crate) struct Uop {
+    pub(crate) seq: Seq,
+    pub(crate) pc: usize,
+    pub(crate) instr: Instr,
+    pub(crate) kind: UopKind,
+    pub(crate) srcs: Vec<PTag>,
+    pub(crate) dst: Option<PTag>,
+    /// The architectural register this uop redefines and its previous
+    /// physical mapping — fuels both commit-time freeing and
+    /// squash-time rename undo.
+    pub(crate) prev: Option<(Reg, PTag)>,
+    pub(crate) in_iq: bool,
+    pub(crate) executing: bool,
+    pub(crate) done: bool,
+    pub(crate) done_cycle: u64,
+    pub(crate) result: u64,
+    /// Loads/stores: the resolved effective address.
+    pub(crate) addr: Option<u64>,
+    /// Loads: access width (for DMP training).
+    pub(crate) mem_width: Option<Width>,
+    pub(crate) fault: Option<MemFault>,
+    /// Branches/jalr: the fetch-time predicted next pc.
+    pub(crate) pred_target: usize,
+    /// Branches/jalr: the resolved next pc.
+    pub(crate) actual_target: usize,
+    /// Value prediction made at dispatch, if any.
+    pub(crate) vp_pred: Option<u64>,
+    /// Memo-table insertion info captured at issue on a reuse miss.
+    pub(crate) reuse_info: Option<([u64; 2], [Option<Reg>; 2])>,
+    /// Simplification event to count when the uop completes.
+    pub(crate) simpl_event: Option<SimplEvent>,
+}
+
+/// A store-queue entry; lives from dispatch until dequeue (possibly
+/// after commit).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SqEntry {
+    pub(crate) seq: Seq,
+    pub(crate) pc: usize,
+    pub(crate) width: Width,
+    pub(crate) addr: Option<u64>,
+    pub(crate) data: Option<u64>,
+    pub(crate) committed: bool,
+    pub(crate) ss: SsState,
+    pub(crate) performing_until: Option<u64>,
+    pub(crate) at_head_traced: bool,
+}
+
+/// Everything the pipeline stages read and write: the architectural
+/// machine (program, memory, caches), the microarchitectural window
+/// (fetch buffer, rename tables, ROB, load/store queues), and the
+/// [`EventBus`] all observation flows through.
+///
+/// Stage modules and optimization hooks share this one struct; its
+/// fields are crate-internal, so outside the crate it is an opaque
+/// handle whose event bus is reachable via [`PipelineState::bus_mut`].
+#[derive(Clone, Debug)]
+pub struct PipelineState {
+    pub(crate) cfg: SimConfig,
+    pub(crate) prog: Program,
+    pub(crate) mem: Memory,
+    pub(crate) hier: Hierarchy,
+    pub(crate) cycle: u64,
+    pub(crate) next_seq: Seq,
+    pub(crate) halted: bool,
+
+    // Frontend.
+    pub(crate) fetch_pc: usize,
+    pub(crate) fetch_stall_until: u64,
+    pub(crate) fetch_blocked: bool,
+    /// (pc, instr, predicted next pc).
+    pub(crate) fetch_buf: VecDeque<(usize, Instr, usize)>,
+    pub(crate) bimodal: Bimodal,
+    pub(crate) btb: Btb,
+
+    // Rename / register state.
+    pub(crate) rat: [PTag; Reg::COUNT],
+    pub(crate) prf_vals: Vec<u64>,
+    pub(crate) prf_ready: Vec<bool>,
+    pub(crate) live_tags: usize,
+    pub(crate) shared_tags: Vec<PTag>,
+    pub(crate) arch_regs: [u64; Reg::COUNT],
+
+    // Backend.
+    pub(crate) rob: VecDeque<Uop>,
+    pub(crate) iq_count: usize,
+    pub(crate) lq: VecDeque<Seq>,
+    pub(crate) sq: VecDeque<SqEntry>,
+    pub(crate) fences_inflight: usize,
+
+    /// The single sink for stats, trace, and pattern observation.
+    pub(crate) bus: EventBus,
+
+    /// Last cycle that committed an instruction or dequeued a store —
+    /// the watchdog's notion of forward progress.
+    pub(crate) last_progress_cycle: u64,
+}
+
+impl PipelineState {
+    /// Creates the baseline machine state (zeroed memory/registers, an
+    /// identity rename map, empty queues).
+    pub(crate) fn new(cfg: SimConfig) -> PipelineState {
+        let mut prf_vals = Vec::with_capacity(cfg.pipeline.prf_size);
+        let mut prf_ready = Vec::with_capacity(cfg.pipeline.prf_size);
+        let mut rat = [0 as PTag; Reg::COUNT];
+        for (i, slot) in rat.iter_mut().enumerate() {
+            *slot = i as PTag;
+            prf_vals.push(0);
+            prf_ready.push(true);
+        }
+        PipelineState {
+            mem: Memory::new(cfg.mem_size),
+            hier: Hierarchy::new(cfg.l1d, cfg.l2, cfg.mem_latency, cfg.seed),
+            cycle: 0,
+            next_seq: 0,
+            halted: false,
+            fetch_pc: 0,
+            fetch_stall_until: 0,
+            fetch_blocked: false,
+            fetch_buf: VecDeque::new(),
+            bimodal: Bimodal::new(1024),
+            btb: Btb::new(),
+            rat,
+            prf_vals,
+            prf_ready,
+            live_tags: Reg::COUNT,
+            shared_tags: Vec::new(),
+            arch_regs: [0; Reg::COUNT],
+            rob: VecDeque::new(),
+            iq_count: 0,
+            lq: VecDeque::new(),
+            sq: VecDeque::new(),
+            fences_inflight: 0,
+            bus: EventBus::new(),
+            last_progress_cycle: 0,
+            prog: Program::default(),
+            cfg,
+        }
+    }
+
+    /// Rewinds to the post-construction state while keeping every
+    /// allocation (PRF vectors, queues, memory backing, cache sets) and
+    /// the loaded program. The event bus is cleared and the trace
+    /// disabled; caches are reseeded from the configured seed so replay
+    /// is deterministic.
+    pub(crate) fn reset(&mut self) {
+        self.cycle = 0;
+        self.next_seq = 0;
+        self.halted = false;
+        self.fetch_pc = 0;
+        self.fetch_stall_until = 0;
+        self.fetch_blocked = false;
+        self.fetch_buf.clear();
+        self.bimodal.reset();
+        self.btb.reset();
+        self.prf_vals.clear();
+        self.prf_ready.clear();
+        for (i, slot) in self.rat.iter_mut().enumerate() {
+            *slot = i as PTag;
+            self.prf_vals.push(0);
+            self.prf_ready.push(true);
+        }
+        self.live_tags = Reg::COUNT;
+        self.shared_tags.clear();
+        self.arch_regs = [0; Reg::COUNT];
+        self.rob.clear();
+        self.iq_count = 0;
+        self.lq.clear();
+        self.sq.clear();
+        self.fences_inflight = 0;
+        self.mem
+            .clear(0, self.cfg.mem_size)
+            .expect("whole-memory clear is in bounds");
+        self.hier.reset(self.cfg.seed);
+        self.bus.reset();
+        self.last_progress_cycle = 0;
+    }
+
+    /// The current cycle (for hooks that need timing context).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The event bus (read side: stats, trace, patterns).
+    #[must_use]
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// The event bus, mutably — how hooks emit [`SimEvent`]s.
+    pub fn bus_mut(&mut self) -> &mut EventBus {
+        &mut self.bus
+    }
+
+    // ---- Register tag plumbing ---------------------------------------
+
+    pub(crate) fn alloc_tag(&mut self) -> Option<PTag> {
+        if self.live_tags >= self.cfg.pipeline.prf_size {
+            return None;
+        }
+        let tag = self.prf_vals.len() as PTag;
+        self.prf_vals.push(0);
+        self.prf_ready.push(false);
+        self.live_tags += 1;
+        Some(tag)
+    }
+
+    pub(crate) fn free_tag(&mut self, tag: PTag) {
+        if let Some(i) = self.shared_tags.iter().position(|&t| t == tag) {
+            // Already released early by register-file compression.
+            self.shared_tags.swap_remove(i);
+        } else {
+            self.live_tags -= 1;
+        }
+    }
+
+    pub(crate) fn srcs_ready(&self, uop: &Uop) -> bool {
+        uop.srcs.iter().all(|&t| self.prf_ready[t as usize])
+    }
+
+    pub(crate) fn val(&self, tag: PTag) -> u64 {
+        self.prf_vals[tag as usize]
+    }
+
+    /// Removes the uop at ROB index `idx` from the issue queue (called
+    /// when it starts executing).
+    pub(crate) fn leave_iq(&mut self, idx: usize) {
+        let uop = &mut self.rob[idx];
+        debug_assert!(uop.in_iq);
+        uop.in_iq = false;
+        self.iq_count -= 1;
+    }
+
+    /// Performs a demand access, emits the served-by event, and returns
+    /// the access latency.
+    pub(crate) fn demand_access(&mut self, addr: u64) -> u64 {
+        let acc = self.hier.access(addr);
+        self.bus.emit(SimEvent::DemandAccess {
+            served_by: acc.served_by,
+        });
+        acc.latency
+    }
+
+    pub(crate) fn invalid_state(&self, context: String) -> SimError {
+        SimError::InvalidState {
+            context,
+            cycle: self.cycle,
+        }
+    }
+
+    pub(crate) fn deadlock_snapshot(&self) -> DeadlockDiagnostics {
+        DeadlockDiagnostics {
+            rob_head: self.rob.front().map(|u| (u.seq, u.pc)),
+            rob_len: self.rob.len(),
+            sq_head: self.sq.front().map(|e| (e.seq, e.pc)),
+            sq_len: self.sq.len(),
+            lq_len: self.lq.len(),
+            live_tags: self.live_tags,
+            prf_size: self.cfg.pipeline.prf_size,
+            fetch_pc: self.fetch_pc,
+            last_progress_cycle: self.last_progress_cycle,
+        }
+    }
+}
+
+pub(crate) fn width_mask(w: Width) -> u64 {
+    match w.bytes() {
+        1 => 0xff,
+        2 => 0xffff,
+        4 => 0xffff_ffff,
+        _ => u64::MAX,
+    }
+}
