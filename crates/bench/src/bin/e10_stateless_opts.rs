@@ -1,80 +1,9 @@
-//! Regenerates the **§IV-B stateless-optimization leakage** series:
-//! computation simplification (zero-skip multiply, early-exit divide,
-//! FP subnormals) and pipeline compression (operand packing), each
-//! measured on the baseline machine and with the optimization enabled.
+//! Thin wrapper over the `e10_stateless_opts` registry experiment — see
+//! `pandora_bench::experiments::e10_stateless_opts` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_attacks::stateless::{
-    early_exit_div_cycles, fp_subnormal_cycles, operand_packing_cycles,
-    strength_reduction_cycles, zero_skip_mul_cycles,
-};
+use std::process::ExitCode;
 
-fn main() {
-    pandora_bench::header("E10a: zero-skip multiply (secret x attacker-chosen 5)");
-    println!("{:<14} {:>10} {:>10}", "secret", "baseline", "CS on");
-    for s in [0u64, 1, 2, 1234, u64::MAX] {
-        println!(
-            "{:<14} {:>10} {:>10}",
-            s,
-            zero_skip_mul_cycles(s, 5, false),
-            zero_skip_mul_cycles(s, 5, true)
-        );
-    }
-    println!("attacker sets its operand to 0: leak masked (both secrets equal):");
-    println!(
-        "  secret 0 -> {}, secret 1234 -> {}",
-        zero_skip_mul_cycles(0, 0, true),
-        zero_skip_mul_cycles(1234, 0, true)
-    );
-
-    pandora_bench::header("E10e (§VI-B): multiply strength reduction (continuous optimization)");
-    println!("{:<14} {:>10} {:>10}", "multiplier", "baseline", "CS on");
-    for s in [63u64, 64, 100, 128] {
-        println!(
-            "{:<14} {:>10} {:>10}",
-            s,
-            strength_reduction_cycles(s, false),
-            strength_reduction_cycles(s, true)
-        );
-    }
-
-    pandora_bench::header("E10b: early-exit divide (latency tracks dividend magnitude)");
-    println!("{:<22} {:>10} {:>10}", "dividend", "baseline", "CS on");
-    for s in [0xffu64, 0xffff, 0xffff_ffff, u64::MAX / 3] {
-        println!(
-            "{:<22} {:>10} {:>10}",
-            format!("{s:#x}"),
-            early_exit_div_cycles(s, false),
-            early_exit_div_cycles(s, true)
-        );
-    }
-
-    pandora_bench::header("E10c: FP subnormal slow path");
-    for (name, bits) in [
-        ("normal 1.0", 1.0f64.to_bits()),
-        ("normal 1e-300", 1e-300f64.to_bits()),
-        ("subnormal min", 1u64),
-        ("subnormal 2^-1060", (f64::MIN_POSITIVE / 16.0).to_bits()),
-    ] {
-        println!(
-            "{:<20} baseline {:>8}   slow-path on {:>8}",
-            name,
-            fp_subnormal_cycles(bits, false),
-            fp_subnormal_cycles(bits, true)
-        );
-    }
-
-    pandora_bench::header("E10d: operand packing (throughput tracks operand width)");
-    println!("{:<22} {:>10} {:>10}", "secret", "baseline", "PC on");
-    for s in [3u64, 0xffff, 0x1_0000, 0xffff_ffff] {
-        println!(
-            "{:<22} {:>10} {:>10}",
-            format!("{s:#x}"),
-            operand_packing_cycles(s, false, false),
-            operand_packing_cycles(s, true, false)
-        );
-    }
-    println!(
-        "\nPaper claim: pushed to the extreme, such optimizations render even\n\
-         bitwise instructions, critical for constant-time programming, unsafe."
-    );
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("e10_stateless_opts")
 }

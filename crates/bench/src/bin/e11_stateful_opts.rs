@@ -1,47 +1,9 @@
-//! Regenerates the **§IV-C stateful-optimization equality oracles**:
-//! computation reuse and value prediction, including the §IV-C4 replay
-//! attack recovering a byte in ≤ 2^8 experiments.
+//! Thin wrapper over the `e11_stateful_opts` registry experiment — see
+//! `pandora_bench::experiments::e11_stateful_opts` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_attacks::stateful::{
-    recover_byte_by_replay, reuse_equality_cycles, vp_equality_cycles,
-};
-use pandora_sim::ReuseKey;
+use std::process::ExitCode;
 
-fn main() {
-    pandora_bench::header("E11a: computation reuse (Sv) equality oracle");
-    let secret = 0xCAFEu64;
-    println!("{:<12} {:>10}", "guess", "cycles");
-    for g in [0xCAFEu64, 0xCAFF, 0xBEEF, 0x0000] {
-        let marker = if g == secret { "  <- equal (hit)" } else { "" };
-        println!(
-            "{:<12} {:>10}{marker}",
-            format!("{g:#x}"),
-            reuse_equality_cycles(secret, g, ReuseKey::Values)
-        );
-    }
-
-    pandora_bench::header("E11b: value prediction equality oracle");
-    let secret = 0x1111u64;
-    for g in [0x1111u64, 0x1112, 0x2222] {
-        let marker = if g == secret {
-            "  <- equal (no squashes)"
-        } else {
-            ""
-        };
-        println!(
-            "{:<12} {:>10}{marker}",
-            format!("{g:#x}"),
-            vp_equality_cycles(secret, g)
-        );
-    }
-
-    pandora_bench::header("E11c: §IV-C4 replay — byte recovery in 2^8 experiments");
-    let secret = 0x5Au64;
-    let got = recover_byte_by_replay(|g| reuse_equality_cycles(secret, g, ReuseKey::Values));
-    println!("secret byte {secret:#04x}, recovered by 256-guess replay: {got:02x?}");
-    println!(
-        "\nPaper claim: because these optimizations check for equality, the\n\
-         attacker can learn each value exactly via replays — 2^8 tries for\n\
-         a byte, 2^32 for a word."
-    );
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("e11_stateful_opts")
 }

@@ -1,40 +1,9 @@
-//! Regenerates the **§IV-D1 register-file-compression leakage**
-//! experiment: a register-hungry constant-time comparison loop whose
-//! runtime depends on whether its XOR results compress — i.e. on
-//! whether the private value equals the attacker-supplied input —
-//! ablated over the two match sets (0/1 vs any-value).
+//! Thin wrapper over the `e12_rfc` registry experiment — see
+//! `pandora_bench::experiments::e12_rfc` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_attacks::stateful::rfc_equality_cycles;
-use pandora_sim::RfcMatch;
+use std::process::ExitCode;
 
-fn main() {
-    pandora_bench::header("E12: register-file compression equality oracle");
-    let secret = 0x42u64;
-    for (name, kind) in [("0/1 variant", RfcMatch::ZeroOne), ("any-value variant", RfcMatch::Any)] {
-        println!("match set: {name}");
-        println!("{:<12} {:>10}", "input", "cycles");
-        for input in [0x42u64, 0x40, 0x99, 0x142] {
-            let marker = if input == secret {
-                "  <- equal (results compress)"
-            } else {
-                ""
-            };
-            println!(
-                "{:<12} {:>10}{marker}",
-                format!("{input:#x}"),
-                rfc_equality_cycles(secret, input, kind)
-            );
-        }
-    }
-    println!(
-        "\nNote: under the any-value variant this workload's repeated XOR\n\
-         results match their own earlier instances already committed in the\n\
-         register file, so every run compresses — the 0/1 variant is the\n\
-         clean equality oracle here."
-    );
-    println!(
-        "\nPaper claim (Table I): register-file compression makes instruction\n\
-         results and the register file at rest Unsafe — constant-time code\n\
-         leaks comparison outcomes through rename pressure."
-    );
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("e12_rfc")
 }

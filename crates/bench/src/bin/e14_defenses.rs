@@ -1,38 +1,9 @@
-//! Regenerates the **§VI-A defense retrofits**, measured: each row is
-//! a leak magnitude (cycles) before and after the mitigation.
+//! Thin wrapper over the `e14_defenses` registry experiment — see
+//! `pandora_bench::experiments::e14_defenses` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_attacks::defense::{
-    msb_retrofit_vs_packing, sn_keying_vs_reuse, targeted_clearing_vs_silent_stores,
-};
+use std::process::ExitCode;
 
-fn main() {
-    pandora_bench::header("E14: defense retrofits (§VI-A)");
-    println!(
-        "{:<46} {:>12} {:>12}",
-        "mitigation", "leak before", "leak after"
-    );
-    let rows = [
-        (
-            "OR-1-into-MSB vs operand packing (§VI-A2)",
-            msb_retrofit_vs_packing(),
-        ),
-        (
-            "Sn register-id keying vs reuse (§VI-A3)",
-            sn_keying_vs_reuse(),
-        ),
-        (
-            "targeted clearing vs silent stores (§VI-A2)",
-            targeted_clearing_vs_silent_stores(),
-        ),
-    ];
-    for (name, o) in rows {
-        println!(
-            "{:<46} {:>12} {:>12}",
-            name, o.unmitigated_delta, o.mitigated_delta
-        );
-    }
-    println!(
-        "\nPaper claim: retrofits can restore security — the open question is\n\
-         doing so while keeping the optimizations' performance benefit."
-    );
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("e14_defenses")
 }

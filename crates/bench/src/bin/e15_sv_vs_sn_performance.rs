@@ -1,134 +1,9 @@
-//! Regenerates the **§VI-A3 performance-vs-security comparison** for
-//! computation reuse: the Sv (value-keyed) scheme reuses the most but
-//! leaks operand values; the Sn (register-id-keyed) scheme closes the
-//! value oracle while retaining part of the benefit — "we know how to,
-//! in some instances, architect still efficient and more secure
-//! microarchitecture."
-//!
-//! Two workloads:
-//!
-//! 1. a redundant-computation microkernel (a loop recomputing the same
-//!    expressions every iteration — the compiler-redundancy pattern
-//!    reuse was invented for), where Sv and Sn genuinely diverge;
-//! 2. the repository's bitsliced AES, whose 30 k-instruction
-//!    straight-line body thrashes a realistic direct-mapped memo table
-//!    — an honest negative datapoint.
+//! Thin wrapper over the `e15_sv_vs_sn_performance` registry experiment — see
+//! `pandora_bench::experiments::e15_sv_vs_sn_performance` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_crypto::codegen::{emit_encrypt, BsaesLayout};
-use pandora_crypto::RoundKeys;
-use pandora_isa::{Asm, Reg};
-use pandora_sim::{Machine, OptConfig, ReuseKey, SimConfig, SimStats};
+use std::process::ExitCode;
 
-fn opts_for(key: Option<ReuseKey>) -> OptConfig {
-    let mut o = OptConfig::baseline();
-    if let Some(k) = key {
-        o.comp_reuse = true;
-        o.reuse_key = k;
-        o.reuse_entries = 512;
-    }
-    o
-}
-
-/// A loop that redundantly recomputes expressions over loop-invariant
-/// inputs: every multiply/divide sees identical operands each trip.
-fn run_redundant_kernel(opts: OptConfig) -> SimStats {
-    let mut a = Asm::new();
-    a.li(Reg::S0, 12345); // loop-invariant inputs
-    a.li(Reg::S1, 678);
-    a.li(Reg::S2, 31);
-    a.li(Reg::T6, 200);
-    a.label("l");
-    // Redundant work: same operands every iteration, heavy on the
-    // single multiply/divide port.
-    a.mul(Reg::A0, Reg::S0, Reg::S1);
-    a.divu(Reg::A1, Reg::S0, Reg::S2);
-    a.mul(Reg::A2, Reg::S1, Reg::S2);
-    a.mul(Reg::A4, Reg::S0, Reg::S2);
-    a.divu(Reg::A5, Reg::S1, Reg::S0);
-    a.mul(Reg::S3, Reg::S2, Reg::S0);
-    // A dependent chain so the latencies matter.
-    a.xor(Reg::A3, Reg::A0, Reg::A1);
-    a.xor(Reg::A3, Reg::A3, Reg::A2);
-    a.xor(Reg::A3, Reg::A3, Reg::A4);
-    a.xor(Reg::A3, Reg::A3, Reg::A5);
-    a.xor(Reg::A3, Reg::A3, Reg::S3);
-    a.xor(Reg::T5, Reg::A3, Reg::A3);
-    a.add(Reg::T6, Reg::T6, Reg::T5);
-    a.addi(Reg::T6, Reg::T6, -1);
-    a.bnez(Reg::T6, "l");
-    a.halt();
-    let prog = a.assemble().expect("assembles");
-    let mut m = Machine::new(SimConfig::with_opts(opts));
-    m.load_program(&prog);
-    m.run(1_000_000).expect("completes")
-}
-
-/// Two back-to-back encryptions through one static BSAES body.
-fn run_bsaes(opts: OptConfig) -> SimStats {
-    let lay = BsaesLayout::at(0x1_0000);
-    let mut a = Asm::new();
-    a.li(Reg::S11, 2);
-    a.label("enc");
-    emit_encrypt(&mut a, &lay, |_, _, _| {});
-    a.addi(Reg::S11, Reg::S11, -1);
-    a.bnez(Reg::S11, "enc");
-    a.halt();
-    let prog = a.assemble().expect("assembles");
-    let rk = RoundKeys::expand(&[0x5Au8; 16]);
-    let mut m = Machine::new(SimConfig::with_opts(opts));
-    m.load_program(&prog);
-    m.mem_mut()
-        .write_bytes(lay.rk, &BsaesLayout::round_key_bytes(&rk))
-        .expect("in memory");
-    m.mem_mut().write_bytes(lay.pt, &[0xA5; 16]).expect("in memory");
-    m.run(5_000_000).expect("completes")
-}
-
-fn table(title: &str, run: impl Fn(OptConfig) -> SimStats) {
-    pandora_bench::header(title);
-    println!(
-        "{:<22} {:>10} {:>10} {:>10} {:>10}",
-        "scheme", "cycles", "hits", "misses", "hit rate"
-    );
-    for (name, key) in [
-        ("off (baseline)", None),
-        ("Sv (operand values)", Some(ReuseKey::Values)),
-        ("Sn (register ids)", Some(ReuseKey::RegIds)),
-    ] {
-        let s = run(opts_for(key));
-        let total = s.reuse_hits + s.reuse_misses;
-        println!(
-            "{:<22} {:>10} {:>10} {:>10} {:>9.1}%",
-            name,
-            s.cycles,
-            s.reuse_hits,
-            s.reuse_misses,
-            if total == 0 {
-                0.0
-            } else {
-                100.0 * s.reuse_hits as f64 / total as f64
-            }
-        );
-    }
-}
-
-fn main() {
-    table(
-        "E15a: redundant-computation kernel (loop-invariant operands)",
-        run_redundant_kernel,
-    );
-    println!(
-        "Sv memoizes every redundant op; Sn keeps only the entries whose\n\
-         source registers are never redefined — faster than baseline,\n\
-         slower than Sv, and with the operand-value oracle closed."
-    );
-    table(
-        "E15b: bitsliced AES x2 (30k straight-line instructions, 512-entry table)",
-        run_bsaes,
-    );
-    println!(
-        "A realistic direct-mapped table thrashes on a straight-line body\n\
-         this large: no reuse for either scheme — reuse is a hot-loop\n\
-         optimization, which is also where its leak bites."
-    );
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("e15_sv_vs_sn_performance")
 }

@@ -1,58 +1,9 @@
-//! Regenerates the **§V-A3 replay analysis**: full key recovery through
-//! the silent-store equality oracle.
-//!
-//! The paper bounds the attack at 8 × 65 536 = 524 288 experiments
-//! (each 16-bit slice takes at most 2^16 guesses). Running the full
-//! search in a cycle-accurate simulator is ~0.5 M simulated encryption
-//! pairs; by default this binary demonstrates the pipeline with a
-//! windowed search per slice (pass `--full-slice` to run one complete
-//! 65 536-guess search and measure its cost).
+//! Thin wrapper over the `e9_replay_recovery` registry experiment — see
+//! `pandora_bench::experiments::e9_replay_recovery` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_attacks::BsaesAttack;
-use pandora_crypto::RoundKeys;
+use std::process::ExitCode;
 
-fn main() {
-    let full_slice = std::env::args().any(|a| a == "--full-slice");
-    let victim_key: [u8; 16] = std::array::from_fn(|i| (i * 29 + 3) as u8);
-    let attacker_key: [u8; 16] = std::array::from_fn(|i| (i * 17 + 11) as u8);
-    let victim_pt: [u8; 16] = std::array::from_fn(|i| (i * 5 + 1) as u8);
-
-    pandora_bench::header("E9: silent-store replay key recovery (§V-A3)");
-    println!(
-        "budget: 8 slices x 65,536 guesses = 524,288 experiments max\n\
-         (windowed demo below uses 33 guesses per slice around the truth)"
-    );
-
-    let probe = BsaesAttack::new(victim_key, attacker_key, victim_pt, 0);
-    let atk = probe.clone();
-    let recovered = atk.recover_key(
-        |k| {
-            let truth = BsaesAttack::new(victim_key, attacker_key, victim_pt, k)
-                .true_slice_value();
-            let lo = truth.wrapping_sub(16);
-            (0..33).map(|d| lo.wrapping_add(d)).collect()
-        },
-        60,
-    );
-    println!("victim key:    {victim_key:02x?}");
-    println!("recovered key: {recovered:02x?}");
-    let ok = recovered == Some(victim_key);
-    println!("key recovery:  {}", if ok { "SUCCESS" } else { "FAILED" });
-
-    // Show the inversion arithmetic explicitly.
-    pandora_bench::header("Key-schedule inversion (the paper's final step)");
-    let rk = RoundKeys::expand(&victim_key);
-    let k10 = rk.round(10);
-    println!("round-10 key:  {k10:02x?}");
-    println!(
-        "inverted to:   {:02x?}",
-        RoundKeys::from_round10(&k10).master_key()
-    );
-
-    if full_slice {
-        pandora_bench::header("Full 65,536-guess search for slice 0");
-        let truth = probe.true_slice_value();
-        let got = probe.recover_slice(0..=u16::MAX, 60);
-        println!("truth {truth}, recovered {got:?}");
-    }
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("e9_replay_recovery")
 }

@@ -1,117 +1,9 @@
-//! Regenerates **Figures 2 and 3** — the nine example MLDs — as
-//! executable objects: for each, its input signature, the partition
-//! size |S| over a representative input enumeration, and the resulting
-//! channel-capacity upper bound log2|S| (§IV-A3).
+//! Thin wrapper over the `fig2_fig3_mlds` registry experiment — see
+//! `pandora_bench::experiments::fig2_fig3_mlds` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use std::collections::HashMap;
+use std::process::ExitCode;
 
-use pandora_core::examples::{
-    CacheModel, DataMemory, Im3lPrefetcher, ImpState, InstructionReuse, OperandPacking,
-    RfCompression, SilentStores, SingleCycleAlu, ValuePrediction, VpEntry, ZeroSkipMul,
-};
-use pandora_core::mld::{capacity_bits, partition_size, Mld};
-
-fn report<M: Mld>(mld: &M, inputs: impl IntoIterator<Item = M::Input>) {
-    let sig: Vec<String> = mld.signature().iter().map(ToString::to_string).collect();
-    let n = partition_size(mld, inputs);
-    println!(
-        "{:<18} ({:<18}) |S| = {:>5}   capacity <= {:.2} bits",
-        mld.name(),
-        sig.join(", "),
-        n,
-        capacity_bits(n)
-    );
-}
-
-fn main() {
-    pandora_bench::header("Fig 2: example MLDs from prior-work structures");
-    report(
-        &SingleCycleAlu,
-        (0..64u64).flat_map(|a| (0..64u64).map(move |b| (a, b))),
-    );
-    report(
-        &ZeroSkipMul,
-        (0..64u64).flat_map(|a| (0..64u64).map(move |b| (a, b))),
-    );
-    let sets = 8u64;
-    report(
-        &pandora_core::examples::CacheRand,
-        (0..4096u64).step_by(64).flat_map(move |addr| {
-            let cold = CacheModel::new(sets, 64);
-            let mut warm = CacheModel::new(sets, 64);
-            warm.insert(addr);
-            [(addr, cold), (addr, warm)]
-        }),
-    );
-
-    pandora_bench::header("Fig 3: example MLDs for the studied optimization classes");
-    report(
-        &OperandPacking,
-        (0..4u64).flat_map(|a| {
-            (0..4u64).map(move |b| {
-                let wide = |x: u64| if x & 1 == 1 { 1u64 << 20 } else { x };
-                ((wide(a), 1), (wide(b), 2))
-            })
-        }),
-    );
-    report(
-        &SilentStores,
-        (0..32u64).map(|v| {
-            let mut mem = DataMemory::new();
-            mem.insert(0x40, 7);
-            (0x40u64, v, mem)
-        }),
-    );
-    report(
-        &InstructionReuse,
-        (0..32u64).map(|v| {
-            let mut buf = HashMap::new();
-            buf.insert(100u64, [3u64, 4u64]);
-            (100u64, [v, 4u64], buf)
-        }),
-    );
-    report(
-        &ValuePrediction { conf_domain: 4 },
-        (0..4u64).flat_map(|conf| {
-            (0..8u64).map(move |dst| {
-                let mut t = HashMap::new();
-                t.insert(
-                    10u64,
-                    VpEntry {
-                        conf,
-                        prediction: 3,
-                    },
-                );
-                (10u64, dst, t)
-            })
-        }),
-    );
-    report(
-        &RfCompression,
-        (0..256u64).map(|mask| {
-            (0..8)
-                .map(|i| if (mask >> i) & 1 == 1 { 0u64 } else { 0xdead })
-                .collect::<Vec<u64>>()
-        }),
-    );
-    report(
-        &Im3lPrefetcher,
-        (0..64u64).map(|secret| {
-            let cache = CacheModel::new(8, 64);
-            let imp = ImpState {
-                base_z: 0x1000,
-                base_y: 0x2000,
-                base_x: 0x4000,
-                start: 0,
-            };
-            let mut mem = DataMemory::new();
-            mem.insert(0x1000, 0x100);
-            mem.insert(0x2100, secret * 64);
-            (imp, cache, mem)
-        }),
-    );
-    println!(
-        "\nThe 3-level IMP's outcome varies with the *private memory value*\n\
-         (data at rest): the partition above is over secrets alone."
-    );
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("fig2_fig3_mlds")
 }

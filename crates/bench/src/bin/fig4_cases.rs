@@ -1,105 +1,9 @@
-//! Regenerates **Figure 4** — the four possible sequences of actions a
-//! store takes under the read-port-stealing silent-store scheme — by
-//! constructing a micro-program for each case and printing the
-//! simulator's event timeline for the target store.
-//!
-//! * **A** — SS-load returns, values equal → silent dequeue,
-//! * **B** — SS-load returns, values differ → performed normally,
-//! * **C** — no free load port at store execute → never checked,
-//! * **D** — SS-load returns after the store is ready to perform.
+//! Thin wrapper over the `fig4_cases` registry experiment — see
+//! `pandora_bench::experiments::fig4_cases` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_isa::{Asm, Reg};
-use pandora_sim::{Machine, OptConfig, SimConfig, TraceEvent};
+use std::process::ExitCode;
 
-fn run(build: impl FnOnce(&mut Asm) -> usize, setup: impl FnOnce(&mut Machine)) -> (usize, Machine) {
-    let mut a = Asm::new();
-    let store_pc = build(&mut a);
-    a.fence();
-    a.halt();
-    let prog = a.assemble().expect("fig4 program assembles");
-    let mut m = Machine::new(SimConfig::with_opts(OptConfig::with_silent_stores()));
-    m.enable_trace();
-    m.load_program(&prog);
-    setup(&mut m);
-    m.run(1_000_000).expect("fig4 program completes");
-    (store_pc, m)
-}
-
-fn show(case: &str, description: &str, store_pc: usize, m: &Machine) {
-    pandora_bench::header(&format!("Fig 4 case {case}: {description}"));
-    for e in m.trace().store_timeline(store_pc) {
-        println!("  {e:?}");
-    }
-}
-
-fn main() {
-    const TARGET: u64 = 0x1_0000;
-
-    // Case A: warm line, equal value -> silent.
-    let (pc, m) = run(
-        |a| {
-            a.ld(Reg::T0, Reg::ZERO, TARGET as i64); // warm the line
-            a.fence();
-            a.li(Reg::T0, 42);
-            let pc = a.here();
-            a.sd(Reg::T0, Reg::ZERO, TARGET as i64);
-            pc
-        },
-        |m| m.mem_mut().write_u64(TARGET, 42).expect("in memory"),
-    );
-    show("A", "store value == loaded (silent store)", pc, &m);
-
-    // Case B: warm line, different value -> performed.
-    let (pc, m) = run(
-        |a| {
-            a.ld(Reg::T0, Reg::ZERO, TARGET as i64);
-            a.fence();
-            a.li(Reg::T0, 43);
-            let pc = a.here();
-            a.sd(Reg::T0, Reg::ZERO, TARGET as i64);
-            pc
-        },
-        |m| m.mem_mut().write_u64(TARGET, 42).expect("in memory"),
-    );
-    show("B", "store value != loaded (non-silent store)", pc, &m);
-
-    // Case C: saturate both load ports with a stream of ready demand
-    // loads so no port is free when the store's address resolves.
-    let (pc, m) = run(
-        |a| {
-            a.li(Reg::T0, 42);
-            let pc = a.here();
-            a.sd(Reg::T0, Reg::ZERO, TARGET as i64);
-            for i in 0..24i64 {
-                a.ld(Reg::T1, Reg::ZERO, 0x2_0000 + 64 * i);
-            }
-            pc
-        },
-        |m| m.mem_mut().write_u64(TARGET, 42).expect("in memory"),
-    );
-    show("C", "no free load port (never checked)", pc, &m);
-
-    // Case D: cold line -> the SS-load takes a full miss and is still
-    // outstanding when the committed store reaches the SQ head.
-    let (pc, m) = run(
-        |a| {
-            a.li(Reg::T0, 42);
-            let pc = a.here();
-            a.sd(Reg::T0, Reg::ZERO, TARGET as i64);
-            pc
-        },
-        |m| m.mem_mut().write_u64(TARGET, 42).expect("in memory"),
-    );
-    show("D", "SS-load returns late (non-silent store)", pc, &m);
-
-    // Summary row like the paper's prose: which case ended silent.
-    pandora_bench::header("Summary");
-    println!("case A dequeues silently; B, C and D perform the store to the cache");
-    let silent_events = m
-        .trace()
-        .events()
-        .iter()
-        .filter(|e| matches!(e, TraceEvent::StoreSilentDequeue { .. }))
-        .count();
-    println!("(case D machine recorded {silent_events} silent dequeues, as expected: 0)");
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("fig4_cases")
 }

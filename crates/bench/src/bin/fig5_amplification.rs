@@ -1,131 +1,9 @@
-//! Regenerates **Figure 5** — the amplification gadget — as a measured
-//! experiment: the end-to-end runtime of a single amplified store when
-//! it is silent vs not, for both gadget flavours, plus the ablations
-//! DESIGN.md calls out (store-queue depth sweep; no-gadget control).
-//!
-//! Pass `--smoke` to run only the gadget matrix (the headline result),
-//! skipping the three ablation sections — the mode CI uses to keep the
-//! binary exercised without paying for the full sweep.
+//! Thin wrapper over the `fig5_amplification` registry experiment — see
+//! `pandora_bench::experiments::fig5_amplification` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_attacks::{AmplifyGadget, FlushKind};
-use pandora_isa::{Asm, Reg};
-use pandora_sim::{Machine, OptConfig, SimConfig};
+use std::process::ExitCode;
 
-const TARGET: u64 = 0x1_0000;
-const DELAY: u64 = 0x8_0000;
-
-fn experiment(cfg: SimConfig, kind: Option<FlushKind>, old: u64, new: u64) -> u64 {
-    let gadget = kind.map(|k| AmplifyGadget::new(&cfg, TARGET, DELAY, k));
-    let mut a = Asm::new();
-    a.ld(Reg::T0, Reg::ZERO, TARGET as i64);
-    for i in 1..6i64 {
-        a.ld(Reg::T0, Reg::ZERO, (TARGET + 0x1000) as i64 + 64 * i);
-    }
-    a.fence();
-    a.li(Reg::T0, new);
-    if let Some(g) = &gadget {
-        g.emit(&mut a);
-    }
-    a.sd(Reg::T0, Reg::ZERO, TARGET as i64);
-    for i in 1..6i64 {
-        a.sd(Reg::T0, Reg::ZERO, (TARGET + 0x1000) as i64 + 64 * i);
-    }
-    a.fence();
-    a.halt();
-    let prog = a.assemble().expect("fig5 program assembles");
-    let mut m = Machine::new(cfg);
-    m.load_program(&prog);
-    m.mem_mut().write_u64(TARGET, old).expect("in memory");
-    if let Some(g) = &gadget {
-        g.setup_memory(m.mem_mut());
-        g.setup_memory_flush_variant(m.mem_mut());
-    }
-    m.run(1_000_000).expect("fig5 program completes");
-    m.stats().cycles
-}
-
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let base = SimConfig::with_opts(OptConfig::with_silent_stores());
-
-    pandora_bench::header("Fig 5: amplification gadget (silent vs non-silent target store)");
-    println!("{:<22} {:>8} {:>8} {:>6}", "variant", "silent", "loud", "gap");
-    for (name, kind) in [
-        ("no gadget (control)", None),
-        ("set contention", Some(FlushKind::Contention)),
-        ("flush instruction", Some(FlushKind::FlushInstr)),
-    ] {
-        let silent = experiment(base, kind, 42, 42);
-        let loud = experiment(base, kind, 41, 42);
-        println!(
-            "{:<22} {:>8} {:>8} {:>6}",
-            name,
-            silent,
-            loud,
-            loud as i64 - silent as i64
-        );
-    }
-
-    if smoke {
-        println!("\n(--smoke: skipping the ablation sections)");
-        return;
-    }
-
-    pandora_bench::header("Ablation: store-queue depth (head-of-line blocking lever)");
-    println!("{:<10} {:>8} {:>8} {:>6}", "sq_size", "silent", "loud", "gap");
-    for sq in [2usize, 5, 8, 16] {
-        let mut cfg = base;
-        cfg.pipeline.sq_size = sq;
-        let silent = experiment(cfg, Some(FlushKind::Contention), 42, 42);
-        let loud = experiment(cfg, Some(FlushKind::Contention), 41, 42);
-        println!(
-            "{:<10} {:>8} {:>8} {:>6}",
-            sq,
-            silent,
-            loud,
-            loud as i64 - silent as i64
-        );
-    }
-
-    pandora_bench::header("Ablation: core size (little / default / big)");
-    println!("{:<10} {:>8} {:>8} {:>6}", "core", "silent", "loud", "gap");
-    for (name, mut cfg) in [
-        ("little", SimConfig::little_core()),
-        ("default", SimConfig::default()),
-        ("big", SimConfig::big_core()),
-    ] {
-        cfg.opts = OptConfig::with_silent_stores();
-        let silent = experiment(cfg, Some(FlushKind::Contention), 42, 42);
-        let loud = experiment(cfg, Some(FlushKind::Contention), 41, 42);
-        println!(
-            "{:<10} {:>8} {:>8} {:>6}",
-            name,
-            silent,
-            loud,
-            loud as i64 - silent as i64
-        );
-    }
-
-    println!(
-        "(the little core's single load port is busy with the gadget's own\n\
-         loads when the store resolves, so every store is Fig 4 case C —\n\
-         never checked, never silent: the machine is incidentally immune)"
-    );
-
-    pandora_bench::header("Ablation: load ports (SS-load availability, Fig 4 case C)");
-    println!("{:<10} {:>8} {:>8} {:>6}", "ports", "silent", "loud", "gap");
-    for ports in [1usize, 2, 4] {
-        let mut cfg = base;
-        cfg.pipeline.load_ports = ports;
-        let silent = experiment(cfg, Some(FlushKind::Contention), 42, 42);
-        let loud = experiment(cfg, Some(FlushKind::Contention), 41, 42);
-        println!(
-            "{:<10} {:>8} {:>8} {:>6}",
-            ports,
-            silent,
-            loud,
-            loud as i64 - silent as i64
-        );
-    }
-    println!("\nPaper claim: the gadget creates a large (>100 cycle), easily\ndistinguishable timing difference for a single dynamic store.");
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("fig5_amplification")
 }

@@ -1,105 +1,9 @@
-//! Regenerates **Figure 6** — the histogram of BSAES runtimes when the
-//! amplification gadget is applied to one of the eight stores that
-//! overwrite AES state, for a correct vs incorrect guess of the
-//! victim's 16-bit slice value.
-//!
-//! Cache-state noise is injected per trial (pseudo-random line
-//! preconditioning), as the paper's experiment environment does
-//! naturally; the two populations must remain cleanly separated
-//! (>100 cycles between modes).
-//!
-//! The driver first demonstrates robustness: a fault plan wedges the
-//! pipeline on the first measurement attempt, and the [`RetryPolicy`]
-//! recovers on a clean re-run. Simulator failures surface as structured
-//! errors and the driver reports whatever it measured before exiting
-//! nonzero instead of panicking.
-//!
-//! `cargo run --release -p pandora-bench --bin fig6_bsaes_hist`
+//! Thin wrapper over the `fig6_bsaes_hist` registry experiment — see
+//! `pandora_bench::experiments::fig6_bsaes_hist` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_attacks::BsaesAttack;
-use pandora_channels::{welch_t, Histogram, RetryPolicy, Summary};
-use pandora_sim::{FaultKind, FaultPlan, SimError};
 use std::process::ExitCode;
 
-const TRIALS: usize = 40;
-const BUCKET: u64 = 20;
-
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("fig6_bsaes_hist: aborting with partial results: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let victim_key: [u8; 16] = std::array::from_fn(|i| (i * 13 + 7) as u8);
-    let attacker_key: [u8; 16] = std::array::from_fn(|i| (i * 31 + 5) as u8);
-    let victim_pt: [u8; 16] = std::array::from_fn(|i| (i * 3) as u8);
-    let mut atk = BsaesAttack::new(victim_key, attacker_key, victim_pt, 0);
-    let truth = atk.true_slice_value();
-
-    // Robustness check: a dropped completion wedges the pipeline on the
-    // first attempt at every guess; the watchdog surfaces it as a
-    // structured deadlock and the retry policy lands the attack on a
-    // clean re-run.
-    pandora_bench::header("Robustness: recovering the slice through an injected wedge");
-    atk.set_fault_plan(Some(FaultPlan::single(200, FaultKind::DroppedCompletion)));
-    let policy = RetryPolicy::default();
-    let window = (truth.wrapping_sub(3)..=truth.wrapping_add(2)).collect::<Vec<u16>>();
-    let recovered = atk.recover_slice_with_retry(window, 60, &policy)?;
-    println!(
-        "recovered slice {recovered:04x?} (truth {truth:#06x}) despite a \
-         DroppedCompletion fault on every first attempt"
-    );
-    atk.set_fault_plan(None);
-    if recovered != Some(truth) {
-        return Err(format!(
-            "retrying driver failed to land the attack: got {recovered:?}, want {truth:#06x}"
-        )
-        .into());
-    }
-
-    let measure = |guess: u16| -> Result<Vec<u64>, SimError> {
-        (0..TRIALS)
-            .map(|t| {
-                atk.try_measure_guess(guess, Some(t as u64 * 7919))
-                    .map(|o| o.cycles)
-            })
-            .collect()
-    };
-    let correct = measure(truth)?;
-    let incorrect = measure(truth ^ 0x0F0F)?;
-
-    pandora_bench::header("Fig 6: BSAES runtimes, amplified store silent (correct guess) vs not");
-    println!("GuessType = Correct   ({TRIALS} trials)");
-    for (b, c, p) in Histogram::new(&correct, BUCKET).rows() {
-        if c > 0 {
-            println!("{}", pandora_bench::histogram_row(b, c, p, 50));
-        }
-    }
-    println!("GuessType = Incorrect ({TRIALS} trials)");
-    for (b, c, p) in Histogram::new(&incorrect, BUCKET).rows() {
-        if c > 0 {
-            println!("{}", pandora_bench::histogram_row(b, c, p, 50));
-        }
-    }
-
-    let (sc, si) = (Summary::of(&correct), Summary::of(&incorrect));
-    pandora_bench::header("Separation");
-    println!("correct:   mean {:.1}  std {:.1}", sc.mean, sc.std());
-    println!("incorrect: mean {:.1}  std {:.1}", si.mean, si.std());
-    println!(
-        "mode gap: {} cycles   Welch t = {:.1}",
-        (si.mean - sc.mean).round(),
-        welch_t(&incorrect, &correct)
-    );
-    println!(
-        "\nPaper claim: a single dynamic silent store creates a large,\n\
-         easily distinguishable (>100 cycle) difference between the two\n\
-         histograms."
-    );
-    Ok(())
+    pandora_bench::experiments::standalone("fig6_bsaes_hist")
 }

@@ -1,150 +1,9 @@
-//! Regenerates **Figure 1 / Figure 7 / §V-B** — the universal read
-//! gadget: a verified eBPF-style sandbox program steers the 3-level
-//! indirect-memory prefetcher to read attacker-chosen bytes outside the
-//! sandbox and transmit them over a cache covert channel.
-//!
-//! Also reports the §IV-D4 comparison: the 2-level IMP does *not* form
-//! a URG (its probe results are secret-independent).
-//!
-//! The byte-leak step runs under a [`RetryPolicy`] with an injected
-//! fault wedging the first attempt, demonstrating the hardened driver.
-//! Simulator failures surface as structured errors and the driver
-//! reports partial results with a nonzero exit instead of panicking.
-//!
-//! `cargo run --release -p pandora-bench --bin fig7_urg`
+//! Thin wrapper over the `fig7_urg` registry experiment — see
+//! `pandora_bench::experiments::fig7_urg` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_attacks::UrgAttack;
-use pandora_channels::RetryPolicy;
-use pandora_sandbox::verify;
-use pandora_sim::{FaultKind, FaultPlan};
 use std::process::ExitCode;
 
-const SECRET_ADDR: u64 = 0x20_0000;
-const SECRET: &[u8] = b"PANDORA!";
-
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("fig7_urg: aborting with partial results: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn run() -> Result<(), Box<dyn std::error::Error>> {
-    pandora_bench::header("Fig 7a: the attacker program passes the verifier");
-    let mut atk3 = {
-        let mut a = UrgAttack::new(3);
-        for (i, &b) in SECRET.iter().enumerate() {
-            a.plant_secret(SECRET_ADDR + i as u64, b);
-        }
-        a
-    };
-    println!(
-        "verifier: {:?} (null-checked X[Y[Z[i]]] loop + timed probe)",
-        verify(atk3.program()).map(|_| "ACCEPTED")
-    );
-    let (lo, hi) = atk3.layout().region();
-    println!("sandbox region: [{lo:#x}, {hi:#x}); secret at {SECRET_ADDR:#x} (outside)");
-
-    pandora_bench::header("3-level IMP: leaking one byte");
-    let (run, machine) = atk3.try_run(SECRET_ADDR, 1)?;
-    let hot: Vec<(usize, u64)> = run
-        .timings
-        .iter()
-        .enumerate()
-        .filter(|&(_, &t)| t < 60)
-        .map(|(i, &t)| (i, t))
-        .collect();
-    println!("hot X lines (line index, probe cycles): {hot:?}");
-    println!("training lines excluded: 1, 2, 3");
-    println!("candidates: {:?}  (planted secret byte: {:#x})", run.candidates, SECRET[0]);
-    println!(
-        "prefetcher dereferenced the private address: {}",
-        UrgAttack::deref_addresses(&machine).contains(&SECRET_ADDR)
-    );
-
-    pandora_bench::header("Robustness: leaking through an injected wedge");
-    atk3.set_fault_plan(Some(FaultPlan::single(500, FaultKind::DroppedCompletion)));
-    let policy = RetryPolicy::default();
-    let leaked = atk3.leak_byte_with_retry(SECRET_ADDR, &policy)?;
-    println!(
-        "leaked {leaked:02x?} (expected {:#x}) despite a DroppedCompletion \
-         fault on the first attempt",
-        SECRET[0]
-    );
-    atk3.set_fault_plan(None);
-    if leaked != Some(SECRET[0]) {
-        return Err(format!(
-            "retrying driver failed to land the attack: got {leaked:?}, want {:#x}",
-            SECRET[0]
-        )
-        .into());
-    }
-
-    pandora_bench::header("Universal read gadget: dumping a secret string");
-    let dumped = atk3.dump(SECRET_ADDR, SECRET.len());
-    let recovered: String = dumped
-        .iter()
-        .map(|b| b.map_or('?', |v| v as char))
-        .collect();
-    println!("planted:   {:?}", String::from_utf8_lossy(SECRET));
-    println!("recovered: {recovered:?}");
-
-    pandora_bench::header("§V-B3: prefetch buffers aggravate but do not mitigate");
-    let mut buffered = UrgAttack::with_fill(3, pandora_sim::PrefetchFill::L2Only);
-    buffered.plant_secret(SECRET_ADDR, SECRET[0]);
-    println!(
-        "L2-only fills (prefetch-buffer model): leaked {:?} (expected {:#x})",
-        buffered.leak_byte(SECRET_ADDR),
-        SECRET[0]
-    );
-
-    pandora_bench::header("§IV-D4: the 2-level IMP is not a URG");
-    let run2a = {
-        let mut a = UrgAttack::new(2);
-        a.plant_secret(SECRET_ADDR, 0x11);
-        a.try_run(SECRET_ADDR, 1)?.0
-    };
-    let run2b = {
-        let mut a = UrgAttack::new(2);
-        a.plant_secret(SECRET_ADDR, 0xEE);
-        a.try_run(SECRET_ADDR, 1)?.0
-    };
-    println!(
-        "2-level candidates for secret 0x11: {:?}; for 0xEE: {:?}  (identical: {})",
-        run2a.candidates,
-        run2b.candidates,
-        run2a.candidates == run2b.candidates
-    );
-    pandora_bench::header("§IV-D4: the 2-level leak window grows with Δ");
-    println!(
-        "{:<8} {:>18} {:>26}",
-        "Δ", "max deref addr", "elements past Z's end (b)"
-    );
-    for delta in [1u64, 4, 16] {
-        let mut a = UrgAttack::with_fill_and_distance(
-            2,
-            pandora_sim::PrefetchFill::AllLevels,
-            delta,
-        );
-        a.plant_secret(SECRET_ADDR, 0x33);
-        let (_, m) = a.try_run(SECRET_ADDR, 1)?;
-        let max_deref = UrgAttack::deref_addresses(&m).into_iter().max().unwrap_or(0);
-        let z_end = a.layout().map_base(0) + 16 * 8; // Z: 16 x u64
-        let past = (max_deref as i64 - z_end as i64) / 8;
-        println!("{:<8} {:>18} {:>26}", delta, format!("{max_deref:#x}"), past);
-    }
-    println!(
-        "the prefetcher's reach past the stream array stays within Δ
-         elements — the paper's [b, b+Δ) window."
-    );
-
-    println!(
-        "\nPaper claim: the 3-level IMP forms a universal read gadget in the\n\
-         sandbox setting; the 2-level IMP leaks only a Δ-element window\n\
-         past the stream array."
-    );
-    Ok(())
+    pandora_bench::experiments::standalone("fig7_urg")
 }

@@ -1,0 +1,177 @@
+//! **`runall`** — the resilient suite driver: runs every registered
+//! experiment on a thread pool with per-experiment deadlines, panic
+//! isolation, bounded retries, and checkpoint/resume.
+//!
+//! ```text
+//! cargo run --release -p pandora-bench --bin runall -- --smoke --jobs 2
+//! cargo run --release -p pandora-bench --bin runall -- --resume
+//! ```
+//!
+//! Exit code 0 = every experiment `ok`; 1 = some experiments degraded
+//! to `partial` (suppressed by `--allow-partial`, the CI mode); 2 =
+//! infrastructure failure or a determinism mismatch on resume.
+
+use std::process::ExitCode;
+
+use pandora_bench::experiments::{registry, with_selftests, DEFAULT_SEED};
+use pandora_channels::RetryPolicy;
+use pandora_runner::{run_suite, Profile, SuiteOptions};
+
+const USAGE: &str = "\
+usage: runall [options]
+
+  --smoke              run every experiment's cheap profile
+  --resume             resume from results/.runall.journal: skip completed
+                       experiments, re-verify the first --reverify of them
+  --jobs N             worker threads (default 1)
+  --only GLOB          run only experiments matching GLOB (e.g. 'fig*')
+  --results-dir DIR    output directory (default results/)
+  --seed HEX|DEC       suite seed recorded in the manifest (default 0)
+  --retries N          total attempts per experiment (default 2)
+  --deadline-secs N    override every experiment's deadline
+  --reverify N         resumed experiments to re-run for determinism (default 1)
+  --selftest           also register the injected panic/wedge selftests
+  --allow-partial      exit 0 even if some experiments are partial (CI mode)
+  --list               list registered experiments and exit
+  --help               this message
+";
+
+fn parse(args: &[String]) -> Result<(SuiteOptions, bool, bool, bool), String> {
+    let mut opts = SuiteOptions {
+        seed: DEFAULT_SEED,
+        progress: true,
+        ..SuiteOptions::default()
+    };
+    let mut selftest = false;
+    let mut allow_partial = false;
+    let mut list = false;
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => opts.profile = Profile::Smoke,
+            "--resume" => opts.resume = true,
+            "--selftest" => selftest = true,
+            "--allow-partial" => allow_partial = true,
+            "--list" => list = true,
+            "--jobs" => {
+                let v = value(&mut it, "--jobs")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?;
+            }
+            "--only" => opts.only = Some(value(&mut it, "--only")?),
+            "--results-dir" => {
+                opts.results_dir = value(&mut it, "--results-dir")?.into();
+            }
+            "--seed" => {
+                let v = value(&mut it, "--seed")?;
+                let parsed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse(), |hex| u64::from_str_radix(hex, 16));
+                opts.seed = parsed.map_err(|_| format!("bad --seed value {v:?}"))?;
+            }
+            "--retries" => {
+                let v = value(&mut it, "--retries")?;
+                opts.retry = RetryPolicy {
+                    max_attempts: v.parse().map_err(|_| format!("bad --retries value {v:?}"))?,
+                    ..RetryPolicy::default()
+                };
+            }
+            "--deadline-secs" => {
+                let v = value(&mut it, "--deadline-secs")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-secs value {v:?}"))?;
+                opts.deadline_override = Some(std::time::Duration::from_secs(secs));
+            }
+            "--reverify" => {
+                let v = value(&mut it, "--reverify")?;
+                opts.reverify = v
+                    .parse()
+                    .map_err(|_| format!("bad --reverify value {v:?}"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((opts, selftest, allow_partial, list))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, selftest, allow_partial, list) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("runall: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let registry = if selftest {
+        with_selftests(registry())
+    } else {
+        registry()
+    };
+
+    if list {
+        for exp in registry.all() {
+            println!("{:<28} {}", exp.name, exp.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "pandora runall: {} experiments, profile {}, {} job(s), seed {:#x}{}",
+        registry.select(opts.only.as_deref()).len(),
+        opts.profile.as_str(),
+        opts.jobs.max(1),
+        opts.seed,
+        if opts.resume { ", resuming" } else { "" },
+    );
+
+    let report = match run_suite(&registry, &opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("runall: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (mut ok, mut partial, mut failed, mut resumed) = (0usize, 0usize, 0usize, 0usize);
+    for e in &report.experiments {
+        if e.resumed {
+            resumed += 1;
+        }
+        match e.status.keyword() {
+            "ok" => ok += 1,
+            "partial" => partial += 1,
+            _ => failed += 1,
+        }
+    }
+    println!(
+        "suite done: {ok} ok, {partial} partial, {failed} failed \
+         ({resumed} resumed from journal); summary: {}",
+        opts.results_dir.join("summary.json").display()
+    );
+    for e in &report.experiments {
+        if let Some(reason) = e.status.reason() {
+            println!("  {} {}: {reason}", e.status.keyword(), e.name);
+        }
+    }
+
+    if !report.none_failed() {
+        ExitCode::from(2)
+    } else if report.all_ok() || allow_partial {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,19 +1,9 @@
-//! Regenerates **Table I** — the leakage landscape: which program data
-//! each optimization class endangers relative to the Baseline machine.
-//!
-//! `S` = safe, `U` = newly unsafe, `U'` = unsafe through a new function
-//! of the data, `S‡` = safe absent a speculative-execution gadget,
-//! `-` = no change. Compare against the paper's Table I (the generated
-//! matrix is asserted equal to the paper's in `pandora-core`'s tests).
+//! Thin wrapper over the `table1` registry experiment — see
+//! `pandora_bench::experiments::table1` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_core::render_table1;
+use std::process::ExitCode;
 
-fn main() {
-    pandora_bench::header("Table I: leakage landscape (generated from MLD declarations)");
-    print!("{}", render_table1());
-    println!();
-    println!(
-        "Meta takeaway (§III): over the union of all seven optimization\n\
-         classes, no instruction operand/result or data at rest is safe."
-    );
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("table1")
 }

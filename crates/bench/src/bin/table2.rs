@@ -1,10 +1,9 @@
-//! Regenerates **Table II** — the classification of each optimization
-//! class by its MLD input signature: stateless instruction-centric,
-//! stateful instruction-centric (Uarch/Arch), or memory-centric.
+//! Thin wrapper over the `table2` registry experiment — see
+//! `pandora_bench::experiments::table2` for the experiment body and
+//! `runall` for the orchestrated suite.
 
-use pandora_core::render_table2;
+use std::process::ExitCode;
 
-fn main() {
-    pandora_bench::header("Table II: optimization classification by MLD signature");
-    print!("{}", render_table2());
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("table2")
 }

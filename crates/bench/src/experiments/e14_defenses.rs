@@ -1,0 +1,63 @@
+//! **§VI-A defense retrofits**, measured: each row is a leak magnitude
+//! (cycles) before and after the mitigation. Smoke and full profiles
+//! are identical.
+
+use std::time::Duration;
+
+use pandora_attacks::defense::{
+    msb_retrofit_vs_packing, sn_keying_vs_reuse, targeted_clearing_vs_silent_stores,
+};
+use pandora_runner::{outln, Ctx, Experiment, Failure};
+use pandora_sim::SimConfig;
+
+/// Registry entry.
+#[must_use]
+pub fn experiment() -> Experiment {
+    Experiment {
+        name: "e14_defenses",
+        title: "E14: §VI-A defense retrofits (leak before/after)",
+        run,
+        fingerprint: || SimConfig::default().stable_hash(),
+        deadline: Duration::from_secs(120),
+    }
+}
+
+fn run(ctx: &Ctx) -> Result<(), Failure> {
+    ctx.header("E14: defense retrofits (§VI-A)");
+    outln!(
+        ctx,
+        "{:<46} {:>12} {:>12}",
+        "mitigation",
+        "leak before",
+        "leak after"
+    );
+    let rows = [
+        (
+            "OR-1-into-MSB vs operand packing (§VI-A2)",
+            msb_retrofit_vs_packing(),
+        ),
+        (
+            "Sn register-id keying vs reuse (§VI-A3)",
+            sn_keying_vs_reuse(),
+        ),
+        (
+            "targeted clearing vs silent stores (§VI-A2)",
+            targeted_clearing_vs_silent_stores(),
+        ),
+    ];
+    for (name, o) in rows {
+        outln!(
+            ctx,
+            "{:<46} {:>12} {:>12}",
+            name,
+            o.unmitigated_delta,
+            o.mitigated_delta
+        );
+    }
+    outln!(
+        ctx,
+        "\nPaper claim: retrofits can restore security — the open question is\n\
+         doing so while keeping the optimizations' performance benefit."
+    );
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! **Figure 1 / Figure 7 / §V-B** — the universal read gadget: a
+//! verified eBPF-style sandbox program steers the 3-level
+//! indirect-memory prefetcher to read attacker-chosen bytes outside
+//! the sandbox and transmit them over a cache covert channel.
+//!
+//! Also reports the §IV-D4 comparison: the 2-level IMP does *not* form
+//! a URG (its probe results are secret-independent).
+//!
+//! The byte-leak step runs under a `RetryPolicy` with an injected
+//! fault wedging the first attempt, demonstrating the hardened driver.
+//! The smoke profile keeps the verifier check, the single-byte leak,
+//! the retry demonstration and the 2-level comparison, skipping the
+//! string dump, the prefetch-buffer variant and the Δ sweep.
+
+use std::time::Duration;
+
+use pandora_attacks::UrgAttack;
+use pandora_channels::RetryPolicy;
+use pandora_runner::{outln, Ctx, Experiment, Failure};
+use pandora_sandbox::verify;
+use pandora_sim::{FaultKind, FaultPlan, OptConfig, SimConfig};
+
+const SECRET_ADDR: u64 = 0x20_0000;
+const SECRET: &[u8] = b"PANDORA!";
+
+/// Registry entry.
+#[must_use]
+pub fn experiment() -> Experiment {
+    Experiment {
+        name: "fig7_urg",
+        title: "Fig 1 + Fig 7: DMP universal read gadget",
+        run,
+        fingerprint: || SimConfig::with_opts(OptConfig::with_dmp(3)).stable_hash(),
+        deadline: Duration::from_secs(180),
+    }
+}
+
+fn run(ctx: &Ctx) -> Result<(), Failure> {
+    ctx.header("Fig 7a: the attacker program passes the verifier");
+    let mut atk3 = {
+        let mut a = UrgAttack::new(3);
+        for (i, &b) in SECRET.iter().enumerate() {
+            a.plant_secret(SECRET_ADDR + i as u64, b);
+        }
+        a
+    };
+    outln!(
+        ctx,
+        "verifier: {:?} (null-checked X[Y[Z[i]]] loop + timed probe)",
+        verify(atk3.program()).map(|_| "ACCEPTED")
+    );
+    let (lo, hi) = atk3.layout().region();
+    outln!(
+        ctx,
+        "sandbox region: [{lo:#x}, {hi:#x}); secret at {SECRET_ADDR:#x} (outside)"
+    );
+
+    ctx.header("3-level IMP: leaking one byte");
+    let (first, machine) = atk3.try_run(SECRET_ADDR, 1)?;
+    let hot: Vec<(usize, u64)> = first
+        .timings
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| t < 60)
+        .map(|(i, &t)| (i, t))
+        .collect();
+    outln!(ctx, "hot X lines (line index, probe cycles): {hot:?}");
+    outln!(ctx, "training lines excluded: 1, 2, 3");
+    outln!(
+        ctx,
+        "candidates: {:?}  (planted secret byte: {:#x})",
+        first.candidates,
+        SECRET[0]
+    );
+    outln!(
+        ctx,
+        "prefetcher dereferenced the private address: {}",
+        UrgAttack::deref_addresses(&machine).contains(&SECRET_ADDR)
+    );
+
+    ctx.header("Robustness: leaking through an injected wedge");
+    atk3.set_fault_plan(Some(FaultPlan::single(500, FaultKind::DroppedCompletion)));
+    let policy = RetryPolicy::default();
+    let leaked = atk3.leak_byte_with_retry(SECRET_ADDR, &policy)?;
+    outln!(
+        ctx,
+        "leaked {leaked:02x?} (expected {:#x}) despite a DroppedCompletion \
+         fault on the first attempt",
+        SECRET[0]
+    );
+    atk3.set_fault_plan(None);
+    if leaked != Some(SECRET[0]) {
+        return Err(Failure::new(format!(
+            "retrying driver failed to land the attack: got {leaked:?}, want {:#x}",
+            SECRET[0]
+        )));
+    }
+
+    if !ctx.smoke() {
+        ctx.header("Universal read gadget: dumping a secret string");
+        let dumped = atk3.dump(SECRET_ADDR, SECRET.len());
+        let recovered: String = dumped
+            .iter()
+            .map(|b| b.map_or('?', |v| v as char))
+            .collect();
+        outln!(ctx, "planted:   {:?}", String::from_utf8_lossy(SECRET));
+        outln!(ctx, "recovered: {recovered:?}");
+
+        ctx.header("§V-B3: prefetch buffers aggravate but do not mitigate");
+        let mut buffered = UrgAttack::with_fill(3, pandora_sim::PrefetchFill::L2Only);
+        buffered.plant_secret(SECRET_ADDR, SECRET[0]);
+        outln!(
+            ctx,
+            "L2-only fills (prefetch-buffer model): leaked {:?} (expected {:#x})",
+            buffered.leak_byte(SECRET_ADDR),
+            SECRET[0]
+        );
+    }
+
+    ctx.header("§IV-D4: the 2-level IMP is not a URG");
+    let run2a = {
+        let mut a = UrgAttack::new(2);
+        a.plant_secret(SECRET_ADDR, 0x11);
+        a.try_run(SECRET_ADDR, 1)?.0
+    };
+    let run2b = {
+        let mut a = UrgAttack::new(2);
+        a.plant_secret(SECRET_ADDR, 0xEE);
+        a.try_run(SECRET_ADDR, 1)?.0
+    };
+    outln!(
+        ctx,
+        "2-level candidates for secret 0x11: {:?}; for 0xEE: {:?}  (identical: {})",
+        run2a.candidates,
+        run2b.candidates,
+        run2a.candidates == run2b.candidates
+    );
+
+    if ctx.smoke() {
+        outln!(
+            ctx,
+            "\n(smoke profile: skipping the string dump, prefetch-buffer\n\
+             variant and Δ sweep)"
+        );
+        return Ok(());
+    }
+
+    ctx.header("§IV-D4: the 2-level leak window grows with Δ");
+    outln!(
+        ctx,
+        "{:<8} {:>18} {:>26}",
+        "Δ",
+        "max deref addr",
+        "elements past Z's end (b)"
+    );
+    for delta in [1u64, 4, 16] {
+        let mut a = UrgAttack::with_fill_and_distance(
+            2,
+            pandora_sim::PrefetchFill::AllLevels,
+            delta,
+        );
+        a.plant_secret(SECRET_ADDR, 0x33);
+        let (_, m) = a.try_run(SECRET_ADDR, 1)?;
+        let max_deref = UrgAttack::deref_addresses(&m).into_iter().max().unwrap_or(0);
+        let z_end = a.layout().map_base(0) + 16 * 8; // Z: 16 x u64
+        let past = (max_deref as i64 - z_end as i64) / 8;
+        outln!(ctx, "{:<8} {:>18} {:>26}", delta, format!("{max_deref:#x}"), past);
+    }
+    outln!(
+        ctx,
+        "the prefetcher's reach past the stream array stays within Δ
+         elements — the paper's [b, b+Δ) window."
+    );
+
+    outln!(
+        ctx,
+        "\nPaper claim: the 3-level IMP forms a universal read gadget in the\n\
+         sandbox setting; the 2-level IMP leaks only a Δ-element window\n\
+         past the stream array."
+    );
+    Ok(())
+}

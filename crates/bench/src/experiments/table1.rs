@@ -1,0 +1,38 @@
+//! **Table I** — the leakage landscape: which program data each
+//! optimization class endangers relative to the Baseline machine.
+//!
+//! `S` = safe, `U` = newly unsafe, `U'` = unsafe through a new function
+//! of the data, `S‡` = safe absent a speculative-execution gadget,
+//! `-` = no change. The generated matrix is asserted equal to the
+//! paper's in `pandora-core`'s tests; smoke and full profiles are
+//! identical (the generation is instantaneous).
+
+use std::time::Duration;
+
+use pandora_core::render_table1;
+use pandora_runner::{outln, Ctx, Experiment, Failure};
+use pandora_sim::SimConfig;
+
+/// Registry entry.
+#[must_use]
+pub fn experiment() -> Experiment {
+    Experiment {
+        name: "table1",
+        title: "Table I: leakage landscape (generated from MLD declarations)",
+        run,
+        fingerprint: || SimConfig::default().stable_hash(),
+        deadline: Duration::from_secs(30),
+    }
+}
+
+fn run(ctx: &Ctx) -> Result<(), Failure> {
+    ctx.header("Table I: leakage landscape (generated from MLD declarations)");
+    ctx.line(format_args!("{}", render_table1().trim_end()));
+    outln!(ctx);
+    outln!(
+        ctx,
+        "Meta takeaway (§III): over the union of all seven optimization\n\
+         classes, no instruction operand/result or data at rest is safe."
+    );
+    Ok(())
+}

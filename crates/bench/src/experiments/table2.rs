@@ -1,0 +1,28 @@
+//! **Table II** — the classification of each optimization class by its
+//! MLD input signature: stateless instruction-centric, stateful
+//! instruction-centric (Uarch/Arch), or memory-centric. Smoke and full
+//! profiles are identical.
+
+use std::time::Duration;
+
+use pandora_core::render_table2;
+use pandora_runner::{Ctx, Experiment, Failure};
+use pandora_sim::SimConfig;
+
+/// Registry entry.
+#[must_use]
+pub fn experiment() -> Experiment {
+    Experiment {
+        name: "table2",
+        title: "Table II: optimization classification by MLD signature",
+        run,
+        fingerprint: || SimConfig::default().stable_hash(),
+        deadline: Duration::from_secs(30),
+    }
+}
+
+fn run(ctx: &Ctx) -> Result<(), Failure> {
+    ctx.header("Table II: optimization classification by MLD signature");
+    ctx.line(format_args!("{}", render_table2().trim_end()));
+    Ok(())
+}

@@ -2,11 +2,11 @@
 
 //! # pandora-bench
 //!
-//! The benchmark harness: one runnable binary per table and figure of
-//! *"Opening Pandora's Box"* (ISCA 2021), plus Criterion benches for
-//! the simulator and attack primitives.
+//! The benchmark harness: every table and figure of *"Opening
+//! Pandora's Box"* (ISCA 2021) as a registered, profiled experiment,
+//! plus Criterion benches for the simulator and attack primitives.
 //!
-//! | Paper artifact | Binary |
+//! | Paper artifact | Experiment / binary |
 //! |---|---|
 //! | Table I (leakage landscape) | `table1` |
 //! | Table II (MLD classification) | `table2` |
@@ -20,14 +20,19 @@
 //! | §IV-C stateful oracles | `e11_stateful_opts` |
 //! | §IV-D1 register-file compression | `e12_rfc` |
 //! | §VI-A defenses | `e14_defenses` |
+//! | §VI-A3 Sv vs Sn performance | `e15_sv_vs_sn_performance` |
 //!
-//! Run any of them with `cargo run --release -p pandora-bench --bin
-//! <name>`; Criterion benches with `cargo bench -p pandora-bench`.
+//! Each experiment lives in [`experiments`] and is registered with the
+//! resilient orchestration runtime in `pandora-runner`. Run one
+//! standalone (`cargo run --release -p pandora-bench --bin <name>`,
+//! with `--smoke` for the cheap profile), or run the whole suite with
+//! the **`runall`** binary: thread-pooled, deadline-bounded,
+//! panic-isolated, and resumable (`runall --smoke --jobs 2`,
+//! `runall --resume`). Every binary publishes `results/<name>.txt`
+//! atomically; `runall` additionally emits `results/summary.json`.
+//! Criterion benches: `cargo bench -p pandora-bench`.
 
-/// Prints a section header in the harness's uniform style.
-pub fn header(title: &str) {
-    println!("\n=== {title} ===");
-}
+pub mod experiments;
 
 /// Formats a (bucket, count, percent) histogram row like the paper's
 /// Fig 6 presentation.

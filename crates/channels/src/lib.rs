@@ -30,5 +30,5 @@ pub use prime_probe::{
     calibrate_probe_threshold, emit_probe_lines, emit_prime, emit_timed_probe, fastest_index,
     hits_below, probe_calibration_round, probe_oracle, read_timings, EvictionSet,
 };
-pub use retry::{Calibration, RetryError, RetryPolicy};
+pub use retry::{Calibration, RetryError, RetryPolicy, RetryStop};
 pub use stats::{midpoint_threshold, welch_t, Histogram, Summary};

@@ -1,0 +1,400 @@
+//! The crash-safe run journal and resume manifest.
+//!
+//! Two small files under the results directory make `runall --resume`
+//! possible:
+//!
+//! * **Manifest** (`.runall.manifest`) — written atomically once at
+//!   suite start; records the profile, the suite seed, and the
+//!   [`Registry::run_hash`](crate::Registry::run_hash) of the selected
+//!   experiments. A resume whose manifest does not match byte-for-byte
+//!   semantics (same profile, seed, and hash) is refused: the journal
+//!   would describe a different run.
+//! * **Journal** (`.runall.journal`) — append-only, one line per
+//!   finished experiment, fsynced after every append. A process killed
+//!   mid-append leaves at most one torn final line, which the loader
+//!   tolerates (the paired experiment simply re-runs); a malformed line
+//!   anywhere *else* means real corruption and is reported as an error.
+//!
+//! The formats are deliberately line-oriented plain text: no parser
+//! dependencies, trivially inspectable, and the torn-tail recovery rule
+//! is obvious.
+
+use std::fmt::Write as _;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::experiment::Profile;
+use crate::output::atomic_write;
+
+const JOURNAL_MAGIC: &str = "pandora-journal v1";
+const MANIFEST_MAGIC: &str = "pandora-manifest v1";
+
+/// One completed experiment, as recorded in the journal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JournalEntry {
+    /// Experiment name (a whitespace-free token).
+    pub name: String,
+    /// Final status keyword (`ok`, `partial`, `failed`).
+    pub status: String,
+    /// Wall time of the recorded run, milliseconds.
+    pub wall_ms: u64,
+    /// Retries consumed (0 = first attempt succeeded).
+    pub retries: u32,
+    /// FNV-1a of the experiment's full text output.
+    pub output_hash: u64,
+    /// Length of the output in bytes (a second torn-write tripwire).
+    pub output_bytes: u64,
+}
+
+impl JournalEntry {
+    fn to_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "done {} {} {} {} {:#018x} {}",
+            self.name, self.status, self.wall_ms, self.retries, self.output_hash, self.output_bytes
+        );
+        s
+    }
+
+    fn parse(line: &str) -> Option<JournalEntry> {
+        let mut it = line.split_ascii_whitespace();
+        if it.next()? != "done" {
+            return None;
+        }
+        let name = it.next()?.to_string();
+        let status = it.next()?.to_string();
+        let wall_ms = it.next()?.parse().ok()?;
+        let retries = it.next()?.parse().ok()?;
+        let output_hash = parse_hex(it.next()?)?;
+        let output_bytes = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(JournalEntry {
+            name,
+            status,
+            wall_ms,
+            retries,
+            output_hash,
+            output_bytes,
+        })
+    }
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+/// An open, append-mode journal. Every [`Journal::append`] is flushed
+/// and fsynced before returning: once the orchestrator reports an
+/// experiment complete, a crash cannot un-record it.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (truncating any previous journal) and syncs a fresh
+    /// journal at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or syncing the file.
+    pub fn create(path: &Path) -> io::Result<Journal> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(JOURNAL_MAGIC.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_all()?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopens an existing journal for appending (resume).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the file.
+    pub fn open_append(path: &Path) -> io::Result<Journal> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The journal's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry and fsyncs.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing or syncing; also if `entry.name` or
+    /// `entry.status` is not a single whitespace-free token (that would
+    /// corrupt the line format).
+    pub fn append(&mut self, entry: &JournalEntry) -> io::Result<()> {
+        for token in [&entry.name, &entry.status] {
+            if token.is_empty() || token.contains(char::is_whitespace) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("journal token {token:?} must be whitespace-free"),
+                ));
+            }
+        }
+        let mut line = entry.to_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Loads a journal, tolerating a torn tail: a final line that is
+    /// incomplete (no trailing newline) or unparsable is dropped — it
+    /// is exactly what a mid-append crash leaves behind.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file; [`io::ErrorKind::InvalidData`] if
+    /// the magic header is wrong or a *non-final* line is malformed
+    /// (that is corruption, not a crash artifact).
+    pub fn load(path: &Path) -> io::Result<Vec<JournalEntry>> {
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        let complete = match text.rfind('\n') {
+            // Anything after the last newline is a torn tail; drop it.
+            Some(end) => &text[..end],
+            None => "",
+        };
+        let mut lines = complete.lines();
+        match lines.next() {
+            Some(l) if l == JOURNAL_MAGIC => {}
+            // An empty or headerless file: a crash before the header
+            // sync — treat as an empty journal only if truly empty.
+            None => return Ok(Vec::new()),
+            Some(other) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("not a pandora journal (header {other:?})"),
+                ));
+            }
+        }
+        let rest: Vec<&str> = lines.collect();
+        let mut entries = Vec::new();
+        for (i, line) in rest.iter().enumerate() {
+            match JournalEntry::parse(line) {
+                Some(e) => entries.push(e),
+                None if i + 1 == rest.len() => {
+                    // Torn final line (crash mid-append after an earlier
+                    // newline made it to disk): tolerated.
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt journal line {}: {line:?}", i + 2),
+                    ));
+                }
+            }
+        }
+        Ok(entries)
+    }
+}
+
+/// The resume manifest: the identity of a run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Manifest {
+    /// Profile of the recorded run.
+    pub profile: Profile,
+    /// Suite seed of the recorded run.
+    pub seed: u64,
+    /// [`Registry::run_hash`](crate::Registry::run_hash) over the
+    /// selected experiments.
+    pub run_hash: u64,
+}
+
+impl Manifest {
+    /// Serializes and writes the manifest atomically.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from [`atomic_write`].
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        let text = format!(
+            "{MANIFEST_MAGIC}\nprofile {}\nseed {:#018x}\nrun_hash {:#018x}\n",
+            self.profile.as_str(),
+            self.seed,
+            self.run_hash
+        );
+        atomic_write(path, text.as_bytes())
+    }
+
+    /// Loads a manifest.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading; [`io::ErrorKind::InvalidData`] on a bad
+    /// header or malformed fields. (The manifest is written atomically,
+    /// so unlike the journal no torn state is tolerated.)
+    pub fn load(path: &Path) -> io::Result<Manifest> {
+        let text = fs::read_to_string(path)?;
+        let bad = |why: String| io::Error::new(io::ErrorKind::InvalidData, why);
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(MANIFEST_MAGIC) => {}
+            other => return Err(bad(format!("not a pandora manifest (header {other:?})"))),
+        }
+        let mut profile = None;
+        let mut seed = None;
+        let mut run_hash = None;
+        for line in lines {
+            match line.split_once(' ') {
+                Some(("profile", "full")) => profile = Some(Profile::Full),
+                Some(("profile", "smoke")) => profile = Some(Profile::Smoke),
+                Some(("seed", v)) => seed = parse_hex(v),
+                Some(("run_hash", v)) => run_hash = parse_hex(v),
+                _ => return Err(bad(format!("malformed manifest line {line:?}"))),
+            }
+        }
+        match (profile, seed, run_hash) {
+            (Some(profile), Some(seed), Some(run_hash)) => Ok(Manifest {
+                profile,
+                seed,
+                run_hash,
+            }),
+            _ => Err(bad("manifest missing fields".to_string())),
+        }
+    }
+
+    /// Checks that a resumed run matches this recorded manifest.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch.
+    pub fn check_matches(&self, current: &Manifest) -> Result<(), String> {
+        if self.profile != current.profile {
+            return Err(format!(
+                "profile changed: journal recorded {}, this run is {}",
+                self.profile.as_str(),
+                current.profile.as_str()
+            ));
+        }
+        if self.seed != current.seed {
+            return Err(format!(
+                "seed changed: journal recorded {:#x}, this run uses {:#x}",
+                self.seed, current.seed
+            ));
+        }
+        if self.run_hash != current.run_hash {
+            return Err(format!(
+                "registry/config hash changed: journal recorded {:#x}, this run is {:#x} \
+                 (experiment set, per-experiment config, or selection differs)",
+                self.run_hash, current.run_hash
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::TempDir;
+
+    fn entry(name: &str, status: &str) -> JournalEntry {
+        JournalEntry {
+            name: name.to_string(),
+            status: status.to_string(),
+            wall_ms: 1234,
+            retries: 1,
+            output_hash: 0xdead_beef_cafe_f00d,
+            output_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn journal_round_trip() {
+        let dir = TempDir::new("journal_rt");
+        let path = dir.path().join("j");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&entry("fig5_amplification", "ok")).unwrap();
+        j.append(&entry("fig6_bsaes_hist", "partial")).unwrap();
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(
+            loaded,
+            vec![entry("fig5_amplification", "ok"), entry("fig6_bsaes_hist", "partial")]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_but_mid_file_corruption_is_not() {
+        let dir = TempDir::new("journal_tail");
+        let path = dir.path().join("j");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&entry("a", "ok")).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: a torn final line without '\n'.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"done b ok 12").unwrap();
+        drop(f);
+        assert_eq!(Journal::load(&path).unwrap(), vec![entry("a", "ok")]);
+
+        // A torn *complete-looking* line (newline made it, fields did
+        // not) is also only tolerated at the tail...
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"\n").unwrap();
+        drop(f);
+        assert_eq!(Journal::load(&path).unwrap(), vec![entry("a", "ok")]);
+
+        // ...but garbage *before* valid entries is corruption.
+        let text = fs::read_to_string(&path).unwrap();
+        let rebuilt = text.replace("done a ok", "dxne a ok");
+        fs::write(&path, rebuilt).unwrap();
+        let err = Journal::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn append_rejects_tokens_with_whitespace() {
+        let dir = TempDir::new("journal_tok");
+        let mut j = Journal::create(&dir.path().join("j")).unwrap();
+        let mut e = entry("a", "ok");
+        e.name = "two words".to_string();
+        assert!(j.append(&e).is_err());
+    }
+
+    #[test]
+    fn manifest_round_trip_and_mismatches() {
+        let dir = TempDir::new("manifest");
+        let path = dir.path().join("m");
+        let m = Manifest {
+            profile: Profile::Smoke,
+            seed: 42,
+            run_hash: 0x1111_2222_3333_4444,
+        };
+        m.write(&path).unwrap();
+        let loaded = Manifest::load(&path).unwrap();
+        assert_eq!(loaded, m);
+        assert!(loaded.check_matches(&m).is_ok());
+
+        let mut other = m.clone();
+        other.seed = 43;
+        assert!(loaded.check_matches(&other).unwrap_err().contains("seed"));
+        other = m.clone();
+        other.profile = Profile::Full;
+        assert!(loaded.check_matches(&other).unwrap_err().contains("profile"));
+        other = m.clone();
+        other.run_hash ^= 1;
+        assert!(loaded.check_matches(&other).unwrap_err().contains("hash"));
+    }
+}

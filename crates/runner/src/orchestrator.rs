@@ -1,0 +1,627 @@
+//! The suite orchestrator: runs registered experiments on a thread
+//! pool with per-experiment deadlines, panic isolation, bounded
+//! retries, and checkpoint/resume, then publishes crash-safe results.
+//!
+//! Failure containment mirrors the simulator's own philosophy
+//! ("failures are data, not aborts", DESIGN.md §6) one level up: a
+//! panicking experiment is caught by `catch_unwind` and recorded as a
+//! partial result; a *wedged* experiment — the job-level analogue of
+//! `SimConfig::watchdog_cycles` — trips its wall-clock deadline, its
+//! thread is abandoned, and the suite moves on. Only infrastructure
+//! failures (unwritable results directory, a refused resume, a
+//! determinism mismatch) fail the suite itself.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pandora_channels::RetryPolicy;
+
+use crate::experiment::{Ctx, Experiment, Failure, Profile};
+use crate::journal::{Journal, JournalEntry, Manifest};
+use crate::output::{atomic_write, hash_str};
+use crate::registry::Registry;
+
+/// Final status of one experiment in a suite run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Completed cleanly; results are full.
+    Ok,
+    /// The experiment failed, panicked, or overran its deadline after
+    /// all retries; whatever output it produced is recorded and flagged
+    /// partial. The suite survives.
+    Partial {
+        /// What went wrong (error message, panic payload, or deadline).
+        reason: String,
+    },
+    /// An infrastructure-level failure: the run's results cannot be
+    /// trusted (e.g. a resumed experiment re-verified to different
+    /// bytes). Fails the suite.
+    Failed {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl Status {
+    /// The summary/journal keyword (`ok` / `partial` / `failed`).
+    #[must_use]
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Partial { .. } => "partial",
+            Status::Failed { .. } => "failed",
+        }
+    }
+
+    /// The reason, if any.
+    #[must_use]
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            Status::Ok => None,
+            Status::Partial { reason } | Status::Failed { reason } => Some(reason),
+        }
+    }
+}
+
+/// One experiment's row in the suite report / `summary.json`.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Experiment name.
+    pub name: String,
+    /// Final status.
+    pub status: Status,
+    /// Wall time of the run (zero for entries skipped on resume).
+    pub wall: Duration,
+    /// Retries consumed (0 = first attempt).
+    pub retries: u32,
+    /// Whether this entry was taken from the journal (skipped) on
+    /// resume rather than re-run.
+    pub resumed: bool,
+    /// Whether this entry was re-run on resume to verify determinism.
+    pub reverified: bool,
+    /// FNV-1a of the experiment's text output.
+    pub output_hash: u64,
+    /// Output length in bytes.
+    pub output_bytes: u64,
+}
+
+/// The full result of a suite run.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// Profile the suite ran under.
+    pub profile: Profile,
+    /// Suite seed.
+    pub seed: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Identity hash of the run (see
+    /// [`Registry::run_hash`](crate::Registry::run_hash)).
+    pub run_hash: u64,
+    /// Per-experiment rows, in registry order.
+    pub experiments: Vec<ExperimentReport>,
+}
+
+impl SuiteReport {
+    /// `true` when every experiment is `ok`.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.experiments.iter().all(|e| e.status == Status::Ok)
+    }
+
+    /// `true` when no experiment is worse than `partial`.
+    #[must_use]
+    pub fn none_failed(&self) -> bool {
+        !self
+            .experiments
+            .iter()
+            .any(|e| matches!(e.status, Status::Failed { .. }))
+    }
+
+    /// Renders the machine-readable `summary.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": 1,");
+        let _ = writeln!(s, "  \"profile\": \"{}\",", self.profile.as_str());
+        let _ = writeln!(s, "  \"seed\": \"{:#018x}\",", self.seed);
+        let _ = writeln!(s, "  \"run_hash\": \"{:#018x}\",", self.run_hash);
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        s.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            s.push_str("    {");
+            let _ = write!(s, "\"name\": \"{}\", ", json_escape(&e.name));
+            let _ = write!(s, "\"status\": \"{}\", ", e.status.keyword());
+            let _ = write!(
+                s,
+                "\"partial\": {}, ",
+                matches!(e.status, Status::Partial { .. })
+            );
+            if let Some(reason) = e.status.reason() {
+                let _ = write!(s, "\"reason\": \"{}\", ", json_escape(reason));
+            }
+            let _ = write!(s, "\"wall_ms\": {}, ", e.wall.as_millis());
+            let _ = write!(s, "\"retries\": {}, ", e.retries);
+            let _ = write!(s, "\"resumed\": {}, ", e.resumed);
+            let _ = write!(s, "\"reverified\": {}, ", e.reverified);
+            let _ = write!(s, "\"output_hash\": \"{:#018x}\", ", e.output_hash);
+            let _ = write!(s, "\"output_bytes\": {}", e.output_bytes);
+            s.push('}');
+            s.push_str(if i + 1 < self.experiments.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Options for one suite run.
+#[derive(Clone, Debug)]
+pub struct SuiteOptions {
+    /// Profile to run every experiment under.
+    pub profile: Profile,
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Directory for `*.txt` outputs, the journal/manifest, and
+    /// `summary.json`.
+    pub results_dir: PathBuf,
+    /// Select experiments by glob (`None` = all).
+    pub only: Option<String>,
+    /// Resume from the journal instead of starting fresh.
+    pub resume: bool,
+    /// On resume, how many journaled-complete experiments to re-run and
+    /// compare byte-for-byte (determinism re-verification).
+    pub reverify: usize,
+    /// Retry policy for failed/panicked attempts (`max_attempts`
+    /// bounds total attempts; deadline overruns are never retried).
+    pub retry: RetryPolicy,
+    /// Suite seed recorded in the manifest and handed to experiments.
+    pub seed: u64,
+    /// Override every experiment's own deadline (mainly for tests).
+    pub deadline_override: Option<Duration>,
+    /// Print one progress line per experiment to stdout.
+    pub progress: bool,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> SuiteOptions {
+        SuiteOptions {
+            profile: Profile::Full,
+            jobs: 1,
+            results_dir: PathBuf::from("results"),
+            only: None,
+            resume: false,
+            reverify: 1,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+            seed: 0,
+            deadline_override: None,
+            progress: false,
+        }
+    }
+}
+
+/// An infrastructure failure that aborts the whole suite.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// Filesystem trouble (results dir, journal, manifest, outputs).
+    Io(io::Error),
+    /// `--resume` was requested but the journal/manifest do not
+    /// describe this run (or are missing/corrupt).
+    ResumeRefused(String),
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::Io(e) => write!(f, "suite I/O failure: {e}"),
+            SuiteError::ResumeRefused(why) => write!(f, "refusing to resume: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+impl From<io::Error> for SuiteError {
+    fn from(e: io::Error) -> SuiteError {
+        SuiteError::Io(e)
+    }
+}
+
+/// Result of one isolated attempt at an experiment.
+#[derive(Debug)]
+enum AttemptResult {
+    Ok,
+    Failed(Failure),
+    Panicked(String),
+    TimedOut(Duration),
+}
+
+/// Outcome of executing one experiment (after retries): status plus
+/// the captured output snapshot.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Final status (never [`Status::Failed`]: execution failures
+    /// degrade to partial; only the orchestrator escalates).
+    pub status: Status,
+    /// Everything the experiment wrote, possibly partial.
+    pub output: String,
+    /// Wall time across all attempts.
+    pub wall: Duration,
+    /// Retries consumed.
+    pub retries: u32,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one attempt of `exp` on its own thread, catching panics and
+/// abandoning the thread if `deadline` expires first.
+fn attempt(exp: &Experiment, ctx: &Ctx, deadline: Duration) -> AttemptResult {
+    let (tx, rx) = mpsc::channel();
+    let run = exp.run;
+    let thread_ctx = ctx.clone();
+    let spawned = thread::Builder::new()
+        .name(format!("pandora-exp-{}", exp.name))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| run(&thread_ctx)));
+            // The receiver may have given up on us (deadline); a send
+            // failure is then expected and irrelevant.
+            let _ = tx.send(result);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => return AttemptResult::Failed(Failure::new(format!("spawn failed: {e}"))),
+    };
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(Ok(()))) => {
+            let _ = handle.join();
+            AttemptResult::Ok
+        }
+        Ok(Ok(Err(failure))) => {
+            let _ = handle.join();
+            AttemptResult::Failed(failure)
+        }
+        Ok(Err(payload)) => {
+            let _ = handle.join();
+            AttemptResult::Panicked(panic_message(payload.as_ref()))
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            // The experiment is wedged. Threads cannot be killed; the
+            // worker abandons it (it keeps running detached until
+            // process exit — the cooperative `Ctx::deadline_exceeded`
+            // check lets well-behaved loops wind down early) and the
+            // suite degrades this entry to a recorded partial failure.
+            drop(handle);
+            AttemptResult::TimedOut(deadline)
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            AttemptResult::Panicked("experiment thread vanished".to_string())
+        }
+    }
+}
+
+/// Executes `exp` with panic isolation, a per-attempt deadline, and
+/// bounded retries under `policy`. Deadline overruns are not retried
+/// (a wedge would almost certainly wedge again and cost another full
+/// deadline); failures and panics are, on the fault model that
+/// disturbances are transient.
+#[must_use]
+pub fn execute(
+    exp: &Experiment,
+    profile: Profile,
+    seed: u64,
+    opts: &[String],
+    deadline: Duration,
+    policy: &RetryPolicy,
+) -> ExecOutcome {
+    let attempts = policy.max_attempts.max(1);
+    let start = Instant::now();
+    let mut last: Option<AttemptResult> = None;
+    let mut used: u32 = 0;
+    let mut output = String::new();
+    for i in 0..attempts {
+        let ctx = Ctx::new(
+            profile,
+            seed,
+            Some(Instant::now() + deadline),
+            opts.to_vec(),
+        );
+        used = i + 1;
+        let result = attempt(exp, &ctx, deadline);
+        output = ctx.output();
+        let timed_out = matches!(result, AttemptResult::TimedOut(_));
+        last = Some(result);
+        if matches!(last, Some(AttemptResult::Ok)) || timed_out {
+            break;
+        }
+    }
+    let wall = start.elapsed();
+    let retries = used.saturating_sub(1);
+    let status = match last.expect("at least one attempt ran") {
+        AttemptResult::Ok => Status::Ok,
+        AttemptResult::Failed(f) => Status::Partial {
+            reason: format!("failed after {used} attempt(s): {f}"),
+        },
+        AttemptResult::Panicked(msg) => Status::Partial {
+            reason: format!("panicked after {used} attempt(s): {msg}"),
+        },
+        AttemptResult::TimedOut(d) => Status::Partial {
+            reason: format!(
+                "deadline of {:.1}s exceeded on attempt {used} (wedged; thread abandoned)",
+                d.as_secs_f64()
+            ),
+        },
+    };
+    ExecOutcome {
+        status,
+        output,
+        wall,
+        retries,
+    }
+}
+
+enum JobKind {
+    Run,
+    Reverify { expected_hash: u64 },
+}
+
+struct JobResult {
+    index: usize,
+    outcome: ExecOutcome,
+    kind: JobKind,
+}
+
+/// Runs the suite described by `opts` over `registry`.
+///
+/// Writes, all crash-safely:
+///
+/// * `results/<name>.txt` per completed experiment (atomic replace),
+/// * `results/.runall.journal` (fsynced append per completion),
+/// * `results/.runall.manifest` (atomic, at suite start),
+/// * `results/summary.json` (atomic, at suite end).
+///
+/// # Errors
+///
+/// [`SuiteError::ResumeRefused`] when `--resume` does not match the
+/// recorded manifest; [`SuiteError::Io`] for filesystem failures.
+/// Per-experiment failures are *not* errors — they come back as
+/// [`Status::Partial`] / [`Status::Failed`] rows in the report.
+pub fn run_suite(registry: &Registry, opts: &SuiteOptions) -> Result<SuiteReport, SuiteError> {
+    let selected = registry.select(opts.only.as_deref());
+    let run_hash = registry.run_hash(&selected, opts.profile, opts.seed);
+    let manifest = Manifest {
+        profile: opts.profile,
+        seed: opts.seed,
+        run_hash,
+    };
+
+    fs::create_dir_all(&opts.results_dir)?;
+    let journal_path = opts.results_dir.join(".runall.journal");
+    let manifest_path = opts.results_dir.join(".runall.manifest");
+
+    // Resume bookkeeping: which experiments are already done, and with
+    // what recorded output hash.
+    let mut completed: Vec<JournalEntry> = Vec::new();
+    let mut journal = if opts.resume {
+        let recorded = Manifest::load(&manifest_path).map_err(|e| {
+            SuiteError::ResumeRefused(format!("cannot read manifest: {e}"))
+        })?;
+        recorded
+            .check_matches(&manifest)
+            .map_err(SuiteError::ResumeRefused)?;
+        completed = Journal::load(&journal_path)
+            .map_err(|e| SuiteError::ResumeRefused(format!("cannot read journal: {e}")))?;
+        Journal::open_append(&journal_path)?
+    } else {
+        manifest.write(&manifest_path)?;
+        Journal::create(&journal_path)?
+    };
+
+    let find_completed = |name: &str| completed.iter().find(|e| e.name == name && e.status == "ok");
+
+    // Build the job list in registry order: run / reverify / skip.
+    let mut reports: Vec<Option<ExperimentReport>> = vec![None; selected.len()];
+    let mut jobs: VecDeque<(usize, JobKind)> = VecDeque::new();
+    let mut reverified = 0usize;
+    for (i, exp) in selected.iter().enumerate() {
+        match find_completed(exp.name) {
+            Some(entry) if reverified < opts.reverify => {
+                reverified += 1;
+                jobs.push_back((
+                    i,
+                    JobKind::Reverify {
+                        expected_hash: entry.output_hash,
+                    },
+                ));
+            }
+            Some(entry) => {
+                reports[i] = Some(ExperimentReport {
+                    name: exp.name.to_string(),
+                    status: Status::Ok,
+                    wall: Duration::from_millis(entry.wall_ms),
+                    retries: entry.retries,
+                    resumed: true,
+                    reverified: false,
+                    output_hash: entry.output_hash,
+                    output_bytes: entry.output_bytes,
+                });
+            }
+            None => jobs.push_back((i, JobKind::Run)),
+        }
+    }
+
+    let to_run = jobs.len();
+    let jobs = Mutex::new(jobs);
+    let (tx, rx) = mpsc::channel::<JobResult>();
+    let workers = opts.jobs.max(1).min(to_run.max(1));
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let jobs = &jobs;
+            let tx = tx.clone();
+            let selected = &selected;
+            let opts_ref = opts;
+            scope.spawn(move || loop {
+                let job = jobs.lock().unwrap_or_else(|p| p.into_inner()).pop_front();
+                let Some((index, kind)) = job else { break };
+                let exp = selected[index];
+                let deadline = opts_ref.deadline_override.unwrap_or(exp.deadline);
+                let outcome = execute(
+                    exp,
+                    opts_ref.profile,
+                    opts_ref.seed,
+                    &[],
+                    deadline,
+                    &opts_ref.retry,
+                );
+                if tx.send(JobResult { index, kind, outcome }).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // The main thread owns the journal and all file writes:
+        // appends stay serialized (one fsync at a time) and results
+        // files are published the moment their experiment completes,
+        // not at suite end.
+        let mut done = 0usize;
+        while let Ok(JobResult { index, kind, outcome }) = rx.recv() {
+            done += 1;
+            let exp = selected[index];
+            let output_hash = hash_str(&outcome.output);
+            let output_bytes = outcome.output.len() as u64;
+            let mut status = outcome.status;
+            let mut was_reverify = false;
+            match kind {
+                JobKind::Run => {
+                    // Publish the (possibly partial) output atomically.
+                    let path = opts.results_dir.join(format!("{}.txt", exp.name));
+                    let mut text = outcome.output.clone();
+                    if let Some(reason) = status.reason() {
+                        let _ = write!(
+                            text,
+                            "\n[pandora-runner] PARTIAL RESULTS: {reason}\n"
+                        );
+                    }
+                    atomic_write(&path, text.as_bytes())?;
+                }
+                JobKind::Reverify { expected_hash } => {
+                    was_reverify = true;
+                    status = match status {
+                        Status::Ok if output_hash == expected_hash => Status::Ok,
+                        Status::Ok => Status::Failed {
+                            reason: format!(
+                                "determinism re-verification failed: recorded output hash \
+                                 {expected_hash:#x}, re-run produced {output_hash:#x}"
+                            ),
+                        },
+                        other => Status::Failed {
+                            reason: format!(
+                                "determinism re-verification could not complete: {}",
+                                other.reason().unwrap_or("unknown")
+                            ),
+                        },
+                    };
+                    // A matching reverify also refreshes the text file
+                    // (byte-identical by construction).
+                    if status == Status::Ok {
+                        let path = opts.results_dir.join(format!("{}.txt", exp.name));
+                        atomic_write(&path, outcome.output.as_bytes())?;
+                    }
+                }
+            }
+            // Checkpoint: after this fsync, a crash cannot lose the entry.
+            if !was_reverify {
+                journal.append(&JournalEntry {
+                    name: exp.name.to_string(),
+                    status: status.keyword().to_string(),
+                    wall_ms: outcome.wall.as_millis() as u64,
+                    retries: outcome.retries,
+                    output_hash,
+                    output_bytes,
+                })?;
+            }
+            if opts.progress {
+                println!(
+                    "[{done:>2}/{to_run}] {:<28} {:<8} {:>7.2}s{}{}",
+                    exp.name,
+                    status.keyword(),
+                    outcome.wall.as_secs_f64(),
+                    if outcome.retries > 0 {
+                        format!("  ({} retries)", outcome.retries)
+                    } else {
+                        String::new()
+                    },
+                    status
+                        .reason()
+                        .map(|r| format!("  [{r}]"))
+                        .unwrap_or_default(),
+                );
+            }
+            reports[index] = Some(ExperimentReport {
+                name: exp.name.to_string(),
+                status,
+                wall: outcome.wall,
+                retries: outcome.retries,
+                resumed: false,
+                reverified: was_reverify,
+                output_hash,
+                output_bytes,
+            });
+        }
+        Ok::<(), SuiteError>(())
+    })?;
+
+    let experiments = reports
+        .into_iter()
+        .map(|r| r.expect("every selected experiment reported"))
+        .collect();
+    let report = SuiteReport {
+        profile: opts.profile,
+        seed: opts.seed,
+        jobs: workers,
+        run_hash,
+        experiments,
+    };
+    atomic_write(
+        &opts.results_dir.join("summary.json"),
+        report.to_json().as_bytes(),
+    )?;
+    Ok(report)
+}

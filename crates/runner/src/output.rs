@@ -1,0 +1,108 @@
+//! Crash-safe file output and stable hashing.
+//!
+//! Every file the runner produces — `results/*.txt`, the resume
+//! manifest, `summary.json` — goes through [`atomic_write`]: the bytes
+//! land in a temporary file in the destination directory, are fsynced,
+//! and are renamed over the target in one step, so a process killed at
+//! any instant leaves either the old complete file or the new complete
+//! file, never a truncated hybrid. The append-only journal is the one
+//! exception (see [`crate::journal`]); it is designed to tolerate a
+//! torn tail instead.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: temp file in the same
+/// directory, fsync, rename over the destination, fsync the directory.
+///
+/// A crash mid-write leaves the previous contents of `path` (or no
+/// file) intact; readers never observe a truncated file.
+///
+/// # Errors
+///
+/// Any I/O error creating, writing, syncing, or renaming the temp file.
+/// (A failure to fsync the *directory* is ignored: some filesystems
+/// refuse directory handles, and the rename itself is already durable
+/// on the journaled filesystems we care about.)
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "atomic_write: no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = match dir {
+        Some(d) => d.join(format!(".{file_name}.tmp.{}", std::process::id())),
+        None => Path::new(&format!(".{file_name}.tmp.{}", std::process::id())).to_path_buf(),
+    };
+    let result = (|| {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        if let Some(d) = dir {
+            // Make the rename itself durable; tolerated failure (see above).
+            if let Ok(dh) = File::open(d) {
+                let _ = dh.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// 64-bit FNV-1a over a byte string — the runner's stable fingerprint
+/// function (journal output hashes, registry/config fingerprints).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`fnv1a64`] over a string's UTF-8 bytes.
+#[must_use]
+pub fn hash_str(s: &str) -> u64 {
+    fnv1a64(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::TempDir;
+
+    #[test]
+    fn atomic_write_round_trips_and_replaces() {
+        let dir = TempDir::new("atomic_write");
+        let path = dir.path().join("out.txt");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+    }
+
+    #[test]
+    fn fnv_is_stable_and_discriminating() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(hash_str("fig5"), hash_str("fig6"));
+        assert_eq!(hash_str("fig5"), hash_str("fig5"));
+    }
+}

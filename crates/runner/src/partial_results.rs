@@ -1,0 +1,126 @@
+//! The shared "exit nonzero with partial results" policy.
+//!
+//! The fig6/fig7 bench bins each used to hand-roll this: print what
+//! was measured, explain the failure on stderr, exit nonzero. Every
+//! bench bin now routes through [`standalone_run`], which adds the two
+//! guarantees the hand-rolled versions lacked — panic isolation (a
+//! crashing experiment still reports its partial output) and an atomic
+//! results-file write (a killed process never leaves a truncated
+//! `results/*.txt`).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use pandora_channels::RetryPolicy;
+
+use crate::experiment::{Experiment, Profile};
+use crate::orchestrator::{execute, ExecOutcome, Status};
+use crate::output::atomic_write;
+
+/// Runs `exp` standalone (one bench bin invocation): executes with
+/// panic isolation under the experiment's own deadline, prints the
+/// captured report to stdout, and — when `results_dir` is given —
+/// publishes `results/<name>.txt` atomically.
+///
+/// Returns the outcome so the caller can turn it into an exit code
+/// with [`exit_code`].
+pub fn standalone_run(
+    exp: &Experiment,
+    profile: Profile,
+    seed: u64,
+    opts: &[String],
+    results_dir: Option<&Path>,
+) -> ExecOutcome {
+    // Standalone runs are interactive: fail fast, no retries.
+    let policy = RetryPolicy {
+        max_attempts: 1,
+        ..RetryPolicy::default()
+    };
+    let outcome = execute(exp, profile, seed, opts, exp.deadline, &policy);
+    print!("{}", outcome.output);
+    if let Some(dir) = results_dir {
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|()| atomic_write(&dir.join(format!("{}.txt", exp.name)), outcome.output.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("{}: could not write results file: {e}", exp.name);
+        }
+    }
+    outcome
+}
+
+/// Maps an outcome to the uniform exit protocol: success on `ok`;
+/// otherwise report "aborting with partial results" on stderr (the
+/// fig6/fig7 convention, now shared by all experiments) and exit
+/// nonzero.
+#[must_use]
+pub fn exit_code(name: &str, outcome: &ExecOutcome) -> ExitCode {
+    match &outcome.status {
+        Status::Ok => ExitCode::SUCCESS,
+        other => {
+            eprintln!(
+                "{name}: aborting with partial results: {}",
+                other.reason().unwrap_or("unknown failure")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Ctx, Failure};
+    use crate::test_util::TempDir;
+    use std::time::Duration;
+
+    fn ok_exp() -> Experiment {
+        fn body(ctx: &Ctx) -> Result<(), Failure> {
+            ctx.header("T");
+            Ok(())
+        }
+        Experiment {
+            name: "ok_exp",
+            title: "t",
+            run: body,
+            fingerprint: || 1,
+            deadline: Duration::from_secs(5),
+        }
+    }
+
+    fn failing_exp() -> Experiment {
+        fn body(ctx: &Ctx) -> Result<(), Failure> {
+            ctx.line(format_args!("measured half of it"));
+            Err(Failure::new("the second half exploded"))
+        }
+        Experiment {
+            name: "failing_exp",
+            title: "t",
+            run: body,
+            fingerprint: || 1,
+            deadline: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn ok_run_writes_results_and_exits_zero() {
+        let dir = TempDir::new("standalone_ok");
+        let exp = ok_exp();
+        let outcome = standalone_run(&exp, Profile::Smoke, 0, &[], Some(dir.path()));
+        assert_eq!(outcome.status, Status::Ok);
+        let code = exit_code("ok_exp", &outcome);
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::SUCCESS));
+        let written = std::fs::read_to_string(dir.path().join("ok_exp.txt")).unwrap();
+        assert!(written.contains("=== T ==="));
+    }
+
+    #[test]
+    fn failure_keeps_partial_output_and_exits_nonzero() {
+        let dir = TempDir::new("standalone_fail");
+        let exp = failing_exp();
+        let outcome = standalone_run(&exp, Profile::Full, 0, &[], Some(dir.path()));
+        assert!(matches!(outcome.status, Status::Partial { .. }));
+        assert!(outcome.output.contains("measured half of it"));
+        let code = exit_code("failing_exp", &outcome);
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::FAILURE));
+    }
+}

@@ -1,0 +1,160 @@
+//! The experiment registry: every table/figure/e-experiment of the
+//! paper registered under a stable name, selectable by glob, and
+//! fingerprinted as a whole for the resume manifest.
+
+use crate::experiment::{Experiment, Profile};
+use crate::output::hash_str;
+
+/// An ordered collection of named [`Experiment`]s.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    experiments: Vec<Experiment>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds an experiment (builder style).
+    ///
+    /// # Panics
+    ///
+    /// If the name is empty, contains whitespace (journal lines are
+    /// space-separated), or duplicates an already-registered name.
+    #[must_use]
+    pub fn with(mut self, exp: Experiment) -> Registry {
+        assert!(
+            !exp.name.is_empty() && !exp.name.contains(char::is_whitespace),
+            "experiment name {:?} must be a non-empty token",
+            exp.name
+        );
+        assert!(
+            self.get(exp.name).is_none(),
+            "duplicate experiment name {:?}",
+            exp.name
+        );
+        self.experiments.push(exp);
+        self
+    }
+
+    /// Looks an experiment up by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Experiment> {
+        self.experiments.iter().find(|e| e.name == name)
+    }
+
+    /// All experiments in registration order.
+    #[must_use]
+    pub fn all(&self) -> &[Experiment] {
+        &self.experiments
+    }
+
+    /// The experiments matching `pattern` (a [`glob_match`] glob), or
+    /// all of them when `pattern` is `None`; registration order.
+    #[must_use]
+    pub fn select(&self, pattern: Option<&str>) -> Vec<&Experiment> {
+        self.experiments
+            .iter()
+            .filter(|e| pattern.is_none_or(|p| glob_match(p, e.name)))
+            .collect()
+    }
+
+    /// A stable fingerprint of a run's shape: the selected experiment
+    /// names and per-experiment config fingerprints, the profile, and
+    /// the suite seed. Two runs with equal hashes are comparable — the
+    /// resume manifest refuses to mix anything else.
+    #[must_use]
+    pub fn run_hash(&self, selected: &[&Experiment], profile: Profile, seed: u64) -> u64 {
+        let mut h = hash_str(profile.as_str()) ^ seed.rotate_left(17);
+        for e in selected {
+            h = h
+                .rotate_left(13)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(hash_str(e.name))
+                .wrapping_add((e.fingerprint)());
+        }
+        h
+    }
+}
+
+/// Shell-style glob match over experiment names: `*` matches any run of
+/// characters, `?` matches exactly one; everything else is literal.
+#[must_use]
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    fn rec(p: &[u8], n: &[u8]) -> bool {
+        match (p.first(), n.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => rec(&p[1..], n) || (!n.is_empty() && rec(p, &n[1..])),
+            (Some(b'?'), Some(_)) => rec(&p[1..], &n[1..]),
+            (Some(&pc), Some(&nc)) if pc == nc => rec(&p[1..], &n[1..]),
+            _ => false,
+        }
+    }
+    rec(pattern.as_bytes(), name.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Ctx, Failure};
+    use std::time::Duration;
+
+    fn noop(_: &Ctx) -> Result<(), Failure> {
+        Ok(())
+    }
+
+    fn exp(name: &'static str) -> Experiment {
+        Experiment {
+            name,
+            title: "test",
+            run: noop,
+            fingerprint: || 42,
+            deadline: Duration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("fig*", "fig5_amplification"));
+        assert!(glob_match("e1?_rfc", "e12_rfc"));
+        assert!(glob_match("table1", "table1"));
+        assert!(!glob_match("fig*", "table1"));
+        assert!(!glob_match("fig5", "fig5_amplification"));
+        assert!(glob_match("*rfc*", "e12_rfc"));
+    }
+
+    #[test]
+    fn select_and_lookup() {
+        let r = Registry::new().with(exp("fig5")).with(exp("fig6")).with(exp("table1"));
+        assert_eq!(r.all().len(), 3);
+        assert!(r.get("fig6").is_some());
+        let figs = r.select(Some("fig*"));
+        assert_eq!(
+            figs.iter().map(|e| e.name).collect::<Vec<_>>(),
+            vec!["fig5", "fig6"]
+        );
+        assert_eq!(r.select(None).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment name")]
+    fn duplicate_names_rejected() {
+        let _ = Registry::new().with(exp("fig5")).with(exp("fig5"));
+    }
+
+    #[test]
+    fn run_hash_distinguishes_profile_seed_and_selection() {
+        let r = Registry::new().with(exp("a")).with(exp("b"));
+        let all = r.select(None);
+        let one = r.select(Some("a"));
+        let h = r.run_hash(&all, Profile::Full, 1);
+        assert_ne!(h, r.run_hash(&all, Profile::Smoke, 1));
+        assert_ne!(h, r.run_hash(&all, Profile::Full, 2));
+        assert_ne!(h, r.run_hash(&one, Profile::Full, 1));
+        assert_eq!(h, r.run_hash(&all, Profile::Full, 1));
+    }
+}

@@ -1,0 +1,44 @@
+//! Test-only helpers (public for the crate's integration tests; not
+//! part of the supported API).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely-named scratch directory under the system temp dir,
+/// removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    /// Creates `<tmp>/pandora-runner-<tag>-<pid>-<n>`.
+    ///
+    /// # Panics
+    ///
+    /// If the directory cannot be created.
+    #[must_use]
+    pub fn new(tag: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "pandora-runner-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -249,7 +249,41 @@ impl Default for SimConfig {
     }
 }
 
+/// 64-bit FNV-1a, the workspace's stable fingerprint primitive.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl OptConfig {
+    /// A deterministic fingerprint of the optimization switches —
+    /// FNV-1a over the canonical `Debug` rendering. Two configs hash
+    /// equal iff every field is equal.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        fnv1a64(format!("{self:?}").as_bytes())
+    }
+}
+
 impl SimConfig {
+    /// A deterministic fingerprint of the *entire* machine
+    /// configuration (geometry, latencies, caches, optimization
+    /// switches, seed, watchdog) — FNV-1a over the canonical `Debug`
+    /// rendering, so any field change changes the hash.
+    ///
+    /// The experiment runner records this in its resume manifest:
+    /// `runall --resume` refuses to mix journal entries produced under
+    /// a different machine configuration, and re-verified experiments
+    /// must reproduce their recorded output byte for byte.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        fnv1a64(format!("{self:?}").as_bytes())
+    }
+
     /// Default machine with the given optimization switches.
     #[must_use]
     pub fn with_opts(opts: OptConfig) -> SimConfig {
@@ -347,5 +381,32 @@ mod tests {
         let c = SimConfig::with_opts(OptConfig::with_silent_stores());
         assert!(c.opts.silent_stores);
         assert_eq!(c.mem_size, SimConfig::default().mem_size);
+    }
+
+    #[test]
+    fn stable_hash_tracks_every_field() {
+        let base = SimConfig::default();
+        assert_eq!(base.stable_hash(), SimConfig::default().stable_hash());
+
+        let mut seeded = base;
+        seeded.seed ^= 1;
+        assert_ne!(base.stable_hash(), seeded.stable_hash(), "seed is hashed");
+
+        let mut opted = base;
+        opted.opts.silent_stores = true;
+        assert_ne!(base.stable_hash(), opted.stable_hash(), "opts are hashed");
+
+        let mut sized = base;
+        sized.pipeline.sq_size += 1;
+        assert_ne!(base.stable_hash(), sized.stable_hash(), "geometry is hashed");
+
+        assert_ne!(
+            SimConfig::little_core().stable_hash(),
+            SimConfig::big_core().stable_hash()
+        );
+        assert_ne!(
+            OptConfig::baseline().stable_hash(),
+            OptConfig::with_silent_stores().stable_hash()
+        );
     }
 }

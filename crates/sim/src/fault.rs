@@ -19,6 +19,7 @@
 //!
 //! [`Machine`]: crate::Machine
 //! [`Machine::inject_faults`]: crate::Machine::inject_faults
+//! [`Machine::step`]: crate::Machine::step
 //! [`SimError`]: crate::SimError
 
 use std::ops::Range;

@@ -2,10 +2,9 @@
 //! control flow, and feed the writeback-time optimization hooks
 //! (memo insert, value-prediction verify, register-file compression).
 //!
-//! The per-uop execution helpers ([`try_issue_load`],
-//! [`issue_store`], [`issue_flush`], [`try_issue_compute`]) live here
-//! too; the issue stage calls them once it has selected a uop and a
-//! port.
+//! The per-uop execution helpers (`try_issue_load`, `issue_store`,
+//! `issue_flush`, `try_issue_compute`) live here too; the issue stage
+//! calls them once it has selected a uop and a port.
 
 use pandora_isa::{Instr, Reg};
 

@@ -30,6 +30,10 @@
 //!   amplification gadget, BSAES key recovery, the 3-level IMP universal
 //!   read gadget, and equality-oracle replay attacks for the remaining
 //!   optimization classes.
+//! * [`runner`] — the resilient experiment-orchestration runtime behind
+//!   the `runall` suite driver: per-experiment deadlines, panic
+//!   isolation, bounded retries, checkpoint/resume, and crash-safe
+//!   result publication.
 //!
 //! ## Quickstart
 //!
@@ -60,5 +64,6 @@ pub use pandora_channels as channels;
 pub use pandora_core as core;
 pub use pandora_crypto as crypto;
 pub use pandora_isa as isa;
+pub use pandora_runner as runner;
 pub use pandora_sandbox as sandbox;
 pub use pandora_sim as sim;
