@@ -22,9 +22,10 @@ use pandora_crypto::aes_ref;
 use pandora_crypto::bitslice::{self, Slices};
 use pandora_crypto::codegen::{emit_encrypt, BsaesLayout, SpillHook};
 use pandora_crypto::{Block, RoundKeys};
+use pandora_channels::adaptive::majority_vote;
 use pandora_channels::retry::{RetryError, RetryPolicy};
 use pandora_isa::{Asm, Program};
-use pandora_sim::{FaultPlan, Machine, OptConfig, SimConfig, SimError};
+use pandora_sim::{FaultPlan, Machine, NoiseConfig, OptConfig, SimConfig, SimError};
 
 use crate::amplify::{AmplifyGadget, FlushKind};
 use crate::util::precondition_noise;
@@ -83,6 +84,36 @@ impl BsaesAttack {
         victim_pt: Block,
         target_slice: usize,
     ) -> BsaesAttack {
+        BsaesAttack::with_amplification(victim_key, attacker_key, victim_pt, target_slice, true)
+    }
+
+    /// The *unamplified* control: identical scenario and measurement,
+    /// but the amplification gadget is never emitted, so a silent
+    /// store saves only its own dequeue (a couple of cycles). The
+    /// noise-robustness experiment compares this control's separation
+    /// against the amplified attack's as noise intensity rises —
+    /// the paper's Fig 5 argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_slice >= 8`.
+    #[must_use]
+    pub fn control(
+        victim_key: Block,
+        attacker_key: Block,
+        victim_pt: Block,
+        target_slice: usize,
+    ) -> BsaesAttack {
+        BsaesAttack::with_amplification(victim_key, attacker_key, victim_pt, target_slice, false)
+    }
+
+    fn with_amplification(
+        victim_key: Block,
+        attacker_key: Block,
+        victim_pt: Block,
+        target_slice: usize,
+        amplified: bool,
+    ) -> BsaesAttack {
         assert!(target_slice < 8, "BSAES spills eight slices");
         let cfg = SimConfig::with_opts(OptConfig::with_silent_stores());
         let lay_victim = BsaesLayout::at(VICTIM_BASE);
@@ -98,7 +129,12 @@ impl BsaesAttack {
         let gadget = AmplifyGadget::new(&cfg, target_addr, DELAY_ADDR, FlushKind::Contention);
         let attacker_rk = RoundKeys::expand(&attacker_key);
         let nominal = bitslice::final_subbytes_slices(&attacker_rk, &[0u8; 16]);
-        let program = BsaesAttack::build_program_for(&lay_victim, &lay_attacker, target_slice, &gadget);
+        let program = BsaesAttack::build_program_for(
+            &lay_victim,
+            &lay_attacker,
+            target_slice,
+            amplified.then_some(&gadget),
+        );
         BsaesAttack {
             cfg,
             victim_rk: RoundKeys::expand(&victim_key),
@@ -119,6 +155,13 @@ impl BsaesAttack {
     /// exercising retry-based recovery.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.fault_plan = plan;
+    }
+
+    /// Sets the environmental-noise configuration of every subsequent
+    /// measuring machine (see `pandora_sim::noise`); the noise-tolerant
+    /// recovery paths vary its seed per repetition round.
+    pub fn set_noise(&mut self, noise: NoiseConfig) {
+        self.cfg.noise = noise;
     }
 
     /// The machine configuration (silent stores enabled).
@@ -156,15 +199,17 @@ impl BsaesAttack {
         lay_victim: &BsaesLayout,
         lay_attacker: &BsaesLayout,
         target: usize,
-        gadget: &AmplifyGadget,
+        gadget: Option<&AmplifyGadget>,
     ) -> Program {
         let mut a = Asm::new();
         emit_encrypt(&mut a, lay_victim, |_, _, _| {});
         emit_encrypt(&mut a, lay_attacker, |asm, point, k| {
             if k == target {
-                match point {
-                    SpillHook::Before => gadget.emit(asm),
-                    SpillHook::After => gadget.emit_pressure(asm),
+                if let Some(gadget) = gadget {
+                    match point {
+                        SpillHook::Before => gadget.emit(asm),
+                        SpillHook::After => gadget.emit_pressure(asm),
+                    }
                 }
             }
         });
@@ -332,6 +377,105 @@ impl BsaesAttack {
         })
     }
 
+    /// Noise-tolerant [`BsaesAttack::recover_slice`]: runs the whole
+    /// guess sweep `redundancy` times, each round under a distinct
+    /// noise seed, takes each round's gap-checked argmin as one vote,
+    /// and majority-decodes across rounds — repetition coding at the
+    /// attack level, trading samples for accuracy exactly as a real
+    /// campaign does.
+    ///
+    /// Every guess *within* a round shares the round's seed: the
+    /// measurement is differential (argmin over near-identical
+    /// programs), so a deterministic per-round environment is
+    /// common-mode and cancels, while round-to-round reseeding gives
+    /// the vote independent looks at the residual disturbance.
+    ///
+    /// Redundancy 1 is the unhardened baseline *under the same varying
+    /// environment* (one noisy sweep, no voting), which is what the
+    /// robustness experiment compares against.
+    ///
+    /// # Errors
+    ///
+    /// The first measuring run that fails outright.
+    pub fn recover_slice_vote(
+        &self,
+        guesses: &[u16],
+        min_gap: u64,
+        redundancy: usize,
+    ) -> Result<Option<u16>, SimError> {
+        let mut votes: Vec<Option<u16>> = Vec::new();
+        for r in 0..redundancy.max(1) as u64 {
+            let mut best: Option<(u16, u64)> = None;
+            let mut second: Option<u64> = None;
+            for &g in guesses {
+                let mut round = self.clone();
+                round.cfg.noise.seed = self
+                    .cfg
+                    .noise
+                    .seed
+                    .wrapping_add(r.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let t = round.try_measure_guess(g, None)?.cycles;
+                match best {
+                    None => best = Some((g, t)),
+                    Some((_, bt)) if t < bt => {
+                        second = Some(bt);
+                        best = Some((g, t));
+                    }
+                    Some(_) => {
+                        second = Some(second.map_or(t, |s| s.min(t)));
+                    }
+                }
+            }
+            votes.push(match (best, second) {
+                (Some((g, t)), Some(s)) if s >= t + min_gap => Some(g),
+                _ => None,
+            });
+        }
+        Ok(majority_vote(&votes))
+    }
+
+    /// Noise-tolerant [`BsaesAttack::recover_key`]: every slice is
+    /// recovered via [`BsaesAttack::recover_slice_vote`], with this
+    /// attack's noise configuration carried into each per-slice attack.
+    ///
+    /// # Errors
+    ///
+    /// The first measuring run that fails outright.
+    #[allow(clippy::needless_range_loop)]
+    pub fn recover_key_vote(
+        &self,
+        window: impl Fn(usize) -> Vec<u16>,
+        min_gap: u64,
+        redundancy: usize,
+    ) -> Result<Option<Block>, SimError> {
+        let mut slices = [0u16; 8];
+        let mut victim_ct = None;
+        for k in 0..8 {
+            let mut per_slice = BsaesAttack::new(
+                self.victim_rk.master_key(),
+                self.attacker_rk.master_key(),
+                self.victim_pt,
+                k,
+            );
+            // Carry the environment (including a per-slice seed shift,
+            // so no two slices fight the identical noise stream).
+            let mut noise = self.cfg.noise;
+            noise.seed = noise.seed.wrapping_add(k as u64 * 0x5851_f42d_4c95_7f2d);
+            per_slice.set_noise(noise);
+            let Some(g) = per_slice.recover_slice_vote(&window(k), min_gap, redundancy)? else {
+                return Ok(None);
+            };
+            slices[k] = g;
+            if victim_ct.is_none() {
+                victim_ct = Some(per_slice.try_measure_guess(g, None)?.victim_ct);
+            }
+        }
+        let state = bitslice::unbitslice(&slices);
+        let Some(ct) = victim_ct else { return Ok(None) };
+        let k10 = aes_ref::round10_key_from_leak(&state, &ct);
+        Ok(Some(RoundKeys::from_round10(&k10).master_key()))
+    }
+
     /// The full key-recovery pipeline over per-slice guess windows:
     /// recover all eight slices, rebuild the final-SubBytes state,
     /// derive the round-10 key from the victim ciphertext, and invert
@@ -437,6 +581,38 @@ mod tests {
             .recover_slice_with_retry(window, 60, &RetryPolicy::default())
             .unwrap();
         assert_eq!(got, Some(truth));
+    }
+
+    #[test]
+    fn control_attack_lacks_amplified_separation() {
+        let (vk, ak, vpt) = keys();
+        let atk = BsaesAttack::control(vk, ak, vpt, 0);
+        let truth = atk.true_slice_value();
+        let hit = atk.measure_guess(truth, None).cycles;
+        let miss = atk.measure_guess(truth ^ 0x1234, None).cycles;
+        let gap = miss.abs_diff(hit);
+        assert!(
+            gap < 100,
+            "without the gadget a silent store saves only its own \
+             dequeue: hit={hit} miss={miss}"
+        );
+    }
+
+    #[test]
+    fn vote_recovers_slice_under_noise() {
+        let (vk, ak, vpt) = keys();
+        let mut atk = BsaesAttack::new(vk, ak, vpt, 4);
+        // Interference over the victim's stack and spill slots; the
+        // runtime measurement is architectural (stats cycles), so only
+        // the cache/stall components matter here.
+        atk.set_noise(NoiseConfig::at_intensity(30, 29).with_window(0x1_0000, 0x2_0000));
+        let truth = atk.true_slice_value();
+        let lo = truth.saturating_sub(3);
+        let window: Vec<u16> = (0..8).map(|d| lo.wrapping_add(d)).collect();
+        let got = atk
+            .recover_slice_vote(&window, 60, 5)
+            .expect("noisy measurement rounds complete");
+        assert_eq!(got, Some(truth), "majority vote must survive the noise");
     }
 
     #[test]

@@ -22,13 +22,16 @@
 //! reaches an attacker-visible address (§IV-D4) — asserted by the
 //! workspace tests.
 
+use pandora_channels::adaptive::majority_vote;
 use pandora_channels::retry::{RetryError, RetryPolicy};
 use pandora_channels::stats::Summary;
 use pandora_isa::Asm;
 use pandora_sandbox::{
     compile, BpfAluOp, BpfProgram, BpfReg, Cmp, Inst, MapDef, SandboxLayout, Src,
 };
-use pandora_sim::{FaultPlan, Machine, OptConfig, PrefetchFill, SimConfig, SimError, TraceEvent};
+use pandora_sim::{
+    FaultPlan, Machine, NoiseConfig, OptConfig, PrefetchFill, SimConfig, SimError, TraceEvent,
+};
 
 const SANDBOX_BASE: u64 = 0x4_0000;
 /// Stream array length (Fig 7a's N).
@@ -266,6 +269,13 @@ impl UrgAttack {
         self.fault_plan = plan;
     }
 
+    /// Sets the environmental-noise configuration of every subsequent
+    /// leak run (see `pandora_sim::noise`); the noise-tolerant
+    /// [`UrgAttack::leak_byte_vote`] varies its seed per round.
+    pub fn set_noise(&mut self, noise: NoiseConfig) {
+        self.cfg.noise = noise;
+    }
+
     /// Plants a "private" byte in simulated memory for the experiment
     /// (standing in for kernel data the attacker wants; the attack code
     /// itself never architecturally reads it).
@@ -392,13 +402,11 @@ impl UrgAttack {
             .collect()
     }
 
-    /// Leaks one private byte: runs the attack with two disjoint
-    /// training sets and intersects the candidate sets, eliminating
-    /// training-line ambiguity.
-    #[must_use]
-    pub fn leak_byte(&self, secret_addr: u64) -> Option<u8> {
-        let (run1, _) = self.run(secret_addr, 1);
-        let (run2, _) = self.run(secret_addr, 4);
+    /// Intersects the candidate sets of two runs with disjoint
+    /// training sets: a byte leaks only if it is the single line hot
+    /// in both (training lines differ between the runs, so they never
+    /// survive).
+    fn intersect(run1: &LeakRun, run2: &LeakRun) -> Option<u8> {
         let both: Vec<u8> = run1
             .candidates
             .iter()
@@ -409,6 +417,55 @@ impl UrgAttack {
             [b] => Some(*b),
             _ => None,
         }
+    }
+
+    /// Leaks one private byte: runs the attack with two disjoint
+    /// training sets and intersects the candidate sets, eliminating
+    /// training-line ambiguity.
+    #[must_use]
+    pub fn leak_byte(&self, secret_addr: u64) -> Option<u8> {
+        let (run1, _) = self.run(secret_addr, 1);
+        let (run2, _) = self.run(secret_addr, 4);
+        UrgAttack::intersect(&run1, &run2)
+    }
+
+    /// Noise-tolerant [`UrgAttack::leak_byte`]: repeats the
+    /// two-training-set leak `redundancy` times — each round under a
+    /// distinct noise seed, so every repetition faces a fresh
+    /// interference pattern — and majority-votes the per-round bytes.
+    /// A round disturbed into an ambiguous candidate set votes as an
+    /// erasure rather than poisoning the result. Redundancy 1 is a
+    /// single noisy leak (the unhardened baseline).
+    ///
+    /// The two training runs *within* a round are seeded differently:
+    /// the intersection filters noise by assuming spurious hot lines
+    /// differ between runs, so the two environments must be
+    /// decorrelated — under a shared seed, fill noise warms the same
+    /// false lines in both runs and survives the intersection.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] from a leak run that fails outright.
+    pub fn leak_byte_vote(
+        &self,
+        secret_addr: u64,
+        redundancy: usize,
+    ) -> Result<Option<u8>, SimError> {
+        let mut votes = Vec::with_capacity(redundancy.max(1));
+        for r in 0..redundancy.max(1) as u64 {
+            let base = self
+                .cfg
+                .noise
+                .seed
+                .wrapping_add(r.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut round = self.clone();
+            round.cfg.noise.seed = base;
+            let (run1, _) = round.try_run(secret_addr, 1)?;
+            round.cfg.noise.seed = base.wrapping_add(0x0100_0193);
+            let (run2, _) = round.try_run(secret_addr, 4)?;
+            votes.push(UrgAttack::intersect(&run1, &run2));
+        }
+        Ok(majority_vote(&votes))
     }
 
     /// Like [`UrgAttack::leak_byte`], but each leak run is retried
@@ -439,16 +496,7 @@ impl UrgAttack {
         };
         let (run1, _) = leak(1)?;
         let (run2, _) = leak(4)?;
-        let both: Vec<u8> = run1
-            .candidates
-            .iter()
-            .copied()
-            .filter(|c| run2.candidates.contains(c))
-            .collect();
-        Ok(match both.as_slice() {
-            [b] => Some(*b),
-            _ => None,
-        })
+        Ok(UrgAttack::intersect(&run1, &run2))
     }
 
     /// The universal read gadget: dumps `len` bytes starting at `addr`
@@ -559,6 +607,22 @@ mod tests {
             .leak_byte_with_retry(SECRET_ADDR, &RetryPolicy::default())
             .unwrap();
         assert_eq!(got, Some(0x42));
+    }
+
+    #[test]
+    fn vote_leaks_byte_under_cache_and_timer_noise() {
+        let mut atk = attack(3, 0x6D);
+        // Whole-memory interference (a loud co-tenant touching
+        // everything, including the probe array X), plus a coarse,
+        // jittery clock behind the sandbox's ReadClock helper. The
+        // 256-line probe needs this dilution — window the same
+        // intensity onto the sandbox alone and every line is disturbed
+        // several times per run, which no amount of voting fixes.
+        atk.set_noise(NoiseConfig::at_intensity(30, 23));
+        let got = atk
+            .leak_byte_vote(SECRET_ADDR, 5)
+            .expect("noisy leak rounds complete");
+        assert_eq!(got, Some(0x6D), "majority vote must survive the noise");
     }
 
     #[test]

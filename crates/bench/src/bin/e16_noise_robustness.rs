@@ -1,0 +1,9 @@
+//! Thin wrapper over the `e16_noise_robustness` registry experiment — see
+//! `pandora_bench::experiments::e16_noise_robustness` for the experiment body
+//! and `runall` for the orchestrated suite.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("e16_noise_robustness")
+}

@@ -1,0 +1,359 @@
+//! **E16** — noise robustness: deterministic interference intensity
+//! vs channel quality and end-to-end attack success.
+//!
+//! The paper's attacks are measured on a quiet machine; a real cloud
+//! tenant shares it with co-runners. This experiment turns on the
+//! seed-driven noise model (`pandora_sim::noise`) and sweeps its
+//! intensity against three layers of the stack:
+//!
+//! 1. **Channel quality** — probe hit/miss SNR and estimated BER, plus
+//!    a 16-symbol covert channel decoded naively (one shot) and with
+//!    repetition coding (majority vote). The adaptive receiver
+//!    demonstrates drift detection and threshold re-calibration.
+//! 2. **Amplification under noise** — the Fig 5 argument: the
+//!    amplified BSAES runtime gap (>100 cycles) survives intensities
+//!    that swallow the unamplified control's couple-of-cycle gap.
+//! 3. **End-to-end at the sweep midpoint** — the majority-vote BSAES
+//!    attack must still recover all 16 key bytes (trading samples for
+//!    accuracy) while the single-sweep receiver measurably degrades;
+//!    the URG read is decoded naively vs voted the same way.
+//!
+//! Expected shape: graceful degradation — error rates climb with
+//! intensity, voting pushes the cliff to higher intensities, and the
+//! amplified channel outlives the unamplified one.
+
+use std::time::Duration;
+
+use pandora_attacks::{BsaesAttack, UrgAttack};
+use pandora_channels::{
+    probe_calibration_round, AdaptiveReceiver, BitErrorCounter, ChannelQuality, CovertChannel,
+    RetryPolicy,
+};
+use pandora_runner::{outln, Ctx, Experiment, Failure};
+use pandora_sim::{NoiseConfig, OptConfig, SimConfig};
+
+/// The sweep midpoint: the intensity the end-to-end acceptance runs
+/// at.
+const MIDPOINT: u16 = 30;
+/// Gap bar for the BSAES argmin (same as the quiet experiments).
+const MIN_GAP: u64 = 60;
+/// A private location well outside the URG sandbox.
+const SECRET_ADDR: u64 = 0x20_0000;
+
+/// Registry entry.
+#[must_use]
+pub fn experiment() -> Experiment {
+    Experiment {
+        name: "e16_noise_robustness",
+        title: "E16: noise intensity vs channel BER and attack success",
+        run,
+        fingerprint: || {
+            let mut cfg = SimConfig::with_opts(OptConfig::with_silent_stores());
+            cfg.noise = NoiseConfig::at_intensity(MIDPOINT, super::DEFAULT_SEED);
+            cfg.stable_hash()
+        },
+        deadline: Duration::from_secs(600),
+    }
+}
+
+fn intensities(ctx: &Ctx) -> &'static [u16] {
+    if ctx.smoke() {
+        &[0, MIDPOINT, 60]
+    } else {
+        &[0, 15, MIDPOINT, 45, 60]
+    }
+}
+
+fn keys() -> ([u8; 16], [u8; 16], [u8; 16]) {
+    let victim_key: [u8; 16] = std::array::from_fn(|i| (i * 13 + 7) as u8);
+    let attacker_key: [u8; 16] = std::array::from_fn(|i| (i * 31 + 5) as u8);
+    let victim_pt: [u8; 16] = std::array::from_fn(|i| (i * 3) as u8);
+    (victim_key, attacker_key, victim_pt)
+}
+
+/// The interference window of the BSAES phases: dense enough over the
+/// worker stack that the single-sweep receiver measurably degrades at
+/// the midpoint, dilute enough that voting still converges.
+const BSAES_WINDOW: (u64, u64) = (0x1_0000, 0x1_8000);
+
+fn run(ctx: &Ctx) -> Result<(), Failure> {
+    channel_quality_sweep(ctx)?;
+    amplification_sweep(ctx)?;
+    attack_success_sweep(ctx)
+}
+
+/// Phase 1: probe SNR/BER and covert-channel error rates per
+/// intensity, naive vs repetition-coded, plus the adaptive receiver's
+/// drift response.
+fn channel_quality_sweep(ctx: &Ctx) -> Result<(), Failure> {
+    ctx.header("Channel quality vs noise intensity");
+    let trials = 16;
+    let redundancy = if ctx.smoke() { 5 } else { 7 };
+    let values: &[usize] = if ctx.smoke() {
+        &[1, 6, 11, 14]
+    } else {
+        &[1, 6, 11, 14, 3, 9, 12, 5]
+    };
+    let ch = CovertChannel {
+        base: 0x4_0000,
+        symbols: 16,
+        stride: 64,
+        result_base: 0x800,
+    };
+    let quiet = SimConfig::default();
+    let mut receiver =
+        AdaptiveReceiver::calibrate(RetryPolicy::default(), trials, |trials, _attempt| {
+            probe_calibration_round(&quiet, trials, None)
+        })
+        .map_err(|e| Failure::new(format!("quiet calibration failed: {e}")))?;
+    outln!(
+        ctx,
+        "quiet calibration: threshold {} (t = {:.1})",
+        receiver.threshold(),
+        receiver.calibration().t
+    );
+    outln!(
+        ctx,
+        "\n{:>9}  {:>8}  {:>9}  {:>11}  {:>11}  {}",
+        "intensity",
+        "SNR dB",
+        "est BER",
+        "naive SER",
+        "vote SER",
+        "adaptive receiver"
+    );
+    for &intensity in intensities(ctx) {
+        // Seeded by intensity (not sweep index), so the smoke and full
+        // profiles print identical rows for shared intensities.
+        let seed = ctx.seed().wrapping_add(u64::from(intensity) * 0x9e37_79b9);
+        // Probe-population quality under whole-memory interference.
+        let mut noisy = quiet;
+        noisy.noise = NoiseConfig::at_intensity(intensity, seed);
+        let (hits, misses) = probe_calibration_round(&noisy, trials, None)?;
+        let q = ChannelQuality::from_samples(&hits, &misses);
+        // Drift response: re-calibrate when the separation collapses.
+        let adapted = receiver.observe(&hits, &misses, trials, |trials, _attempt| {
+            probe_calibration_round(&noisy, trials, None)
+        });
+        let adapted = match adapted {
+            Ok(true) => format!("recalibrated -> {}", receiver.threshold()),
+            Ok(false) => "threshold holds".to_string(),
+            Err(e) => format!("dead channel ({e})"),
+        };
+        // Covert symbol error rates, one-shot vs majority vote, under
+        // interference windowed onto the channel's line array.
+        let mut cfg = quiet;
+        cfg.noise = NoiseConfig::at_intensity(intensity, seed).with_window(0x4_0000, 0x5_0000);
+        let bits = ch.capacity_bits() as u32;
+        let mut naive = BitErrorCounter::new();
+        let mut vote = BitErrorCounter::new();
+        for (vi, &value) in values.iter().enumerate() {
+            let mut c = cfg;
+            c.noise.seed = cfg.noise.seed.wrapping_add(vi as u64 * 0xabcd);
+            naive.record(value, ch.try_round_trip(c, value)?, bits);
+            vote.record(value, ch.round_trip_vote(c, value, redundancy)?, bits);
+        }
+        outln!(
+            ctx,
+            "{:>9}  {:>8.1}  {:>9.4}  {:>11.3}  {:>11.3}  {}",
+            intensity,
+            q.snr_db(),
+            q.est_ber,
+            naive.ser(),
+            vote.ser(),
+            adapted
+        );
+    }
+    outln!(
+        ctx,
+        "\nrepetition coding (redundancy {redundancy}) holds the symbol error\n\
+         rate down at intensities that degrade the one-shot receiver."
+    );
+    Ok(())
+}
+
+/// Phase 2: the amplified BSAES runtime gap vs the unamplified
+/// control's, per intensity — amplification buys noise margin (Fig 5).
+fn amplification_sweep(ctx: &Ctx) -> Result<(), Failure> {
+    ctx.header("Amplified vs unamplified BSAES gap vs noise intensity");
+    let trials: u64 = if ctx.smoke() { 2 } else { 4 };
+    let (vk, ak, vpt) = keys();
+    let amplified = BsaesAttack::new(vk, ak, vpt, 0);
+    let control = BsaesAttack::control(vk, ak, vpt, 0);
+    let truth = amplified.true_slice_value();
+    outln!(
+        ctx,
+        "{:>9}  {:>15}  {:>15}",
+        "intensity",
+        "amplified gap",
+        "control gap"
+    );
+    for &intensity in intensities(ctx) {
+        let seed = ctx
+            .seed()
+            .wrapping_add(0xf1f1)
+            .wrapping_add(u64::from(intensity) * 0x9e37_79b9);
+        let mean_gap = |atk: &BsaesAttack| -> Result<f64, Failure> {
+            let mut gap_sum = 0i64;
+            for t in 0..trials {
+                let mut noisy = atk.clone();
+                noisy.set_noise(
+                    NoiseConfig::at_intensity(intensity, seed.wrapping_add(t * 7919))
+                        .with_window(BSAES_WINDOW.0, BSAES_WINDOW.1),
+                );
+                let hit = noisy.try_measure_guess(truth, None)?.cycles;
+                let miss = noisy.try_measure_guess(truth ^ 0x1234, None)?.cycles;
+                gap_sum += miss as i64 - hit as i64;
+            }
+            Ok(gap_sum as f64 / trials as f64)
+        };
+        outln!(
+            ctx,
+            "{:>9}  {:>15.1}  {:>15.1}",
+            intensity,
+            mean_gap(&amplified)?,
+            mean_gap(&control)?
+        );
+    }
+    outln!(
+        ctx,
+        "\nthe amplified >100-cycle gap survives intensities whose runtime\n\
+         variance swallows the control's couple-of-cycle silent-store\n\
+         saving — amplification is what buys noise margin."
+    );
+    Ok(())
+}
+
+/// Per-slice BSAES recovery count at one intensity: how many of the
+/// eight slices a receiver with the given redundancy lands (the same
+/// per-slice seed schedule [`BsaesAttack::recover_key_vote`] uses).
+fn bsaes_slices_recovered(
+    noise: NoiseConfig,
+    redundancy: usize,
+) -> Result<usize, Failure> {
+    let (vk, ak, vpt) = keys();
+    let mut ok = 0;
+    for k in 0..8usize {
+        let mut per_slice = BsaesAttack::new(vk, ak, vpt, k);
+        let mut n = noise;
+        n.seed = n.seed.wrapping_add(k as u64 * 0x5851_f42d_4c95_7f2d);
+        per_slice.set_noise(n);
+        let truth = per_slice.true_slice_value();
+        let lo = truth.wrapping_sub(2);
+        let window: Vec<u16> = (0..5).map(|d| lo.wrapping_add(d)).collect();
+        if per_slice.recover_slice_vote(&window, MIN_GAP, redundancy)? == Some(truth) {
+            ok += 1;
+        }
+    }
+    Ok(ok)
+}
+
+/// Phase 3: end-to-end attack success per intensity — BSAES slices
+/// recovered and URG bytes read, one-shot vs majority-voted — then
+/// the acceptance checks at the midpoint: the voted attack recovers
+/// the full key while the single-sweep receiver measurably degrades.
+fn attack_success_sweep(ctx: &Ctx) -> Result<(), Failure> {
+    ctx.header("End-to-end attack success vs noise intensity");
+    let redundancy = if ctx.smoke() { 3 } else { 5 };
+    let secrets: &[u8] = if ctx.smoke() {
+        &[0x13, 0x77]
+    } else {
+        &[0x13, 0x77, 0xC4, 0x6D]
+    };
+    let (vk, ak, vpt) = keys();
+    let n_secrets = secrets.len();
+    outln!(
+        ctx,
+        "{:>9}  {:>11}  {:>10}  {:>9}  {:>8}",
+        "intensity",
+        "bsaes naive",
+        "bsaes vote",
+        "urg naive",
+        "urg vote"
+    );
+    let mut naive_at_midpoint = 8;
+    for &intensity in intensities(ctx) {
+        let noise = NoiseConfig::at_intensity(intensity, ctx.seed())
+            .with_window(BSAES_WINDOW.0, BSAES_WINDOW.1);
+        let naive = bsaes_slices_recovered(noise, 1)?;
+        let voted = bsaes_slices_recovered(noise, redundancy)?;
+        if intensity == MIDPOINT {
+            naive_at_midpoint = naive;
+        }
+        let mut urg = UrgAttack::new(3);
+        for (i, &b) in secrets.iter().enumerate() {
+            urg.plant_secret(SECRET_ADDR + i as u64, b);
+        }
+        urg.set_noise(NoiseConfig::at_intensity(
+            intensity,
+            ctx.seed().wrapping_add(0xa11ce),
+        ));
+        let mut urg_naive = 0usize;
+        let mut urg_vote = 0usize;
+        for (i, &b) in secrets.iter().enumerate() {
+            let addr = SECRET_ADDR + i as u64;
+            if urg.leak_byte_vote(addr, 1)? == Some(b) {
+                urg_naive += 1;
+            }
+            if urg.leak_byte_vote(addr, redundancy)? == Some(b) {
+                urg_vote += 1;
+            }
+        }
+        outln!(
+            ctx,
+            "{:>9}  {:>9}/8  {:>8}/8  {:>7}/{}  {:>6}/{}",
+            intensity,
+            naive,
+            voted,
+            urg_naive,
+            n_secrets,
+            urg_vote,
+            n_secrets
+        );
+    }
+
+    // Acceptance at the midpoint: the hardened receiver recovers the
+    // whole key (trading samples for accuracy); the single sweep does
+    // not keep all eight slices.
+    ctx.header("Midpoint acceptance");
+    outln!(
+        ctx,
+        "single-sweep receiver at intensity {MIDPOINT}: {naive_at_midpoint}/8 slices"
+    );
+    if naive_at_midpoint >= 8 {
+        return Err(Failure::new(format!(
+            "the non-hardened receiver must measurably degrade at intensity \
+             {MIDPOINT}: recovered {naive_at_midpoint}/8 slices"
+        )));
+    }
+    let mut atk = BsaesAttack::new(vk, ak, vpt, 0);
+    atk.set_noise(
+        NoiseConfig::at_intensity(MIDPOINT, ctx.seed())
+            .with_window(BSAES_WINDOW.0, BSAES_WINDOW.1),
+    );
+    let recovered = atk.recover_key_vote(
+        |k| {
+            let truth = BsaesAttack::new(vk, ak, vpt, k).true_slice_value();
+            let lo = truth.wrapping_sub(2);
+            (0..5).map(|d| lo.wrapping_add(d)).collect()
+        },
+        MIN_GAP,
+        redundancy,
+    )?;
+    outln!(
+        ctx,
+        "majority-vote receiver (redundancy {redundancy}): recovered key {}",
+        match recovered {
+            Some(k) => format!("{k:02x?}"),
+            None => "none".to_string(),
+        }
+    );
+    if recovered != Some(vk) {
+        return Err(Failure::new(format!(
+            "majority-vote BSAES must recover the victim key at intensity \
+             {MIDPOINT}: got {recovered:02x?}"
+        )));
+    }
+    outln!(ctx, "all 16 key bytes recovered under midpoint noise");
+    Ok(())
+}

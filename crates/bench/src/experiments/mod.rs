@@ -18,6 +18,7 @@ pub mod e11_stateful_opts;
 pub mod e12_rfc;
 pub mod e14_defenses;
 pub mod e15_sv_vs_sn_performance;
+pub mod e16_noise_robustness;
 pub mod e9_replay_recovery;
 pub mod fig2_fig3_mlds;
 pub mod fig4_cases;
@@ -44,6 +45,7 @@ pub fn registry() -> Registry {
         .with(e12_rfc::experiment())
         .with(e14_defenses::experiment())
         .with(e15_sv_vs_sn_performance::experiment())
+        .with(e16_noise_robustness::experiment())
 }
 
 /// Adds the two fault-injection selftests (`runall --selftest`): one
@@ -161,8 +163,9 @@ mod tests {
                 "e12_rfc",
                 "e14_defenses",
                 "e15_sv_vs_sn_performance",
+                "e16_noise_robustness",
             ],
-            "all 13 paper experiments registered, paper order"
+            "all 14 paper experiments registered, paper order"
         );
     }
 
@@ -171,7 +174,7 @@ mod tests {
         let r = with_selftests(registry());
         assert!(r.get("selftest_panic").is_some());
         assert!(r.get("selftest_wedge").is_some());
-        assert_eq!(r.all().len(), 15);
+        assert_eq!(r.all().len(), 16);
     }
 
     #[test]

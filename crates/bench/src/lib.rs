@@ -21,6 +21,7 @@
 //! | §IV-D1 register-file compression | `e12_rfc` |
 //! | §VI-A defenses | `e14_defenses` |
 //! | §VI-A3 Sv vs Sn performance | `e15_sv_vs_sn_performance` |
+//! | noise robustness (extension) | `e16_noise_robustness` |
 //!
 //! Each experiment lives in [`experiments`] and is registered with the
 //! resilient orchestration runtime in `pandora-runner`. Run one

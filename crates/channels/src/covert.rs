@@ -7,8 +7,9 @@
 //! channel-capacity analysis (log2 N bits per round, §IV-A3).
 
 use pandora_isa::{Asm, Reg};
-use pandora_sim::{Machine, SimConfig};
+use pandora_sim::{Machine, SimConfig, SimError};
 
+use crate::adaptive::majority_vote;
 use crate::prime_probe::{emit_probe_lines, fastest_index, read_timings};
 
 /// Configuration of a one-shot cache covert channel.
@@ -72,6 +73,24 @@ impl CovertChannel {
     /// Panics if the round's program fails to run — a harness bug.
     #[must_use]
     pub fn round_trip(&self, cfg: SimConfig, value: usize) -> Option<usize> {
+        self.try_round_trip(cfg, value)
+            .expect("channel round completes")
+    }
+
+    /// Fallible [`CovertChannel::round_trip`]: a round whose machine
+    /// errors (deadlock under fault injection, timeout under heavy
+    /// noise) surfaces the structured [`SimError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// The [`SimError`] of the failed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round's program fails to assemble — a harness
+    /// bug, not a runtime condition.
+    pub fn try_round_trip(&self, cfg: SimConfig, value: usize) -> Result<Option<usize>, SimError> {
         let mut a = Asm::new();
         self.emit_send(&mut a, value);
         self.emit_receive(&mut a);
@@ -79,8 +98,33 @@ impl CovertChannel {
         let prog = a.assemble().expect("channel program assembles");
         let mut m = Machine::new(cfg);
         m.load_program(&prog);
-        m.run(20_000_000).expect("channel round completes");
-        self.decode(&m)
+        m.run(20_000_000)?;
+        Ok(self.decode(&m))
+    }
+
+    /// Repetition-coded round trip: runs `redundancy` independent
+    /// rounds — each under a distinct noise seed, so every round sees
+    /// a fresh interference pattern — and majority-votes the decodes.
+    /// Redundancy 1 is exactly one noisy round (the unhardened
+    /// baseline under a varying environment).
+    ///
+    /// # Errors
+    ///
+    /// The first round whose machine fails outright.
+    pub fn round_trip_vote(
+        &self,
+        cfg: SimConfig,
+        value: usize,
+        redundancy: usize,
+    ) -> Result<Option<usize>, SimError> {
+        let votes = (0..redundancy.max(1) as u64)
+            .map(|r| {
+                let mut c = cfg;
+                c.noise.seed = cfg.noise.seed.wrapping_add(r.wrapping_mul(0x9e37_79b9));
+                self.try_round_trip(c, value)
+            })
+            .collect::<Result<Vec<_>, SimError>>()?;
+        Ok(majority_vote(&votes))
     }
 }
 
@@ -99,6 +143,41 @@ mod tests {
         for value in [0usize, 1, 13, 42, 63] {
             assert_eq!(ch.round_trip(SimConfig::default(), value), Some(value));
         }
+    }
+
+    #[test]
+    fn noisy_round_trips_recover_via_repetition() {
+        use pandora_sim::NoiseConfig;
+        let ch = CovertChannel {
+            base: 0x4_0000,
+            symbols: 16,
+            stride: 64,
+            result_base: 0x800,
+        };
+        // Heavy interference over a 64 KiB window spanning the
+        // channel's line array, plus a coarse, jittery timer — the
+        // environment a real receiver faces.
+        let cfg = SimConfig {
+            noise: NoiseConfig::at_intensity(60, 17).with_window(0x4_0000, 0x5_0000),
+            ..SimConfig::default()
+        };
+        let mut naive_errors = 0;
+        for (vi, value) in [1usize, 6, 11, 14, 3, 9, 12, 5].into_iter().enumerate() {
+            let mut c = cfg;
+            c.noise.seed = cfg.noise.seed.wrapping_add(vi as u64 * 0xabcd);
+            if ch.try_round_trip(c, value).unwrap() != Some(value) {
+                naive_errors += 1;
+            }
+            assert_eq!(
+                ch.round_trip_vote(c, value, 7).unwrap(),
+                Some(value),
+                "repetition coding must survive intensity-60 noise"
+            );
+        }
+        assert!(
+            naive_errors > 0,
+            "the single-shot receiver must measurably degrade under this noise"
+        );
     }
 
     #[test]

@@ -17,18 +17,26 @@
 //! * [`retry`] — bounded-retry calibration ([`RetryPolicy`]): noisy
 //!   rounds are retried with more trials until the timing populations
 //!   separate, and failures surface as structured [`RetryError`]s.
+//! * [`adaptive`] — noise-hardened receiver machinery: SNR /
+//!   bit-error-rate reporting ([`ChannelQuality`],
+//!   [`BitErrorCounter`]), repetition decoding ([`majority_vote`]),
+//!   and drift-detecting threshold re-calibration
+//!   ([`AdaptiveReceiver`]).
 
+pub mod adaptive;
 pub mod covert;
 pub mod evict_time;
 pub mod prime_probe;
 pub mod retry;
 pub mod stats;
 
+pub use adaptive::{majority_vote, AdaptiveReceiver, BitErrorCounter, ChannelQuality};
 pub use covert::CovertChannel;
 pub use evict_time::{calibrate_evict_margin, emit_evict, emit_timed_victim, evict_time_round};
 pub use prime_probe::{
     calibrate_probe_threshold, emit_probe_lines, emit_prime, emit_timed_probe, fastest_index,
-    hits_below, probe_calibration_round, probe_oracle, read_timings, EvictionSet,
+    hits_below, probe_calibration_round, probe_oracle, read_timings, try_read_timings,
+    EvictionSet,
 };
 pub use retry::{Calibration, RetryError, RetryPolicy, RetryStop};
 pub use stats::{midpoint_threshold, welch_t, Histogram, Summary};

@@ -16,7 +16,7 @@
 //!   separate channel noise from transmitter behaviour.
 
 use pandora_isa::{Asm, Reg};
-use pandora_sim::{Cache, CacheConfig, FaultPlan, Machine, SimConfig, SimError};
+use pandora_sim::{Cache, CacheConfig, FaultPlan, Machine, MemFault, SimConfig, SimError};
 
 use crate::retry::{Calibration, RetryError, RetryPolicy};
 
@@ -110,12 +110,20 @@ fn gcd(a: usize, b: usize) -> usize {
 /// Panics if the result buffer is out of bounds — a harness bug.
 #[must_use]
 pub fn read_timings(m: &Machine, result_base: u64, count: usize) -> Vec<u64> {
+    try_read_timings(m, result_base, count).expect("result buffer in bounds")
+}
+
+/// Fallible [`read_timings`]: surfaces an out-of-bounds result buffer
+/// as the structured [`MemFault`] instead of panicking, for drivers
+/// that compute the buffer address from untrusted experiment
+/// parameters.
+///
+/// # Errors
+///
+/// The [`MemFault`] of the first out-of-bounds slot read.
+pub fn try_read_timings(m: &Machine, result_base: u64, count: usize) -> Result<Vec<u64>, MemFault> {
     (0..count)
-        .map(|i| {
-            m.mem()
-                .read_u64(result_base + 8 * i as u64)
-                .expect("result buffer in bounds")
-        })
+        .map(|i| m.mem().read_u64(result_base + 8 * i as u64))
         .collect()
 }
 

@@ -3,6 +3,7 @@
 
 use crate::mem::cache::CacheConfig;
 use crate::mem::hierarchy::{MemLatency, PrefetchFill};
+use crate::noise::NoiseConfig;
 
 /// Pipeline structure sizes and widths.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -231,6 +232,18 @@ pub struct SimConfig {
     ///
     /// [`SimError::Deadlock`]: crate::SimError::Deadlock
     pub watchdog_cycles: Option<u64>,
+    /// Deterministic environmental noise (co-tenant cache pressure,
+    /// degraded timers, frontend jitter). Quiet by default; see
+    /// [`NoiseConfig`].
+    pub noise: NoiseConfig,
+    /// Validate pipeline invariants every cycle and surface violations
+    /// as structured [`SimError::InvalidState`] errors even in release
+    /// builds (where `debug_assert!` compiles out). Off by default:
+    /// the checks walk the ROB each cycle, which costs a few percent
+    /// of simulation speed.
+    ///
+    /// [`SimError::InvalidState`]: crate::SimError::InvalidState
+    pub paranoid_checks: bool,
 }
 
 impl Default for SimConfig {
@@ -245,6 +258,8 @@ impl Default for SimConfig {
             opts: OptConfig::baseline(),
             seed: 0x9e3779b97f4a7c15,
             watchdog_cycles: Some(10_000),
+            noise: NoiseConfig::quiet(),
+            paranoid_checks: false,
         }
     }
 }
@@ -399,6 +414,25 @@ mod tests {
         let mut sized = base;
         sized.pipeline.sq_size += 1;
         assert_ne!(base.stable_hash(), sized.stable_hash(), "geometry is hashed");
+
+        let mut noisy = base;
+        noisy.noise = NoiseConfig::at_intensity(30, 0);
+        assert_ne!(base.stable_hash(), noisy.stable_hash(), "noise is hashed");
+        let mut reseeded = noisy;
+        reseeded.noise.seed ^= 1;
+        assert_ne!(
+            noisy.stable_hash(),
+            reseeded.stable_hash(),
+            "noise seed is hashed"
+        );
+
+        let mut paranoid = base;
+        paranoid.paranoid_checks = true;
+        assert_ne!(
+            base.stable_hash(),
+            paranoid.stable_hash(),
+            "paranoia is hashed"
+        );
 
         assert_ne!(
             SimConfig::little_core().stable_hash(),

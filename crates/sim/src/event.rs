@@ -196,6 +196,9 @@ pub enum SimEvent {
     },
     /// A fault-plan event took effect. Increments `faults_injected`.
     FaultInjected,
+    /// An environmental-noise disturbance took effect. Increments
+    /// `noise_events`.
+    NoiseInjected,
 }
 
 /// The single sink for all [`SimEvent`]s.
@@ -328,6 +331,7 @@ impl EventBus {
                 scale,
             } => self.dmp_patterns.push((src_pc, dst_pc, base, scale)),
             SimEvent::FaultInjected => self.stats.faults_injected += 1,
+            SimEvent::NoiseInjected => self.stats.noise_events += 1,
         }
     }
 

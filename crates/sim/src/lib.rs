@@ -45,6 +45,7 @@ pub mod fault;
 pub mod func;
 pub mod machine;
 pub mod mem;
+pub mod noise;
 pub mod opt;
 pub mod pipeline;
 pub mod stats;
@@ -60,6 +61,7 @@ pub use machine::{DeadlockDiagnostics, Machine, SimError};
 pub use mem::cache::{Cache, CacheConfig, CacheOutcome, Replacement};
 pub use mem::hierarchy::{Access, Hierarchy, MemLatency, PrefetchFill, ServedBy};
 pub use mem::memory::{MemFault, Memory};
+pub use noise::{traffic_program, NoiseConfig, NoiseHook};
 pub use opt::hook::{FaultHook, Hooks, MemoLookup, OptHook};
 pub use pipeline::{PipelineStage, PipelineState, Stages};
 pub use stats::SimStats;

@@ -234,6 +234,9 @@ impl Machine {
         self.stages.rename.tick(st, &mut self.hooks)?;
         self.stages.fetch.tick(st, &mut self.hooks)?;
         st.bus.set_cycles(st.cycle);
+        if st.cfg.paranoid_checks {
+            st.paranoid_validate()?;
+        }
         // Wild control flow: nothing in flight and nothing fetchable.
         if st.rob.is_empty()
             && st.fetch_buf.is_empty()

@@ -72,6 +72,15 @@ pub trait OptHook: fmt::Debug {
         let _ = st;
     }
 
+    /// Filters the value an `rdcycle` instruction reads: given the
+    /// true cycle, return the (possibly coarsened/jittered) value the
+    /// program observes, or `None` to leave the timer exact. This is
+    /// the noise hook's timer-degradation point.
+    fn read_cycle(&mut self, cycle: u64) -> Option<u64> {
+        let _ = cycle;
+        None
+    }
+
     /// Called when rename redefines architectural register `rd`.
     fn on_rename(&mut self, rd: Reg) {
         let _ = rd;
@@ -236,6 +245,11 @@ impl Hooks {
         if o.dmp {
             list.push(Box::new(ImpHook { imp: Imp::new(o) }));
         }
+        if cfg.noise.enabled() {
+            // Last, so a cycle's optimization decisions precede the
+            // environment's disturbances deterministically.
+            list.push(Box::new(crate::noise::NoiseHook::new(cfg.noise)));
+        }
         Hooks { list }
     }
 
@@ -258,6 +272,11 @@ impl Hooks {
         for h in &mut self.list {
             h.on_cycle_start(st);
         }
+    }
+
+    /// The first hook's degraded `rdcycle` reading, if any.
+    pub fn read_cycle(&mut self, cycle: u64) -> Option<u64> {
+        self.list.iter_mut().find_map(|h| h.read_cycle(cycle))
     }
 
     /// Fans [`OptHook::on_rename`] out to every hook in order.

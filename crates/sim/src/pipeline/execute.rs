@@ -351,7 +351,8 @@ pub(crate) fn try_issue_compute(
                 port: PortClass::None,
                 event: None,
             },
-            cycle,
+            // The noise hook may coarsen/jitter the reading.
+            hooks.read_cycle(cycle).unwrap_or(cycle),
             0,
             None,
             false,

@@ -56,7 +56,7 @@ impl PipelineStage for IssueStage {
                     if try_issue_load(st, idx) {
                         loads -= 1;
                         issued += 1;
-                        st.leave_iq(idx);
+                        st.leave_iq(idx)?;
                     }
                 }
                 UopKind::Store => {
@@ -67,7 +67,7 @@ impl PipelineStage for IssueStage {
                     newly_resolved_stores.push(seq);
                     stores -= 1;
                     issued += 1;
-                    st.leave_iq(idx);
+                    st.leave_iq(idx)?;
                 }
                 UopKind::Flush => {
                     if loads == 0 {
@@ -76,12 +76,12 @@ impl PipelineStage for IssueStage {
                     issue_flush(st, idx);
                     loads -= 1;
                     issued += 1;
-                    st.leave_iq(idx);
+                    st.leave_iq(idx)?;
                 }
                 _ => {
                     if try_issue_compute(st, hooks, idx, &mut alu, &mut muldiv, &mut fp) {
                         issued += 1;
-                        st.leave_iq(idx);
+                        st.leave_iq(idx)?;
                     }
                 }
             }

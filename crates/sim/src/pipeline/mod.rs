@@ -357,12 +357,59 @@ impl PipelineState {
     }
 
     /// Removes the uop at ROB index `idx` from the issue queue (called
-    /// when it starts executing).
-    pub(crate) fn leave_iq(&mut self, idx: usize) {
+    /// when it starts executing). Double removal is a pipeline bug:
+    /// debug builds assert, and paranoid runs surface it as a
+    /// structured [`SimError::InvalidState`] instead of silently
+    /// corrupting the IQ occupancy count.
+    pub(crate) fn leave_iq(&mut self, idx: usize) -> Result<(), SimError> {
         let uop = &mut self.rob[idx];
-        debug_assert!(uop.in_iq);
+        debug_assert!(uop.in_iq, "uop left the IQ twice");
+        if !uop.in_iq && self.cfg.paranoid_checks {
+            let (seq, pc) = (uop.seq, uop.pc);
+            return Err(self.invalid_state(format!(
+                "uop seq {seq} (pc {pc}) left the issue queue twice"
+            )));
+        }
         uop.in_iq = false;
-        self.iq_count -= 1;
+        self.iq_count = self.iq_count.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Cross-checks the redundant pipeline occupancy counters against
+    /// the queues they summarize; called once per cycle when
+    /// [`SimConfig::paranoid_checks`] is set, so release-mode runs
+    /// (CI smoke, `runall`) catch broken invariants as structured
+    /// errors instead of silently continuing.
+    ///
+    /// [`SimConfig::paranoid_checks`]: crate::SimConfig::paranoid_checks
+    pub(crate) fn paranoid_validate(&self) -> Result<(), SimError> {
+        let in_iq = self.rob.iter().filter(|u| u.in_iq).count();
+        if in_iq != self.iq_count {
+            return Err(self.invalid_state(format!(
+                "iq_count {} disagrees with {} in-IQ uops in the ROB",
+                self.iq_count, in_iq
+            )));
+        }
+        if self.iq_count > self.cfg.pipeline.iq_size {
+            return Err(self.invalid_state(format!(
+                "iq_count {} exceeds iq_size {}",
+                self.iq_count, self.cfg.pipeline.iq_size
+            )));
+        }
+        if self.live_tags > self.cfg.pipeline.prf_size {
+            return Err(self.invalid_state(format!(
+                "live_tags {} exceeds prf_size {}",
+                self.live_tags, self.cfg.pipeline.prf_size
+            )));
+        }
+        if self.rob.len() > self.cfg.pipeline.rob_size {
+            return Err(self.invalid_state(format!(
+                "ROB holds {} uops, capacity {}",
+                self.rob.len(),
+                self.cfg.pipeline.rob_size
+            )));
+        }
+        Ok(())
     }
 
     /// Performs a demand access, emits the served-by event, and returns

@@ -76,6 +76,10 @@ pub struct SimStats {
     /// whose target was out of range — e.g. a bit-flip past the end of
     /// memory — does not count).
     pub faults_injected: u64,
+    /// Environmental-noise disturbances that took effect (evictions,
+    /// fills, and fetch stalls injected by the noise hook; timer
+    /// degradation is not counted — it perturbs readings, not state).
+    pub noise_events: u64,
 }
 
 impl SimStats {
@@ -144,6 +148,9 @@ impl fmt::Display for SimStats {
         )?;
         if self.faults_injected > 0 {
             write!(f, "\nfaults injected: {}", self.faults_injected)?;
+        }
+        if self.noise_events > 0 {
+            write!(f, "\nnoise events: {}", self.noise_events)?;
         }
         Ok(())
     }

@@ -5,7 +5,10 @@
 //! optimizations change *timing*, never *results*.)
 
 use pandora::isa::{AluOp, Asm, BranchCond, Program, Reg};
-use pandora::sim::{Emulator, Machine, Memory, OptConfig, ReuseKey, RfcMatch, SimConfig};
+use pandora::sim::{
+    traffic_program, DuoMachine, Emulator, Machine, Memory, OptConfig, ReuseKey, RfcMatch,
+    SimConfig,
+};
 use proptest::prelude::*;
 
 /// A recipe for one random-but-terminating program: straight-line ALU
@@ -133,6 +136,96 @@ fn check(r: &Recipe, opts: OptConfig) {
     }
 }
 
+/// Asserts one [`DuoMachine`] core's architectural state equals its
+/// in-order reference.
+fn check_core(name: &str, m: &Machine, emu: &Emulator, context: &dyn std::fmt::Debug) {
+    for reg in Reg::all() {
+        assert_eq!(
+            m.reg(reg),
+            emu.reg(reg),
+            "core {name} register {reg} diverged on {context:?}"
+        );
+    }
+    for off in 0..64u64 {
+        let addr = 0x1000 + 8 * off;
+        assert_eq!(
+            m.mem().read_u64(addr).unwrap(),
+            emu.mem().read_u64(addr).unwrap(),
+            "core {name} memory {addr:#x} diverged on {context:?}"
+        );
+    }
+}
+
+/// Runs two recipes on a [`DuoMachine`] — both cores hammer the same
+/// addresses, so every load and store rides the shared-L2 path under
+/// cross-core interference — and cross-checks each core against its
+/// own emulator run. Sharing must perturb timing only, never results.
+fn check_duo(ra: &Recipe, rb: &Recipe, opts: OptConfig) {
+    let (pa, pb) = (build(ra), build(rb));
+    let emulate = |p: &Program| {
+        let mut emu = Emulator::new(Memory::new(1 << 16));
+        emu.run(p, 1_000_000).expect("emulator completes");
+        emu
+    };
+    let (ea, eb) = (emulate(&pa), emulate(&pb));
+
+    let mut cfg = SimConfig::with_opts(opts);
+    cfg.mem_size = 1 << 16;
+    let machine = |p: &Program| {
+        let mut m = Machine::new(cfg);
+        m.load_program(p);
+        m
+    };
+    let mut duo = DuoMachine::new(machine(&pa), machine(&pb));
+    duo.run(10_000_000).expect("duo completes");
+    check_core("A", duo.core_a(), &ea, &(ra, rb));
+    check_core("B", duo.core_b(), &eb, &(ra, rb));
+}
+
+#[test]
+fn traffic_corunner_matches_emulator_on_both_cores() {
+    // The noise subsystem's co-runner traffic generator is itself a
+    // legal program: run it on core B against a random-ish workload on
+    // core A and cross-check both cores' architectural state.
+    let victim = build(&Recipe {
+        seeds: vec![3, 7, 0x1000, 0xffff_ffff],
+        ops: vec![(0, 1, 2, 3), (7, 2, 1, 1), (8, 3, 2, 4)],
+        stores: vec![(1, 0), (2, 5), (3, 9)],
+        iterations: 5,
+    });
+    // The traffic span overlaps the victim's store window, so the
+    // interference is real (shared L2 lines), yet results must hold.
+    let traffic = traffic_program(0x0D15_EA5E, 0x1000, 0x1000, 40);
+
+    let emulate = |p: &Program| {
+        let mut emu = Emulator::new(Memory::new(1 << 16));
+        emu.run(p, 1_000_000).expect("emulator completes");
+        emu
+    };
+    let (ev, et) = (emulate(&victim), emulate(&traffic));
+
+    let mut cfg = SimConfig::with_opts(all_on());
+    cfg.mem_size = 1 << 16;
+    let machine = |p: &Program| {
+        let mut m = Machine::new(cfg);
+        m.load_program(p);
+        m
+    };
+    let mut duo = DuoMachine::new(machine(&victim), machine(&traffic));
+    duo.run(10_000_000).expect("duo completes");
+    check_core("A", duo.core_a(), &ev, &"victim vs traffic");
+    check_core("B", duo.core_b(), &et, &"victim vs traffic");
+    // And the traffic generator's own stores land identically.
+    for off in (0..0x1000u64).step_by(64) {
+        let addr = 0x1000 + off;
+        assert_eq!(
+            duo.core_b().mem().read_u64(addr).unwrap(),
+            et.mem().read_u64(addr).unwrap(),
+            "traffic store at {addr:#x} diverged"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -151,6 +244,13 @@ proptest! {
         let mut opts = all_on();
         opts.reuse_key = ReuseKey::RegIds;
         check(&r, opts);
+    }
+
+    #[test]
+    fn duo_cores_match_emulator_with_shared_l2(ra in recipe(), rb in recipe()) {
+        // Both recipes store into the same 0x1000 window, so the
+        // shared L2 sees cross-core hits/evictions on the same lines.
+        check_duo(&ra, &rb, all_on());
     }
 
     #[test]

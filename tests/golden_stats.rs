@@ -20,8 +20,8 @@
 use pandora_attacks::{AmplifyGadget, BsaesAttack, FlushKind};
 use pandora_isa::{Asm, FpOp, Reg};
 use pandora_sim::{
-    FaultKind, FaultPlan, Machine, OptConfig, ReuseKey, RfcMatch, SimConfig, SimError, SimStats,
-    VpKind,
+    FaultKind, FaultPlan, Machine, NoiseConfig, OptConfig, ReuseKey, RfcMatch, SimConfig,
+    SimError, SimStats, VpKind,
 };
 
 fn printing() -> bool {
@@ -251,6 +251,22 @@ fn golden_fig5_under_random_faults() {
     let m = fig5(base, Some(FlushKind::Contention), 41, 42, Some(plan))
         .expect("disturbed fig5 still completes");
     check_stats("FIG5_FAULTED", m.stats(), &FIG5_FAULTED);
+}
+
+#[test]
+fn golden_fig5_under_pinned_seed_noise() {
+    // The seed-driven environmental noise model must be exactly as
+    // reproducible as the quiet machine: a pinned seed pins the whole
+    // SimStats, noise events included. Paranoid invariant checking is
+    // enabled to pin (and prove) that a disturbed-but-legal run passes
+    // every pipeline invariant without perturbing the stats.
+    let mut base = SimConfig::with_opts(OptConfig::with_silent_stores());
+    base.noise = NoiseConfig::at_intensity(30, 0xfeed).with_window(0x1_0000, 0x2_0000);
+    base.paranoid_checks = true;
+    let m = fig5(base, Some(FlushKind::Contention), 41, 42, None)
+        .expect("noisy fig5 still completes");
+    assert!(m.stats().noise_events > 0, "the noise hook must have fired");
+    check_stats("FIG5_NOISY", m.stats(), &FIG5_NOISY);
 }
 
 #[test]
@@ -495,39 +511,40 @@ fn golden_fig6_bsaes_measurements() {
 // Golden values (captured pre-refactor; see module docs to regenerate).
 // ---------------------------------------------------------------------
 
-const FIG4_A_STATS: SimStats = SimStats { cycles: 132, committed: 6, branch_squashes: 0, vp_squashes: 0, l1_hits: 1, l2_hits: 0, dram_accesses: 1, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 1, performed_stores: 0, ss_loads: 1, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
+const FIG4_A_STATS: SimStats = SimStats { cycles: 132, committed: 6, branch_squashes: 0, vp_squashes: 0, l1_hits: 1, l2_hits: 0, dram_accesses: 1, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 1, performed_stores: 0, ss_loads: 1, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
 const FIG4_A_TIMELINE: &str = "[StoreResolved { cycle: 127, pc: 3, addr: 65536 }, SsLoadIssued { cycle: 127, pc: 3, addr: 65536 }, SsLoadReturned { cycle: 129, pc: 3, silent: true }, StoreAtHead { cycle: 129, pc: 3 }, StoreSilentDequeue { cycle: 129, pc: 3 }]";
-const FIG4_B_STATS: SimStats = SimStats { cycles: 134, committed: 6, branch_squashes: 0, vp_squashes: 0, l1_hits: 2, l2_hits: 0, dram_accesses: 1, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 0, performed_stores: 1, ss_loads: 1, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
+const FIG4_B_STATS: SimStats = SimStats { cycles: 134, committed: 6, branch_squashes: 0, vp_squashes: 0, l1_hits: 2, l2_hits: 0, dram_accesses: 1, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 0, performed_stores: 1, ss_loads: 1, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
 const FIG4_B_TIMELINE: &str = "[StoreResolved { cycle: 127, pc: 3, addr: 65536 }, SsLoadIssued { cycle: 127, pc: 3, addr: 65536 }, SsLoadReturned { cycle: 129, pc: 3, silent: false }, StoreAtHead { cycle: 129, pc: 3 }, StoreSentToCache { cycle: 129, pc: 3, reason: ValueMismatch }, StoreDequeued { cycle: 131, pc: 3 }]";
-const FIG4_C_STATS: SimStats = SimStats { cycles: 252, committed: 28, branch_squashes: 0, vp_squashes: 0, l1_hits: 0, l2_hits: 0, dram_accesses: 25, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 122, silent_stores: 0, performed_stores: 1, ss_loads: 0, ss_no_port: 1, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
+const FIG4_C_STATS: SimStats = SimStats { cycles: 252, committed: 28, branch_squashes: 0, vp_squashes: 0, l1_hits: 0, l2_hits: 0, dram_accesses: 25, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 122, silent_stores: 0, performed_stores: 1, ss_loads: 0, ss_no_port: 1, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
 const FIG4_C_TIMELINE: &str = "[StoreResolved { cycle: 4, pc: 1, addr: 65536 }, StoreAtHead { cycle: 6, pc: 1 }, StoreSentToCache { cycle: 6, pc: 1, reason: NoLoadPort }, StoreDequeued { cycle: 126, pc: 1 }]";
-const FIG4_D_STATS: SimStats = SimStats { cycles: 11, committed: 4, branch_squashes: 0, vp_squashes: 0, l1_hits: 1, l2_hits: 0, dram_accesses: 1, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 0, performed_stores: 1, ss_loads: 1, ss_no_port: 0, ss_late: 1, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
+const FIG4_D_STATS: SimStats = SimStats { cycles: 11, committed: 4, branch_squashes: 0, vp_squashes: 0, l1_hits: 1, l2_hits: 0, dram_accesses: 1, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 0, performed_stores: 1, ss_loads: 1, ss_no_port: 0, ss_late: 1, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
 const FIG4_D_TIMELINE: &str = "[StoreResolved { cycle: 4, pc: 1, addr: 65536 }, SsLoadIssued { cycle: 4, pc: 1, addr: 65536 }, StoreAtHead { cycle: 6, pc: 1 }, StoreSentToCache { cycle: 6, pc: 1, reason: SsLoadLate }, StoreDequeued { cycle: 8, pc: 1 }]";
-const FIG5_LITTLE_SILENT: SimStats = SimStats { cycles: 632, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 10, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 243, backend_stalls: 238, silent_stores: 0, performed_stores: 6, ss_loads: 5, ss_no_port: 1, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const FIG5_LITTLE_LOUD: SimStats = SimStats { cycles: 632, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 10, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 243, backend_stalls: 238, silent_stores: 0, performed_stores: 6, ss_loads: 5, ss_no_port: 1, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const FIG5_BIG_SILENT: SimStats = SimStats { cycles: 387, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 1, performed_stores: 5, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const FIG5_BIG_LOUD: SimStats = SimStats { cycles: 508, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
+const FIG5_LITTLE_SILENT: SimStats = SimStats { cycles: 632, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 10, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 243, backend_stalls: 238, silent_stores: 0, performed_stores: 6, ss_loads: 5, ss_no_port: 1, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const FIG5_LITTLE_LOUD: SimStats = SimStats { cycles: 632, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 10, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 243, backend_stalls: 238, silent_stores: 0, performed_stores: 6, ss_loads: 5, ss_no_port: 1, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const FIG5_BIG_SILENT: SimStats = SimStats { cycles: 387, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 1, performed_stores: 5, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const FIG5_BIG_LOUD: SimStats = SimStats { cycles: 508, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 0, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
 const FIG5_DEADLOCK_RENDERING: &str = "pipeline deadlock at cycle 10000: rob=7 (head seq 0 pc 0) sq=0 lq=6 prf=38/96 fetch_pc=7 last_progress=0";
-const FIG5_CONTROL_SILENT: SimStats = SimStats { cycles: 149, committed: 16, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 6, rename_stalls_prf: 0, sq_full_stalls: 3, backend_stalls: 0, silent_stores: 1, performed_stores: 5, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const FIG5_CONTROL_LOUD: SimStats = SimStats { cycles: 151, committed: 16, branch_squashes: 0, vp_squashes: 0, l1_hits: 12, l2_hits: 0, dram_accesses: 6, rename_stalls_prf: 0, sq_full_stalls: 5, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const FIG5_CONTENTION_SILENT: SimStats = SimStats { cycles: 390, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 242, backend_stalls: 0, silent_stores: 1, performed_stores: 5, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const FIG5_CONTENTION_LOUD: SimStats = SimStats { cycles: 511, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 362, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const FIG5_FLUSH_SILENT: SimStats = SimStats { cycles: 268, committed: 18, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 7, rename_stalls_prf: 0, sq_full_stalls: 122, backend_stalls: 0, silent_stores: 1, performed_stores: 5, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const FIG5_FLUSH_LOUD: SimStats = SimStats { cycles: 389, committed: 18, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 8, rename_stalls_prf: 0, sq_full_stalls: 242, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const FIG5_FAULTED: SimStats = SimStats { cycles: 416, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 13, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 257, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 7, ss_no_port: 4, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 15 };
+const FIG5_CONTROL_SILENT: SimStats = SimStats { cycles: 149, committed: 16, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 6, rename_stalls_prf: 0, sq_full_stalls: 3, backend_stalls: 0, silent_stores: 1, performed_stores: 5, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const FIG5_CONTROL_LOUD: SimStats = SimStats { cycles: 151, committed: 16, branch_squashes: 0, vp_squashes: 0, l1_hits: 12, l2_hits: 0, dram_accesses: 6, rename_stalls_prf: 0, sq_full_stalls: 5, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const FIG5_CONTENTION_SILENT: SimStats = SimStats { cycles: 390, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 242, backend_stalls: 0, silent_stores: 1, performed_stores: 5, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const FIG5_CONTENTION_LOUD: SimStats = SimStats { cycles: 511, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 362, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const FIG5_FLUSH_SILENT: SimStats = SimStats { cycles: 268, committed: 18, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 7, rename_stalls_prf: 0, sq_full_stalls: 122, backend_stalls: 0, silent_stores: 1, performed_stores: 5, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const FIG5_FLUSH_LOUD: SimStats = SimStats { cycles: 389, committed: 18, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 8, rename_stalls_prf: 0, sq_full_stalls: 242, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const FIG5_NOISY: SimStats = SimStats { cycles: 511, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 11, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 362, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 6, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 39 };
+const FIG5_FAULTED: SimStats = SimStats { cycles: 416, committed: 26, branch_squashes: 0, vp_squashes: 0, l1_hits: 13, l2_hits: 0, dram_accesses: 17, rename_stalls_prf: 0, sq_full_stalls: 257, backend_stalls: 0, silent_stores: 0, performed_stores: 6, ss_loads: 7, ss_no_port: 4, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 15, noise_events: 0 };
 const FIG6_CYCLES: &str = "correct=25284 incorrect=25405";
 const FIG6_DEADLOCK_RENDERING: &str = "pipeline deadlock at cycle 10200: rob=64 (head seq 184 pc 184) sq=0 lq=2 prf=96/96 fetch_pc=256 last_progress=200";
-const OPT_FAULTED: SimStats = SimStats { cycles: 440, committed: 90, branch_squashes: 2, vp_squashes: 0, l1_hits: 33, l2_hits: 0, dram_accesses: 11, rename_stalls_prf: 0, sq_full_stalls: 312, backend_stalls: 0, silent_stores: 11, performed_stores: 1, ss_loads: 11, ss_no_port: 1, ss_late: 0, trivial_skips: 2, mul_skips: 12, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 30, reuse_hits: 4, reuse_misses: 77, vp_predictions: 8, vp_correct: 6, rfc_shares: 28, dmp_prefetches: 45, dmp_deref_reads: 30, dmp_dropped: 0, cdp_prefetches: 12, faults_injected: 16 };
-const OPT_BASELINE: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_SILENT_STORES: SimStats = SimStats { cycles: 538, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 360, backend_stalls: 0, silent_stores: 12, performed_stores: 0, ss_loads: 12, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_COMP_SIMPL: SimStats = SimStats { cycles: 516, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 344, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 13, mul_skips: 2, mul_strength_reductions: 15, div_early_exits: 12, fp_subnormal_slow: 12, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_PACKING: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 369, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 12, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_REUSE_VALUES: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 22, reuse_misses: 62, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_REUSE_REGIDS: SimStats = SimStats { cycles: 519, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 354, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 15, reuse_misses: 69, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_VP_LAST_VALUE: SimStats = SimStats { cycles: 528, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 352, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 7, vp_correct: 6, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_VP_STRIDE: SimStats = SimStats { cycles: 536, committed: 141, branch_squashes: 2, vp_squashes: 1, l1_hits: 33, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 349, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 23, vp_correct: 16, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_RFC_ZERO_ONE: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 17, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_RFC_ANY: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 44, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_DMP: SimStats = SimStats { cycles: 426, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 28, l2_hits: 0, dram_accesses: 11, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 36, dmp_deref_reads: 18, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0 };
-const OPT_CDP: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 20, faults_injected: 0 };
-const OPT_ALL: SimStats = SimStats { cycles: 391, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 24, l2_hits: 0, dram_accesses: 15, rename_stalls_prf: 0, sq_full_stalls: 331, backend_stalls: 0, silent_stores: 12, performed_stores: 0, ss_loads: 12, ss_no_port: 0, ss_late: 0, trivial_skips: 13, mul_skips: 2, mul_strength_reductions: 4, div_early_exits: 12, fp_subnormal_slow: 6, packed_pairs: 12, reuse_hits: 17, reuse_misses: 68, vp_predictions: 7, vp_correct: 6, rfc_shares: 17, dmp_prefetches: 54, dmp_deref_reads: 36, dmp_dropped: 0, cdp_prefetches: 20, faults_injected: 0 };
+const OPT_FAULTED: SimStats = SimStats { cycles: 440, committed: 90, branch_squashes: 2, vp_squashes: 0, l1_hits: 33, l2_hits: 0, dram_accesses: 11, rename_stalls_prf: 0, sq_full_stalls: 312, backend_stalls: 0, silent_stores: 11, performed_stores: 1, ss_loads: 11, ss_no_port: 1, ss_late: 0, trivial_skips: 2, mul_skips: 12, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 30, reuse_hits: 4, reuse_misses: 77, vp_predictions: 8, vp_correct: 6, rfc_shares: 28, dmp_prefetches: 45, dmp_deref_reads: 30, dmp_dropped: 0, cdp_prefetches: 12, faults_injected: 16, noise_events: 0 };
+const OPT_BASELINE: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_SILENT_STORES: SimStats = SimStats { cycles: 538, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 360, backend_stalls: 0, silent_stores: 12, performed_stores: 0, ss_loads: 12, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_COMP_SIMPL: SimStats = SimStats { cycles: 516, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 344, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 13, mul_skips: 2, mul_strength_reductions: 15, div_early_exits: 12, fp_subnormal_slow: 12, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_PACKING: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 369, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 12, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_REUSE_VALUES: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 22, reuse_misses: 62, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_REUSE_REGIDS: SimStats = SimStats { cycles: 519, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 354, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 15, reuse_misses: 69, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_VP_LAST_VALUE: SimStats = SimStats { cycles: 528, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 352, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 7, vp_correct: 6, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_VP_STRIDE: SimStats = SimStats { cycles: 536, committed: 141, branch_squashes: 2, vp_squashes: 1, l1_hits: 33, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 349, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 23, vp_correct: 16, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_RFC_ZERO_ONE: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 17, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_RFC_ANY: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 44, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_DMP: SimStats = SimStats { cycles: 426, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 28, l2_hits: 0, dram_accesses: 11, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 36, dmp_deref_reads: 18, dmp_dropped: 0, cdp_prefetches: 0, faults_injected: 0, noise_events: 0 };
+const OPT_CDP: SimStats = SimStats { cycles: 544, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 23, l2_hits: 0, dram_accesses: 16, rename_stalls_prf: 0, sq_full_stalls: 368, backend_stalls: 0, silent_stores: 0, performed_stores: 12, ss_loads: 0, ss_no_port: 0, ss_late: 0, trivial_skips: 0, mul_skips: 0, mul_strength_reductions: 0, div_early_exits: 0, fp_subnormal_slow: 0, packed_pairs: 0, reuse_hits: 0, reuse_misses: 0, vp_predictions: 0, vp_correct: 0, rfc_shares: 0, dmp_prefetches: 0, dmp_deref_reads: 0, dmp_dropped: 0, cdp_prefetches: 20, faults_injected: 0, noise_events: 0 };
+const OPT_ALL: SimStats = SimStats { cycles: 391, committed: 141, branch_squashes: 2, vp_squashes: 0, l1_hits: 24, l2_hits: 0, dram_accesses: 15, rename_stalls_prf: 0, sq_full_stalls: 331, backend_stalls: 0, silent_stores: 12, performed_stores: 0, ss_loads: 12, ss_no_port: 0, ss_late: 0, trivial_skips: 13, mul_skips: 2, mul_strength_reductions: 4, div_early_exits: 12, fp_subnormal_slow: 6, packed_pairs: 12, reuse_hits: 17, reuse_misses: 68, vp_predictions: 7, vp_correct: 6, rfc_shares: 17, dmp_prefetches: 54, dmp_deref_reads: 36, dmp_dropped: 0, cdp_prefetches: 20, faults_injected: 0, noise_events: 0 };
