@@ -137,6 +137,31 @@ fn main() -> ExitCode {
         if opts.resume { ", resuming" } else { "" },
     );
 
+    // Smoke runs double as the CI health check for the perf baseline:
+    // a malformed results/perf_baseline.json would make the bench
+    // regression gate vacuous, so refuse it loudly; a missing one is
+    // merely noted (fresh checkout, baseline not yet saved).
+    if opts.profile == Profile::Smoke {
+        let baseline = opts.results_dir.join("perf_baseline.json");
+        match pandora_bench::perf::check_baseline_file(&baseline) {
+            Ok(Some(report)) => println!(
+                "perf baseline: {} ({} benches, schema {})",
+                baseline.display(),
+                report.benches.len(),
+                report.schema,
+            ),
+            Ok(None) => println!(
+                "perf baseline: {} not found; run \
+                 `cargo bench -p pandora-bench --bench perf -- --save-baseline`",
+                baseline.display(),
+            ),
+            Err(e) => {
+                eprintln!("runall: perf baseline {} is malformed: {e}", baseline.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let report = match run_suite(&registry, &opts) {
         Ok(report) => report,
         Err(e) => {

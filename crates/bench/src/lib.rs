@@ -34,6 +34,7 @@
 //! Criterion benches: `cargo bench -p pandora-bench`.
 
 pub mod experiments;
+pub mod perf;
 
 /// Formats a (bucket, count, percent) histogram row like the paper's
 /// Fig 6 presentation.

@@ -16,6 +16,29 @@
 
 use std::time::{Duration, Instant};
 
+/// Summary of one completed benchmark, in nanoseconds per iteration.
+///
+/// Collected by [`Criterion::bench_function`] and retrievable with
+/// [`Criterion::take_records`], so harnesses can persist results in a
+/// machine-readable form (the real criterion writes
+/// `target/criterion/**/estimates.json`; this stand-in leaves the
+/// serialization format to the caller).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark id as passed to `bench_function`.
+    pub id: String,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time.
+    pub max_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
 /// Runs closures repeatedly and reports per-iteration timing.
 pub struct Bencher {
     iters: u64,
@@ -36,11 +59,17 @@ impl Bencher {
 /// The benchmark driver: collects samples and prints a report line.
 pub struct Criterion {
     sample_size: usize,
+    target_sample: Duration,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            target_sample: Duration::from_millis(10),
+            records: Vec::new(),
+        }
     }
 }
 
@@ -52,10 +81,19 @@ impl Criterion {
         self
     }
 
+    /// Sets the calibration target: iteration counts grow until one
+    /// sample takes at least this long. Lower it (with a smaller
+    /// [`sample_size`](Criterion::sample_size)) for quick smoke runs.
+    #[must_use]
+    pub fn measurement_millis(mut self, ms: u64) -> Criterion {
+        self.target_sample = Duration::from_millis(ms.max(1));
+        self
+    }
+
     /// Benchmarks `f`, printing median and min/max per-iteration time.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
-        // Calibrate: grow the iteration count until one sample takes
-        // ~10 ms, so fast routines are not dominated by timer noise.
+        // Calibrate: grow the iteration count until one sample reaches
+        // the target, so fast routines are not dominated by timer noise.
         let mut iters: u64 = 1;
         loop {
             let mut b = Bencher {
@@ -63,7 +101,7 @@ impl Criterion {
                 elapsed: Duration::ZERO,
             };
             f(&mut b);
-            if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            if b.elapsed >= self.target_sample || iters >= 1 << 20 {
                 break;
             }
             iters = iters.saturating_mul(2);
@@ -87,7 +125,26 @@ impl Criterion {
             fmt_time(per_iter[per_iter.len() - 1]),
             per_iter.len(),
         );
+        self.records.push(BenchRecord {
+            id: id.to_string(),
+            median_ns: median * 1e9,
+            min_ns: per_iter[0] * 1e9,
+            max_ns: per_iter[per_iter.len() - 1] * 1e9,
+            iters,
+            samples: per_iter.len(),
+        });
         self
+    }
+
+    /// Returns the records collected so far without consuming them.
+    #[must_use]
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Drains and returns every [`BenchRecord`] collected so far.
+    pub fn take_records(&mut self) -> Vec<BenchRecord> {
+        std::mem::take(&mut self.records)
     }
 
     /// Runs after all groups complete (a no-op in this stand-in).
@@ -138,4 +195,23 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_records() {
+        let mut c = Criterion::default().sample_size(3).measurement_millis(1);
+        c.bench_function("unit/spin", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert_eq!(c.records().len(), 1);
+        let recs = c.take_records();
+        assert_eq!(recs[0].id, "unit/spin");
+        assert_eq!(recs[0].samples, 3);
+        assert!(recs[0].min_ns <= recs[0].median_ns);
+        assert!(recs[0].median_ns <= recs[0].max_ns);
+        assert!(recs[0].iters >= 1);
+        assert!(c.records().is_empty());
+    }
 }

@@ -318,17 +318,26 @@ impl Instr {
     /// The architectural source registers read by this instruction.
     #[must_use]
     pub fn sources(&self) -> Vec<Reg> {
+        let (regs, n) = self.source_pair();
+        regs[..n].to_vec()
+    }
+
+    /// The source registers as a fixed pair plus count — the
+    /// allocation-free form of [`Instr::sources`]. No instruction
+    /// reads more than two registers; unused slots hold `x0`.
+    #[must_use]
+    pub fn source_pair(&self) -> ([Reg; 2], usize) {
         match *self {
-            Instr::AluRR { rs1, rs2, .. } | Instr::Fp { rs1, rs2, .. } => vec![rs1, rs2],
-            Instr::AluRI { rs1, .. } => vec![rs1],
-            Instr::Li { .. } | Instr::RdCycle { .. } => vec![],
-            Instr::Load { base, .. } => vec![base],
-            Instr::Store { src, base, .. } => vec![base, src],
-            Instr::Branch { rs1, rs2, .. } => vec![rs1, rs2],
-            Instr::Jal { .. } => vec![],
-            Instr::Jalr { base, .. } => vec![base],
-            Instr::Flush { base, .. } => vec![base],
-            Instr::Fence | Instr::Nop | Instr::Halt => vec![],
+            Instr::AluRR { rs1, rs2, .. } | Instr::Fp { rs1, rs2, .. } => ([rs1, rs2], 2),
+            Instr::AluRI { rs1, .. } => ([rs1, Reg::ZERO], 1),
+            Instr::Li { .. } | Instr::RdCycle { .. } => ([Reg::ZERO; 2], 0),
+            Instr::Load { base, .. } => ([base, Reg::ZERO], 1),
+            Instr::Store { src, base, .. } => ([base, src], 2),
+            Instr::Branch { rs1, rs2, .. } => ([rs1, rs2], 2),
+            Instr::Jal { .. } => ([Reg::ZERO; 2], 0),
+            Instr::Jalr { base, .. } => ([base, Reg::ZERO], 1),
+            Instr::Flush { base, .. } => ([base, Reg::ZERO], 1),
+            Instr::Fence | Instr::Nop | Instr::Halt => ([Reg::ZERO; 2], 0),
         }
     }
 

@@ -33,6 +33,7 @@
 //! (`pandora_bench::experiments::registry()`); the `runall` binary
 //! there drives this crate.
 
+pub mod error;
 pub mod experiment;
 pub mod journal;
 pub mod orchestrator;
@@ -49,5 +50,6 @@ pub use orchestrator::{
     execute, run_suite, ExecOutcome, ExperimentReport, Status, SuiteError, SuiteOptions,
     SuiteReport,
 };
-pub use output::{atomic_write, fnv1a64, hash_str};
+pub use error::RunnerError;
+pub use output::{atomic_write, clean_stale_tmp, fnv1a64, hash_str, scan_dir};
 pub use registry::{glob_match, Registry};

@@ -431,6 +431,18 @@ pub fn run_suite(registry: &Registry, opts: &SuiteOptions) -> Result<SuiteReport
     };
 
     fs::create_dir_all(&opts.results_dir)?;
+    // Sweep `.{name}.tmp.{pid}` debris a hard-killed previous run may
+    // have left (atomic_write's own error path cleans up; SIGKILL
+    // cannot). Best-effort: a truncated scan sweeps what it salvaged.
+    let (swept, scan_err) = crate::output::clean_stale_tmp(&opts.results_dir);
+    if opts.progress {
+        if !swept.is_empty() {
+            println!("[pandora-runner] swept {} stale temp file(s)", swept.len());
+        }
+        if let Some(e) = scan_err {
+            println!("[pandora-runner] temp sweep incomplete: {e}");
+        }
+    }
     let journal_path = opts.results_dir.join(".runall.journal");
     let manifest_path = opts.results_dir.join(".runall.manifest");
 

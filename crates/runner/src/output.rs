@@ -11,7 +11,9 @@
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+use crate::error::RunnerError;
 
 /// Writes `bytes` to `path` atomically: temp file in the same
 /// directory, fsync, rename over the destination, fsync the directory.
@@ -59,6 +61,65 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     result
 }
 
+/// Lists a directory's entries, salvaging what it can.
+///
+/// # Errors
+///
+/// [`RunnerError::DirScan`] if the directory cannot be opened
+/// (`salvaged` empty) or an entry fails mid-iteration (`salvaged`
+/// holds every entry read before the failure) — callers that can
+/// tolerate a truncated listing recover it with
+/// [`RunnerError::into_salvaged`].
+pub fn scan_dir(dir: &Path) -> Result<Vec<PathBuf>, RunnerError> {
+    let iter = fs::read_dir(dir).map_err(|source| RunnerError::DirScan {
+        dir: dir.to_path_buf(),
+        salvaged: Vec::new(),
+        source,
+    })?;
+    let mut entries = Vec::new();
+    for entry in iter {
+        match entry {
+            Ok(e) => entries.push(e.path()),
+            Err(source) => {
+                return Err(RunnerError::DirScan {
+                    dir: dir.to_path_buf(),
+                    salvaged: entries,
+                    source,
+                })
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Sweeps `.{name}.tmp.{pid}` litter that a hard kill mid-
+/// [`atomic_write`] can leave behind (the normal error path cleans up
+/// after itself; SIGKILL cannot).
+///
+/// Returns the removed paths plus the scan error, if the listing was
+/// truncated — the sweep proceeds over whatever entries were salvaged,
+/// and a file that refuses to be removed is skipped rather than fatal
+/// (the next sweep gets another chance).
+pub fn clean_stale_tmp(dir: &Path) -> (Vec<PathBuf>, Option<RunnerError>) {
+    let (entries, err) = match scan_dir(dir) {
+        Ok(v) => (v, None),
+        Err(e) => match &e {
+            RunnerError::DirScan { salvaged, .. } => (salvaged.clone(), Some(e)),
+        },
+    };
+    let mut removed = Vec::new();
+    for path in entries {
+        let is_tmp = path
+            .file_name()
+            .map(|n| n.to_string_lossy())
+            .is_some_and(|n| n.starts_with('.') && n.contains(".tmp."));
+        if is_tmp && fs::remove_file(&path).is_ok() {
+            removed.push(path);
+        }
+    }
+    (removed, err)
+}
+
 /// 64-bit FNV-1a over a byte string — the runner's stable fingerprint
 /// function (journal output hashes, registry/config fingerprints).
 #[must_use]
@@ -91,12 +152,50 @@ mod tests {
         atomic_write(&path, b"second, longer contents").unwrap();
         assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
         // No temp litter left behind.
-        let leftovers: Vec<_> = fs::read_dir(dir.path())
+        let leftovers: Vec<_> = scan_dir(dir.path())
             .unwrap()
-            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
-            .filter(|n| n.contains(".tmp."))
+            .into_iter()
+            .filter(|p| p.to_string_lossy().contains(".tmp."))
             .collect();
         assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+    }
+
+    #[test]
+    fn scan_dir_lists_entries_and_reports_missing_dirs() {
+        let dir = TempDir::new("scan_dir");
+        atomic_write(&dir.path().join("a.txt"), b"a").unwrap();
+        atomic_write(&dir.path().join("b.txt"), b"b").unwrap();
+        let mut names: Vec<_> = scan_dir(dir.path())
+            .unwrap()
+            .into_iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["a.txt", "b.txt"]);
+
+        let err = scan_dir(&dir.path().join("no_such_subdir")).unwrap_err();
+        assert!(err.to_string().contains("after 0 entries"), "{err}");
+        assert!(err.into_salvaged().is_empty());
+    }
+
+    #[test]
+    fn clean_stale_tmp_sweeps_only_temp_litter() {
+        let dir = TempDir::new("clean_stale_tmp");
+        atomic_write(&dir.path().join("keep.txt"), b"keep").unwrap();
+        // Simulated crash debris from two different pids.
+        fs::write(dir.path().join(".out.txt.tmp.1234"), b"torn").unwrap();
+        fs::write(dir.path().join(".sum.json.tmp.99"), b"torn").unwrap();
+        let (removed, err) = clean_stale_tmp(dir.path());
+        assert!(err.is_none());
+        assert_eq!(removed.len(), 2, "removed: {removed:?}");
+        assert!(dir.path().join("keep.txt").exists());
+        assert!(!dir.path().join(".out.txt.tmp.1234").exists());
+
+        // A missing directory degrades to an error + empty sweep, not a
+        // panic.
+        let (removed, err) = clean_stale_tmp(&dir.path().join("gone"));
+        assert!(removed.is_empty());
+        assert!(err.is_some());
     }
 
     #[test]

@@ -53,6 +53,24 @@ impl DuoMachine {
         &mut self.b
     }
 
+    /// The shared L2 itself.
+    ///
+    /// This is the only authoritative view of L2 state: while a core is
+    /// *not* mid-[`DuoMachine::step`], its own `hierarchy().l2()` holds
+    /// a stale placeholder (the private L2 it was constructed with),
+    /// because [`DuoMachine::step`] swaps the shared cache in only for
+    /// the duration of each core's tick.
+    #[must_use]
+    pub fn shared_l2(&self) -> &Cache {
+        &self.shared_l2
+    }
+
+    /// Mutable access to the shared L2 (for priming or flushing lines
+    /// between steps).
+    pub fn shared_l2_mut(&mut self) -> &mut Cache {
+        &mut self.shared_l2
+    }
+
     /// Whether the shared L2 currently holds the line of `addr`.
     #[must_use]
     pub fn l2_holds(&self, addr: u64) -> bool {
@@ -152,6 +170,42 @@ mod tests {
         assert!(
             !duo.core_b().hierarchy().in_l1(0x4000),
             "receiver's private L1 is untouched"
+        );
+    }
+
+    #[test]
+    fn both_cores_observe_the_same_l2_lines() {
+        // A fills 0x8000; B later loads the same address and must be
+        // served by the *shared* L2 (an L2 hit), not go to DRAM — the
+        // property every cross-core channel in this repo relies on.
+        let a = machine(|a| {
+            a.ld(Reg::T0, Reg::ZERO, 0x8000);
+            a.fence();
+        });
+        let b = machine(|a| {
+            a.li(Reg::T6, 200);
+            a.label("wait");
+            a.addi(Reg::T6, Reg::T6, -1);
+            a.bnez(Reg::T6, "wait");
+            a.ld(Reg::T1, Reg::ZERO, 0x8000);
+            a.ld(Reg::T2, Reg::ZERO, 0x9000);
+            a.fence();
+        });
+        let mut duo = DuoMachine::new(a, b);
+        duo.run(1_000_000).unwrap();
+        assert!(duo.l2_holds(0x8000), "A's fill is in the shared L2");
+        assert!(
+            duo.core_b().stats().l2_hits >= 1,
+            "B's load of A's line hits the shared L2, not DRAM: {:?}",
+            duo.core_b().stats()
+        );
+        // B's own fill lands in the very same cache A fills — it is one
+        // cache, not a copy per core.
+        assert!(duo.shared_l2().probe(0x9000), "B's fill is in the shared L2");
+        assert!(
+            !duo.core_a().hierarchy().l2().probe(0x9000),
+            "a core's private hierarchy().l2() is a stale placeholder \
+             outside step(); shared_l2() is the authoritative view"
         );
     }
 

@@ -221,17 +221,35 @@ impl EventBus {
     }
 
     /// Sets the cycle used to timestamp subsequent trace events.
+    #[inline]
     pub fn begin_cycle(&mut self, cycle: u64) {
         self.cycle = cycle;
     }
 
     /// Records the elapsed-cycle count into the stats.
+    #[inline]
     pub fn set_cycles(&mut self, cycle: u64) {
         self.stats.cycles = cycle;
     }
 
+    /// Fast path for events with no stats counter or pattern-probe
+    /// side effect (`StoreResolved`, `StoreAtHead`, `SsLoadReturned`,
+    /// the CDP's `PointerDeref`): when the trace is disabled — every
+    /// stats-only run — the event is never constructed or dispatched.
+    /// Call sites pass a closure so argument evaluation is skipped
+    /// too. Emitting an event with counter side effects through here
+    /// would silently drop those counts in untraced runs; `emit` is
+    /// the only correct path for them.
+    #[inline]
+    pub fn emit_trace_only(&mut self, make: impl FnOnce() -> SimEvent) {
+        if self.trace.is_enabled() {
+            self.emit(make());
+        }
+    }
+
     /// Applies `event` to the stats counters, the trace, and the
     /// pattern probe.
+    #[inline]
     pub fn emit(&mut self, event: SimEvent) {
         let cycle = self.cycle;
         match event {
@@ -366,11 +384,12 @@ impl EventBus {
     }
 
     /// Clears all consumers back to a fresh run: zeroed stats, a
-    /// disabled empty trace, and no confirmed patterns.
+    /// disabled empty trace (capacity kept), and no confirmed
+    /// patterns.
     pub fn reset(&mut self) {
         self.cycle = 0;
         self.stats = SimStats::default();
-        self.trace = Trace::new();
+        self.trace.reset();
         self.dmp_patterns.clear();
     }
 }

@@ -167,13 +167,15 @@ impl Machine {
     /// and registers, cold caches and predictors, fresh statistics —
     /// while keeping every allocation and the loaded program, so
     /// calibration loops can re-run trials without re-allocating a
-    /// machine. The hook list is rebuilt from the configuration, which
-    /// also discards any installed [`FaultPlan`] and all optimization
-    /// learning state (reuse memos, value-predictor confidence, DMP
-    /// correlations).
+    /// machine. The hook list is rewound in place (no hook is
+    /// re-boxed), which also discards any installed [`FaultPlan`] and
+    /// all optimization learning state (reuse memos, value-predictor
+    /// confidence, DMP correlations); the noise hook's RNG streams are
+    /// re-derived from their seeds so a reset machine replays the
+    /// identical noise sequence.
     pub fn reset(&mut self) {
         self.state.reset();
-        self.hooks = Hooks::from_config(&self.state.cfg);
+        self.hooks.reset_from_config(&self.state.cfg);
     }
 
     /// Installs a fault plan: each scheduled event is applied at the

@@ -226,15 +226,14 @@ impl Cache {
     }
 
     /// The line addresses currently resident in set `set_idx`, in no
-    /// particular order. Used by receivers to inspect probe results in
-    /// tests.
+    /// particular order, as a borrowing iterator — probing a set takes
+    /// no snapshot allocation. Collect it if you need ownership.
     ///
     /// # Panics
     ///
     /// Panics if `set_idx >= sets`.
-    #[must_use]
-    pub fn resident_lines(&self, set_idx: usize) -> Vec<u64> {
-        self.sets[set_idx].iter().map(|l| l.tag).collect()
+    pub fn resident_lines(&self, set_idx: usize) -> impl ExactSizeIterator<Item = u64> + '_ {
+        self.sets[set_idx].iter().map(|l| l.tag)
     }
 
     /// An address (distinct from `addr`'s line) that maps to the same

@@ -196,6 +196,12 @@ impl OptHook for NoiseHook {
         Box::new(self.clone())
     }
 
+    fn reset(&mut self, _cfg: &crate::SimConfig) {
+        // Re-derive both streams exactly as `new` does, so a reset
+        // machine replays the identical noise sequence.
+        *self = NoiseHook::new(self.cfg);
+    }
+
     fn on_cycle_start(&mut self, st: &mut PipelineState) {
         let n = self.cfg;
         let (lo, hi) = n.window(st.cfg.mem_size);

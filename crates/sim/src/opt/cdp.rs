@@ -52,7 +52,9 @@ impl Cdp {
             };
             if Cdp::looks_like_pointer(v, mem) {
                 hier.prefetch(v, self.fill);
-                bus.emit(SimEvent::PointerDeref {
+                // Trace-only for the CDP: only the IMP's dereferences
+                // feed a stats counter.
+                bus.emit_trace_only(|| SimEvent::PointerDeref {
                     source: PrefetchSource::Cdp,
                     addr: line_base + off,
                     value: v,

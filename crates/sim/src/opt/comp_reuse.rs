@@ -51,6 +51,13 @@ impl ReuseTable {
         }
     }
 
+    /// Forgets every memoized entry in place (capacity kept).
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+    }
+
     fn slot(&self, pc: usize) -> usize {
         pc % self.entries.len()
     }

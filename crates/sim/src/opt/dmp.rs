@@ -88,6 +88,16 @@ impl Imp {
         }
     }
 
+    /// Forgets all trained state — streams, the recent-load window,
+    /// and candidate/confirmed indirections — in place (capacity
+    /// kept).
+    pub fn clear(&mut self) {
+        self.streams.clear();
+        self.recent.clear();
+        self.candidates.clear();
+        self.confirmed.clear();
+    }
+
     /// The number of indirection levels chased (2 to 4).
     #[must_use]
     pub fn levels(&self) -> u8 {

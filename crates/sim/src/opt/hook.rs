@@ -67,6 +67,14 @@ pub trait OptHook: fmt::Debug {
     /// Clones this hook into a box (object-safe `Clone`).
     fn box_clone(&self) -> Box<dyn OptHook>;
 
+    /// Rewinds this hook to the state [`Hooks::from_config`] would
+    /// have built it in, reusing existing allocations: learned state
+    /// is forgotten, RNG streams are re-derived from their seeds.
+    /// Stateless hooks keep the no-op default.
+    fn reset(&mut self, cfg: &SimConfig) {
+        let _ = cfg;
+    }
+
     /// Called at the very start of each cycle, before commit.
     fn on_cycle_start(&mut self, st: &mut PipelineState) {
         let _ = st;
@@ -186,12 +194,20 @@ pub trait OptHook: fmt::Debug {
 #[derive(Debug, Default)]
 pub struct Hooks {
     list: Vec<Box<dyn OptHook>>,
+    /// Cached "any hook enables operand packing / silent stores"
+    /// answers. Both are per-hook-type constants, so the aggregate only
+    /// changes when the list itself does; the issue stage queries them
+    /// every cycle, which made the virtual-dispatch scan measurable.
+    packing: bool,
+    ss: bool,
 }
 
 impl Clone for Hooks {
     fn clone(&self) -> Hooks {
         Hooks {
             list: self.list.iter().map(|h| h.box_clone()).collect(),
+            packing: self.packing,
+            ss: self.ss,
         }
     }
 }
@@ -250,7 +266,20 @@ impl Hooks {
             // environment's disturbances deterministically.
             list.push(Box::new(crate::noise::NoiseHook::new(cfg.noise)));
         }
-        Hooks { list }
+        let mut hooks = Hooks {
+            list,
+            packing: false,
+            ss: false,
+        };
+        hooks.recache_capabilities();
+        hooks
+    }
+
+    /// Recomputes the cached capability flags from the current list.
+    /// Must be called after every mutation of `self.list`.
+    fn recache_capabilities(&mut self) {
+        self.packing = self.list.iter().any(|h| h.operand_packing());
+        self.ss = self.list.iter().any(|h| h.silent_stores());
     }
 
     /// Installs a hook, replacing any existing hook with the same
@@ -259,6 +288,70 @@ impl Hooks {
         let name = hook.name();
         self.list.retain(|h| h.name() != name);
         self.list.push(hook);
+        self.recache_capabilities();
+    }
+
+    /// The hook names [`Hooks::from_config`] would install for `cfg`,
+    /// in canonical order, without allocating any hook.
+    fn config_names(cfg: &SimConfig) -> ([&'static str; 9], usize) {
+        let o = &cfg.opts;
+        let mut names = [""; 9];
+        let mut n = 0;
+        let mut add = |name| {
+            names[n] = name;
+            n += 1;
+        };
+        if o.silent_stores {
+            add("silent_store");
+        }
+        if o.comp_simpl || o.fp_subnormal {
+            add("comp_simpl");
+        }
+        if o.operand_packing {
+            add("pipe_compress");
+        }
+        if o.comp_reuse {
+            add("comp_reuse");
+        }
+        if o.value_pred {
+            add("value_pred");
+        }
+        if o.rf_compress {
+            add("rf_compress");
+        }
+        if o.cdp {
+            add("cdp");
+        }
+        if o.dmp {
+            add("dmp");
+        }
+        if cfg.noise.enabled() {
+            add("noise");
+        }
+        (names, n)
+    }
+
+    /// Rewinds the hook list to what [`Hooks::from_config`] builds for
+    /// `cfg` — without re-boxing any hook. Any installed fault hook is
+    /// dropped (a reset machine has no pending fault plan), learned
+    /// state is cleared in place, and the noise RNG streams are
+    /// re-derived from their seeds. If the surviving list does not
+    /// match the canonical set (e.g. a custom hook was
+    /// [`install`](Hooks::install)ed), it falls back to a full
+    /// rebuild.
+    pub fn reset_from_config(&mut self, cfg: &SimConfig) {
+        self.list.retain(|h| h.name() != "fault");
+        let (names, n) = Hooks::config_names(cfg);
+        let canonical = self.list.len() == n
+            && self.list.iter().zip(&names[..n]).all(|(h, e)| h.name() == *e);
+        if !canonical {
+            *self = Hooks::from_config(cfg);
+            return;
+        }
+        for h in &mut self.list {
+            h.reset(cfg);
+        }
+        self.recache_capabilities();
     }
 
     /// The installed hook names, in call order.
@@ -345,13 +438,13 @@ impl Hooks {
     /// Whether any hook enables narrow ALU operand packing.
     #[must_use]
     pub fn operand_packing(&self) -> bool {
-        self.list.iter().any(|h| h.operand_packing())
+        self.packing
     }
 
     /// Whether any hook enables silent-store checking.
     #[must_use]
     pub fn silent_stores(&self) -> bool {
-        self.list.iter().any(|h| h.silent_stores())
+        self.ss
     }
 
     /// The first hook's store-dequeue decision, if any.
@@ -466,6 +559,10 @@ impl OptHook for CompReuseHook {
         Box::new(self.clone())
     }
 
+    fn reset(&mut self, _cfg: &SimConfig) {
+        self.table.clear();
+    }
+
     fn on_rename(&mut self, rd: Reg) {
         self.table.invalidate_reg(rd);
     }
@@ -516,6 +613,10 @@ impl OptHook for ValuePredHook {
 
     fn box_clone(&self) -> Box<dyn OptHook> {
         Box::new(self.clone())
+    }
+
+    fn reset(&mut self, _cfg: &SimConfig) {
+        self.vp.clear();
     }
 
     fn predict_load(&self, pc: usize) -> Option<u64> {
@@ -593,6 +694,10 @@ impl OptHook for ImpHook {
 
     fn box_clone(&self) -> Box<dyn OptHook> {
         Box::new(self.clone())
+    }
+
+    fn reset(&mut self, _cfg: &SimConfig) {
+        self.imp.clear();
     }
 
     fn on_commit_load(
@@ -692,5 +797,91 @@ fn apply_fault(st: &mut PipelineState, kind: FaultKind) {
                 st.bus.emit(SimEvent::FaultInjected);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptConfig;
+
+    fn full_cfg() -> SimConfig {
+        let mut cfg = SimConfig::with_opts(OptConfig {
+            silent_stores: true,
+            comp_reuse: true,
+            value_pred: true,
+            dmp: true,
+            ..OptConfig::default()
+        });
+        cfg.noise = crate::NoiseConfig::at_intensity(10, 7);
+        cfg
+    }
+
+    #[test]
+    fn reset_drops_the_fault_hook_and_keeps_the_boxes() {
+        let cfg = full_cfg();
+        let mut hooks = Hooks::from_config(&cfg);
+        let names_before = hooks.names();
+        let ptrs_before: Vec<*const ()> = hooks
+            .list
+            .iter()
+            .map(|h| std::ptr::from_ref::<dyn OptHook>(&**h).cast::<()>())
+            .collect();
+        hooks.install(Box::new(FaultHook::new(FaultPlan::default(), 0)));
+        assert!(hooks.names().contains(&"fault"));
+
+        hooks.reset_from_config(&cfg);
+        assert_eq!(hooks.names(), names_before, "canonical order survives reset");
+        let ptrs_after: Vec<*const ()> = hooks
+            .list
+            .iter()
+            .map(|h| std::ptr::from_ref::<dyn OptHook>(&**h).cast::<()>())
+            .collect();
+        assert_eq!(ptrs_before, ptrs_after, "reset must reuse the existing boxes");
+    }
+
+    #[test]
+    fn reset_clears_learned_state_in_place() {
+        let cfg = full_cfg();
+        let mut hooks = Hooks::from_config(&cfg);
+        // Train the value predictor past its confidence threshold and
+        // memoize a multiply result.
+        for _ in 0..16 {
+            hooks.on_load_writeback(3, 0xdead);
+        }
+        assert_eq!(hooks.predict_load(3), Some(0xdead));
+        hooks.memo_insert(5, [6, 7], [None, None], 42, &mut |_| false);
+        assert_eq!(hooks.memo_lookup(5, [6, 7], [None, None], true), MemoLookup::Hit(42));
+
+        hooks.reset_from_config(&cfg);
+        assert_eq!(hooks.predict_load(3), None, "VP confidence must be forgotten");
+        assert_eq!(
+            hooks.memo_lookup(5, [6, 7], [None, None], true),
+            MemoLookup::Miss,
+            "reuse memos must be forgotten"
+        );
+    }
+
+    #[test]
+    fn reset_falls_back_to_rebuild_for_non_canonical_lists() {
+        #[derive(Clone, Debug)]
+        struct Custom;
+        impl OptHook for Custom {
+            fn name(&self) -> &'static str {
+                "custom"
+            }
+            fn box_clone(&self) -> Box<dyn OptHook> {
+                Box::new(self.clone())
+            }
+        }
+        let cfg = full_cfg();
+        let mut hooks = Hooks::from_config(&cfg);
+        hooks.install(Box::new(Custom));
+        hooks.reset_from_config(&cfg);
+        assert_eq!(
+            hooks.names(),
+            Hooks::from_config(&cfg).names(),
+            "a non-canonical list is rebuilt from the config"
+        );
     }
 }

@@ -15,11 +15,16 @@
 //! runtime of register-hungry code — becomes a function of the values
 //! sitting in the register file, independent of how they got there.
 //!
-//! The simulator models the free-list *occupancy* effect precisely while
-//! keeping physical storage append-only (so sharing can never corrupt
-//! an in-flight reader): a compressed result releases one rename tag
-//! immediately, and the bookkeeping in the pipeline skips the later
-//! regular release of that tag.
+//! The simulator models the free-list *occupancy* effect precisely
+//! without aliasing physical storage: a compressed result releases one
+//! rename tag's worth of occupancy immediately (`live_tags` drops; the
+//! tag is remembered in `shared_tags`), and the later regular release
+//! at commit sees the tag there and skips the second occupancy
+//! decrement. The tag's value slot itself is never handed to another
+//! producer while a reader may still be in flight — it only re-enters
+//! circulation through the pipeline's free-tag list, on the same
+//! schedule as an uncompressed tag — so sharing can never corrupt an
+//! in-flight reader.
 
 use crate::config::RfcMatch;
 

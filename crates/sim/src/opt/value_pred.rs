@@ -57,6 +57,11 @@ impl ValuePredictor {
         }
     }
 
+    /// Forgets every learned value in place (capacity kept).
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+
     /// The prediction for the load at `pc`, if confidence is above
     /// threshold.
     #[must_use]

@@ -31,15 +31,34 @@ impl PipelineStage for ExecuteStage {
     }
 
     fn tick(&mut self, st: &mut PipelineState, hooks: &mut Hooks) -> Result<(), SimError> {
-        loop {
-            let cycle = st.cycle;
-            let Some(idx) = st
-                .rob
-                .iter()
-                .position(|u| u.executing && !u.done && u.done_cycle <= cycle)
-            else {
-                break;
-            };
+        let cycle = st.cycle;
+        // Nothing in flight can complete yet (the common case while a
+        // long cache miss is outstanding): skip the ROB scan. The
+        // issue stage lowers `exec_wakeup` for every uop it starts.
+        if cycle < st.exec_wakeup {
+            return Ok(());
+        }
+        // One forward pass. This matches the old
+        // restart-`position`-from-0 loop cycle-for-cycle: writing back
+        // a uop never makes an *older* uop completable (their
+        // `done_cycle`s are already set), and a squash only removes
+        // *younger* entries — everything at or before the current
+        // index survives untouched.
+        let mut next_wakeup = u64::MAX;
+        let mut idx = 0;
+        while idx < st.rob.len() {
+            {
+                let u = &st.rob[idx];
+                if !u.executing || u.done {
+                    idx += 1;
+                    continue;
+                }
+                if u.done_cycle > cycle {
+                    next_wakeup = next_wakeup.min(u.done_cycle);
+                    idx += 1;
+                    continue;
+                }
+            }
             let seq = st.rob[idx].seq;
             // Mark complete and broadcast the result.
             {
@@ -47,7 +66,9 @@ impl PipelineStage for ExecuteStage {
                 uop.done = true;
                 uop.executing = false;
             }
-            let uop = st.rob[idx].clone();
+            // `Uop` is `Copy` (inline source tags), so lifting it out
+            // of the ROB costs a memcpy, not a heap clone.
+            let uop = st.rob[idx];
             if let Some(dst) = uop.dst {
                 st.prf_vals[dst as usize] = uop.result;
                 st.prf_ready[dst as usize] = true;
@@ -110,6 +131,10 @@ impl PipelineStage for ExecuteStage {
                 _ => {}
             }
         }
+        // Entries issued later this cycle lower this via
+        // `note_exec_wakeup`; a squash can only leave it stale-low,
+        // which is harmless (see the field's invariant).
+        st.exec_wakeup = next_wakeup;
         Ok(())
     }
 }
@@ -193,6 +218,7 @@ pub(crate) fn try_issue_load(st: &mut PipelineState, idx: usize) -> bool {
     uop.addr = Some(addr);
     uop.mem_width = Some(width);
     uop.fault = fault;
+    st.note_exec_wakeup(cycle + latency);
     true
 }
 
@@ -220,7 +246,8 @@ pub(crate) fn issue_store(st: &mut PipelineState, idx: usize) -> Seq {
     uop.addr = Some(addr);
     uop.fault = fault;
     let pc = uop.pc;
-    st.bus.emit(SimEvent::StoreResolved { pc, addr });
+    st.note_exec_wakeup(cycle + 1);
+    st.bus.emit_trace_only(|| SimEvent::StoreResolved { pc, addr });
     seq
 }
 
@@ -236,6 +263,7 @@ pub(crate) fn issue_flush(st: &mut PipelineState, idx: usize) {
     let uop = &mut st.rob[idx];
     uop.executing = true;
     uop.done_cycle = cycle + 2;
+    st.note_exec_wakeup(cycle + 2);
 }
 
 /// Issues a non-memory uop if a port is available.
@@ -252,7 +280,7 @@ pub(crate) fn try_issue_compute(
         (
             uop.instr,
             uop.pc,
-            uop.srcs.clone(),
+            uop.srcs,
             uop.pred_target,
             uop.kind,
         )
@@ -442,6 +470,7 @@ pub(crate) fn try_issue_compute(
     uop.actual_target = actual_target;
     uop.reuse_info = reuse_info;
     uop.simpl_event = plan.event;
+    st.note_exec_wakeup(cycle + plan.latency.max(1));
     true
 }
 

@@ -76,7 +76,8 @@ fn resolve_ss_loads(st: &mut PipelineState) {
                 };
                 let silent = current == data & width_mask(e.width);
                 st.sq[i].ss = SsState::Checked { silent };
-                st.bus.emit(SimEvent::SsLoadReturned { pc: e.pc, silent });
+                st.bus
+                    .emit_trace_only(|| SimEvent::SsLoadReturned { pc: e.pc, silent });
             }
         }
     }
@@ -92,7 +93,7 @@ fn dequeue_stores(st: &mut PipelineState, hooks: &mut Hooks) -> Result<(), SimEr
         let pc = head.pc;
         if !head.at_head_traced {
             head.at_head_traced = true;
-            st.bus.emit(SimEvent::StoreAtHead { pc });
+            st.bus.emit_trace_only(|| SimEvent::StoreAtHead { pc });
         }
         if let Some(t) = head.performing_until {
             if cycle >= t {

@@ -129,14 +129,43 @@ pub(crate) fn classify(i: &Instr) -> UopKind {
     }
 }
 
+/// Fixed-capacity physical source-tag list. No instruction reads more
+/// than two registers, so `Uop` carries its tags inline instead of on
+/// the heap — renaming and the writeback copy in `execute` stay
+/// allocation-free. Derefs to a slice, so indexing and iteration read
+/// like the `Vec` it replaced.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SrcTags {
+    tags: [PTag; 2],
+    len: u8,
+}
+
+impl SrcTags {
+    pub(crate) fn push(&mut self, tag: PTag) {
+        debug_assert!(self.len < 2, "no instruction has more than two sources");
+        self.tags[self.len as usize] = tag;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for SrcTags {
+    type Target = [PTag];
+    fn deref(&self) -> &[PTag] {
+        &self.tags[..self.len as usize]
+    }
+}
+
 /// One in-flight dynamic instruction.
-#[derive(Clone, Debug)]
+///
+/// `Copy`: every field is inline (see [`SrcTags`]), so the writeback
+/// path can lift a uop out of the ROB without touching the allocator.
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct Uop {
     pub(crate) seq: Seq,
     pub(crate) pc: usize,
     pub(crate) instr: Instr,
     pub(crate) kind: UopKind,
-    pub(crate) srcs: Vec<PTag>,
+    pub(crate) srcs: SrcTags,
     pub(crate) dst: Option<PTag>,
     /// The architectural register this uop redefines and its previous
     /// physical mapping — fuels both commit-time freeing and
@@ -212,6 +241,12 @@ pub struct PipelineState {
     pub(crate) prf_ready: Vec<bool>,
     pub(crate) live_tags: usize,
     pub(crate) shared_tags: Vec<PTag>,
+    /// Dead physical tags available for reallocation. A tag enters
+    /// this list only in [`PipelineState::free_tag`], at which point
+    /// no in-flight reader can name it (see the free-list safety note
+    /// there), so recycling keeps `prf_vals` bounded by the PRF size
+    /// instead of growing per rename.
+    pub(crate) free_tags: Vec<PTag>,
     pub(crate) arch_regs: [u64; Reg::COUNT],
 
     // Backend.
@@ -223,6 +258,21 @@ pub struct PipelineState {
 
     /// The single sink for stats, trace, and pattern observation.
     pub(crate) bus: EventBus,
+
+    /// Per-cycle scratch for the issue stage (stores whose address
+    /// resolved this cycle); hung off the state so steady-state cycles
+    /// reuse its capacity instead of allocating.
+    pub(crate) store_resolve_scratch: Vec<Seq>,
+
+    /// Earliest cycle at which any in-flight uop can complete; the
+    /// execute stage skips its ROB scan entirely while
+    /// `cycle < exec_wakeup` (the common case during a long cache
+    /// miss). Invariant: anything that makes a uop completable at
+    /// cycle *c* must call [`PipelineState::note_exec_wakeup`]`(c)`.
+    /// The value is allowed to be stale-*low* (it merely costs a scan
+    /// that finds nothing — squashes and dropped completions therefore
+    /// need no adjustment), never stale-high. `0` forces a scan.
+    pub(crate) exec_wakeup: u64,
 
     /// Last cycle that committed an instruction or dequeued a store —
     /// the watchdog's notion of forward progress.
@@ -258,6 +308,7 @@ impl PipelineState {
             prf_ready,
             live_tags: Reg::COUNT,
             shared_tags: Vec::new(),
+            free_tags: Vec::new(),
             arch_regs: [0; Reg::COUNT],
             rob: VecDeque::new(),
             iq_count: 0,
@@ -265,6 +316,8 @@ impl PipelineState {
             sq: VecDeque::new(),
             fences_inflight: 0,
             bus: EventBus::new(),
+            store_resolve_scratch: Vec::new(),
+            exec_wakeup: 0,
             last_progress_cycle: 0,
             prog: Program::default(),
             cfg,
@@ -295,7 +348,10 @@ impl PipelineState {
         }
         self.live_tags = Reg::COUNT;
         self.shared_tags.clear();
+        self.free_tags.clear();
         self.arch_regs = [0; Reg::COUNT];
+        self.store_resolve_scratch.clear();
+        self.exec_wakeup = 0;
         self.rob.clear();
         self.iq_count = 0;
         self.lq.clear();
@@ -332,19 +388,47 @@ impl PipelineState {
         if self.live_tags >= self.cfg.pipeline.prf_size {
             return None;
         }
+        self.live_tags += 1;
+        if let Some(tag) = self.free_tags.pop() {
+            self.prf_vals[tag as usize] = 0;
+            self.prf_ready[tag as usize] = false;
+            return Some(tag);
+        }
         let tag = self.prf_vals.len() as PTag;
         self.prf_vals.push(0);
         self.prf_ready.push(false);
-        self.live_tags += 1;
         Some(tag)
     }
 
+    /// Returns `tag` to the free list.
+    ///
+    /// Free-list safety: this is called in exactly two places, and in
+    /// both the tag is provably dead. (1) Commit frees the *previous*
+    /// mapping of the register a retiring uop redefines — every
+    /// consumer of that mapping is older than the redefiner, so it has
+    /// already executed (read the value) and retired. (2) Squash frees
+    /// the destination of a squashed uop — its consumers are younger
+    /// and were squashed with it. Register-file-compression shares do
+    /// *not* enter the free list at release time: a shared tag stays
+    /// readable (only its PRF-occupancy charge is dropped) until the
+    /// redefiner's commit lands here and recycles it, so sharing can
+    /// never corrupt an in-flight reader.
     pub(crate) fn free_tag(&mut self, tag: PTag) {
         if let Some(i) = self.shared_tags.iter().position(|&t| t == tag) {
             // Already released early by register-file compression.
             self.shared_tags.swap_remove(i);
         } else {
             self.live_tags -= 1;
+        }
+        self.free_tags.push(tag);
+    }
+
+    /// Records that a uop may complete at `done_cycle`; see
+    /// [`PipelineState::exec_wakeup`].
+    #[inline]
+    pub(crate) fn note_exec_wakeup(&mut self, done_cycle: u64) {
+        if done_cycle < self.exec_wakeup {
+            self.exec_wakeup = done_cycle;
         }
     }
 

@@ -12,7 +12,7 @@ use crate::event::{SimEvent, StallReason};
 use crate::opt::hook::Hooks;
 use crate::opt::silent_store::SsState;
 
-use super::{classify, PipelineStage, PipelineState, PTag, SqEntry, Uop, UopKind};
+use super::{classify, PipelineStage, PipelineState, SqEntry, SrcTags, Uop, UopKind};
 
 /// The rename/dispatch stage.
 #[derive(Clone, Copy, Debug, Default)]
@@ -68,7 +68,11 @@ impl PipelineStage for RenameStage {
 
             // All resources available: rename and dispatch.
             st.fetch_buf.pop_front();
-            let srcs: Vec<PTag> = instr.sources().iter().map(|r| st.rat[r.index()]).collect();
+            let (src_regs, n_srcs) = instr.source_pair();
+            let mut srcs = SrcTags::default();
+            for r in &src_regs[..n_srcs] {
+                srcs.push(st.rat[r.index()]);
+            }
             let (dst, prev) = match dest {
                 Some(rd) => {
                     let Some(tag) = st.alloc_tag() else {

@@ -147,15 +147,24 @@ impl Trace {
 
     /// Whether events are being recorded.
     #[must_use]
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
     /// Records `event` if enabled.
+    #[inline]
     pub fn push(&mut self, event: TraceEvent) {
         if self.enabled {
             self.events.push(event);
         }
+    }
+
+    /// Returns to the post-construction state (disabled, empty) while
+    /// keeping the event buffer's capacity for the next enabled run.
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.enabled = false;
     }
 
     /// The recorded events in order.

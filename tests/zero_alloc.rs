@@ -1,0 +1,100 @@
+//! Steady-state allocation audit for the simulator hot loop.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warmup long enough for every pipeline scratch buffer, cache set, ROB
+//! ring and event-bus buffer to reach its high-water mark, 10k further
+//! [`Machine::step`] calls must perform **zero** heap allocations. This
+//! pins the tentpole property of the allocation-free cycle loop: the
+//! per-cycle `Uop` clones, rename `srcs` collects, store-resolution
+//! Vecs and tag-snapshot collects that used to dominate the profile
+//! are gone, and nothing reintroduces them silently.
+//!
+//! One `#[test]` covers both the quiet and noisy fig. 5 configurations
+//! serially: the allocator is process-global, so splitting the configs
+//! into separate `#[test]` functions would let the harness interleave
+//! them on different threads and misattribute counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pandora_bench::perf::{
+    fig5_noisy_config, fig5_quiet_config, fig5_step_machine, warmup, NOISY_WARMUP_STEPS,
+    QUIET_WARMUP_STEPS,
+};
+use pandora_sim::Machine;
+
+/// System allocator wrapper that counts every allocation event.
+/// Deallocations are deliberately not counted: freeing during
+/// steady-state is as much a hot-loop bug as allocating, but every
+/// `alloc`/`realloc` pairs with a later free, so counting allocation
+/// entry points alone already catches both directions of churn.
+struct CountingAlloc {
+    allocs: AtomicU64,
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc {
+    allocs: AtomicU64::new(0),
+};
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+const MEASURED_STEPS: u64 = 10_000;
+
+fn allocs_now() -> u64 {
+    ALLOC.allocs.load(Ordering::Relaxed)
+}
+
+fn steady_state_allocs(label: &str, mut m: Machine, warmup_steps: u64) -> u64 {
+    warmup(&mut m, warmup_steps);
+    let before = allocs_now();
+    for _ in 0..MEASURED_STEPS {
+        m.step()
+            .unwrap_or_else(|e| panic!("{label}: step failed mid-measurement: {e}"));
+    }
+    let after = allocs_now();
+    assert!(!m.is_halted(), "{label}: workload must never halt");
+    after - before
+}
+
+#[test]
+fn steady_state_step_is_allocation_free() {
+    let quiet = steady_state_allocs(
+        "fig5_quiet",
+        fig5_step_machine(fig5_quiet_config()),
+        QUIET_WARMUP_STEPS,
+    );
+    assert_eq!(
+        quiet, 0,
+        "quiet fig5 config allocated {quiet} times across {MEASURED_STEPS} steady-state steps"
+    );
+
+    let noisy = steady_state_allocs(
+        "fig5_noisy",
+        fig5_step_machine(fig5_noisy_config()),
+        NOISY_WARMUP_STEPS,
+    );
+    assert_eq!(
+        noisy, 0,
+        "noisy fig5 config allocated {noisy} times across {MEASURED_STEPS} steady-state steps"
+    );
+}
