@@ -7,15 +7,21 @@
 //! cargo run --release -p pandora-bench --bin runall -- --resume
 //! ```
 //!
-//! Exit code 0 = every experiment `ok`; 1 = some experiments degraded
-//! to `partial` (suppressed by `--allow-partial`, the CI mode); 2 =
-//! infrastructure failure or a determinism mismatch on resume.
+//! Exit code 0 = every experiment `ok`; 1 = some experiments came back
+//! `partial` or `degraded` (suppressed by `--allow-partial`, the CI
+//! mode); 2 = infrastructure failure, a determinism mismatch on resume,
+//! or a simulated-kill crash test taking the run down.
 
 use std::process::ExitCode;
 
 use pandora_bench::experiments::{registry, with_selftests, DEFAULT_SEED};
 use pandora_channels::RetryPolicy;
-use pandora_runner::{run_suite, Profile, SuiteOptions};
+use pandora_runner::{run_suite, ChaosPlan, Profile, SuiteOptions};
+
+/// Decorrelates the chaos plan from the experiment seed, so `--chaos`
+/// does not re-derive its fault schedule from the exact stream the
+/// experiments consume.
+const CHAOS_SEED_SALT: u64 = 0xc4a0_57e5_7000_0001;
 
 const USAGE: &str = "\
 usage: runall [options]
@@ -23,6 +29,8 @@ usage: runall [options]
   --smoke              run every experiment's cheap profile
   --resume             resume from results/.runall.journal: skip completed
                        experiments, re-verify the first --reverify of them
+  --resume-fallback    if --resume is refused (missing/corrupt journal or
+                       manifest), start fresh instead of exiting 2
   --jobs N             worker threads (default 1)
   --only GLOB          run only experiments matching GLOB (e.g. 'fig*')
   --results-dir DIR    output directory (default results/)
@@ -31,18 +39,37 @@ usage: runall [options]
   --deadline-secs N    override every experiment's deadline
   --reverify N         resumed experiments to re-run for determinism (default 1)
   --selftest           also register the injected panic/wedge selftests
-  --allow-partial      exit 0 even if some experiments are partial (CI mode)
+  --chaos              inject the seeded storage-fault selftest plan (one of
+                       each recoverable fault kind) and report what fired;
+                       faults degrade the run -- combine with --allow-partial
+  --breaker N          consecutive panic/deadline failures before an
+                       experiment's circuit breaker opens (default 3, 0 = off)
+  --max-restarts N     replacement workers after wedges (default 4)
+  --allow-partial      exit 0 even if some experiments are partial/degraded
+                       (CI mode)
   --list               list registered experiments and exit
   --help               this message
+
+exit codes: 0 all ok; 1 partial/degraded rows (unless --allow-partial);
+2 infrastructure failure / resume refusal / determinism mismatch
 ";
 
-fn parse(args: &[String]) -> Result<(SuiteOptions, bool, bool, bool), String> {
+struct Cli {
+    opts: SuiteOptions,
+    selftest: bool,
+    chaos: bool,
+    allow_partial: bool,
+    list: bool,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
     let mut opts = SuiteOptions {
         seed: DEFAULT_SEED,
         progress: true,
         ..SuiteOptions::default()
     };
     let mut selftest = false;
+    let mut chaos = false;
     let mut allow_partial = false;
     let mut list = false;
     let mut it = args.iter();
@@ -55,7 +82,9 @@ fn parse(args: &[String]) -> Result<(SuiteOptions, bool, bool, bool), String> {
         match arg.as_str() {
             "--smoke" => opts.profile = Profile::Smoke,
             "--resume" => opts.resume = true,
+            "--resume-fallback" => opts.resume_fallback = true,
             "--selftest" => selftest = true,
+            "--chaos" => chaos = true,
             "--allow-partial" => allow_partial = true,
             "--list" => list = true,
             "--jobs" => {
@@ -93,16 +122,44 @@ fn parse(args: &[String]) -> Result<(SuiteOptions, bool, bool, bool), String> {
                     .parse()
                     .map_err(|_| format!("bad --reverify value {v:?}"))?;
             }
+            "--breaker" => {
+                let v = value(&mut it, "--breaker")?;
+                opts.breaker_threshold =
+                    v.parse().map_err(|_| format!("bad --breaker value {v:?}"))?;
+            }
+            "--max-restarts" => {
+                let v = value(&mut it, "--max-restarts")?;
+                opts.max_worker_restarts = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-restarts value {v:?}"))?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok((opts, selftest, allow_partial, list))
+    // The chaos plan derives from the suite seed (salted), so the whole
+    // faulted run is reproducible from the one seed on the command line.
+    if chaos {
+        opts.chaos = Some(ChaosPlan::selftest(opts.seed ^ CHAOS_SEED_SALT));
+    }
+    Ok(Cli {
+        opts,
+        selftest,
+        chaos,
+        allow_partial,
+        list,
+    })
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (opts, selftest, allow_partial, list) = match parse(&args) {
+    let Cli {
+        opts,
+        selftest,
+        chaos,
+        allow_partial,
+        list,
+    } = match parse(&args) {
         Ok(parsed) => parsed,
         Err(msg) if msg.is_empty() => {
             print!("{USAGE}");
@@ -136,6 +193,14 @@ fn main() -> ExitCode {
         opts.seed,
         if opts.resume { ", resuming" } else { "" },
     );
+    if chaos {
+        if let Some(plan) = &opts.chaos {
+            println!("chaos: {} storage fault(s) armed:", plan.len());
+            for event in plan.events() {
+                println!("  {} at {} occurrence #{}", event.kind.as_str(), event.site, event.nth);
+            }
+        }
+    }
 
     // Smoke runs double as the CI health check for the perf baseline:
     // a malformed results/perf_baseline.json would make the bench
@@ -170,7 +235,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let (mut ok, mut partial, mut failed, mut resumed) = (0usize, 0usize, 0usize, 0usize);
+    let (mut ok, mut partial, mut degraded, mut failed, mut resumed) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
     for e in &report.experiments {
         if e.resumed {
             resumed += 1;
@@ -178,11 +244,12 @@ fn main() -> ExitCode {
         match e.status.keyword() {
             "ok" => ok += 1,
             "partial" => partial += 1,
+            "degraded" => degraded += 1,
             _ => failed += 1,
         }
     }
     println!(
-        "suite done: {ok} ok, {partial} partial, {failed} failed \
+        "suite done: {ok} ok, {partial} partial, {degraded} degraded, {failed} failed \
          ({resumed} resumed from journal); summary: {}",
         opts.results_dir.join("summary.json").display()
     );
@@ -190,6 +257,41 @@ fn main() -> ExitCode {
         if let Some(reason) = e.status.reason() {
             println!("  {} {}: {reason}", e.status.keyword(), e.name);
         }
+    }
+    let health = &report.health;
+    if chaos {
+        println!(
+            "chaos report: {}/{} armed fault(s) fired and were survived \
+             (kinds: {}); {} routed I/O op(s)",
+            health.faults_survived,
+            health.faults_injected,
+            if health.fault_kinds.is_empty() {
+                "none".to_string()
+            } else {
+                health.fault_kinds.join(", ")
+            },
+            health.io_ops,
+        );
+    }
+    if health.worker_restarts > 0
+        || health.workers_abandoned > 0
+        || !health.breakers_open.is_empty()
+        || health.journal_degraded
+        || health.publish_failures > 0
+    {
+        println!(
+            "health: {} worker restart(s), {} abandoned, breakers open: [{}], \
+             {} publish failure(s){}",
+            health.worker_restarts,
+            health.workers_abandoned,
+            health.breakers_open.join(", "),
+            health.publish_failures,
+            if health.journal_degraded {
+                "; journal degraded (checkpointing was disabled)"
+            } else {
+                ""
+            },
+        );
     }
 
     if !report.none_failed() {

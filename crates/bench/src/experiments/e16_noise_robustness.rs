@@ -101,8 +101,12 @@ fn channel_quality_sweep(ctx: &Ctx) -> Result<(), Failure> {
         result_base: 0x800,
     };
     let quiet = SimConfig::default();
+    // Jittered backoff, seeded from the suite seed: retry rounds across
+    // a parallel suite stop resizing in lockstep, and the sequence is
+    // still reproduced exactly on resume/reverify.
+    let policy = RetryPolicy::default().with_jitter(ctx.seed() ^ 0xE16);
     let mut receiver =
-        AdaptiveReceiver::calibrate(RetryPolicy::default(), trials, |trials, _attempt| {
+        AdaptiveReceiver::calibrate(policy, trials, |trials, _attempt| {
             probe_calibration_round(&quiet, trials, None)
         })
         .map_err(|e| Failure::new(format!("quiet calibration failed: {e}")))?;

@@ -32,6 +32,15 @@ pub struct RetryPolicy {
     /// calibration attempt to be accepted; also the re-calibration
     /// trigger ([`RetryPolicy::needs_recalibration`]).
     pub min_t: f64,
+    /// Seed for deterministic backoff jitter; `0` disables jitter (the
+    /// default, preserving the exact legacy trial sequence). With a
+    /// nonzero seed, each retry's extra-trial count is perturbed by a
+    /// seeded hash of the attempt index (see
+    /// [`RetryPolicy::trials_for_attempt`]), so parallel experiments
+    /// sharing one policy stop re-running identically sized rounds in
+    /// lockstep. Same seed, same jitter — retried runs stay
+    /// reproducible.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -40,6 +49,7 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             backoff_trials: 16,
             min_t: 5.0,
+            jitter_seed: 0,
         }
     }
 }
@@ -141,10 +151,32 @@ pub struct Calibration {
 }
 
 impl RetryPolicy {
-    /// The per-population trial count for a 0-based `attempt`.
+    /// This policy with deterministic backoff jitter from `seed`
+    /// (`0` turns jitter back off).
+    #[must_use]
+    pub fn with_jitter(self, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            jitter_seed: seed,
+            ..self
+        }
+    }
+
+    /// The per-population trial count for a 0-based `attempt`: the base
+    /// count plus one [`RetryPolicy::backoff_trials`] step per retry,
+    /// plus — under a nonzero [`RetryPolicy::jitter_seed`] — a seeded
+    /// per-attempt jitter of up to `backoff_trials - 1` extra trials.
+    /// Attempt 0 is never jittered (the first round must match the
+    /// un-jittered policy byte for byte), and because the jitter stays
+    /// strictly below one backoff step the sequence remains strictly
+    /// increasing.
     #[must_use]
     pub fn trials_for_attempt(&self, base_trials: usize, attempt: u32) -> usize {
-        base_trials + attempt as usize * self.backoff_trials
+        let base = base_trials + attempt as usize * self.backoff_trials;
+        if self.jitter_seed == 0 || attempt == 0 || self.backoff_trials == 0 {
+            return base;
+        }
+        let roll = splitmix64(self.jitter_seed ^ (u64::from(attempt) << 32));
+        base + (roll % self.backoff_trials as u64) as usize
     }
 
     /// Whether an observed separation has degraded enough that the
@@ -291,6 +323,16 @@ impl RetryPolicy {
     }
 }
 
+/// SplitMix64 finalizer — the workspace's stock seeded hash (the
+/// simulator's fault plans and the runner's chaos plans use the same
+/// mix), here decorrelating jitter across attempt indices.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +359,7 @@ mod tests {
             max_attempts: 3,
             backoff_trials: 10,
             min_t: 5.0,
+            jitter_seed: 0,
         };
         let mut seen_trials = Vec::new();
         let err = p
@@ -472,6 +515,64 @@ mod tests {
                 attempts: 3,
                 last: "custom failure"
             }
+        );
+    }
+
+    #[test]
+    fn jitter_is_off_by_default_and_zero_seed_matches_legacy_sequence() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_trials: 10,
+            ..RetryPolicy::default()
+        };
+        let trials: Vec<usize> = (0..4).map(|a| p.trials_for_attempt(8, a)).collect();
+        assert_eq!(trials, vec![8, 18, 28, 38], "no seed, no jitter");
+        // with_jitter(0) is explicitly "off" too.
+        let off = p.with_jitter(7).with_jitter(0);
+        assert_eq!(off, p);
+    }
+
+    #[test]
+    fn jittered_sequence_is_pinned_monotone_and_seed_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_trials: 10,
+            ..RetryPolicy::default()
+        }
+        .with_jitter(0xE16);
+        let trials: Vec<usize> = (0..5).map(|a| p.trials_for_attempt(8, a)).collect();
+        // Pinned: splitmix64 output for this seed must never drift —
+        // archived experiment transcripts depend on it.
+        assert_eq!(trials, vec![8, 27, 31, 43, 56]);
+        // Attempt 0 is exactly the un-jittered count.
+        assert_eq!(trials[0], 8);
+        // Jitter stays below one backoff step: strictly increasing, and
+        // never two full steps ahead of the legacy sequence.
+        for (a, w) in trials.windows(2).enumerate() {
+            assert!(w[0] < w[1], "attempt {a}: {trials:?} not increasing");
+        }
+        for (a, &t) in trials.iter().enumerate() {
+            let legacy = 8 + a * 10;
+            assert!(t >= legacy && t < legacy + 10, "attempt {a}: {t} vs legacy {legacy}");
+        }
+        // Same seed, same sequence; different seed, different sequence.
+        let again: Vec<usize> = (0..5).map(|a| p.trials_for_attempt(8, a)).collect();
+        assert_eq!(trials, again);
+        let other: Vec<usize> =
+            (0..5).map(|a| p.with_jitter(0xE17).trials_for_attempt(8, a)).collect();
+        assert_ne!(trials, other);
+    }
+
+    #[test]
+    fn jitter_with_zero_backoff_is_inert() {
+        let p = RetryPolicy {
+            backoff_trials: 0,
+            ..RetryPolicy::default()
+        }
+        .with_jitter(99);
+        assert_eq!(
+            (0..3).map(|a| p.trials_for_attempt(20, a)).collect::<Vec<_>>(),
+            vec![20, 20, 20]
         );
     }
 

@@ -18,12 +18,20 @@
 //! The formats are deliberately line-oriented plain text: no parser
 //! dependencies, trivially inspectable, and the torn-tail recovery rule
 //! is obvious.
+//!
+//! Every write, fsync, and truncate in this module is routed through
+//! the [`chaos`] fail-point layer, so the crash-point
+//! recovery tests can kill the process between any two of them and
+//! prove that [`Journal::recover`] + re-run reproduce an uninterrupted
+//! run byte for byte. With no chaos plan installed the wrappers are
+//! plain pass-throughs.
 
 use std::fmt::Write as _;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 
+use crate::chaos::{self, Site};
 use crate::experiment::Profile;
 use crate::output::atomic_write;
 
@@ -104,14 +112,16 @@ impl Journal {
     ///
     /// Any I/O error creating or syncing the file.
     pub fn create(path: &Path) -> io::Result<Journal> {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        file.write_all(JOURNAL_MAGIC.as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_all()?;
+        let mut file = chaos::create(Site::JournalCreate, || {
+            OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)
+        })?;
+        let header = format!("{JOURNAL_MAGIC}\n");
+        chaos::write_all(Site::JournalHeaderWrite, &mut file, header.as_bytes())?;
+        chaos::sync_all(Site::JournalHeaderSync, &file)?;
         Ok(Journal {
             file,
             path: path.to_path_buf(),
@@ -155,8 +165,8 @@ impl Journal {
         }
         let mut line = entry.to_line();
         line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.sync_data()?;
+        chaos::write_all(Site::JournalAppendWrite, &mut self.file, line.as_bytes())?;
+        chaos::sync_data(Site::JournalAppendSync, &self.file)?;
         Ok(())
     }
 
@@ -208,6 +218,89 @@ impl Journal {
             }
         }
         Ok(entries)
+    }
+
+    /// Loads a journal *and* reopens it for appending, first truncating
+    /// any torn tail a crash left behind. This is the resume entry
+    /// point: plain [`Journal::open_append`] after a torn tail would
+    /// glue the next entry onto the unterminated fragment, corrupting
+    /// the line that follows — recovery instead rewinds the file to the
+    /// end of its last valid line. A journal whose header never made it
+    /// to disk (crash before the header sync) is recreated from
+    /// scratch; so is a missing file.
+    ///
+    /// The truncation is itself a routed fail-point
+    /// ([`Site::JournalRecoverTruncate`]), so crash-on-recover is part
+    /// of the crash-point matrix.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading, truncating, or reopening;
+    /// [`io::ErrorKind::InvalidData`] on mid-file corruption, with the
+    /// same tail-only tolerance as [`Journal::load`].
+    pub fn recover(path: &Path) -> io::Result<(Vec<JournalEntry>, Journal)> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+
+        // Scan the valid prefix: header line, then parsable entry lines.
+        let mut valid_len = 0usize;
+        let mut entries = Vec::new();
+        let header = format!("{JOURNAL_MAGIC}\n");
+        if text.starts_with(&header) {
+            valid_len = header.len();
+            loop {
+                let rest = &text[valid_len..];
+                let Some(nl) = rest.find('\n') else { break };
+                match JournalEntry::parse(&rest[..nl]) {
+                    Some(e) => {
+                        entries.push(e);
+                        valid_len += nl + 1;
+                    }
+                    None if rest[nl + 1..].contains('\n') => {
+                        // Malformed line with more complete lines after
+                        // it: corruption, not a crash artifact.
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("corrupt journal line: {:?}", &rest[..nl]),
+                        ));
+                    }
+                    // Torn tail (with or without its newline): rewind.
+                    None => break,
+                }
+            }
+        } else if text.starts_with(JOURNAL_MAGIC) || header.starts_with(&text) {
+            // A torn header (prefix of the magic, or magic without its
+            // newline): the create never completed — start over.
+        } else if !text.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "not a pandora journal (header {:?})",
+                    text.lines().next().unwrap_or("")
+                ),
+            ));
+        }
+
+        if valid_len == 0 {
+            // Missing, empty, or headerless: recreate from scratch.
+            let journal = Journal::create(path)?;
+            return Ok((Vec::new(), journal));
+        }
+        if valid_len < text.len() {
+            let f = OpenOptions::new().write(true).open(path)?;
+            chaos::set_len(Site::JournalRecoverTruncate, &f, valid_len as u64)?;
+            // Durability of the truncate is best-effort: if it is lost,
+            // the next recovery simply truncates again.
+            let _ = f.sync_data();
+        }
+        let journal = Journal::open_append(path)?;
+        Ok((entries, journal))
     }
 }
 
@@ -310,6 +403,7 @@ impl Manifest {
 mod tests {
     use super::*;
     use crate::test_util::TempDir;
+    use std::io::Write;
 
     fn entry(name: &str, status: &str) -> JournalEntry {
         JournalEntry {
@@ -361,6 +455,72 @@ mod tests {
         let rebuilt = text.replace("done a ok", "dxne a ok");
         fs::write(&path, rebuilt).unwrap();
         let err = Journal::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail_then_appends_cleanly() {
+        let dir = TempDir::new("journal_recover");
+        let path = dir.path().join("j");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&entry("a", "ok")).unwrap();
+        drop(j);
+        // Crash mid-append: unterminated fragment at the tail.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"done b ok 12").unwrap();
+        drop(f);
+
+        let (entries, mut j) = Journal::recover(&path).unwrap();
+        assert_eq!(entries, vec![entry("a", "ok")]);
+        // The fragment is gone from disk, so this append lands on a
+        // fresh line (plain open_append would have glued it onto the
+        // fragment and corrupted the journal for the *next* resume).
+        j.append(&entry("b", "ok")).unwrap();
+        drop(j);
+        assert_eq!(
+            Journal::load(&path).unwrap(),
+            vec![entry("a", "ok"), entry("b", "ok")]
+        );
+        let (entries, _j) = Journal::recover(&path).unwrap();
+        assert_eq!(entries, vec![entry("a", "ok"), entry("b", "ok")]);
+    }
+
+    #[test]
+    fn recover_recreates_missing_or_headerless_journals() {
+        let dir = TempDir::new("journal_recover_fresh");
+
+        // Missing file.
+        let path = dir.path().join("missing");
+        let (entries, mut j) = Journal::recover(&path).unwrap();
+        assert!(entries.is_empty());
+        j.append(&entry("a", "ok")).unwrap();
+        assert_eq!(Journal::load(&path).unwrap(), vec![entry("a", "ok")]);
+
+        // Torn header: a prefix of the magic, no newline yet.
+        let path = dir.path().join("torn_header");
+        fs::write(&path, &JOURNAL_MAGIC.as_bytes()[..7]).unwrap();
+        let (entries, mut j) = Journal::recover(&path).unwrap();
+        assert!(entries.is_empty());
+        j.append(&entry("b", "ok")).unwrap();
+        assert_eq!(Journal::load(&path).unwrap(), vec![entry("b", "ok")]);
+    }
+
+    #[test]
+    fn recover_rejects_mid_file_corruption_and_foreign_files() {
+        let dir = TempDir::new("journal_recover_bad");
+        let path = dir.path().join("j");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&entry("a", "ok")).unwrap();
+        j.append(&entry("b", "ok")).unwrap();
+        drop(j);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("done a ok", "dxne a ok")).unwrap();
+        let err = Journal::recover(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let path = dir.path().join("foreign");
+        fs::write(&path, "some other format\nentirely\n").unwrap();
+        let err = Journal::recover(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 

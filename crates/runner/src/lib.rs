@@ -28,11 +28,18 @@
 //!   fsync, so a killed process never leaves a truncated file.
 //! * **Partial results** ([`partial_results`]) — the shared standalone
 //!   exit protocol every bench bin uses.
+//! * **Chaos** ([`chaos`]) — a deterministic, seeded fail-point layer
+//!   every journal/publish I/O operation is routed through, so storage
+//!   faults (ENOSPC, failed fsyncs/renames, short writes) and simulated
+//!   kills at every crash point are first-class, testable inputs
+//!   (`runall --chaos`), with injection counters surfaced in the suite
+//!   report's `health` section.
 //!
 //! The experiments themselves live in `pandora-bench`
 //! (`pandora_bench::experiments::registry()`); the `runall` binary
 //! there drives this crate.
 
+pub mod chaos;
 pub mod error;
 pub mod experiment;
 pub mod journal;
@@ -44,11 +51,12 @@ pub mod registry;
 #[doc(hidden)]
 pub mod test_util;
 
+pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan, ChaosStats};
 pub use experiment::{Ctx, Experiment, Failure, Profile, RunFn};
 pub use journal::{Journal, JournalEntry, Manifest};
 pub use orchestrator::{
-    execute, run_suite, ExecOutcome, ExperimentReport, Status, SuiteError, SuiteOptions,
-    SuiteReport,
+    execute, run_suite, ExecOutcome, ExperimentReport, Status, SuiteError, SuiteHealth,
+    SuiteOptions, SuiteReport,
 };
 pub use error::RunnerError;
 pub use output::{atomic_write, clean_stale_tmp, fnv1a64, hash_str, scan_dir};

@@ -10,9 +10,10 @@
 //! torn tail instead.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self};
 use std::path::{Path, PathBuf};
 
+use crate::chaos::{self, Site};
 use crate::error::RunnerError;
 
 /// Writes `bytes` to `path` atomically: temp file in the same
@@ -21,12 +22,19 @@ use crate::error::RunnerError;
 /// A crash mid-write leaves the previous contents of `path` (or no
 /// file) intact; readers never observe a truncated file.
 ///
+/// Every step is a [`chaos`] fail-point (temp create,
+/// write, fsync, rename, directory fsync), so the crash-point recovery
+/// tests can kill a publish at any instant and prove the
+/// old-or-new-never-torn guarantee holds.
+///
 /// # Errors
 ///
 /// Any I/O error creating, writing, syncing, or renaming the temp file.
 /// (A failure to fsync the *directory* is ignored: some filesystems
 /// refuse directory handles, and the rename itself is already durable
-/// on the journaled filesystems we care about.)
+/// on the journaled filesystems we care about. A simulated-kill
+/// "failure" there is the one exception — a dead process cannot shrug
+/// anything off, so it propagates.)
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
@@ -39,24 +47,37 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         None => Path::new(&format!(".{file_name}.tmp.{}", std::process::id())).to_path_buf(),
     };
     let result = (|| {
-        let mut f = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-        fs::rename(&tmp, path)?;
+        let mut f = chaos::create(Site::PublishTmpCreate, || {
+            OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)
+        })?;
+        chaos::write_all(Site::PublishTmpWrite, &mut f, bytes)?;
+        chaos::sync_all(Site::PublishTmpSync, &f)?;
+        chaos::rename(Site::PublishRename, &tmp, path)?;
         if let Some(d) = dir {
-            // Make the rename itself durable; tolerated failure (see above).
+            // Make the rename itself durable; tolerated failure (see
+            // above) — except a simulated kill, which must take the
+            // run down like any other crash point.
             if let Ok(dh) = File::open(d) {
-                let _ = dh.sync_all();
+                if let Err(e) = chaos::sync_all(Site::PublishDirSync, &dh) {
+                    if chaos::is_sim_kill(&e) {
+                        return Err(e);
+                    }
+                }
             }
         }
         Ok(())
     })();
-    if result.is_err() {
-        let _ = fs::remove_file(&tmp);
+    if let Err(e) = &result {
+        // A real failure cleans up its temp file; a simulated kill does
+        // not — a dead process leaves litter, which is exactly what
+        // `clean_stale_tmp` sweeps on the next start.
+        if !chaos::is_sim_kill(e) {
+            let _ = fs::remove_file(&tmp);
+        }
     }
     result
 }

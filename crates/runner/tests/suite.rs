@@ -328,3 +328,116 @@ fn parallel_suite_completes_every_experiment_exactly_once() {
         assert!(dir.path().join(format!("{name}.txt")).exists());
     }
 }
+
+#[test]
+fn circuit_breaker_opens_after_repeated_panics_and_degrades() {
+    let dir = TempDir::new("breaker");
+    let registry = Registry::new().with(exp("bad", panicker));
+    let report = run_suite(
+        &registry,
+        &SuiteOptions {
+            retry: RetryPolicy {
+                max_attempts: 5,
+                ..RetryPolicy::default()
+            },
+            breaker_threshold: 2,
+            ..options(&dir)
+        },
+    )
+    .expect("suite runs");
+
+    let bad = &report.experiments[0];
+    assert_eq!(bad.status.keyword(), "degraded");
+    assert!(bad.status.reason().unwrap().contains("circuit breaker"));
+    // Two attempts panicked (tripping the breaker), the remaining three
+    // were skipped: only one retry was consumed.
+    assert_eq!(bad.retries, 1);
+    assert_eq!(report.health.breakers_open, vec!["bad".to_string()]);
+    assert_eq!(report.degraded_count(), 1);
+    assert!(report.none_failed(), "degraded is not failed");
+    let summary = std::fs::read_to_string(dir.path().join("summary.json")).unwrap();
+    assert!(summary.contains("\"status\": \"degraded\""));
+    assert!(summary.contains("\"breakers_open\": [\"bad\"]"));
+}
+
+#[test]
+fn wedged_worker_is_replaced_and_the_suite_continues() {
+    let dir = TempDir::new("respawn");
+    let registry = Registry::new()
+        .with(Experiment {
+            deadline: Duration::from_millis(300),
+            ..exp("stuck", wedger)
+        })
+        .with(exp("good", steady));
+    let report = run_suite(
+        &registry,
+        &SuiteOptions {
+            breaker_threshold: 1,
+            ..options(&dir)
+        },
+    )
+    .expect("suite runs");
+
+    // The wedge is recorded partial, and a *replacement* worker runs
+    // the remaining experiment to completion.
+    assert_eq!(report.experiments[0].status.keyword(), "partial");
+    assert_eq!(report.experiments[1].status, Status::Ok);
+    assert_eq!(report.health.workers_abandoned, 1);
+    assert!(report.health.worker_restarts >= 1);
+    // Threshold 1: the single deadline failure opened stuck's breaker.
+    assert_eq!(report.health.breakers_open, vec!["stuck".to_string()]);
+    let summary = std::fs::read_to_string(dir.path().join("summary.json")).unwrap();
+    assert!(summary.contains("\"health\": {"));
+    assert!(summary.contains("\"workers_abandoned\": 1"));
+}
+
+#[test]
+fn bounded_queue_defers_admission_without_losing_jobs() {
+    let dir = TempDir::new("admission");
+    let mut registry = Registry::new();
+    for name in ["q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7"] {
+        registry = registry.with(exp(name, steady));
+    }
+    let report = run_suite(
+        &registry,
+        &SuiteOptions {
+            jobs: 2,
+            queue_capacity: Some(1),
+            ..options(&dir)
+        },
+    )
+    .expect("suite runs");
+    assert!(report.all_ok(), "every deferred job still ran");
+    assert_eq!(report.experiments.len(), 8);
+    assert!(
+        report.health.admission_deferrals > 0,
+        "a capacity-1 queue must defer admission at least once"
+    );
+}
+
+#[test]
+fn pool_exhaustion_degrades_remaining_jobs_instead_of_hanging() {
+    let dir = TempDir::new("exhausted");
+    let registry = Registry::new()
+        .with(Experiment {
+            deadline: Duration::from_millis(300),
+            ..exp("stuck", wedger)
+        })
+        .with(exp("good", steady));
+    let report = run_suite(
+        &registry,
+        &SuiteOptions {
+            max_worker_restarts: 0,
+            ..options(&dir)
+        },
+    )
+    .expect("suite completes without hanging");
+
+    assert_eq!(report.experiments[0].status.keyword(), "partial");
+    let good = &report.experiments[1];
+    assert_eq!(good.status.keyword(), "degraded");
+    assert!(good.status.reason().unwrap().contains("worker pool exhausted"));
+    assert_eq!(report.health.worker_restarts, 0);
+    assert_eq!(report.health.workers_abandoned, 1);
+    assert!(report.none_failed());
+}

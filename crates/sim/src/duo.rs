@@ -24,10 +24,15 @@ pub struct DuoMachine {
 
 impl DuoMachine {
     /// Pairs two machines. Their private L2s are discarded in favour of
-    /// a single shared L2 taken from machine `a`'s configuration.
+    /// a single shared L2 taken from machine `a`'s configuration; each
+    /// core's own L2 slot is marked *detached*, so its
+    /// `hierarchy().l2()` / `in_l2()` views panic instead of answering
+    /// from the stale placeholder left behind between steps.
     #[must_use]
-    pub fn new(a: Machine, b: Machine) -> DuoMachine {
+    pub fn new(mut a: Machine, mut b: Machine) -> DuoMachine {
         let shared_l2 = a.hierarchy().l2().clone();
+        a.hierarchy_mut().mark_l2_detached();
+        b.hierarchy_mut().mark_l2_detached();
         DuoMachine { a, b, shared_l2 }
     }
 
@@ -55,11 +60,11 @@ impl DuoMachine {
 
     /// The shared L2 itself.
     ///
-    /// This is the only authoritative view of L2 state: while a core is
-    /// *not* mid-[`DuoMachine::step`], its own `hierarchy().l2()` holds
-    /// a stale placeholder (the private L2 it was constructed with),
-    /// because [`DuoMachine::step`] swaps the shared cache in only for
-    /// the duration of each core's tick.
+    /// This is the only authoritative view of L2 state:
+    /// [`DuoMachine::step`] swaps the shared cache into a core only for
+    /// the duration of that core's tick, so between steps each core's
+    /// own `hierarchy().l2()` slot holds a detached placeholder — and
+    /// the hierarchy's L2 views panic rather than answer from it.
     #[must_use]
     pub fn shared_l2(&self) -> &Cache {
         &self.shared_l2
@@ -84,9 +89,9 @@ impl DuoMachine {
         if core.is_halted() {
             return Ok(());
         }
-        std::mem::swap(core.hierarchy_mut().l2_mut(), shared);
+        core.hierarchy_mut().swap_in_l2(shared);
         let r = core.step();
-        std::mem::swap(core.hierarchy_mut().l2_mut(), shared);
+        core.hierarchy_mut().swap_out_l2(shared);
         r
     }
 
@@ -202,11 +207,19 @@ mod tests {
         // B's own fill lands in the very same cache A fills — it is one
         // cache, not a copy per core.
         assert!(duo.shared_l2().probe(0x9000), "B's fill is in the shared L2");
+        // A core's own L2 view is *detached* outside step(): consulting
+        // it would answer from a stale placeholder, so it panics
+        // instead of lying.
+        let hier = duo.core_a().hierarchy();
+        let view =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hier.l2().probe(0x9000)));
         assert!(
-            !duo.core_a().hierarchy().l2().probe(0x9000),
-            "a core's private hierarchy().l2() is a stale placeholder \
-             outside step(); shared_l2() is the authoritative view"
+            view.is_err(),
+            "a detached per-core l2() view must panic, not answer stale state"
         );
+        let probe =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hier.in_l2(0x9000)));
+        assert!(probe.is_err(), "detached in_l2() must panic too");
     }
 
     #[test]

@@ -73,6 +73,14 @@ pub struct Hierarchy {
     /// Pending prefetch fills to swallow (fault injection: models lost
     /// fill responses). Decremented by [`Hierarchy::prefetch`].
     suppressed_prefetches: u32,
+    /// Set by a multicore harness whose shared L2 lives outside this
+    /// hierarchy (see [`DuoMachine`]): while detached, the `l2` slot
+    /// holds an inert placeholder, and the public L2 views panic rather
+    /// than answer from it. The harness swaps the real cache in for the
+    /// duration of each tick ([`Hierarchy::swap_in_l2`]).
+    ///
+    /// [`DuoMachine`]: crate::DuoMachine
+    l2_detached: bool,
 }
 
 impl Hierarchy {
@@ -85,15 +93,40 @@ impl Hierarchy {
             l2: Cache::new(l2, seed ^ 0x2),
             lat,
             suppressed_prefetches: 0,
+            l2_detached: false,
         }
     }
 
     /// Empties both levels and reseeds replacement, keeping allocations.
-    /// Equivalent to [`Hierarchy::new`] with the same geometry and `seed`.
+    /// Equivalent to [`Hierarchy::new`] with the same geometry and
+    /// `seed` — except that the detached-L2 marker survives: resetting a
+    /// core does not reattach an L2 its multicore harness owns.
     pub fn reset(&mut self, seed: u64) {
         self.l1.reset(seed ^ 0x1);
         self.l2.reset(seed ^ 0x2);
         self.suppressed_prefetches = 0;
+    }
+
+    /// Marks this hierarchy's L2 slot as a detached placeholder: the
+    /// authoritative cache is owned elsewhere (a shared-L2 harness), and
+    /// the public views ([`Hierarchy::l2`], [`Hierarchy::l2_mut`],
+    /// [`Hierarchy::in_l2`]) panic until it is swapped back in.
+    pub(crate) fn mark_l2_detached(&mut self) {
+        self.l2_detached = true;
+    }
+
+    /// Swaps the harness-owned shared L2 into the `l2` slot for the
+    /// duration of a tick; the views answer normally while it is in.
+    pub(crate) fn swap_in_l2(&mut self, shared: &mut Cache) {
+        std::mem::swap(&mut self.l2, shared);
+        self.l2_detached = false;
+    }
+
+    /// Swaps the shared L2 back out to its owner, leaving the inert
+    /// placeholder (and the panicking views) behind.
+    pub(crate) fn swap_out_l2(&mut self, shared: &mut Cache) {
+        std::mem::swap(&mut self.l2, shared);
+        self.l2_detached = true;
     }
 
     /// Drops the next `count` prefetch fills before they install a line
@@ -147,8 +180,21 @@ impl Hierarchy {
     }
 
     /// Whether the line containing `addr` is in the L2 (no state change).
+    ///
+    /// # Panics
+    ///
+    /// If the L2 is detached to a shared-L2 harness (probing the
+    /// placeholder would silently answer from stale state); probe
+    /// [`DuoMachine::shared_l2`] instead.
+    ///
+    /// [`DuoMachine::shared_l2`]: crate::DuoMachine::shared_l2
     #[must_use]
     pub fn in_l2(&self, addr: u64) -> bool {
+        assert!(
+            !self.l2_detached,
+            "this core's L2 is detached: it is shared through a multicore \
+             harness; probe DuoMachine::shared_l2() instead"
+        );
         self.l2.probe(addr)
     }
 
@@ -177,16 +223,40 @@ impl Hierarchy {
     }
 
     /// The L2 cache (read-only view).
+    ///
+    /// # Panics
+    ///
+    /// If the L2 is detached to a shared-L2 harness — the slot holds an
+    /// inert placeholder, and answering from it is exactly the stale-view
+    /// bug this guard exists to catch. Use
+    /// [`DuoMachine::shared_l2`] instead.
+    ///
+    /// [`DuoMachine::shared_l2`]: crate::DuoMachine::shared_l2
     #[must_use]
     pub fn l2(&self) -> &Cache {
+        assert!(
+            !self.l2_detached,
+            "this core's L2 is detached: it is shared through a multicore \
+             harness; use DuoMachine::shared_l2() instead"
+        );
         &self.l2
     }
 
-    /// Mutable access to the L2, so a multicore harness can thread one
-    /// shared L2 through several cores (see [`DuoMachine`]).
+    /// Mutable access to the L2 (e.g. for targeted eviction between
+    /// steps).
     ///
-    /// [`DuoMachine`]: crate::DuoMachine
+    /// # Panics
+    ///
+    /// If the L2 is detached to a shared-L2 harness; use
+    /// [`DuoMachine::shared_l2_mut`] instead.
+    ///
+    /// [`DuoMachine::shared_l2_mut`]: crate::DuoMachine::shared_l2_mut
     pub fn l2_mut(&mut self) -> &mut Cache {
+        assert!(
+            !self.l2_detached,
+            "this core's L2 is detached: it is shared through a multicore \
+             harness; use DuoMachine::shared_l2_mut() instead"
+        );
         &mut self.l2
     }
 }

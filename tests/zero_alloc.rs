@@ -9,10 +9,14 @@
 //! Vecs and tag-snapshot collects that used to dominate the profile
 //! are gone, and nothing reintroduces them silently.
 //!
-//! One `#[test]` covers both the quiet and noisy fig. 5 configurations
-//! serially: the allocator is process-global, so splitting the configs
-//! into separate `#[test]` functions would let the harness interleave
-//! them on different threads and misattribute counts.
+//! One `#[test]` covers the quiet and noisy fig. 5 configurations plus
+//! a [`Machine::reset`] + re-warm leg serially: the allocator is
+//! process-global, so splitting the measurements into separate
+//! `#[test]` functions would let the harness interleave them on
+//! different threads and misattribute counts. The reset leg pins the
+//! other half of the hot-loop contract — rewinding a machine for
+//! another calibration trial neither allocates nor frees the buffers
+//! the steady state depends on.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,8 +68,8 @@ fn allocs_now() -> u64 {
     ALLOC.allocs.load(Ordering::Relaxed)
 }
 
-fn steady_state_allocs(label: &str, mut m: Machine, warmup_steps: u64) -> u64 {
-    warmup(&mut m, warmup_steps);
+fn steady_state_allocs(label: &str, m: &mut Machine, warmup_steps: u64) -> u64 {
+    warmup(m, warmup_steps);
     let before = allocs_now();
     for _ in 0..MEASURED_STEPS {
         m.step()
@@ -78,23 +82,39 @@ fn steady_state_allocs(label: &str, mut m: Machine, warmup_steps: u64) -> u64 {
 
 #[test]
 fn steady_state_step_is_allocation_free() {
-    let quiet = steady_state_allocs(
-        "fig5_quiet",
-        fig5_step_machine(fig5_quiet_config()),
-        QUIET_WARMUP_STEPS,
-    );
+    let mut quiet_machine = fig5_step_machine(fig5_quiet_config());
+    let quiet = steady_state_allocs("fig5_quiet", &mut quiet_machine, QUIET_WARMUP_STEPS);
     assert_eq!(
         quiet, 0,
         "quiet fig5 config allocated {quiet} times across {MEASURED_STEPS} steady-state steps"
     );
 
-    let noisy = steady_state_allocs(
-        "fig5_noisy",
-        fig5_step_machine(fig5_noisy_config()),
-        NOISY_WARMUP_STEPS,
-    );
+    let mut noisy_machine = fig5_step_machine(fig5_noisy_config());
+    let noisy = steady_state_allocs("fig5_noisy", &mut noisy_machine, NOISY_WARMUP_STEPS);
     assert_eq!(
         noisy, 0,
         "noisy fig5 config allocated {noisy} times across {MEASURED_STEPS} steady-state steps"
+    );
+
+    // `Machine::reset` promises to rewind to the post-construction
+    // state *while keeping every allocation* — it is the primitive
+    // calibration loops use to re-run trials without rebuilding a
+    // machine. Both halves of that promise are audited here: the reset
+    // itself must not allocate, and the post-reset machine must re-warm
+    // back into an allocation-free steady state (nothing freed during
+    // reset that the hot loop then has to re-grow).
+    let before_reset = allocs_now();
+    noisy_machine.reset();
+    let reset_allocs = allocs_now() - before_reset;
+    assert_eq!(
+        reset_allocs, 0,
+        "Machine::reset() allocated {reset_allocs} times; it must recycle in place"
+    );
+
+    let reheated = steady_state_allocs("fig5_noisy_after_reset", &mut noisy_machine, NOISY_WARMUP_STEPS);
+    assert_eq!(
+        reheated, 0,
+        "post-reset noisy fig5 config allocated {reheated} times across {MEASURED_STEPS} \
+         steady-state steps — reset must keep the hot loop's buffers at their high-water mark"
     );
 }
