@@ -18,6 +18,8 @@
 //! SubBytes; with the victim's (public) ciphertext that yields the
 //! round-10 key, and the key schedule inverts to the master key.
 
+use std::sync::Arc;
+
 use pandora_crypto::aes_ref;
 use pandora_crypto::bitslice::{self, Slices};
 use pandora_crypto::codegen::{emit_encrypt, BsaesLayout, SpillHook};
@@ -25,7 +27,8 @@ use pandora_crypto::{Block, RoundKeys};
 use pandora_channels::adaptive::majority_vote;
 use pandora_channels::retry::{RetryError, RetryPolicy};
 use pandora_isa::{Asm, Program};
-use pandora_sim::{FaultPlan, Machine, NoiseConfig, OptConfig, SimConfig, SimError};
+use pandora_sim::fleet::{self, MemberError, MemberSpec};
+use pandora_sim::{FaultPlan, NoiseConfig, OptConfig, SimConfig, SimError};
 
 use crate::amplify::{AmplifyGadget, FlushKind};
 use crate::util::precondition_noise;
@@ -49,6 +52,31 @@ pub struct RunOutcome {
     pub victim_ct: Block,
 }
 
+/// One guess's experiment in a [`BsaesAttack::measure_guess_grid`]
+/// batch: the guess plus optional per-job environment overrides.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GuessJob {
+    /// The 16-bit slice guess to measure.
+    pub guess: u16,
+    /// Overrides the attack's noise configuration for this job only.
+    pub noise: Option<NoiseConfig>,
+    /// Seed for cache-preconditioning noise (see
+    /// [`BsaesAttack::try_run_with_plaintext`]).
+    pub noise_seed: Option<u64>,
+}
+
+impl GuessJob {
+    /// A job measuring `guess` under the attack's own environment.
+    #[must_use]
+    pub fn new(guess: u16) -> GuessJob {
+        GuessJob {
+            guess,
+            noise: None,
+            noise_seed: None,
+        }
+    }
+}
+
 /// The configured attack: keys, target slice, layouts, gadget.
 #[derive(Clone, Debug)]
 pub struct BsaesAttack {
@@ -63,11 +91,14 @@ pub struct BsaesAttack {
     /// Nominal slice values the chosen plaintext keeps fixed in the
     /// non-target positions.
     nominal: Slices,
-    /// The two-request program, built once.
-    program: Program,
+    /// The two-request program, built once and shared (by reference)
+    /// with every fleet member measuring a guess.
+    program: Arc<Program>,
     /// Fault plan installed on every measuring machine (noise
     /// injection for robustness experiments).
     fault_plan: Option<FaultPlan>,
+    /// Worker threads for guess grids (0 = process-wide fleet default).
+    fleet_threads: usize,
 }
 
 impl BsaesAttack {
@@ -145,9 +176,17 @@ impl BsaesAttack {
             lay_attacker,
             gadget,
             nominal,
-            program,
+            program: Arc::new(program),
             fault_plan: None,
+            fleet_threads: 0,
         }
+    }
+
+    /// Sets the worker-thread count used when measuring guess grids
+    /// (0 = the process-wide fleet default; see
+    /// [`pandora_sim::fleet::set_default_threads`]).
+    pub fn set_fleet_threads(&mut self, threads: usize) {
+        self.fleet_threads = threads;
     }
 
     /// Installs (or clears) a fault plan applied to every subsequent
@@ -241,37 +280,95 @@ impl BsaesAttack {
         attacker_pt: &Block,
         noise_seed: Option<u64>,
     ) -> Result<RunOutcome, SimError> {
-        let mut m = Machine::new(self.cfg);
-        m.load_program(&self.program);
-        let mem = m.mem_mut();
-        mem.write_bytes(
-            self.lay_victim.rk,
-            &BsaesLayout::round_key_bytes(&self.victim_rk),
-        )
-        .expect("victim layout in memory");
-        mem.write_bytes(
-            self.lay_attacker.rk,
-            &BsaesLayout::round_key_bytes(&self.attacker_rk),
-        )
-        .expect("attacker layout in memory");
-        mem.write_bytes(self.lay_victim.pt, &self.victim_pt)
-            .expect("victim plaintext in memory");
-        mem.write_bytes(self.lay_attacker.pt, attacker_pt)
-            .expect("attacker plaintext in memory");
-        self.gadget.setup_memory(mem);
-        if let Some(seed) = noise_seed {
-            precondition_noise(&mut m, seed, 4, NOISE_BASE, NOISE_SPAN);
-        }
-        if let Some(plan) = &self.fault_plan {
-            m.inject_faults(plan.clone());
-        }
-        m.run(50_000_000)?;
-        let mut victim_ct = [0u8; 16];
-        victim_ct.copy_from_slice(m.mem().read_bytes(self.lay_victim.ct, 16).expect("ct"));
-        Ok(RunOutcome {
-            cycles: m.stats().cycles,
-            victim_ct,
+        self.run_grid(&[(self.cfg, *attacker_pt, noise_seed)])
+            .remove(0)
+    }
+
+    /// Runs one experiment per `(config, attacker plaintext, noise
+    /// seed)` job as a fleet grid: every member shares the attack's
+    /// compiled two-request program (by `Arc`), machines are recycled
+    /// between experiments, and jobs steal work across the configured
+    /// thread count. Outcomes come back in job order regardless of the
+    /// thread count; a failed run yields `Err` in its own slot without
+    /// disturbing sibling experiments.
+    ///
+    /// # Panics
+    ///
+    /// Resurfaces a panic from a measuring run after sibling jobs have
+    /// completed — a harness bug, not a measurement condition.
+    fn run_grid(
+        &self,
+        jobs: &[(SimConfig, Block, Option<u64>)],
+    ) -> Vec<Result<RunOutcome, SimError>> {
+        let victim_rk_bytes = BsaesLayout::round_key_bytes(&self.victim_rk);
+        let attacker_rk_bytes = BsaesLayout::round_key_bytes(&self.attacker_rk);
+        let specs: Vec<MemberSpec> = jobs
+            .iter()
+            .map(|&(cfg, attacker_pt, noise_seed)| {
+                let victim_rk_bytes = victim_rk_bytes.clone();
+                let attacker_rk_bytes = attacker_rk_bytes.clone();
+                let lay_victim = self.lay_victim;
+                let lay_attacker = self.lay_attacker;
+                let victim_pt = self.victim_pt;
+                let gadget = self.gadget.clone();
+                let fault_plan = self.fault_plan.clone();
+                MemberSpec::new(cfg, Arc::clone(&self.program))
+                    .with_max_cycles(50_000_000)
+                    .with_prep(move |m| {
+                        let mem = m.mem_mut();
+                        mem.write_bytes(lay_victim.rk, &victim_rk_bytes)
+                            .expect("victim layout in memory");
+                        mem.write_bytes(lay_attacker.rk, &attacker_rk_bytes)
+                            .expect("attacker layout in memory");
+                        mem.write_bytes(lay_victim.pt, &victim_pt)
+                            .expect("victim plaintext in memory");
+                        mem.write_bytes(lay_attacker.pt, &attacker_pt)
+                            .expect("attacker plaintext in memory");
+                        gadget.setup_memory(mem);
+                        if let Some(seed) = noise_seed {
+                            precondition_noise(m, seed, 4, NOISE_BASE, NOISE_SPAN);
+                        }
+                        if let Some(plan) = &fault_plan {
+                            m.inject_faults(plan.clone());
+                        }
+                        Ok(())
+                    })
+            })
+            .collect();
+        let ct_addr = self.lay_victim.ct;
+        fleet::trial_grid(&specs, self.fleet_threads, move |_, m, stats| {
+            let mut victim_ct = [0u8; 16];
+            victim_ct.copy_from_slice(m.mem().read_bytes(ct_addr, 16).expect("ct"));
+            RunOutcome {
+                cycles: stats.cycles,
+                victim_ct,
+            }
         })
+        .into_iter()
+        .map(|r| r.map_err(MemberError::unwrap_sim))
+        .collect()
+    }
+
+    /// Measures a whole batch of guesses as one fleet grid (shared
+    /// program, recycled machines, work-stealing threads), returning
+    /// outcomes in job order.
+    ///
+    /// # Errors
+    ///
+    /// The first (lowest-index) job whose measuring run fails — the
+    /// same error the equivalent serial loop would have stopped on.
+    pub fn measure_guess_grid(&self, jobs: &[GuessJob]) -> Result<Vec<RunOutcome>, SimError> {
+        let raw: Vec<(SimConfig, Block, Option<u64>)> = jobs
+            .iter()
+            .map(|j| {
+                let mut cfg = self.cfg;
+                if let Some(noise) = j.noise {
+                    cfg.noise = noise;
+                }
+                (cfg, self.plaintext_for_guess(j.guess), j.noise_seed)
+            })
+            .collect();
+        self.run_grid(&raw).into_iter().collect()
     }
 
     /// Measures one guess: runtime of the experiment with the chosen
@@ -307,10 +404,26 @@ impl BsaesAttack {
         guesses: impl IntoIterator<Item = u16>,
         min_gap: u64,
     ) -> Option<u16> {
+        let jobs: Vec<GuessJob> = guesses.into_iter().map(GuessJob::new).collect();
+        let outs = self
+            .measure_guess_grid(&jobs)
+            .expect("attack experiment completed abnormally");
+        BsaesAttack::gap_checked_argmin(
+            jobs.iter().map(|j| j.guess).zip(outs.iter().map(|o| o.cycles)),
+            min_gap,
+        )
+    }
+
+    /// The recovery decision rule shared by every slice driver: the
+    /// guess with the minimum runtime, provided the runner-up is at
+    /// least `min_gap` cycles slower.
+    fn gap_checked_argmin(
+        samples: impl IntoIterator<Item = (u16, u64)>,
+        min_gap: u64,
+    ) -> Option<u16> {
         let mut best: Option<(u16, u64)> = None;
         let mut second: Option<u64> = None;
-        for g in guesses {
-            let t = self.measure_guess(g, None).cycles;
+        for (g, t) in samples {
             match best {
                 None => best = Some((g, t)),
                 Some((_, bt)) if t < bt => {
@@ -329,11 +442,13 @@ impl BsaesAttack {
         }
     }
 
-    /// Like [`BsaesAttack::recover_slice`], but each guess's experiment
-    /// is retried under `policy`: a run that fails with a [`SimError`]
-    /// (e.g. a deadlock under an injected fault) is re-measured on a
-    /// clean machine — disturbances are transient, so retries drop the
-    /// installed fault plan.
+    /// Like [`BsaesAttack::recover_slice`], but the guess grid is
+    /// retried under `policy` with **failed experiments only**
+    /// re-dispatched: a run that fails with a [`SimError`] (e.g. a
+    /// deadlock under an injected fault) is re-measured on a clean
+    /// machine — disturbances are transient, so retry rounds drop the
+    /// installed fault plan — while already-measured guesses keep
+    /// their outcomes.
     ///
     /// # Errors
     ///
@@ -345,36 +460,24 @@ impl BsaesAttack {
         min_gap: u64,
         policy: &RetryPolicy,
     ) -> Result<Option<u16>, RetryError> {
-        let mut best: Option<(u16, u64)> = None;
-        let mut second: Option<u64> = None;
-        for g in guesses {
-            let t = policy
-                .retry(|attempt| {
-                    if attempt == 0 {
-                        self.try_measure_guess(g, None)
-                    } else {
-                        let mut clean = self.clone();
-                        clean.fault_plan = None;
-                        clean.try_measure_guess(g, None)
-                    }
-                })?
-                .cycles;
-            match best {
-                None => best = Some((g, t)),
-                Some((_, bt)) if t < bt => {
-                    second = Some(bt);
-                    best = Some((g, t));
-                }
-                Some(_) => {
-                    second = Some(second.map_or(t, |s| s.min(t)));
-                }
-            }
-        }
-        let Some((g, t)) = best else { return Ok(None) };
-        Ok(match second {
-            Some(s) if s >= t + min_gap => Some(g),
-            _ => None,
-        })
+        let guesses: Vec<u16> = guesses.into_iter().collect();
+        let mut clean = self.clone();
+        clean.fault_plan = None;
+        let outs = policy.retry_failed(guesses.len(), |pending, attempt| {
+            let atk: &BsaesAttack = if attempt == 0 { self } else { &clean };
+            let jobs: Vec<(SimConfig, Block, Option<u64>)> = pending
+                .iter()
+                .map(|&i| (atk.cfg, atk.plaintext_for_guess(guesses[i]), None))
+                .collect();
+            atk.run_grid(&jobs)
+        })?;
+        Ok(BsaesAttack::gap_checked_argmin(
+            guesses
+                .iter()
+                .copied()
+                .zip(outs.iter().map(|o| o.cycles)),
+            min_gap,
+        ))
     }
 
     /// Noise-tolerant [`BsaesAttack::recover_slice`]: runs the whole
@@ -403,34 +506,38 @@ impl BsaesAttack {
         min_gap: u64,
         redundancy: usize,
     ) -> Result<Option<u16>, SimError> {
-        let mut votes: Vec<Option<u16>> = Vec::new();
-        for r in 0..redundancy.max(1) as u64 {
-            let mut best: Option<(u16, u64)> = None;
-            let mut second: Option<u64> = None;
-            for &g in guesses {
-                let mut round = self.clone();
-                round.cfg.noise.seed = self
-                    .cfg
-                    .noise
-                    .seed
-                    .wrapping_add(r.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-                let t = round.try_measure_guess(g, None)?.cycles;
-                match best {
-                    None => best = Some((g, t)),
-                    Some((_, bt)) if t < bt => {
-                        second = Some(bt);
-                        best = Some((g, t));
-                    }
-                    Some(_) => {
-                        second = Some(second.map_or(t, |s| s.min(t)));
-                    }
-                }
-            }
-            votes.push(match (best, second) {
-                (Some((g, t)), Some(s)) if s >= t + min_gap => Some(g),
-                _ => None,
-            });
+        if guesses.is_empty() {
+            return Ok(None);
         }
+        // Every (round, guess) experiment is one member of a single
+        // fleet grid; the per-round noise reseeding rides in each
+        // member's config, so the measurements are bit-identical to
+        // the former serial double loop.
+        let mut jobs: Vec<(SimConfig, Block, Option<u64>)> = Vec::new();
+        for r in 0..redundancy.max(1) as u64 {
+            let mut cfg = self.cfg;
+            cfg.noise.seed = self
+                .cfg
+                .noise
+                .seed
+                .wrapping_add(r.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            for &g in guesses {
+                jobs.push((cfg, self.plaintext_for_guess(g), None));
+            }
+        }
+        let outs: Vec<RunOutcome> = self.run_grid(&jobs).into_iter().collect::<Result<_, _>>()?;
+        let votes: Vec<Option<u16>> = outs
+            .chunks(guesses.len())
+            .map(|round| {
+                BsaesAttack::gap_checked_argmin(
+                    guesses
+                        .iter()
+                        .copied()
+                        .zip(round.iter().map(|o| o.cycles)),
+                    min_gap,
+                )
+            })
+            .collect();
         Ok(majority_vote(&votes))
     }
 

@@ -3,6 +3,8 @@
 //! from and persists machine-readable results:
 //!
 //! * `BENCH_5.json` at the repo root (always rewritten),
+//! * `BENCH_7.json` at the repo root — the fleet-vs-serial sweep
+//!   provisioning comparison (always rewritten),
 //! * `results/perf_baseline.json` when `--save-baseline` is passed.
 //!
 //! Flags (after `--`):
@@ -15,8 +17,11 @@
 use std::path::{Path, PathBuf};
 
 use criterion::{black_box, Criterion};
+use std::sync::Arc;
+
 use pandora_bench::perf::{
-    self, bench5_json, duo_step_machine, fig5_noisy_config, fig5_quiet_config, fig5_step_machine,
+    self, bench5_json, bench7_json, duo_step_machine, e16_grid_jobs, fig5_noisy_config,
+    fig5_quiet_config, fig5_step_machine, fig5_step_program, run_grid_fleet, run_grid_serial,
     step_regressions, warmup, PerfRecord, PerfReport, FIG5_DELAY, FIG5_TARGET, NOISY_WARMUP_STEPS,
     QUIET_WARMUP_STEPS, STEPS_PER_ITER,
 };
@@ -24,7 +29,7 @@ use pandora_attacks::{AmplifyGadget, FlushKind};
 use pandora_channels::prime_probe::probe_calibration_round;
 use pandora_isa::{Asm, Reg};
 use pandora_runner::output::atomic_write;
-use pandora_sim::Machine;
+use pandora_sim::{FleetSpec, Machine};
 
 /// Per-step `step/*` regression tolerance for `--check`, in percent.
 const MAX_STEP_REGRESS_PCT: f64 = 20.0;
@@ -114,9 +119,52 @@ fn bench_fig5_amplification(c: &mut Criterion) {
     });
 }
 
+/// Members stepped by the `fleet/step_1k` lockstep bench.
+const FLEET_STEP_MEMBERS: u64 = 2;
+
+fn bench_fleet_step(c: &mut Criterion) {
+    // Lockstep batch stepping through the fleet's single-thread inline
+    // dispatch (what --fleet-threads 1 and nested-parallelism callers
+    // get): one iter advances each of 2 quiet fig5 members by
+    // STEPS_PER_ITER cycles, so per-step cost is directly comparable
+    // to step/fig5_quiet — the delta is the fleet's dispatch overhead.
+    let program = Arc::new(fig5_step_program());
+    let mut fleet = FleetSpec::seed_grid(fig5_quiet_config(), &program, [0, 1])
+        .with_threads(1)
+        .build();
+    fleet.step_batch(QUIET_WARMUP_STEPS);
+    c.bench_function("fleet/step_1k", |b| {
+        b.iter(|| {
+            fleet.step_batch(STEPS_PER_ITER);
+            black_box(fleet.merged_stats().cycles)
+        });
+    });
+    assert_eq!(fleet.running(), 2, "step workloads must never halt");
+}
+
+fn bench_e16_grid(c: &mut Criterion) {
+    // The tentpole comparison behind BENCH_7.json: the same 40-trial
+    // E16-shaped sweep (8 amplified silent-store trials at each of 5
+    // noise intensities), provisioned the pre-fleet way (per-trial
+    // fresh assemble + Machine::new) vs the fleet way (shared Arc'd
+    // program, machines recycled via reset_to). Identical per-trial
+    // work — the unit-cost gap is pure provisioning overhead.
+    let jobs = e16_grid_jobs();
+    c.bench_function("serial/e16_grid", |b| {
+        b.iter(|| black_box(run_grid_serial(&jobs)));
+    });
+    c.bench_function("fleet/e16_grid", |b| {
+        b.iter(|| black_box(run_grid_fleet(&jobs)));
+    });
+}
+
 fn work_per_iter(id: &str) -> u64 {
     if id.starts_with("step/") {
         STEPS_PER_ITER
+    } else if id == "fleet/step_1k" {
+        FLEET_STEP_MEMBERS * STEPS_PER_ITER
+    } else if id.ends_with("/e16_grid") {
+        e16_grid_jobs().len() as u64
     } else {
         1
     }
@@ -145,6 +193,8 @@ fn main() {
     bench_step_duo(&mut c);
     bench_prime_probe(&mut c);
     bench_fig5_amplification(&mut c);
+    bench_fleet_step(&mut c);
+    bench_e16_grid(&mut c);
     c.final_summary();
 
     let benches: Vec<PerfRecord> = c
@@ -170,6 +220,18 @@ fn main() {
     let bench5 = root.join("BENCH_5.json");
     atomic_write(&bench5, bench5_json(&report).as_bytes()).expect("write BENCH_5.json");
     println!("\nwrote {}", bench5.display());
+
+    let bench7 = root.join("BENCH_7.json");
+    atomic_write(&bench7, bench7_json(&report).as_bytes()).expect("write BENCH_7.json");
+    println!("wrote {}", bench7.display());
+    if let (Some(serial), Some(fl)) = (report.get("serial/e16_grid"), report.get("fleet/e16_grid")) {
+        println!(
+            "fleet grid: {:.1} us/trial serial vs {:.1} us/trial fleet ({:.2}x)",
+            serial.best_unit_ns() / 1000.0,
+            fl.best_unit_ns() / 1000.0,
+            serial.best_unit_ns() / fl.best_unit_ns(),
+        );
+    }
 
     for (id, pre_ns) in perf::PRE_PR_STEP_NS {
         if let Some(rec) = report.get(id) {

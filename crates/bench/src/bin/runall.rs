@@ -32,6 +32,9 @@ usage: runall [options]
   --resume-fallback    if --resume is refused (missing/corrupt journal or
                        manifest), start fresh instead of exiting 2
   --jobs N             worker threads (default 1)
+  --fleet-threads N    machines each experiment's fleet grids step
+                       concurrently (default: all cores; total thread
+                       pressure is roughly jobs x fleet-threads)
   --only GLOB          run only experiments matching GLOB (e.g. 'fig*')
   --results-dir DIR    output directory (default results/)
   --seed HEX|DEC       suite seed recorded in the manifest (default 0)
@@ -90,6 +93,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--jobs" => {
                 let v = value(&mut it, "--jobs")?;
                 opts.jobs = v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?;
+            }
+            "--fleet-threads" => {
+                let v = value(&mut it, "--fleet-threads")?;
+                opts.fleet_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --fleet-threads value {v:?}"))?;
             }
             "--only" => opts.only = Some(value(&mut it, "--only")?),
             "--results-dir" => {
@@ -185,11 +194,21 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // The process-wide fleet default: experiments whose grids pass
+    // threads = 0 resolve to this. `--fleet-threads 0` (the default)
+    // keeps the fleet's own default of all cores.
+    pandora_sim::fleet::set_default_threads(opts.fleet_threads);
+
     println!(
-        "pandora runall: {} experiments, profile {}, {} job(s), seed {:#x}{}",
+        "pandora runall: {} experiments, profile {}, {} job(s), {} fleet thread(s), seed {:#x}{}",
         registry.select(opts.only.as_deref()).len(),
         opts.profile.as_str(),
         opts.jobs.max(1),
+        if opts.fleet_threads == 0 {
+            pandora_sim::fleet::default_threads()
+        } else {
+            opts.fleet_threads
+        },
         opts.seed,
         if opts.resume { ", resuming" } else { "" },
     );

@@ -24,10 +24,10 @@
 
 use std::time::Duration;
 
-use pandora_attacks::{BsaesAttack, UrgAttack};
+use pandora_attacks::{BsaesAttack, GuessJob, UrgAttack};
 use pandora_channels::{
-    probe_calibration_round, AdaptiveReceiver, BitErrorCounter, ChannelQuality, CovertChannel,
-    RetryPolicy,
+    probe_calibration_grid, probe_calibration_round, AdaptiveReceiver, BitErrorCounter,
+    ChannelQuality, CovertChannel, RetryPolicy,
 };
 use pandora_runner::{outln, Ctx, Experiment, Failure};
 use pandora_sim::{NoiseConfig, OptConfig, SimConfig};
@@ -126,17 +126,30 @@ fn channel_quality_sweep(ctx: &Ctx) -> Result<(), Failure> {
         "vote SER",
         "adaptive receiver"
     );
-    for &intensity in intensities(ctx) {
-        // Seeded by intensity (not sweep index), so the smoke and full
-        // profiles print identical rows for shared intensities.
+    // All intensities' probe rounds run as one fleet grid up front
+    // (shared program, pooled machines, work-stealing threads, failed
+    // rounds re-dispatched individually); per-row quality is then read
+    // out of the grid in intensity order. The per-intensity seeds (not
+    // sweep indices) keep smoke and full profiles printing identical
+    // rows for shared intensities.
+    let noisy_cfgs: Vec<SimConfig> = intensities(ctx)
+        .iter()
+        .map(|&intensity| {
+            let seed = ctx.seed().wrapping_add(u64::from(intensity) * 0x9e37_79b9);
+            let mut noisy = quiet;
+            noisy.noise = NoiseConfig::at_intensity(intensity, seed);
+            noisy
+        })
+        .collect();
+    let probe_rounds = probe_calibration_grid(&noisy_cfgs, trials, &policy, ctx.fleet_threads())
+        .map_err(|e| Failure::new(format!("noisy probe grid failed: {e}")))?;
+    for (idx, &intensity) in intensities(ctx).iter().enumerate() {
         let seed = ctx.seed().wrapping_add(u64::from(intensity) * 0x9e37_79b9);
-        // Probe-population quality under whole-memory interference.
-        let mut noisy = quiet;
-        noisy.noise = NoiseConfig::at_intensity(intensity, seed);
-        let (hits, misses) = probe_calibration_round(&noisy, trials, None)?;
-        let q = ChannelQuality::from_samples(&hits, &misses);
+        let noisy = noisy_cfgs[idx];
+        let (hits, misses) = &probe_rounds[idx];
+        let q = ChannelQuality::from_samples(hits, misses);
         // Drift response: re-calibrate when the separation collapses.
-        let adapted = receiver.observe(&hits, &misses, trials, |trials, _attempt| {
+        let adapted = receiver.observe(hits, misses, trials, |trials, _attempt| {
             probe_calibration_round(&noisy, trials, None)
         });
         let adapted = match adapted {
@@ -145,16 +158,26 @@ fn channel_quality_sweep(ctx: &Ctx) -> Result<(), Failure> {
             Err(e) => format!("dead channel ({e})"),
         };
         // Covert symbol error rates, one-shot vs majority vote, under
-        // interference windowed onto the channel's line array.
+        // interference windowed onto the channel's line array. The
+        // one-shot decodes for every value run as a single fleet grid;
+        // the per-value seed schedule is unchanged.
         let mut cfg = quiet;
         cfg.noise = NoiseConfig::at_intensity(intensity, seed).with_window(0x4_0000, 0x5_0000);
         let bits = ch.capacity_bits() as u32;
+        let jobs: Vec<(SimConfig, usize)> = values
+            .iter()
+            .enumerate()
+            .map(|(vi, &value)| {
+                let mut c = cfg;
+                c.noise.seed = cfg.noise.seed.wrapping_add(vi as u64 * 0xabcd);
+                (c, value)
+            })
+            .collect();
+        let decodes = ch.round_trip_grid(&jobs, ctx.fleet_threads())?;
         let mut naive = BitErrorCounter::new();
         let mut vote = BitErrorCounter::new();
-        for (vi, &value) in values.iter().enumerate() {
-            let mut c = cfg;
-            c.noise.seed = cfg.noise.seed.wrapping_add(vi as u64 * 0xabcd);
-            naive.record(value, ch.try_round_trip(c, value)?, bits);
+        for (&(c, value), got) in jobs.iter().zip(decodes) {
+            naive.record(value, got, bits);
             vote.record(value, ch.round_trip_vote(c, value, redundancy)?, bits);
         }
         outln!(
@@ -182,8 +205,10 @@ fn amplification_sweep(ctx: &Ctx) -> Result<(), Failure> {
     ctx.header("Amplified vs unamplified BSAES gap vs noise intensity");
     let trials: u64 = if ctx.smoke() { 2 } else { 4 };
     let (vk, ak, vpt) = keys();
-    let amplified = BsaesAttack::new(vk, ak, vpt, 0);
-    let control = BsaesAttack::control(vk, ak, vpt, 0);
+    let mut amplified = BsaesAttack::new(vk, ak, vpt, 0);
+    let mut control = BsaesAttack::control(vk, ak, vpt, 0);
+    amplified.set_fleet_threads(ctx.fleet_threads());
+    control.set_fleet_threads(ctx.fleet_threads());
     let truth = amplified.true_slice_value();
     outln!(
         ctx,
@@ -197,18 +222,27 @@ fn amplification_sweep(ctx: &Ctx) -> Result<(), Failure> {
             .seed()
             .wrapping_add(0xf1f1)
             .wrapping_add(u64::from(intensity) * 0x9e37_79b9);
+        // All trials of both guesses run as one fleet grid per attack:
+        // the per-trial noise override rides in each job
+        // (hit/miss interleaved, so chunks of 2 are one trial's pair).
         let mean_gap = |atk: &BsaesAttack| -> Result<f64, Failure> {
-            let mut gap_sum = 0i64;
-            for t in 0..trials {
-                let mut noisy = atk.clone();
-                noisy.set_noise(
-                    NoiseConfig::at_intensity(intensity, seed.wrapping_add(t * 7919))
-                        .with_window(BSAES_WINDOW.0, BSAES_WINDOW.1),
-                );
-                let hit = noisy.try_measure_guess(truth, None)?.cycles;
-                let miss = noisy.try_measure_guess(truth ^ 0x1234, None)?.cycles;
-                gap_sum += miss as i64 - hit as i64;
-            }
+            let jobs: Vec<GuessJob> = (0..trials)
+                .flat_map(|t| {
+                    let noise =
+                        NoiseConfig::at_intensity(intensity, seed.wrapping_add(t * 7919))
+                            .with_window(BSAES_WINDOW.0, BSAES_WINDOW.1);
+                    [truth, truth ^ 0x1234].map(|guess| GuessJob {
+                        guess,
+                        noise: Some(noise),
+                        noise_seed: None,
+                    })
+                })
+                .collect();
+            let outs = atk.measure_guess_grid(&jobs)?;
+            let gap_sum: i64 = outs
+                .chunks(2)
+                .map(|pair| pair[1].cycles as i64 - pair[0].cycles as i64)
+                .sum();
             Ok(gap_sum as f64 / trials as f64)
         };
         outln!(

@@ -7,12 +7,14 @@
 //! result), skipping the three ablation sections — the mode CI uses to
 //! keep the experiment exercised without paying for the full sweep.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use pandora_attacks::{AmplifyGadget, FlushKind};
-use pandora_isa::{Asm, Reg};
+use pandora_isa::{Asm, Program, Reg};
 use pandora_runner::{outln, Ctx, Experiment, Failure};
-use pandora_sim::{Machine, OptConfig, SimConfig};
+use pandora_sim::fleet::{self, MemberSpec};
+use pandora_sim::{OptConfig, SimConfig};
 
 /// Registry entry.
 #[must_use]
@@ -29,8 +31,13 @@ pub fn experiment() -> Experiment {
 const TARGET: u64 = 0x1_0000;
 const DELAY: u64 = 0x8_0000;
 
-fn measure(cfg: SimConfig, kind: Option<FlushKind>, old: u64, new: u64) -> Result<u64, Failure> {
-    let gadget = kind.map(|k| AmplifyGadget::new(&cfg, TARGET, DELAY, k));
+/// One row's experiment: gadget flavour, machine config, and the
+/// old/new target values (equal = silent store, different = loud).
+type MeasureJob = (SimConfig, Option<FlushKind>, u64, u64);
+
+/// The measured program: warm the target, emit the (optional) gadget,
+/// store `new` to the target, drain trailing stores.
+fn measure_program(gadget: Option<&AmplifyGadget>, new: u64) -> Result<Program, Failure> {
     let mut a = Asm::new();
     a.ld(Reg::T0, Reg::ZERO, TARGET as i64);
     for i in 1..6i64 {
@@ -38,7 +45,7 @@ fn measure(cfg: SimConfig, kind: Option<FlushKind>, old: u64, new: u64) -> Resul
     }
     a.fence();
     a.li(Reg::T0, new);
-    if let Some(g) = &gadget {
+    if let Some(g) = gadget {
         g.emit(&mut a);
     }
     a.sd(Reg::T0, Reg::ZERO, TARGET as i64);
@@ -47,16 +54,65 @@ fn measure(cfg: SimConfig, kind: Option<FlushKind>, old: u64, new: u64) -> Resul
     }
     a.fence();
     a.halt();
-    let prog = a.assemble()?;
-    let mut m = Machine::new(cfg);
-    m.load_program(&prog);
-    m.mem_mut().write_u64(TARGET, old)?;
-    if let Some(g) = &gadget {
-        g.setup_memory(m.mem_mut());
-        g.setup_memory_flush_variant(m.mem_mut());
+    Ok(a.assemble()?)
+}
+
+/// Measures every job as one fleet grid: programs are assembled once
+/// per distinct `(config, flavour, new)` combination and shared,
+/// machines are recycled between jobs, and jobs steal work across the
+/// context's fleet-thread count. Cycle counts come back in job order.
+/// Everything the compiled trial program depends on — jobs agreeing on
+/// this key share one assembled [`Program`].
+type ProgramKey = (SimConfig, Option<FlushKind>, u64);
+
+fn measure_grid(ctx: &Ctx, jobs: &[MeasureJob]) -> Result<Vec<u64>, Failure> {
+    let mut cache: Vec<(ProgramKey, Arc<Program>)> = Vec::new();
+    let mut specs = Vec::with_capacity(jobs.len());
+    for &(cfg, kind, old, new) in jobs {
+        let gadget = kind.map(|k| AmplifyGadget::new(&cfg, TARGET, DELAY, k));
+        let key = (cfg, kind, new);
+        let prog = match cache.iter().find(|(k, _)| *k == key) {
+            Some((_, p)) => Arc::clone(p),
+            None => {
+                let p = Arc::new(measure_program(gadget.as_ref(), new)?);
+                cache.push((key, Arc::clone(&p)));
+                p
+            }
+        };
+        specs.push(
+            MemberSpec::new(cfg, prog)
+                .with_max_cycles(1_000_000)
+                .with_prep(move |m| {
+                    let mem = m.mem_mut();
+                    mem.write_u64(TARGET, old).expect("target in memory");
+                    if let Some(g) = &gadget {
+                        g.setup_memory(mem);
+                        g.setup_memory_flush_variant(mem);
+                    }
+                    Ok(())
+                }),
+        );
     }
-    m.run(1_000_000)?;
-    Ok(m.stats().cycles)
+    fleet::trial_grid(&specs, ctx.fleet_threads(), |_, _, stats| stats.cycles)
+        .into_iter()
+        .map(|r| r.map_err(|e| Failure::new(e.unwrap_sim())))
+        .collect()
+}
+
+/// Prints one silent/loud table section from interleaved grid results
+/// (`cycles[2i]` silent, `cycles[2i + 1]` loud).
+fn print_rows(ctx: &Ctx, labels: &[impl std::fmt::Display], cycles: &[u64], width: usize) {
+    for (i, label) in labels.iter().enumerate() {
+        let (silent, loud) = (cycles[2 * i], cycles[2 * i + 1]);
+        outln!(
+            ctx,
+            "{:<width$} {:>8} {:>8} {:>6}",
+            label,
+            silent,
+            loud,
+            loud as i64 - silent as i64
+        );
+    }
 }
 
 fn run(ctx: &Ctx) -> Result<(), Failure> {
@@ -71,22 +127,18 @@ fn run(ctx: &Ctx) -> Result<(), Failure> {
         "loud",
         "gap"
     );
-    for (name, kind) in [
+    let variants = [
         ("no gadget (control)", None),
         ("set contention", Some(FlushKind::Contention)),
         ("flush instruction", Some(FlushKind::FlushInstr)),
-    ] {
-        let silent = measure(base, kind, 42, 42)?;
-        let loud = measure(base, kind, 41, 42)?;
-        outln!(
-            ctx,
-            "{:<22} {:>8} {:>8} {:>6}",
-            name,
-            silent,
-            loud,
-            loud as i64 - silent as i64
-        );
-    }
+    ];
+    let jobs: Vec<MeasureJob> = variants
+        .iter()
+        .flat_map(|&(_, kind)| [(base, kind, 42, 42), (base, kind, 41, 42)])
+        .collect();
+    let cycles = measure_grid(ctx, &jobs)?;
+    let labels: Vec<&str> = variants.iter().map(|&(name, _)| name).collect();
+    print_rows(ctx, &labels, &cycles, 22);
 
     if ctx.smoke() {
         outln!(ctx, "\n(smoke profile: skipping the ablation sections)");
@@ -102,20 +154,18 @@ fn run(ctx: &Ctx) -> Result<(), Failure> {
         "loud",
         "gap"
     );
-    for sq in [2usize, 5, 8, 16] {
-        let mut cfg = base;
-        cfg.pipeline.sq_size = sq;
-        let silent = measure(cfg, Some(FlushKind::Contention), 42, 42)?;
-        let loud = measure(cfg, Some(FlushKind::Contention), 41, 42)?;
-        outln!(
-            ctx,
-            "{:<10} {:>8} {:>8} {:>6}",
-            sq,
-            silent,
-            loud,
-            loud as i64 - silent as i64
-        );
-    }
+    let sq_sizes = [2usize, 5, 8, 16];
+    let jobs: Vec<MeasureJob> = sq_sizes
+        .iter()
+        .flat_map(|&sq| {
+            let mut cfg = base;
+            cfg.pipeline.sq_size = sq;
+            let kind = Some(FlushKind::Contention);
+            [(cfg, kind, 42, 42), (cfg, kind, 41, 42)]
+        })
+        .collect();
+    let cycles = measure_grid(ctx, &jobs)?;
+    print_rows(ctx, &sq_sizes, &cycles, 10);
 
     ctx.header("Ablation: core size (little / default / big)");
     outln!(
@@ -126,23 +176,22 @@ fn run(ctx: &Ctx) -> Result<(), Failure> {
         "loud",
         "gap"
     );
-    for (name, mut cfg) in [
+    let cores = [
         ("little", SimConfig::little_core()),
         ("default", SimConfig::default()),
         ("big", SimConfig::big_core()),
-    ] {
-        cfg.opts = OptConfig::with_silent_stores();
-        let silent = measure(cfg, Some(FlushKind::Contention), 42, 42)?;
-        let loud = measure(cfg, Some(FlushKind::Contention), 41, 42)?;
-        outln!(
-            ctx,
-            "{:<10} {:>8} {:>8} {:>6}",
-            name,
-            silent,
-            loud,
-            loud as i64 - silent as i64
-        );
-    }
+    ];
+    let jobs: Vec<MeasureJob> = cores
+        .iter()
+        .flat_map(|&(_, mut cfg)| {
+            cfg.opts = OptConfig::with_silent_stores();
+            let kind = Some(FlushKind::Contention);
+            [(cfg, kind, 42, 42), (cfg, kind, 41, 42)]
+        })
+        .collect();
+    let cycles = measure_grid(ctx, &jobs)?;
+    let labels: Vec<&str> = cores.iter().map(|&(name, _)| name).collect();
+    print_rows(ctx, &labels, &cycles, 10);
 
     outln!(
         ctx,
@@ -160,20 +209,18 @@ fn run(ctx: &Ctx) -> Result<(), Failure> {
         "loud",
         "gap"
     );
-    for ports in [1usize, 2, 4] {
-        let mut cfg = base;
-        cfg.pipeline.load_ports = ports;
-        let silent = measure(cfg, Some(FlushKind::Contention), 42, 42)?;
-        let loud = measure(cfg, Some(FlushKind::Contention), 41, 42)?;
-        outln!(
-            ctx,
-            "{:<10} {:>8} {:>8} {:>6}",
-            ports,
-            silent,
-            loud,
-            loud as i64 - silent as i64
-        );
-    }
+    let port_counts = [1usize, 2, 4];
+    let jobs: Vec<MeasureJob> = port_counts
+        .iter()
+        .flat_map(|&ports| {
+            let mut cfg = base;
+            cfg.pipeline.load_ports = ports;
+            let kind = Some(FlushKind::Contention);
+            [(cfg, kind, 42, 42), (cfg, kind, 41, 42)]
+        })
+        .collect();
+    let cycles = measure_grid(ctx, &jobs)?;
+    print_rows(ctx, &port_counts, &cycles, 10);
     outln!(
         ctx,
         "\nPaper claim: the gadget creates a large (>100 cycle), easily\n\

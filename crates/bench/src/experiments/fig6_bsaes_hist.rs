@@ -16,7 +16,7 @@
 
 use std::time::Duration;
 
-use pandora_attacks::BsaesAttack;
+use pandora_attacks::{BsaesAttack, GuessJob};
 use pandora_channels::{welch_t, Histogram, RetryPolicy, Summary};
 use pandora_runner::{outln, Ctx, Experiment, Failure};
 use pandora_sim::{FaultKind, FaultPlan, OptConfig, SimConfig, SimError};
@@ -68,14 +68,25 @@ fn run(ctx: &Ctx) -> Result<(), Failure> {
         )));
     }
 
+    // All trials of one guess run as a single fleet grid (shared
+    // program, recycled machines, work-stealing threads); the per-trial
+    // preconditioning seed rides in each job, so the measurements are
+    // bit-identical to the former serial loop.
     let seed0 = ctx.seed();
+    atk.set_fleet_threads(ctx.fleet_threads());
     let measure = |guess: u16| -> Result<Vec<u64>, SimError> {
-        (0..trials)
-            .map(|t| {
-                atk.try_measure_guess(guess, Some(seed0.wrapping_add(t as u64 * 7919)))
-                    .map(|o| o.cycles)
+        let jobs: Vec<GuessJob> = (0..trials)
+            .map(|t| GuessJob {
+                guess,
+                noise: None,
+                noise_seed: Some(seed0.wrapping_add(t as u64 * 7919)),
             })
-            .collect()
+            .collect();
+        Ok(atk
+            .measure_guess_grid(&jobs)?
+            .into_iter()
+            .map(|o| o.cycles)
+            .collect())
     };
     let correct = measure(truth)?;
     let incorrect = measure(truth ^ 0x0F0F)?;

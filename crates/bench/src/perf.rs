@@ -10,6 +10,11 @@
 //! * **`BENCH_5.json`** (repo root): the full report, plus the pre-PR
 //!   step costs captured before the allocation-free hot-loop rework
 //!   and the resulting speedup factors.
+//! * **`BENCH_7.json`** (repo root): the report plus the fleet batch
+//!   engine's headline number — per-trial cost of the E16-shaped
+//!   sweep under pre-fleet provisioning (fresh assemble +
+//!   `Machine::new` per trial) vs the fleet's pooled path
+//!   ([`bench7_json`]).
 //! * **`results/perf_baseline.json`**: the committed baseline that CI
 //!   gates against (`step/*` fastest-sample costs may not regress more
 //!   than 20% — see [`PerfRecord::best_unit_ns`] for why the minimum,
@@ -19,7 +24,11 @@
 //! recursive-descent reader below exist because the build environment
 //! has no registry access (no serde).
 
+use std::sync::Arc;
+
+use pandora_attacks::{AmplifyGadget, FlushKind};
 use pandora_isa::{Asm, Program, Reg};
+use pandora_sim::fleet::MemberSpec;
 use pandora_sim::noise::{traffic_program, NoiseConfig};
 use pandora_sim::{DuoMachine, Machine, OptConfig, SimConfig};
 
@@ -110,6 +119,114 @@ pub fn warmup(m: &mut Machine, steps: u64) {
     for _ in 0..steps {
         m.step().expect("warmup step");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet grid workload (the `fleet/*` vs `serial/*` benches)
+// ---------------------------------------------------------------------------
+
+/// One trial of the E16-shaped grid bench: a machine configuration
+/// (noise intensity varies across the grid, geometry does not) and the
+/// pre-seeded target value (equal to the stored 42 → silent store,
+/// different → loud).
+pub type GridJob = (SimConfig, u64);
+
+/// The E16-shaped sweep the `fleet/e16_grid` / `serial/e16_grid`
+/// benches both run: 8 amplified silent-store trials (alternating
+/// silent/loud) at each of the five noise intensities the
+/// `e16_noise_robustness` experiment sweeps. Every job is a pure
+/// function of its entry — the two benches must produce identical
+/// per-trial cycle counts, they differ only in how machines and
+/// programs are provisioned.
+#[must_use]
+pub fn e16_grid_jobs() -> Vec<GridJob> {
+    let base = fig5_quiet_config();
+    let mut jobs = Vec::new();
+    for intensity in [0u16, 15, 30, 45, 60] {
+        for t in 0..8u64 {
+            let mut cfg = base;
+            if intensity > 0 {
+                cfg.noise = NoiseConfig::at_intensity(intensity, t.wrapping_mul(7919))
+                    .with_window(FIG5_TARGET, FIG5_TARGET + 0x1_0000);
+            }
+            jobs.push((cfg, if t % 2 == 0 { 42 } else { 41 }));
+        }
+    }
+    jobs
+}
+
+/// The grid trial program: the fig5 amplified single-store measurement
+/// (warm loads, contention gadget, target store, trailing stores).
+/// Identical for every job in [`e16_grid_jobs`] — the grid varies
+/// noise, not cache geometry, so the gadget's eviction-set layout is
+/// the same everywhere. The serial bench nevertheless re-assembles it
+/// per trial, because that is what the pre-fleet sweep loops did.
+#[must_use]
+pub fn e16_grid_program(cfg: &SimConfig) -> Program {
+    let gadget = AmplifyGadget::new(cfg, FIG5_TARGET, FIG5_DELAY, FlushKind::Contention);
+    let mut a = Asm::new();
+    a.ld(Reg::T0, Reg::ZERO, FIG5_TARGET as i64);
+    for i in 1..6i64 {
+        a.ld(Reg::T0, Reg::ZERO, (FIG5_TARGET + 0x1000) as i64 + 64 * i);
+    }
+    a.fence();
+    a.li(Reg::T0, 42);
+    gadget.emit(&mut a);
+    a.sd(Reg::T0, Reg::ZERO, FIG5_TARGET as i64);
+    for i in 1..6i64 {
+        a.sd(Reg::T0, Reg::ZERO, (FIG5_TARGET + 0x1000) as i64 + 64 * i);
+    }
+    a.fence();
+    a.halt();
+    a.assemble().expect("grid trial assembles")
+}
+
+/// Seeds one grid trial's memory (target value + gadget lines).
+fn grid_prep(cfg: &SimConfig, old: u64, m: &mut Machine) {
+    let gadget = AmplifyGadget::new(cfg, FIG5_TARGET, FIG5_DELAY, FlushKind::Contention);
+    let mem = m.mem_mut();
+    mem.write_u64(FIG5_TARGET, old).expect("target mapped");
+    gadget.setup_memory(mem);
+    gadget.setup_memory_flush_variant(mem);
+}
+
+/// The pre-fleet provisioning path, preserved verbatim as the bench
+/// baseline: every trial assembles its own program and constructs (and
+/// drops) its own machine — the shape of every sweep loop before the
+/// fleet refactor.
+#[must_use]
+pub fn run_grid_serial(jobs: &[GridJob]) -> Vec<u64> {
+    jobs.iter()
+        .map(|&(cfg, old)| {
+            let prog = e16_grid_program(&cfg);
+            let mut m = Machine::new(cfg);
+            m.load_program(&prog);
+            grid_prep(&cfg, old, &mut m);
+            m.run(1_000_000).expect("grid trial completes").cycles
+        })
+        .collect()
+}
+
+/// The fleet provisioning path: one shared `Arc`'d program, machines
+/// recycled through the trial-grid pool ([`Machine::reset_to`]).
+#[must_use]
+pub fn run_grid_fleet(jobs: &[GridJob]) -> Vec<u64> {
+    let prog = Arc::new(e16_grid_program(&jobs[0].0));
+    let specs: Vec<MemberSpec> = jobs
+        .iter()
+        .map(|&(cfg, old)| {
+            MemberSpec::new(cfg, Arc::clone(&prog))
+                .with_max_cycles(1_000_000)
+                .with_prep(move |m| {
+                    grid_prep(&cfg, old, m);
+                    Ok(())
+                })
+        })
+        .collect();
+    pandora_sim::fleet::trial_grid(&specs, 1, |_, _, stats| stats.cycles)
+        .into_iter()
+        .map(|r| r.expect("grid trial completes"))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -270,6 +387,30 @@ pub fn bench5_json(report: &PerfReport) -> String {
     }
     extra.push_str(&lines.join(",\n"));
     extra.push_str("\n  },\n");
+    body.replacen("  \"benches\": [\n", &format!("{extra}  \"benches\": [\n"), 1)
+}
+
+/// Renders `BENCH_7.json`: the report plus the fleet-vs-serial
+/// comparison the batch sweep engine is gated on — the per-trial
+/// fastest-sample cost of `serial/e16_grid` (per-trial fresh
+/// assemble plus `Machine::new`, the pre-fleet loop shape) against
+/// `fleet/e16_grid` (shared program, pooled machines), and the speedup
+/// factor between them. The document stays parseable by
+/// [`PerfReport::from_json`].
+#[must_use]
+pub fn bench7_json(report: &PerfReport) -> String {
+    let body = report.to_json();
+    let mut extra = String::from("  \"fleet\": {\n");
+    let unit = |id: &str| report.get(id).map(PerfRecord::best_unit_ns);
+    match (unit("serial/e16_grid"), unit("fleet/e16_grid")) {
+        (Some(serial), Some(fl)) => {
+            extra.push_str(&format!("    \"serial_trial_ns\": {serial:.1},\n"));
+            extra.push_str(&format!("    \"fleet_trial_ns\": {fl:.1},\n"));
+            extra.push_str(&format!("    \"speedup\": {:.2}\n", serial / fl));
+        }
+        _ => extra.push_str("    \"speedup\": null\n"),
+    }
+    extra.push_str("  },\n");
     body.replacen("  \"benches\": [\n", &format!("{extra}  \"benches\": [\n"), 1)
 }
 
@@ -562,6 +703,29 @@ mod tests {
         // The extended form must stay readable by the same parser.
         let parsed = PerfReport::from_json(&text).unwrap();
         assert_eq!(parsed.benches.len(), 1);
+    }
+
+    #[test]
+    fn bench7_json_reports_fleet_speedup_and_still_parses() {
+        let r = report(vec![
+            rec("serial/e16_grid", 200_000.0 * 40.0, 40),
+            rec("fleet/e16_grid", 40_000.0 * 40.0, 40),
+        ]);
+        let text = bench7_json(&r);
+        assert!(text.contains("\"fleet\""));
+        assert!(text.contains("\"speedup\": 5.00"), "{text}");
+        let parsed = PerfReport::from_json(&text).unwrap();
+        assert_eq!(parsed.benches.len(), 2);
+    }
+
+    #[test]
+    fn grid_paths_agree_trial_for_trial() {
+        // The contract behind the BENCH_7 comparison: both provisioning
+        // paths run the *same* work — identical per-trial cycle counts
+        // — so the measured gap is pure provisioning overhead. A small
+        // sub-grid keeps this cheap enough for the unit suite.
+        let jobs = &e16_grid_jobs()[..6];
+        assert_eq!(run_grid_serial(jobs), run_grid_fleet(jobs));
     }
 
     #[test]

@@ -6,11 +6,18 @@
 //! self-contained demonstration used by the quickstart example and the
 //! channel-capacity analysis (log2 N bits per round, §IV-A3).
 
-use pandora_isa::{Asm, Reg};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pandora_isa::{Asm, Program, Reg};
+use pandora_sim::fleet::{self, MemberError, MemberSpec};
 use pandora_sim::{Machine, SimConfig, SimError};
 
 use crate::adaptive::majority_vote;
 use crate::prime_probe::{emit_probe_lines, fastest_index, read_timings};
+
+/// Cycle budget for one send/receive round.
+const ROUND_MAX_CYCLES: u64 = 20_000_000;
 
 /// Configuration of a one-shot cache covert channel.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -91,22 +98,60 @@ impl CovertChannel {
     /// Panics if the round's program fails to assemble — a harness
     /// bug, not a runtime condition.
     pub fn try_round_trip(&self, cfg: SimConfig, value: usize) -> Result<Option<usize>, SimError> {
+        Ok(self.round_trip_grid(&[(cfg, value)], 1)?.remove(0))
+    }
+
+    /// The compiled send+receive round for `value`.
+    fn round_program(&self, value: usize) -> Program {
         let mut a = Asm::new();
         self.emit_send(&mut a, value);
         self.emit_receive(&mut a);
         a.halt();
-        let prog = a.assemble().expect("channel program assembles");
-        let mut m = Machine::new(cfg);
-        m.load_program(&prog);
-        m.run(20_000_000)?;
-        Ok(self.decode(&m))
+        a.assemble().expect("channel program assembles")
+    }
+
+    /// Runs a whole grid of `(config, value)` rounds as fleet trials:
+    /// each value's program is assembled once and shared, machines are
+    /// recycled between rounds, and rounds steal work across `threads`
+    /// threads (0 = process default). Decoded symbols come back in job
+    /// order, independent of the thread count.
+    ///
+    /// # Errors
+    ///
+    /// The first (lowest-index) round whose machine fails outright.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program fails to assemble, or if a round panicked —
+    /// both harness bugs, resurfaced after sibling rounds completed.
+    pub fn round_trip_grid(
+        &self,
+        jobs: &[(SimConfig, usize)],
+        threads: usize,
+    ) -> Result<Vec<Option<usize>>, SimError> {
+        let mut progs: HashMap<usize, Arc<Program>> = HashMap::new();
+        let specs: Vec<MemberSpec> = jobs
+            .iter()
+            .map(|&(cfg, value)| {
+                let prog = progs
+                    .entry(value)
+                    .or_insert_with(|| Arc::new(self.round_program(value)));
+                MemberSpec::new(cfg, Arc::clone(prog)).with_max_cycles(ROUND_MAX_CYCLES)
+            })
+            .collect();
+        let ch = *self;
+        fleet::trial_grid(&specs, threads, move |_, m, _| ch.decode(m))
+            .into_iter()
+            .map(|r| r.map_err(MemberError::unwrap_sim))
+            .collect()
     }
 
     /// Repetition-coded round trip: runs `redundancy` independent
     /// rounds — each under a distinct noise seed, so every round sees
     /// a fresh interference pattern — and majority-votes the decodes.
     /// Redundancy 1 is exactly one noisy round (the unhardened
-    /// baseline under a varying environment).
+    /// baseline under a varying environment). The rounds run as one
+    /// fleet grid (shared program, recycled machines, all cores).
     ///
     /// # Errors
     ///
@@ -117,13 +162,14 @@ impl CovertChannel {
         value: usize,
         redundancy: usize,
     ) -> Result<Option<usize>, SimError> {
-        let votes = (0..redundancy.max(1) as u64)
+        let jobs: Vec<(SimConfig, usize)> = (0..redundancy.max(1) as u64)
             .map(|r| {
                 let mut c = cfg;
                 c.noise.seed = cfg.noise.seed.wrapping_add(r.wrapping_mul(0x9e37_79b9));
-                self.try_round_trip(c, value)
+                (c, value)
             })
-            .collect::<Result<Vec<_>, SimError>>()?;
+            .collect();
+        let votes = self.round_trip_grid(&jobs, 0)?;
         Ok(majority_vote(&votes))
     }
 }

@@ -35,8 +35,8 @@ pub use covert::CovertChannel;
 pub use evict_time::{calibrate_evict_margin, emit_evict, emit_timed_victim, evict_time_round};
 pub use prime_probe::{
     calibrate_probe_threshold, emit_probe_lines, emit_prime, emit_timed_probe, fastest_index,
-    hits_below, probe_calibration_round, probe_oracle, read_timings, try_read_timings,
-    EvictionSet,
+    hits_below, probe_calibration_grid, probe_calibration_round, probe_oracle, read_timings,
+    try_read_timings, EvictionSet,
 };
 pub use retry::{Calibration, RetryError, RetryPolicy, RetryStop};
 pub use stats::{midpoint_threshold, welch_t, Histogram, Summary};

@@ -15,7 +15,10 @@
 //!   clock-cycle granularity" (§III, footnote 2). Used by tests to
 //!   separate channel noise from transmitter behaviour.
 
-use pandora_isa::{Asm, Reg};
+use std::sync::Arc;
+
+use pandora_isa::{Asm, Program, Reg};
+use pandora_sim::fleet::{self, MachinePool, MemberError, MemberSpec};
 use pandora_sim::{Cache, CacheConfig, FaultPlan, Machine, MemFault, SimConfig, SimError};
 
 use crate::retry::{Calibration, RetryError, RetryPolicy};
@@ -148,6 +151,10 @@ pub fn fastest_index(timings: &[u64]) -> Option<usize> {
         .map(|(i, _)| i)
 }
 
+/// Paired timing populations from one calibration round:
+/// `(hit_timings, miss_timings)`.
+pub type ProbeTimings = (Vec<u64>, Vec<u64>);
+
 /// One probe-threshold calibration round: measures `trials` timed
 /// probes of a warmed line (hits) and `trials` probes of untouched,
 /// pairwise-distinct lines (misses), returning `(hits, misses)`.
@@ -164,18 +171,15 @@ pub fn probe_calibration_round(
     cfg: &SimConfig,
     trials: usize,
     faults: Option<&FaultPlan>,
-) -> Result<(Vec<u64>, Vec<u64>), SimError> {
-    let mut m = Machine::new(*cfg);
-    probe_round_on(&mut m, trials, faults)
+) -> Result<ProbeTimings, SimError> {
+    let mut pool = MachinePool::default();
+    probe_rounds_pooled(&mut pool, &[*cfg], trials, faults, 1).remove(0)
 }
 
-/// One calibration round on an existing (already-reset) machine, so
-/// retry loops can reuse one allocation across attempts.
-fn probe_round_on(
-    m: &mut Machine,
-    trials: usize,
-    faults: Option<&FaultPlan>,
-) -> Result<(Vec<u64>, Vec<u64>), SimError> {
+/// The compiled calibration round: warm one line, then time `trials`
+/// probes of it (hits) and `trials` probes of pairwise-distinct cold
+/// lines (misses).
+fn probe_round_program(trials: usize) -> (Program, u64, u64) {
     let hit_addr = 0x10_0000u64;
     let cold_base = 0x20_0000u64;
     let hit_buf = 0x1000u64;
@@ -193,16 +197,70 @@ fn probe_round_on(
     }
     a.halt();
     let prog = a.assemble().expect("calibration program assembles");
+    (prog, hit_buf, miss_buf)
+}
 
-    m.load_program(&prog);
-    if let Some(plan) = faults {
-        m.inject_faults(plan.clone());
-    }
-    m.run(10_000_000)?;
-    Ok((
-        read_timings(m, hit_buf, trials),
-        read_timings(m, miss_buf, trials),
-    ))
+/// Runs one calibration round per config as a fleet grid over pooled
+/// machines: the program is assembled once and shared, each round
+/// recycles a pool machine ([`Machine::reset_to`]) instead of
+/// constructing one, and rounds steal work across `threads` threads
+/// (0 = process default). Results come back in config order; a failed
+/// round yields `Err` in its slot without disturbing siblings.
+fn probe_rounds_pooled(
+    pool: &mut MachinePool,
+    cfgs: &[SimConfig],
+    trials: usize,
+    faults: Option<&FaultPlan>,
+    threads: usize,
+) -> Vec<Result<ProbeTimings, SimError>> {
+    let (prog, hit_buf, miss_buf) = probe_round_program(trials);
+    let prog = Arc::new(prog);
+    let specs: Vec<MemberSpec> = cfgs
+        .iter()
+        .map(|&cfg| {
+            let mut spec = MemberSpec::new(cfg, Arc::clone(&prog)).with_max_cycles(10_000_000);
+            if let Some(plan) = faults {
+                let plan = plan.clone();
+                spec = spec.with_prep(move |m| {
+                    m.inject_faults(plan.clone());
+                    Ok(())
+                });
+            }
+            spec
+        })
+        .collect();
+    fleet::trial_grid_pooled(pool, &specs, threads, move |_, m, _| {
+        (
+            read_timings(m, hit_buf, trials),
+            read_timings(m, miss_buf, trials),
+        )
+    })
+    .into_iter()
+    .map(|r| r.map_err(MemberError::unwrap_sim))
+    .collect()
+}
+
+/// One probe-calibration round per config, re-dispatching **failed
+/// rounds only** under `policy`: the sweep entry point for noise grids
+/// that calibrate dozens of intensities at once. All rounds share one
+/// compiled program and a machine pool, and run across `threads`
+/// threads (0 = process default).
+///
+/// # Errors
+///
+/// [`RetryError::Sim`] if any round still fails after the policy's
+/// attempt budget (carrying the lowest-index round's last error).
+pub fn probe_calibration_grid(
+    cfgs: &[SimConfig],
+    trials: usize,
+    policy: &RetryPolicy,
+    threads: usize,
+) -> Result<Vec<ProbeTimings>, RetryError> {
+    let mut pool = MachinePool::default();
+    policy.retry_failed(cfgs.len(), |pending, _attempt| {
+        let round_cfgs: Vec<SimConfig> = pending.iter().map(|&i| cfgs[i]).collect();
+        probe_rounds_pooled(&mut pool, &round_cfgs, trials, None, threads)
+    })
 }
 
 /// Calibrates the hit/miss probe threshold for `cfg` under `policy`:
@@ -217,14 +275,12 @@ pub fn calibrate_probe_threshold(
     policy: &RetryPolicy,
     base_trials: usize,
 ) -> Result<Calibration, RetryError> {
-    // One machine for every attempt: [`Machine::reset`] rewinds to the
-    // post-construction state while keeping allocations warm.
-    let mut m = Machine::new(*cfg);
-    policy.calibrate(base_trials, |trials, attempt| {
-        if attempt > 0 {
-            m.reset();
-        }
-        probe_round_on(&mut m, trials, None)
+    // One pooled machine for every attempt: the pool recycles its
+    // machine across rounds ([`Machine::reset_to`]) with allocations
+    // kept warm.
+    let mut pool = MachinePool::default();
+    policy.calibrate(base_trials, |trials, _attempt| {
+        probe_rounds_pooled(&mut pool, &[*cfg], trials, None, 1).remove(0)
     })
 }
 

@@ -298,6 +298,72 @@ impl RetryPolicy {
         })
     }
 
+    /// Batch retry that re-dispatches **failed members only**: the
+    /// retry shape for fleet sweeps, where attempt 0 runs the whole
+    /// member grid and each later attempt re-runs just the members
+    /// that failed — succeeded members keep their first result, so a
+    /// single wedged trial no longer forces a whole batch re-run.
+    ///
+    /// `batch` receives the still-failing member indices (strictly
+    /// increasing) and the 0-based attempt number, and must return
+    /// exactly one result per requested index, in the same order.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError::Sim`] carrying the lowest-index still-failing
+    /// member's last error once the attempt budget is spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` returns a different number of results than
+    /// indices it was given — a harness bug.
+    pub fn retry_failed<T>(
+        &self,
+        count: usize,
+        mut batch: impl FnMut(&[usize], u32) -> Vec<Result<T, SimError>>,
+    ) -> Result<Vec<T>, RetryError> {
+        let attempts = self.max_attempts.max(1);
+        let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..count).collect();
+        let mut first_err: Option<SimError> = None;
+        for attempt in 0..attempts {
+            if pending.is_empty() {
+                break;
+            }
+            let out = batch(&pending, attempt);
+            assert_eq!(
+                out.len(),
+                pending.len(),
+                "batch must return one result per requested member"
+            );
+            let mut still = Vec::new();
+            first_err = None;
+            for (idx, r) in pending.iter().copied().zip(out) {
+                match r {
+                    Ok(v) => results[idx] = Some(v),
+                    Err(e) => {
+                        if still.is_empty() {
+                            first_err = Some(e);
+                        }
+                        still.push(idx);
+                    }
+                }
+            }
+            pending = still;
+        }
+        if pending.is_empty() {
+            Ok(results
+                .into_iter()
+                .map(|r| r.expect("every member resolved"))
+                .collect())
+        } else {
+            Err(RetryError::Sim {
+                attempts,
+                last: first_err.expect("a pending member has a recorded error"),
+            })
+        }
+    }
+
     /// Deadline-aware [`RetryPolicy::retry`]: gives up as soon as
     /// `deadline` has passed between attempts, even with budget left —
     /// the shape long-running attack campaigns need so a noisy phase
@@ -573,6 +639,77 @@ mod tests {
         assert_eq!(
             (0..3).map(|a| p.trials_for_attempt(20, a)).collect::<Vec<_>>(),
             vec![20, 20, 20]
+        );
+    }
+
+    #[test]
+    fn retry_failed_redispatches_only_failed_members() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut rounds: Vec<Vec<usize>> = Vec::new();
+        // Members 1 and 3 fail on attempt 0; member 3 fails again on
+        // attempt 1; everything resolves by attempt 2.
+        let out = p
+            .retry_failed(5, |pending, attempt| {
+                rounds.push(pending.to_vec());
+                pending
+                    .iter()
+                    .map(|&i| {
+                        let fails = match attempt {
+                            0 => i == 1 || i == 3,
+                            1 => i == 3,
+                            _ => false,
+                        };
+                        if fails {
+                            Err(SimError::Timeout { cycles: i as u64 })
+                        } else {
+                            Ok(100 + i)
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap();
+        assert_eq!(out, vec![100, 101, 102, 103, 104]);
+        assert_eq!(
+            rounds,
+            vec![vec![0, 1, 2, 3, 4], vec![1, 3], vec![3]],
+            "later attempts must re-dispatch only the failed members"
+        );
+    }
+
+    #[test]
+    fn retry_failed_surfaces_lowest_index_error_after_budget() {
+        let p = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let err = p
+            .retry_failed::<u32>(3, |pending, _| {
+                pending
+                    .iter()
+                    .map(|&i| {
+                        if i == 0 {
+                            Ok(7)
+                        } else {
+                            Err(SimError::Timeout { cycles: i as u64 })
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RetryError::Sim {
+                attempts: 2,
+                last: SimError::Timeout { cycles: 1 }
+            }
+        );
+        // Empty batches are vacuously successful.
+        assert_eq!(
+            p.retry_failed::<u32>(0, |_, _| Vec::new()).unwrap(),
+            Vec::<u32>::new()
         );
     }
 

@@ -91,6 +91,7 @@ pub struct Ctx {
     seed: u64,
     deadline: Option<Instant>,
     opts: Vec<String>,
+    fleet_threads: usize,
     out: Arc<Mutex<String>>,
 }
 
@@ -111,8 +112,25 @@ impl Ctx {
             seed,
             deadline,
             opts,
+            fleet_threads: 0,
             out: Arc::new(Mutex::new(String::new())),
         }
+    }
+
+    /// Sets the worker-thread count experiments pass to fleet grids
+    /// (`0` = the process-wide default, see
+    /// `pandora_sim::fleet::set_default_threads`). Builder-style so the
+    /// 4-argument [`Ctx::new`] signature stays stable.
+    #[must_use]
+    pub fn with_fleet_threads(mut self, threads: usize) -> Ctx {
+        self.fleet_threads = threads;
+        self
+    }
+
+    /// Worker threads for fleet grids (0 = process default).
+    #[must_use]
+    pub fn fleet_threads(&self) -> usize {
+        self.fleet_threads
     }
 
     /// The requested profile.

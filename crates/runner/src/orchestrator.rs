@@ -328,6 +328,12 @@ pub struct SuiteOptions {
     pub profile: Profile,
     /// Worker threads (clamped to at least 1).
     pub jobs: usize,
+    /// Fleet worker threads *per experiment* (0 = the process-wide
+    /// fleet default): how many machines a single experiment's fleet
+    /// grids step concurrently. Total thread pressure is roughly
+    /// `jobs × fleet_threads`, so suites raising `jobs` should keep
+    /// this at 1 and vice versa.
+    pub fleet_threads: usize,
     /// Directory for `*.txt` outputs, the journal/manifest, and
     /// `summary.json`.
     pub results_dir: PathBuf,
@@ -375,6 +381,7 @@ impl Default for SuiteOptions {
         SuiteOptions {
             profile: Profile::Full,
             jobs: 1,
+            fleet_threads: 0,
             results_dir: PathBuf::from("results"),
             only: None,
             resume: false,
@@ -715,6 +722,7 @@ struct WorkerCfg {
     deadline_override: Option<Duration>,
     retry: RetryPolicy,
     breaker_threshold: u32,
+    fleet_threads: usize,
 }
 
 /// What the supervisor knows about a worker's current attempt.
@@ -796,7 +804,8 @@ fn worker_loop(
                 cfg.seed,
                 Some(Instant::now() + deadline),
                 Vec::new(),
-            );
+            )
+            .with_fleet_threads(cfg.fleet_threads);
             used = i + 1;
             let _ = tx.send(Event::AttemptStarted {
                 worker: id,
@@ -1261,6 +1270,7 @@ fn supervise(
         deadline_override: opts.deadline_override,
         retry: opts.retry,
         breaker_threshold: opts.breaker_threshold,
+        fleet_threads: opts.fleet_threads,
     };
 
     let mut done = 0usize;

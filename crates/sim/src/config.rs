@@ -299,6 +299,24 @@ impl SimConfig {
         fnv1a64(format!("{self:?}").as_bytes())
     }
 
+    /// Whether a machine built for `self` can be recycled in place for
+    /// `other` ([`Machine::reset_to`]): true when every field that
+    /// determines *allocation shape* — memory size, pipeline geometry
+    /// (queue/PRF sizes, port counts), cache geometry, and the memory
+    /// latencies baked into the hierarchy at construction — is equal.
+    /// Seeds, optimization switches, noise, latencies, and watchdog
+    /// settings may all differ: those are reapplied by a reset.
+    ///
+    /// [`Machine::reset_to`]: crate::Machine::reset_to
+    #[must_use]
+    pub fn same_shape(&self, other: &SimConfig) -> bool {
+        self.mem_size == other.mem_size
+            && self.pipeline == other.pipeline
+            && self.l1d == other.l1d
+            && self.l2 == other.l2
+            && self.mem_latency == other.mem_latency
+    }
+
     /// Default machine with the given optimization switches.
     #[must_use]
     pub fn with_opts(opts: OptConfig) -> SimConfig {

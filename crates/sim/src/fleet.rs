@@ -1,0 +1,851 @@
+//! Many-machine batch sweep engine.
+//!
+//! Every quantitative result in the reproduction — the Fig. 5
+//! amplification table, the Fig. 6 key-recovery histogram, the E16
+//! noise grid — is built from hundreds of *independent* simulated
+//! trials. This module is the scaling substrate for those sweeps: a
+//! [`Fleet`] owns N machines (distinct seeds, noise intensities, cache
+//! geometries, hook sets — expressed as a [`FleetSpec`]/[`MemberSpec`]
+//! grid over [`SimConfig`]) and advances them across all cores via
+//! `std::thread::scope` work-stealing, while [`trial_grid`] runs a flat
+//! list of trial jobs through a pool of recycled machines
+//! ([`Machine::reset_to`]) instead of constructing one per trial.
+//!
+//! Three properties are contractual, pinned by
+//! `tests/fleet_differential.rs`:
+//!
+//! * **Determinism** — a fleet member produces `SimStats` bit-equal to
+//!   a lone `Machine` built from the same config/seed, regardless of
+//!   thread count or steal order. Members share no mutable state:
+//!   programs are shared read-only behind [`Arc`], each member owns its
+//!   machine, and machine recycling (`reset_to`) is bit-equal to fresh
+//!   construction.
+//! * **Degradation** — one member's [`SimError`] (or panic) degrades
+//!   that member only, never the batch: errors are captured per member
+//!   as [`MemberError`] and siblings run to completion.
+//! * **Reduction** — per-machine [`SimStats`] reduce with
+//!   [`SimStats::merge`]; receiver transcripts reduce through the
+//!   per-trial `extract` closure of [`trial_grid`] (which runs on the
+//!   worker that owns the machine, so decoded symbols — not machines —
+//!   cross threads).
+//!
+//! Thread-count resolution: every entry point takes a `threads`
+//! argument where `0` means "the process default" —
+//! [`default_threads`], itself defaulting to
+//! `std::thread::available_parallelism()` and settable once at startup
+//! via [`set_default_threads`] (`runall --fleet-threads`). The
+//! effective count is additionally clamped to the job count, and a
+//! single-thread dispatch runs inline on the caller's thread with no
+//! spawning (and no allocation — the zero-alloc audit steps a fleet
+//! through that path).
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+
+use pandora_isa::Program;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::machine::Machine;
+use crate::stats::SimStats;
+
+/// Default per-member cycle budget — generous enough for the longest
+/// attack trial in the tree (the bsaes key-recovery rounds run under
+/// 50M cycles).
+pub const DEFAULT_MAX_CYCLES: u64 = 50_000_000;
+
+/// Process-wide default fleet thread count; 0 = one per core.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default fleet thread count used wherever a
+/// `threads` argument of 0 is passed. 0 restores "one per core". Set
+/// once at startup (`runall --fleet-threads`); experiment jobs and
+/// fleet threads multiply, so a runner with `--jobs J` should pass
+/// roughly `cores / J` here to avoid oversubscription.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide default fleet thread count: the value set by
+/// [`set_default_threads`], or `std::thread::available_parallelism()`
+/// when unset.
+#[must_use]
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Resolves a requested thread count (0 = default) against a job count.
+fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let t = if requested == 0 {
+        default_threads()
+    } else {
+        requested
+    };
+    t.clamp(1, jobs.max(1))
+}
+
+/// A member's pre-run setup: seeds memory, registers, cache state or a
+/// fault plan before the machine runs. Must be deterministic (a pure
+/// function of the member's spec) for the fleet's determinism guarantee
+/// to hold.
+pub type PrepFn = Arc<dyn Fn(&mut Machine) -> Result<(), SimError> + Send + Sync>;
+
+/// One fleet member: a machine configuration, a shared compiled
+/// program, optional pre-run setup, and a cycle budget.
+#[derive(Clone)]
+pub struct MemberSpec {
+    /// Full machine configuration (geometry, seeds, noise, hooks).
+    pub cfg: SimConfig,
+    /// The compiled program, shared read-only across members.
+    pub program: Arc<Program>,
+    /// Pre-run setup (memory/registers/faults), run before stepping.
+    pub prep: Option<PrepFn>,
+    /// Cycle budget; exceeding it degrades the member with
+    /// [`SimError::Timeout`].
+    pub max_cycles: u64,
+}
+
+impl MemberSpec {
+    /// A member with no prep and the [`DEFAULT_MAX_CYCLES`] budget.
+    #[must_use]
+    pub fn new(cfg: SimConfig, program: Arc<Program>) -> MemberSpec {
+        MemberSpec {
+            cfg,
+            program,
+            prep: None,
+            max_cycles: DEFAULT_MAX_CYCLES,
+        }
+    }
+
+    /// Attaches pre-run setup.
+    #[must_use]
+    pub fn with_prep<F>(mut self, prep: F) -> MemberSpec
+    where
+        F: Fn(&mut Machine) -> Result<(), SimError> + Send + Sync + 'static,
+    {
+        self.prep = Some(Arc::new(prep));
+        self
+    }
+
+    /// Overrides the cycle budget.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> MemberSpec {
+        self.max_cycles = max_cycles;
+        self
+    }
+}
+
+impl fmt::Debug for MemberSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemberSpec")
+            .field("cfg_hash", &format_args!("{:#x}", self.cfg.stable_hash()))
+            .field("seed", &self.cfg.seed)
+            .field("prog_len", &self.program.len())
+            .field("prep", &self.prep.is_some())
+            .field("max_cycles", &self.max_cycles)
+            .finish()
+    }
+}
+
+/// A grid of members plus a thread count, built incrementally or from
+/// the [`FleetSpec::grid`]/[`FleetSpec::seed_grid`] constructors.
+#[derive(Clone, Debug, Default)]
+pub struct FleetSpec {
+    members: Vec<MemberSpec>,
+    threads: usize,
+}
+
+impl FleetSpec {
+    /// An empty spec with the default thread count.
+    #[must_use]
+    pub fn new() -> FleetSpec {
+        FleetSpec::default()
+    }
+
+    /// One member per configuration, all sharing `program`.
+    pub fn grid(program: &Arc<Program>, cfgs: impl IntoIterator<Item = SimConfig>) -> FleetSpec {
+        let mut spec = FleetSpec::new();
+        for cfg in cfgs {
+            spec.push(MemberSpec::new(cfg, Arc::clone(program)));
+        }
+        spec
+    }
+
+    /// One member per seed: `base` with `cfg.seed` (and therefore the
+    /// replacement/noise RNG hierarchy) varied.
+    pub fn seed_grid(
+        base: SimConfig,
+        program: &Arc<Program>,
+        seeds: impl IntoIterator<Item = u64>,
+    ) -> FleetSpec {
+        FleetSpec::grid(
+            program,
+            seeds.into_iter().map(|seed| SimConfig { seed, ..base }),
+        )
+    }
+
+    /// Sets the thread count (0 = process default).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> FleetSpec {
+        self.threads = threads;
+        self
+    }
+
+    /// Appends a member.
+    pub fn push(&mut self, member: MemberSpec) -> &mut FleetSpec {
+        self.members.push(member);
+        self
+    }
+
+    /// Builder-style [`FleetSpec::push`].
+    #[must_use]
+    pub fn member(mut self, member: MemberSpec) -> FleetSpec {
+        self.members.push(member);
+        self
+    }
+
+    /// The members added so far.
+    #[must_use]
+    pub fn members(&self) -> &[MemberSpec] {
+        &self.members
+    }
+
+    /// Member count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the spec has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Builds the fleet (allocates and preps every machine).
+    #[must_use]
+    pub fn build(self) -> Fleet {
+        Fleet::new(self)
+    }
+}
+
+/// Why a member degraded: a structured simulator error, or a panic
+/// (captured so siblings keep running; the payload message is kept for
+/// the report).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemberError {
+    /// The member's run returned a [`SimError`].
+    Sim(SimError),
+    /// The member's prep, run, or extract closure panicked.
+    Panicked(String),
+}
+
+impl MemberError {
+    /// The structured simulator error, if this wasn't a panic.
+    #[must_use]
+    pub fn sim(&self) -> Option<&SimError> {
+        match self {
+            MemberError::Sim(e) => Some(e),
+            MemberError::Panicked(_) => None,
+        }
+    }
+
+    /// Unwraps the [`SimError`], resurfacing captured panics.
+    ///
+    /// Callers that predate the fleet treated a panic inside a trial as
+    /// a harness bug that aborts the run; this restores exactly that
+    /// behavior after fleet dispatch has protected sibling members.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the captured payload message if the member panicked.
+    #[must_use]
+    pub fn unwrap_sim(self) -> SimError {
+        match self {
+            MemberError::Sim(e) => e,
+            MemberError::Panicked(msg) => panic!("fleet member panicked: {msg}"),
+        }
+    }
+}
+
+impl fmt::Display for MemberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemberError::Sim(e) => write!(f, "member failed: {e}"),
+            MemberError::Panicked(msg) => write!(f, "member panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MemberError {}
+
+impl From<SimError> for MemberError {
+    fn from(e: SimError) -> MemberError {
+        MemberError::Sim(e)
+    }
+}
+
+/// A member's terminal result.
+pub type MemberOutcome = Result<SimStats, MemberError>;
+
+/// Lifecycle of one member inside a [`Fleet`].
+#[derive(Clone, Debug)]
+enum MemberStatus {
+    /// Still stepping (lockstep mode) or not yet run.
+    Running,
+    /// Halted normally with these final stats.
+    Done(SimStats),
+    /// Degraded; the machine is left at the failure point.
+    Failed(MemberError),
+}
+
+/// N machines advanced together: run-to-completion or lockstep batch
+/// stepping, work-stealing across threads, per-member outcome capture.
+#[derive(Debug)]
+pub struct Fleet {
+    specs: Vec<MemberSpec>,
+    machines: Vec<Machine>,
+    status: Vec<MemberStatus>,
+    threads: usize,
+}
+
+impl Fleet {
+    /// Allocates one machine per member, loads the shared program and
+    /// runs each member's prep. A prep failure (or panic) degrades that
+    /// member immediately; its machine stays constructed.
+    #[must_use]
+    pub fn new(spec: FleetSpec) -> Fleet {
+        let FleetSpec { members, threads } = spec;
+        let mut machines = Vec::with_capacity(members.len());
+        let mut status = Vec::with_capacity(members.len());
+        for member in &members {
+            let mut m = Machine::new(member.cfg);
+            m.load_program(&member.program);
+            let st = match run_prep(member, &mut m) {
+                Ok(()) => MemberStatus::Running,
+                Err(e) => MemberStatus::Failed(e),
+            };
+            machines.push(m);
+            status.push(st);
+        }
+        Fleet {
+            specs: members,
+            machines,
+            status,
+            threads,
+        }
+    }
+
+    /// Member count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the fleet has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Members still running (not halted, not degraded).
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|s| matches!(s, MemberStatus::Running))
+            .count()
+    }
+
+    /// Member `i`'s machine (read-only: receivers decode transcripts
+    /// from its memory and hierarchy).
+    #[must_use]
+    pub fn machine(&self, i: usize) -> &Machine {
+        &self.machines[i]
+    }
+
+    /// Member `i`'s terminal outcome, or `None` while it still runs.
+    #[must_use]
+    pub fn outcome(&self, i: usize) -> Option<Result<&SimStats, &MemberError>> {
+        match &self.status[i] {
+            MemberStatus::Running => None,
+            MemberStatus::Done(stats) => Some(Ok(stats)),
+            MemberStatus::Failed(e) => Some(Err(e)),
+        }
+    }
+
+    /// All terminal outcomes; members still running report a live
+    /// `Ok` snapshot of their stats so far.
+    #[must_use]
+    pub fn outcomes(&self) -> Vec<MemberOutcome> {
+        self.status
+            .iter()
+            .zip(&self.machines)
+            .map(|(s, m)| match s {
+                MemberStatus::Running => Ok(*m.stats()),
+                MemberStatus::Done(stats) => Ok(*stats),
+                MemberStatus::Failed(e) => Err(e.clone()),
+            })
+            .collect()
+    }
+
+    /// Grid-total statistics: the [`SimStats::merge`] reduction over
+    /// every non-degraded member (running members contribute their
+    /// stats so far). Degraded members are excluded — their partial
+    /// counters would skew grid averages.
+    #[must_use]
+    pub fn merged_stats(&self) -> SimStats {
+        let mut acc = SimStats::default();
+        for (s, m) in self.status.iter().zip(&self.machines) {
+            match s {
+                MemberStatus::Done(stats) => acc.merge(stats),
+                MemberStatus::Running => acc.merge(m.stats()),
+                MemberStatus::Failed(_) => {}
+            }
+        }
+        acc
+    }
+
+    /// Reduces each member's machine through `f` — the
+    /// receiver-transcript reduction hook (read timing buffers, cache
+    /// residency, registers) once the fleet has run.
+    pub fn map<R>(&self, mut f: impl FnMut(usize, &Machine) -> R) -> Vec<R> {
+        self.machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| f(i, m))
+            .collect()
+    }
+
+    /// Advances every running member by at most `steps` cycles
+    /// (lockstep batch stepping). Members that halt or fail mid-batch
+    /// stop there; siblings continue. With an effective thread count of
+    /// 1 this runs inline on the caller's thread and performs no
+    /// allocation — the steady-state fleet-stepping path audited by
+    /// `tests/zero_alloc.rs`.
+    pub fn step_batch(&mut self, steps: u64) {
+        let Fleet {
+            specs,
+            machines,
+            status,
+            threads,
+        } = self;
+        dispatch(specs, machines, status, *threads, |spec, m, st| {
+            advance(spec, m, st, Some(steps));
+        });
+    }
+
+    /// Runs every member to completion (halt, error, or its
+    /// `max_cycles` budget) and returns the per-member outcomes.
+    pub fn run_to_completion(&mut self) -> Vec<MemberOutcome> {
+        let Fleet {
+            specs,
+            machines,
+            status,
+            threads,
+        } = self;
+        dispatch(specs, machines, status, *threads, |spec, m, st| {
+            advance(spec, m, st, None);
+        });
+        self.outcomes()
+    }
+}
+
+/// Runs a member's prep under panic capture.
+fn run_prep(spec: &MemberSpec, m: &mut Machine) -> Result<(), MemberError> {
+    let Some(prep) = &spec.prep else {
+        return Ok(());
+    };
+    match panic::catch_unwind(AssertUnwindSafe(|| prep(m))) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(MemberError::Sim(e)),
+        Err(p) => Err(MemberError::Panicked(panic_message(&*p))),
+    }
+}
+
+/// Advances one member: by `Some(steps)` cycles (lockstep) or to
+/// completion (`None`). Panics and `SimError`s degrade the member in
+/// its status slot.
+fn advance(spec: &MemberSpec, m: &mut Machine, status: &mut MemberStatus, budget: Option<u64>) {
+    if !matches!(status, MemberStatus::Running) {
+        return;
+    }
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| match budget {
+        Some(steps) => {
+            for _ in 0..steps {
+                if m.is_halted() {
+                    break;
+                }
+                if m.cycle() >= spec.max_cycles {
+                    return Some(Err(SimError::Timeout {
+                        cycles: spec.max_cycles,
+                    }));
+                }
+                if let Err(e) = m.step() {
+                    return Some(Err(e));
+                }
+            }
+            m.is_halted().then(|| Ok(*m.stats()))
+        }
+        None => Some(m.run(spec.max_cycles.saturating_sub(m.cycle()))),
+    }));
+    match outcome {
+        Ok(None) => {} // budget exhausted, still running
+        Ok(Some(Ok(stats))) => *status = MemberStatus::Done(stats),
+        Ok(Some(Err(e))) => *status = MemberStatus::Failed(MemberError::Sim(e)),
+        Err(p) => *status = MemberStatus::Failed(MemberError::Panicked(panic_message(&*p))),
+    }
+}
+
+/// Work-stealing dispatch over fleet members. Threads claim member
+/// indices from a shared atomic counter; each member's machine is owned
+/// by exactly one claimant (the per-slot mutex is uncontended — it
+/// exists to move `&mut` access across the scope boundary safely).
+/// An effective thread count of 1 runs inline with no spawning.
+fn dispatch<F>(
+    specs: &[MemberSpec],
+    machines: &mut [Machine],
+    status: &mut [MemberStatus],
+    threads: usize,
+    f: F,
+) where
+    F: Fn(&MemberSpec, &mut Machine, &mut MemberStatus) + Sync,
+{
+    let n = machines.len();
+    let threads = effective_threads(threads, n);
+    if threads <= 1 {
+        for i in 0..n {
+            f(&specs[i], &mut machines[i], &mut status[i]);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<(&mut Machine, &mut MemberStatus)>> = machines
+        .iter_mut()
+        .zip(status.iter_mut())
+        .map(Mutex::new)
+        .collect();
+    let next = AtomicUsize::new(0);
+    let slots = &slots;
+    let next = &next;
+    let f = &f;
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut guard = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
+                let (m, st) = &mut *guard;
+                f(&specs[i], m, st);
+            });
+        }
+    });
+}
+
+/// A reusable pool of machines for [`trial_grid_pooled`]: one slot per
+/// worker thread, recycled across jobs *and* across calls (calibration
+/// loops re-dispatch rounds against the same pool, keeping the
+/// PR 5 "one machine across attempts" property).
+#[derive(Debug, Default)]
+pub struct MachinePool {
+    slots: Vec<PoolSlot>,
+}
+
+#[derive(Debug, Default)]
+struct PoolSlot {
+    machine: Option<Machine>,
+    program: Option<Arc<Program>>,
+}
+
+impl PoolSlot {
+    /// Recycles (or builds) this slot's machine for `spec`, reloading
+    /// the program only when it actually changed (`Arc::ptr_eq`), then
+    /// preps and runs the trial.
+    fn run_job(&mut self, spec: &MemberSpec) -> Result<SimStats, SimError> {
+        let kept = match &mut self.machine {
+            Some(m) => m.reset_to(spec.cfg),
+            None => {
+                self.machine = Some(Machine::new(spec.cfg));
+                false
+            }
+        };
+        let same_prog = kept
+            && self
+                .program
+                .as_ref()
+                .is_some_and(|p| Arc::ptr_eq(p, &spec.program));
+        let m = self.machine.as_mut().expect("slot populated above");
+        if !same_prog {
+            m.load_program(&spec.program);
+            self.program = Some(Arc::clone(&spec.program));
+        }
+        if let Some(prep) = &spec.prep {
+            prep(m)?;
+        }
+        m.run(spec.max_cycles)?;
+        Ok(*m.stats())
+    }
+}
+
+/// Runs every job through a fresh machine pool. See
+/// [`trial_grid_pooled`].
+pub fn trial_grid<T, F>(jobs: &[MemberSpec], threads: usize, extract: F) -> Vec<Result<T, MemberError>>
+where
+    T: Send,
+    F: Fn(usize, &mut Machine, SimStats) -> T + Sync,
+{
+    let mut pool = MachinePool::default();
+    trial_grid_pooled(&mut pool, jobs, threads, extract)
+}
+
+/// The shared per-trial machine-construction path for every sweep
+/// driver (fig5 gadget matrix, fig6 trial loops, covert round trips,
+/// calibration rounds): runs each job on a pooled machine —
+/// [`Machine::reset_to`] between jobs instead of a fresh 4 MB machine
+/// per trial — stealing work across `threads` threads (0 = process
+/// default), and reduces each completed trial through `extract` on the
+/// worker that owns the machine.
+///
+/// `extract` receives the job index, the halted machine (for receiver
+/// transcripts: timing buffers, ciphertext bytes, cache state) and the
+/// final stats. Results come back in job order, every job exactly
+/// once; a failing or panicking job yields `Err` in its slot without
+/// disturbing the others. The output is independent of the thread
+/// count and steal order — each job's trial is a pure function of its
+/// [`MemberSpec`].
+pub fn trial_grid_pooled<T, F>(
+    pool: &mut MachinePool,
+    jobs: &[MemberSpec],
+    threads: usize,
+    extract: F,
+) -> Vec<Result<T, MemberError>>
+where
+    T: Send,
+    F: Fn(usize, &mut Machine, SimStats) -> T + Sync,
+{
+    let threads = effective_threads(threads, jobs.len());
+    if pool.slots.len() < threads {
+        pool.slots.resize_with(threads, PoolSlot::default);
+    }
+    let run_one = |slot: &mut PoolSlot, i: usize| -> Result<T, MemberError> {
+        let spec = &jobs[i];
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+            slot.run_job(spec).map(|stats| {
+                extract(i, slot.machine.as_mut().expect("slot populated"), stats)
+            })
+        }));
+        match attempt {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(MemberError::Sim(e)),
+            Err(p) => {
+                // The machine may be mid-step; drop it rather than
+                // recycle poisoned state into the next job.
+                slot.machine = None;
+                slot.program = None;
+                Err(MemberError::Panicked(panic_message(&*p)))
+            }
+        }
+    };
+    if threads <= 1 {
+        let slot = &mut pool.slots[0];
+        return (0..jobs.len()).map(|i| run_one(slot, i)).collect();
+    }
+    let results: Vec<Mutex<Option<Result<T, MemberError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let results = &results;
+    let next = &next;
+    let run_one = &run_one;
+    thread::scope(|s| {
+        for slot in pool.slots.iter_mut().take(threads) {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = run_one(slot, i);
+                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+            });
+        }
+    });
+    results
+        .iter()
+        .map(|m| {
+            m.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("every claimed job stores a result")
+        })
+        .collect()
+}
+
+/// Best-effort panic payload rendering.
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandora_isa::{Asm, Reg};
+
+    fn counting_program(iters: u64) -> Arc<Program> {
+        let mut a = Asm::new();
+        a.li(Reg::T0, iters);
+        a.label("loop");
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "loop");
+        a.halt();
+        Arc::new(a.assemble().unwrap())
+    }
+
+    #[test]
+    fn effective_threads_resolves_and_clamps() {
+        assert_eq!(effective_threads(4, 2), 2);
+        assert_eq!(effective_threads(4, 100), 4);
+        assert_eq!(effective_threads(1, 0), 1);
+        assert!(effective_threads(0, 64) >= 1);
+    }
+
+    #[test]
+    fn fleet_runs_members_to_completion() {
+        let prog = counting_program(50);
+        let spec = FleetSpec::seed_grid(SimConfig::default(), &prog, [1, 2, 3]).with_threads(2);
+        let mut fleet = spec.build();
+        let outcomes = fleet.run_to_completion();
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            let stats = o.as_ref().expect("member completes");
+            assert!(stats.committed >= 100);
+        }
+        assert_eq!(fleet.running(), 0);
+        let merged = fleet.merged_stats();
+        let serial: SimStats = outcomes.iter().map(|o| o.as_ref().unwrap()).sum();
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn lockstep_batches_match_run_to_completion() {
+        let prog = counting_program(100);
+        let grid = |threads| {
+            FleetSpec::seed_grid(SimConfig::default(), &prog, [7, 8]).with_threads(threads)
+        };
+        let mut stepped = grid(1).build();
+        while stepped.running() > 0 {
+            stepped.step_batch(64);
+        }
+        let mut direct = grid(2).build();
+        let outcomes = direct.run_to_completion();
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(
+                stepped.outcome(i).unwrap().copied().map_err(Clone::clone),
+                o.clone()
+            );
+        }
+    }
+
+    #[test]
+    fn member_timeout_degrades_only_that_member() {
+        let prog = counting_program(100_000);
+        let short = MemberSpec::new(SimConfig::default(), Arc::clone(&prog)).with_max_cycles(64);
+        let fine = MemberSpec::new(SimConfig::default(), Arc::clone(&prog));
+        let mut fleet = FleetSpec::new().member(short).member(fine).build();
+        let outcomes = fleet.run_to_completion();
+        assert!(matches!(
+            outcomes[0],
+            Err(MemberError::Sim(SimError::Timeout { .. }))
+        ));
+        assert!(outcomes[1].is_ok());
+    }
+
+    #[test]
+    fn trial_grid_recycles_machines_across_shape_changes() {
+        let prog = counting_program(30);
+        // More jobs than threads forces reuse; the little-core member
+        // in the middle forces a shape rebuild and back.
+        let cfgs = [
+            SimConfig::default(),
+            SimConfig { seed: 99, ..SimConfig::default() },
+            SimConfig::little_core(),
+            SimConfig::default(),
+        ];
+        let jobs: Vec<MemberSpec> = cfgs
+            .iter()
+            .map(|&cfg| MemberSpec::new(cfg, Arc::clone(&prog)))
+            .collect();
+        let pooled = trial_grid(&jobs, 1, |_, m, stats| (stats.cycles, m.reg(Reg::T0)));
+        for (i, r) in pooled.iter().enumerate() {
+            let (cycles, t0) = r.as_ref().expect("trial completes");
+            assert!(*cycles > 0, "job {i} ran");
+            assert_eq!(*t0, 0, "job {i} counted down");
+        }
+        // Identical cfg/seed jobs must agree bit-for-bit even though
+        // one ran on a fresh machine and one on a recycled one.
+        assert_eq!(pooled[0], pooled[3]);
+    }
+
+    #[test]
+    fn trial_grid_is_thread_count_invariant() {
+        let prog = counting_program(40);
+        let jobs: Vec<MemberSpec> = (0..6)
+            .map(|i| {
+                MemberSpec::new(
+                    SimConfig { seed: 1000 + i, ..SimConfig::default() },
+                    Arc::clone(&prog),
+                )
+            })
+            .collect();
+        let one = trial_grid(&jobs, 1, |_, _, stats| stats);
+        let four = trial_grid(&jobs, 4, |_, _, stats| stats);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn trial_grid_prep_seeds_memory() {
+        let mut a = Asm::new();
+        a.li(Reg::T1, 0x2000);
+        a.ld(Reg::T0, Reg::T1, 0);
+        a.sd(Reg::T0, Reg::T1, 8);
+        a.halt();
+        let prog = Arc::new(a.assemble().unwrap());
+        let job = MemberSpec::new(SimConfig::default(), prog)
+            .with_prep(|m| {
+                m.mem_mut().write_u64(0x2000, 0xdead_beef).unwrap();
+                Ok(())
+            });
+        let out = trial_grid(&[job], 1, |_, m, _| m.mem().read_u64(0x2008).unwrap());
+        assert_eq!(*out[0].as_ref().unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn panicking_job_degrades_without_poisoning_the_pool() {
+        let prog = counting_program(20);
+        let good = MemberSpec::new(SimConfig::default(), Arc::clone(&prog));
+        let bad = MemberSpec::new(SimConfig::default(), Arc::clone(&prog))
+            .with_prep(|_| panic!("poisoned member"));
+        let jobs = vec![good.clone(), bad, good];
+        let out = trial_grid(&jobs, 1, |_, _, stats| stats.cycles);
+        assert!(out[0].is_ok());
+        assert!(
+            matches!(&out[1], Err(MemberError::Panicked(msg)) if msg.contains("poisoned")),
+            "unexpected outcome for the poisoned member: {:?}",
+            out[1]
+        );
+        assert!(out[2].is_ok());
+        assert_eq!(out[0], out[2], "pool recycling survives the panic in between");
+    }
+}

@@ -42,6 +42,7 @@ pub mod duo;
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod fleet;
 pub mod func;
 pub mod machine;
 pub mod mem;
@@ -57,6 +58,7 @@ pub use event::{EventBus, PrefetchSource, SimEvent, SquashReason, StallReason};
 pub use func::{EmuError, Emulator};
 pub use duo::DuoMachine;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use fleet::{Fleet, FleetSpec, MachinePool, MemberError, MemberOutcome, MemberSpec};
 pub use machine::{DeadlockDiagnostics, Machine, SimError};
 pub use mem::cache::{Cache, CacheConfig, CacheOutcome, Replacement};
 pub use mem::hierarchy::{Access, Hierarchy, MemLatency, PrefetchFill, ServedBy};

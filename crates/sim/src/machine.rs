@@ -178,6 +178,46 @@ impl Machine {
         self.hooks.reset_from_config(&self.state.cfg);
     }
 
+    /// Rewinds the machine *into a different configuration*: the fleet
+    /// primitive for recycling one allocated machine across the trials
+    /// of a sweep whose members differ only in seeds, noise,
+    /// optimization switches, latencies, or watchdog settings.
+    ///
+    /// When [`SimConfig::same_shape`] holds between the current and new
+    /// configs, this is an in-place [`Machine::reset`] under the new
+    /// config — every buffer survives at its high-water mark, the
+    /// loaded program is kept, and `true` is returned. The result is
+    /// bit-equal to a fresh `Machine::new(cfg)` with the same program
+    /// loaded (the differential test in `tests/fleet_differential.rs`
+    /// pins this).
+    ///
+    /// When the new config changes allocation shape (memory size,
+    /// pipeline geometry, cache geometry, memory latencies), the
+    /// machine is rebuilt from scratch and `false` is returned — the
+    /// caller must re-load its program.
+    pub fn reset_to(&mut self, cfg: SimConfig) -> bool {
+        if self.state.cfg.same_shape(&cfg) {
+            if self.state.cfg == cfg {
+                // Identical config: the cheap in-place path, no re-boxing.
+                self.reset();
+            } else {
+                // Hooks are rebuilt rather than reset in place: a
+                // hook's `reset` re-derives from the config it was
+                // *built* with (e.g. the noise hook replays its own
+                // stored seed), which is exactly wrong when the config
+                // changed. The big allocations (memory, caches, PRF)
+                // all live in `PipelineState` and survive.
+                self.state.cfg = cfg;
+                self.state.reset();
+                self.hooks = Hooks::from_config(&cfg);
+            }
+            true
+        } else {
+            *self = Machine::new(cfg);
+            false
+        }
+    }
+
     /// Installs a fault plan: each scheduled event is applied at the
     /// start of its cycle on subsequent [`Machine::step`]s. Replaces
     /// any previously installed plan; events scheduled at or before the

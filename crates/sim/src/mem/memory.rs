@@ -39,16 +39,37 @@ impl std::error::Error for MemFault {}
 /// assert_eq!(m.read_u64(16).unwrap(), 0xdead_beef);
 /// assert!(m.read_u64(4090).is_err());
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, Eq)]
 pub struct Memory {
     bytes: Vec<u8>,
+    /// Exclusive upper bound of bytes that may be nonzero — the
+    /// write high-water mark. Whole-memory [`Memory::clear`] (the
+    /// [`Machine::reset`] path, and therefore every fleet machine
+    /// recycle) zero-fills only `..dirty_hi` instead of the full
+    /// backing store: a trial that touched a few KiB of a multi-MiB
+    /// memory resets in proportion to its footprint, which is what
+    /// makes a pooled fleet machine cheaper to recycle than a fresh
+    /// `Machine::new` is to construct.
+    ///
+    /// [`Machine::reset`]: crate::Machine::reset
+    dirty_hi: usize,
 }
 
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Memory")
             .field("size", &self.bytes.len())
+            .field("dirty_hi", &self.dirty_hi)
             .finish()
+    }
+}
+
+/// Equality is over contents only: the dirty high-water mark is a
+/// conservative bookkeeping bound (a cleared-then-reused memory may
+/// carry a higher mark than a fresh one with identical bytes).
+impl PartialEq for Memory {
+    fn eq(&self, other: &Memory) -> bool {
+        self.bytes == other.bytes
     }
 }
 
@@ -58,6 +79,7 @@ impl Memory {
     pub fn new(size: usize) -> Memory {
         Memory {
             bytes: vec![0; size],
+            dirty_hi: 0,
         }
     }
 
@@ -110,6 +132,7 @@ impl Memory {
         for i in 0..n {
             self.bytes[base + i] = (value >> (8 * i)) as u8;
         }
+        self.dirty_hi = self.dirty_hi.max(base + n);
         Ok(())
     }
 
@@ -157,6 +180,7 @@ impl Memory {
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
         let base = self.check(addr, data.len())?;
         self.bytes[base..base + data.len()].copy_from_slice(data);
+        self.dirty_hi = self.dirty_hi.max(base + data.len());
         Ok(())
     }
 
@@ -170,14 +194,22 @@ impl Memory {
         Ok(&self.bytes[base..base + len])
     }
 
-    /// Zero-fills `len` bytes starting at `addr`.
+    /// Zero-fills `len` bytes starting at `addr`. A clear that covers
+    /// the whole dirty prefix (notably the whole-memory clear issued by
+    /// machine reset) zero-fills only up to the write high-water mark —
+    /// everything beyond it is already zero — and rewinds the mark.
     ///
     /// # Errors
     ///
     /// Returns [`MemFault`] if the region is out of bounds.
     pub fn clear(&mut self, addr: u64, len: usize) -> Result<(), MemFault> {
         let base = self.check(addr, len)?;
-        self.bytes[base..base + len].fill(0);
+        if base == 0 && len >= self.dirty_hi {
+            self.bytes[..self.dirty_hi].fill(0);
+            self.dirty_hi = 0;
+        } else {
+            self.bytes[base..base + len].fill(0);
+        }
         Ok(())
     }
 }
@@ -233,6 +265,29 @@ mod tests {
         m.clear(5, 2).unwrap();
         assert_eq!(m.read_bytes(4, 4).unwrap(), &[1, 0, 0, 4]);
         assert!(m.write_bytes(30, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn whole_memory_clear_rewinds_the_dirty_mark() {
+        let mut m = Memory::new(1 << 16);
+        m.write_u64(0x100, 0x1111).unwrap();
+        m.write_bytes(0x4000, &[0xff; 32]).unwrap();
+        assert_eq!(m.dirty_hi, 0x4020);
+        m.clear(0, 1 << 16).unwrap();
+        assert_eq!(m.dirty_hi, 0, "full clear rewinds the mark");
+        assert_eq!(m, Memory::new(1 << 16), "cleared memory equals fresh");
+        // Partial clears zero their range but keep the mark (they
+        // cannot prove anything about bytes above them).
+        m.write_u8(0x200, 7).unwrap();
+        m.clear(0x200, 1).unwrap();
+        assert_eq!(m.read_u8(0x200).unwrap(), 0);
+        assert_eq!(m.dirty_hi, 0x201);
+        // A clear covering the dirty prefix from 0 counts as full even
+        // if shorter than the memory.
+        m.write_u8(0x80, 3).unwrap();
+        m.clear(0, 0x1000).unwrap();
+        assert_eq!(m.dirty_hi, 0);
+        assert_eq!(m, Memory::new(1 << 16));
     }
 
     #[test]

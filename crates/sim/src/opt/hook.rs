@@ -59,7 +59,7 @@ pub enum MemoLookup {
 /// interception points its optimization uses. Hooks mutate only their
 /// own state plus whatever [`PipelineState`] exposes at the call site;
 /// all observation is emitted as [`SimEvent`]s.
-pub trait OptHook: fmt::Debug {
+pub trait OptHook: fmt::Debug + Send {
     /// A short stable identifier; [`Hooks::install`] replaces any
     /// existing hook with the same name.
     fn name(&self) -> &'static str;

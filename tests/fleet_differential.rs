@@ -1,0 +1,193 @@
+//! Differential audit of the fleet batch engine (DESIGN.md §13): a
+//! fleet member must be *bit-equal* to a lone [`Machine`] — same
+//! config, same seed, same program — for every counter in
+//! [`SimStats`], regardless of thread count, steal order, or whether
+//! the machine was freshly constructed or recycled through
+//! [`Machine::reset_to`]. Every sweep driver in the tree (fig5, fig6,
+//! E16, the covert/calibration grids) rides on this equivalence: it is
+//! what makes "refactor the loop onto the fleet" a pure performance
+//! change with byte-identical experiment output.
+//!
+//! The grid deliberately mixes the shapes the real sweeps use: seed
+//! variation, noise intensities (the E16 axis), little/default/big
+//! cores (the fig5 ablation axis), and silent-store opts — so machine
+//! recycling is forced through both the reset-in-place path
+//! (`same_shape`) and the rebuild path (geometry change).
+
+use std::sync::Arc;
+
+use pandora_isa::{Asm, Program, Reg};
+use pandora_sim::fleet::{self, DEFAULT_MAX_CYCLES};
+use pandora_sim::{
+    FleetSpec, Machine, MemberError, MemberSpec, NoiseConfig, OptConfig, SimConfig, SimError,
+    SimStats,
+};
+
+/// A halting workload with enough memory traffic to exercise the cache
+/// hierarchy, the noise hook's replacement pressure, and (under
+/// [`OptConfig::with_silent_stores`]) the store-queue machinery: a
+/// read-modify-write sweep over `lines` cache lines, twice, so the
+/// second pass re-stores values the first pass wrote (silent stores)
+/// and revisits lines the sweep may have evicted.
+fn sweep_program(lines: u64) -> Program {
+    let mut a = Asm::new();
+    a.li(Reg::T3, 2); // passes
+    a.label("pass");
+    a.li(Reg::T0, lines);
+    a.li(Reg::T1, 0x2_0000); // base of the swept window
+    a.label("loop");
+    a.ld(Reg::T2, Reg::T1, 0);
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.sd(Reg::T2, Reg::T1, 0);
+    a.sd(Reg::T2, Reg::T1, 8); // second store, same line: silent on pass 2
+    a.addi(Reg::T1, Reg::T1, 64);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.addi(Reg::T3, Reg::T3, -1);
+    a.bnez(Reg::T3, "pass");
+    a.halt();
+    a.assemble().expect("sweep program assembles")
+}
+
+/// The mixed configuration grid: every axis a real sweep varies.
+fn mixed_cfgs() -> Vec<SimConfig> {
+    let silent = SimConfig::with_opts(OptConfig::with_silent_stores());
+    let mut cfgs = vec![
+        SimConfig::default(),
+        SimConfig { seed: 0xdead_beef, ..SimConfig::default() },
+        silent,
+        SimConfig { seed: 7, ..silent },
+        SimConfig::little_core(),
+        SimConfig::big_core(),
+    ];
+    for intensity in [15u16, 30, 60] {
+        let mut noisy = silent;
+        noisy.noise = NoiseConfig::at_intensity(intensity, 0x5eed ^ u64::from(intensity));
+        cfgs.push(noisy);
+    }
+    cfgs
+}
+
+/// Seeds the swept window so the first pass has deterministic values
+/// to read-modify-write.
+fn prep(m: &mut Machine) -> Result<(), SimError> {
+    for i in 0..64u64 {
+        m.mem_mut()
+            .write_u64(0x2_0000 + i * 8, i.wrapping_mul(0x9e37_79b9))
+            .expect("window in memory");
+    }
+    Ok(())
+}
+
+/// The reference: a lone machine, fresh construction, no fleet — the
+/// exact shape every sweep loop had before the fleet refactor.
+fn lone_run(cfg: SimConfig, program: &Program) -> SimStats {
+    let mut m = Machine::new(cfg);
+    m.load_program(program);
+    prep(&mut m).expect("prep succeeds");
+    m.run(DEFAULT_MAX_CYCLES).expect("lone machine completes")
+}
+
+#[test]
+fn fleet_members_are_bit_equal_to_lone_machines() {
+    let program = Arc::new(sweep_program(48));
+    let cfgs = mixed_cfgs();
+
+    let mut spec = FleetSpec::new().with_threads(4);
+    for &cfg in &cfgs {
+        spec.push(
+            MemberSpec::new(cfg, Arc::clone(&program))
+                .with_prep(prep),
+        );
+    }
+    let mut fleet = spec.build();
+    let outcomes = fleet.run_to_completion();
+
+    assert_eq!(outcomes.len(), cfgs.len());
+    for (i, (&cfg, outcome)) in cfgs.iter().zip(&outcomes).enumerate() {
+        let fleet_stats = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("member {i} degraded: {e}"));
+        let solo = lone_run(cfg, &program);
+        assert_eq!(
+            *fleet_stats, solo,
+            "member {i} (seed {:#x}, noise evict {}‰): fleet stats diverged from a lone machine",
+            cfg.seed, cfg.noise.evict_permille,
+        );
+    }
+
+    // The reduction side of the contract: merged_stats is exactly the
+    // serial Sum over the member outcomes.
+    let serial: SimStats = outcomes.iter().map(|o| o.as_ref().unwrap()).sum();
+    assert_eq!(fleet.merged_stats(), serial);
+}
+
+#[test]
+fn trial_grid_is_invariant_to_threads_and_machine_recycling() {
+    let program = Arc::new(sweep_program(48));
+    let jobs: Vec<MemberSpec> = mixed_cfgs()
+        .into_iter()
+        .map(|cfg| MemberSpec::new(cfg, Arc::clone(&program)).with_prep(prep))
+        .collect();
+
+    // threads = 1 funnels every job through ONE pooled machine, so the
+    // mixed grid forces reset_to through both the same-shape reset path
+    // and the geometry-rebuild path (little/big cores are interleaved
+    // with default-shaped members).
+    let pooled_1: Vec<SimStats> = fleet::trial_grid(&jobs, 1, |_, _, stats| stats)
+        .into_iter()
+        .map(|r| r.expect("job completes"))
+        .collect();
+    let pooled_4: Vec<SimStats> = fleet::trial_grid(&jobs, 4, |_, _, stats| stats)
+        .into_iter()
+        .map(|r| r.expect("job completes"))
+        .collect();
+    let fresh: Vec<SimStats> = jobs
+        .iter()
+        .map(|j| lone_run(j.cfg, &j.program))
+        .collect();
+
+    assert_eq!(pooled_1, fresh, "recycled machines diverged from fresh construction");
+    assert_eq!(pooled_1, pooled_4, "thread count changed trial results");
+}
+
+#[test]
+fn one_member_failing_degrades_only_that_member() {
+    let program = Arc::new(sweep_program(32));
+    let good = MemberSpec::new(SimConfig::default(), Arc::clone(&program)).with_prep(prep);
+    let panicking = MemberSpec::new(SimConfig::default(), Arc::clone(&program))
+        .with_prep(|_| panic!("injected prep panic"));
+    let timing_out = MemberSpec::new(SimConfig::default(), Arc::clone(&program))
+        .with_prep(prep)
+        .with_max_cycles(16);
+
+    let mut fleet = FleetSpec::new()
+        .member(good.clone())
+        .member(panicking)
+        .member(timing_out)
+        .member(good)
+        .with_threads(2)
+        .build();
+    let outcomes = fleet.run_to_completion();
+
+    let healthy = outcomes[0].as_ref().expect("first member completes");
+    assert!(
+        matches!(&outcomes[1], Err(MemberError::Panicked(msg)) if msg.contains("injected")),
+        "panicking member: {:?}",
+        outcomes[1]
+    );
+    assert!(
+        matches!(outcomes[2], Err(MemberError::Sim(SimError::Timeout { .. }))),
+        "timing-out member: {:?}",
+        outcomes[2]
+    );
+    // The sibling after the failures is untouched — bit-equal to the
+    // member that ran before them.
+    assert_eq!(outcomes[3].as_ref().expect("last member completes"), healthy);
+    // And the degraded members are excluded from the grid reduction.
+    let merged = fleet.merged_stats();
+    let mut expect = SimStats::default();
+    expect.merge(healthy);
+    expect.merge(healthy);
+    assert_eq!(merged, expect);
+}

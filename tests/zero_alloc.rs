@@ -21,11 +21,13 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use std::sync::Arc;
+
 use pandora_bench::perf::{
-    fig5_noisy_config, fig5_quiet_config, fig5_step_machine, warmup, NOISY_WARMUP_STEPS,
-    QUIET_WARMUP_STEPS,
+    fig5_noisy_config, fig5_quiet_config, fig5_step_machine, fig5_step_program, warmup,
+    NOISY_WARMUP_STEPS, QUIET_WARMUP_STEPS,
 };
-use pandora_sim::Machine;
+use pandora_sim::{FleetSpec, Machine};
 
 /// System allocator wrapper that counts every allocation event.
 /// Deallocations are deliberately not counted: freeing during
@@ -116,5 +118,30 @@ fn steady_state_step_is_allocation_free() {
         reheated, 0,
         "post-reset noisy fig5 config allocated {reheated} times across {MEASURED_STEPS} \
          steady-state steps — reset must keep the hot loop's buffers at their high-water mark"
+    );
+
+    // Fleet leg: lockstep batch stepping through `Fleet::step_batch`
+    // with an effective thread count of 1 runs inline on the caller's
+    // thread (no spawning, no result buffers) and must inherit the
+    // machines' allocation-free steady state — the fleet adds *zero*
+    // per-batch overhead on the single-thread dispatch path that
+    // `--fleet-threads 1` and nested-parallelism callers use.
+    let program = Arc::new(fig5_step_program());
+    let mut fleet = FleetSpec::seed_grid(
+        fig5_quiet_config(),
+        &program,
+        [0, 1],
+    )
+    .with_threads(1)
+    .build();
+    fleet.step_batch(QUIET_WARMUP_STEPS);
+    let before_fleet = allocs_now();
+    fleet.step_batch(MEASURED_STEPS);
+    let fleet_allocs = allocs_now() - before_fleet;
+    assert_eq!(fleet.running(), 2, "fleet step workloads must never halt");
+    assert_eq!(
+        fleet_allocs, 0,
+        "Fleet::step_batch (threads=1) allocated {fleet_allocs} times across {MEASURED_STEPS} \
+         lockstep steps of 2 members — inline dispatch must stay allocation-free"
     );
 }
