@@ -1,0 +1,9 @@
+//! Thin wrapper over the `e17_scan_service` registry experiment — see
+//! `pandora_bench::experiments::e17_scan_service` for the experiment
+//! body and `runall` for the orchestrated suite.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pandora_bench::experiments::standalone("e17_scan_service")
+}

@@ -1,0 +1,89 @@
+//! **E17** — the leakage-scanning service, exercised in-process.
+//!
+//! Runs the `pandora-server` scan engine (no socket) on its two
+//! built-in victims and prints the resulting Table-I-style rows:
+//!
+//! * the bitsliced-AES victim with §V-A3's 16-bit stack spills must be
+//!   flagged by (at least) the silent-store and DMP classes with
+//!   nonzero measured capacity, and
+//! * the constant-time control — the same program with the key public
+//!   and the marked secret untouched — must be flagged by none.
+//!
+//! This is the service's acceptance property stated as a suite
+//! experiment, so `runall --smoke` catches a scanner regression even
+//! when nobody runs the HTTP integration tests.
+
+use std::time::Duration;
+
+use pandora_runner::{Ctx, Experiment, Failure};
+use pandora_server::scan::run_scan;
+use pandora_server::victims;
+
+/// Registry entry.
+#[must_use]
+pub fn experiment() -> Experiment {
+    Experiment {
+        name: "e17_scan_service",
+        title: "E17: leakage-scan service verdicts for bsaes and control",
+        run,
+        fingerprint: || {
+            let spec = victims::bsaes_spec(super::DEFAULT_SEED, 1);
+            pandora_runner::hash_str(&format!(
+                "e17 mem={} cycles={} secret={}B",
+                spec.mem_size,
+                spec.max_cycles,
+                spec.secret.a.len()
+            ))
+        },
+        deadline: Duration::from_secs(300),
+    }
+}
+
+fn run(ctx: &Ctx) -> Result<(), Failure> {
+    let trials = if ctx.smoke() { 1 } else { 4 };
+    let seed = ctx.seed();
+
+    ctx.header("Scan: bitsliced AES with 16-bit stack spills (leaky)");
+    let leaky = run_scan(&victims::bsaes_spec(seed, trials), 0).map_err(Failure::new)?;
+    print_report(ctx, &leaky);
+    if leaky.architectural_leak {
+        return Err(Failure::new("bsaes victim must be architecturally constant-time"));
+    }
+    for class in ["silent-store", "dmp"] {
+        let c = leaky
+            .classes
+            .iter()
+            .find(|c| c.class == class)
+            .ok_or_else(|| Failure::new(format!("class {class} missing from report")))?;
+        if !c.leaks || c.capacity_bits_per_run <= 0.0 {
+            return Err(Failure::new(format!(
+                "{class} must flag the bsaes victim with nonzero capacity (got {})",
+                c.capacity_bits_per_run
+            )));
+        }
+    }
+
+    ctx.header("Scan: constant-time control (key public, secret untouched)");
+    let control = run_scan(&victims::ct_control_spec(seed, trials), 0).map_err(Failure::new)?;
+    print_report(ctx, &control);
+    if !control.leaking.is_empty() {
+        return Err(Failure::new(format!(
+            "control victim must scan clean; flagged: {:?}",
+            control.leaking
+        )));
+    }
+    Ok(())
+}
+
+fn print_report(ctx: &Ctx, report: &pandora_server::ScanReport) {
+    ctx.line(format_args!(
+        "  architectural leak: {} ({} simulated runs)",
+        report.architectural_leak, report.runs
+    ));
+    for c in &report.classes {
+        ctx.line(format_args!(
+            "  {:16} leaks={:5} capacity={:.2} bits/run",
+            c.class, c.leaks, c.capacity_bits_per_run
+        ));
+    }
+}

@@ -19,6 +19,7 @@ pub mod e12_rfc;
 pub mod e14_defenses;
 pub mod e15_sv_vs_sn_performance;
 pub mod e16_noise_robustness;
+pub mod e17_scan_service;
 pub mod e9_replay_recovery;
 pub mod fig2_fig3_mlds;
 pub mod fig4_cases;
@@ -46,6 +47,7 @@ pub fn registry() -> Registry {
         .with(e14_defenses::experiment())
         .with(e15_sv_vs_sn_performance::experiment())
         .with(e16_noise_robustness::experiment())
+        .with(e17_scan_service::experiment())
 }
 
 /// Adds the two fault-injection selftests (`runall --selftest`): one
@@ -164,8 +166,9 @@ mod tests {
                 "e14_defenses",
                 "e15_sv_vs_sn_performance",
                 "e16_noise_robustness",
+                "e17_scan_service",
             ],
-            "all 14 paper experiments registered, paper order"
+            "all 15 registered experiments, paper order"
         );
     }
 
@@ -174,7 +177,7 @@ mod tests {
         let r = with_selftests(registry());
         assert!(r.get("selftest_panic").is_some());
         assert!(r.get("selftest_wedge").is_some());
-        assert_eq!(r.all().len(), 16);
+        assert_eq!(r.all().len(), 17);
     }
 
     #[test]

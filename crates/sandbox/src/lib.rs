@@ -39,4 +39,6 @@ pub mod verifier;
 
 pub use bytecode::{BpfAluOp, BpfProgram, BpfReg, Cmp, Inst, MapDef, Src};
 pub use compile::{compile, Compiled, SandboxLayout};
-pub use verifier::{verify, RegType, VerifiedProgram, VerifyError};
+pub use verifier::{
+    verify, verify_with_limits, RegType, VerifiedProgram, VerifyError, VerifyLimits,
+};

@@ -61,6 +61,58 @@ fn inst(len: usize) -> impl Strategy<Value = Inst> {
     ]
 }
 
+/// Registers with ids well outside `r0`–`r7` — the kind of value a
+/// deserializer hands the verifier when the wire bytes are hostile.
+fn wild_reg() -> impl Strategy<Value = BpfReg> {
+    any::<u8>().prop_map(BpfReg)
+}
+
+fn wild_src() -> impl Strategy<Value = Src> {
+    prop_oneof![wild_reg().prop_map(Src::Reg), any::<u64>().prop_map(Src::Imm)]
+}
+
+/// Arbitrary instructions: any register id, any map index, any jump
+/// target — nothing is assumed well-formed.
+fn wild_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (wild_reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
+        (wild_reg(), wild_reg()).prop_map(|(dst, src)| Inst::MovReg { dst, src }),
+        (alu_op(), wild_reg(), wild_src()).prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
+        (wild_reg(), any::<usize>(), wild_reg())
+            .prop_map(|(dst, map, idx)| Inst::Lookup { dst, map, idx }),
+        (wild_reg(), wild_reg()).prop_map(|(dst, ptr)| Inst::LoadInd { dst, ptr }),
+        (wild_reg(), wild_reg()).prop_map(|(ptr, src)| Inst::StoreInd { ptr, src }),
+        any::<usize>().prop_map(|target| Inst::Jmp { target }),
+        (
+            prop_oneof![Just(Cmp::Eq), Just(Cmp::Ne), Just(Cmp::Lt), Just(Cmp::Ge)],
+            wild_reg(),
+            wild_src(),
+            any::<usize>()
+        )
+            .prop_map(|(cmp, a, b, target)| Inst::JmpIf { cmp, a, b, target }),
+        wild_reg().prop_map(|dst| Inst::ReadClock { dst }),
+        Just(Inst::Exit),
+    ]
+}
+
+/// Arbitrary map declarations built by struct literal, bypassing the
+/// `MapDef::new` invariants exactly as a deserialized request can.
+fn wild_map() -> impl Strategy<Value = MapDef> {
+    (any::<usize>(), any::<u64>()).prop_map(|(elem_size, len)| MapDef {
+        name: "wild".into(),
+        elem_size,
+        len,
+    })
+}
+
+fn wild_program() -> impl Strategy<Value = BpfProgram> {
+    (
+        prop::collection::vec(wild_map(), 0..4),
+        prop::collection::vec(wild_inst(), 0..24),
+    )
+        .prop_map(|(maps, insts)| BpfProgram { maps, insts })
+}
+
 fn program() -> impl Strategy<Value = BpfProgram> {
     prop::collection::vec(inst(12), 1..12).prop_map(|mut insts| {
         insts.push(Inst::Exit);
@@ -112,6 +164,46 @@ proptest! {
             let a = i as u64;
             if a < lo || a >= hi {
                 prop_assert_eq!(x, y, "byte {:#x} outside sandbox changed", a);
+            }
+        }
+    }
+
+    /// The service-boundary guarantee (pandora-server feeds the
+    /// verifier raw request bodies): malformed programs are *rejected*,
+    /// never a panic. Runs under the default limits so the cap paths
+    /// are exercised too.
+    #[test]
+    fn malformed_programs_never_panic_the_verifier(p in wild_program()) {
+        let got = std::panic::catch_unwind(|| crate::verifier::verify(&p));
+        let verdict = match got {
+            Ok(v) => v,
+            Err(_) => {
+                prop_assert!(false, "verifier panicked on {:?}", p);
+                unreachable!()
+            }
+        };
+        // And acceptance implies every operand really was in range.
+        if verdict.is_ok() {
+            for inst in &p.insts {
+                let regs: Vec<u8> = match *inst {
+                    Inst::MovImm { dst, .. } | Inst::ReadClock { dst } => vec![dst.0],
+                    Inst::MovReg { dst, src } => vec![dst.0, src.0],
+                    Inst::Alu { dst, src, .. } => match src {
+                        Src::Reg(r) => vec![dst.0, r.0],
+                        Src::Imm(_) => vec![dst.0],
+                    },
+                    Inst::Lookup { dst, idx, .. } => vec![dst.0, idx.0],
+                    Inst::LoadInd { dst, ptr } => vec![dst.0, ptr.0],
+                    Inst::StoreInd { ptr, src } => vec![ptr.0, src.0],
+                    Inst::JmpIf { a, b, .. } => match b {
+                        Src::Reg(r) => vec![a.0, r.0],
+                        Src::Imm(_) => vec![a.0],
+                    },
+                    Inst::Jmp { .. } | Inst::Exit => vec![],
+                };
+                for r in regs {
+                    prop_assert!((r as usize) < BpfReg::COUNT);
+                }
             }
         }
     }

@@ -69,6 +69,35 @@ impl RegType {
     }
 }
 
+/// Resource caps applied before type-checking untrusted programs.
+///
+/// The verifier is exposed to hostile input by the scan service
+/// (`pandora-server`), where a submitted program is parsed straight out
+/// of a request body. These caps bound the two resources a malicious
+/// submission could otherwise inflate without ever executing: verifier
+/// work (instruction count — the worklist is O(insts × joins)) and the
+/// sandbox's data-memory footprint (sum of declared map sizes, which
+/// the JIT would otherwise have to lay out in simulated memory).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VerifyLimits {
+    /// Maximum number of bytecode instructions.
+    pub max_insts: usize,
+    /// Maximum total declared map footprint in bytes.
+    pub max_map_bytes: u64,
+}
+
+impl Default for VerifyLimits {
+    /// Generous defaults: far above anything the repo's own programs
+    /// need, low enough that a hostile submission cannot make the
+    /// verifier or JIT do unbounded work.
+    fn default() -> VerifyLimits {
+        VerifyLimits {
+            max_insts: 4096,
+            max_map_bytes: 1 << 20,
+        }
+    }
+}
+
 /// Why verification failed.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum VerifyError {
@@ -140,6 +169,37 @@ pub enum VerifyError {
         /// The offending instruction index.
         pc: usize,
     },
+    /// The program exceeds the instruction-count cap.
+    TooManyInstructions {
+        /// Number of instructions submitted.
+        count: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The declared maps exceed the total memory-footprint cap.
+    MapFootprint {
+        /// Total declared bytes (saturating).
+        bytes: u64,
+        /// The configured cap.
+        max: u64,
+    },
+    /// A register operand outside `r0`–`r7`. Well-formed builders can
+    /// not produce this, but a deserialized program can.
+    BadRegister {
+        /// The offending instruction index.
+        pc: usize,
+        /// The raw register id.
+        reg: u8,
+    },
+    /// A declared map has an invalid shape (element size not a power
+    /// of two in `1..=256`, or zero length).
+    /// [`MapDef::new`](crate::bytecode::MapDef::new) enforces this at
+    /// construction, but the fields are public and a deserialized map
+    /// bypasses the constructor.
+    BadMapShape {
+        /// The offending map index.
+        map: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -173,6 +233,18 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::UnreachableCode { pc } => {
                 write!(f, "pc {pc}: unreachable instruction")
+            }
+            VerifyError::TooManyInstructions { count, max } => {
+                write!(f, "{count} instructions exceeds the cap of {max}")
+            }
+            VerifyError::MapFootprint { bytes, max } => {
+                write!(f, "declared maps total {bytes} B, exceeding the cap of {max} B")
+            }
+            VerifyError::BadRegister { pc, reg } => {
+                write!(f, "pc {pc}: register r{reg} out of range")
+            }
+            VerifyError::BadMapShape { map } => {
+                write!(f, "map {map}: invalid shape (element size must be a power of two in 1..=256, length nonzero)")
             }
         }
     }
@@ -208,12 +280,83 @@ impl VerifiedProgram {
     }
 }
 
-/// Verifies `prog`, returning per-instruction type states on success.
+/// Validates everything the abstract interpreter *assumes*: resource
+/// caps, register ids in range, map shapes that could only arise by
+/// bypassing [`MapDef::new`](crate::bytecode::MapDef::new). Run first
+/// so the type-checking pass below can index register state arrays
+/// without panicking on hostile input.
+fn prevalidate(prog: &BpfProgram, limits: &VerifyLimits) -> Result<(), VerifyError> {
+    if prog.insts.len() > limits.max_insts {
+        return Err(VerifyError::TooManyInstructions {
+            count: prog.insts.len(),
+            max: limits.max_insts,
+        });
+    }
+    for (i, m) in prog.maps.iter().enumerate() {
+        if !m.elem_size.is_power_of_two() || m.elem_size > 256 || m.len == 0 {
+            return Err(VerifyError::BadMapShape { map: i });
+        }
+    }
+    let bytes = prog.maps.iter().fold(0u64, |acc, m| {
+        acc.saturating_add(m.len.saturating_mul(m.elem_size as u64))
+    });
+    if bytes > limits.max_map_bytes {
+        return Err(VerifyError::MapFootprint {
+            bytes,
+            max: limits.max_map_bytes,
+        });
+    }
+    let ok = |r: BpfReg| (r.0 as usize) < BpfReg::COUNT;
+    for (pc, inst) in prog.insts.iter().enumerate() {
+        let bad = match *inst {
+            Inst::MovImm { dst, .. } | Inst::ReadClock { dst } => (!ok(dst)).then_some(dst),
+            Inst::MovReg { dst, src } => [dst, src].into_iter().find(|&r| !ok(r)),
+            Inst::Alu { dst, src, .. } => {
+                (!ok(dst)).then_some(dst).or(match src {
+                    Src::Reg(r) if !ok(r) => Some(r),
+                    _ => None,
+                })
+            }
+            Inst::Lookup { dst, idx, .. } => [dst, idx].into_iter().find(|&r| !ok(r)),
+            Inst::LoadInd { dst, ptr } => [dst, ptr].into_iter().find(|&r| !ok(r)),
+            Inst::StoreInd { ptr, src } => [ptr, src].into_iter().find(|&r| !ok(r)),
+            Inst::JmpIf { a, b, .. } => (!ok(a)).then_some(a).or(match b {
+                Src::Reg(r) if !ok(r) => Some(r),
+                _ => None,
+            }),
+            Inst::Jmp { .. } | Inst::Exit => None,
+        };
+        if let Some(reg) = bad {
+            return Err(VerifyError::BadRegister { pc, reg: reg.0 });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies `prog` under [`VerifyLimits::default`] — see
+/// [`verify_with_limits`].
 ///
 /// # Errors
 ///
 /// Returns the first [`VerifyError`] encountered (by worklist order).
 pub fn verify(prog: &BpfProgram) -> Result<VerifiedProgram, VerifyError> {
+    verify_with_limits(prog, &VerifyLimits::default())
+}
+
+/// Verifies `prog`, returning per-instruction type states on success.
+///
+/// Safe on fully untrusted input: malformed programs (out-of-range
+/// registers, invalid map shapes, over-cap resource use) are rejected
+/// with a structured error, never a panic.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered (by worklist order).
+pub fn verify_with_limits(
+    prog: &BpfProgram,
+    limits: &VerifyLimits,
+) -> Result<VerifiedProgram, VerifyError> {
+    prevalidate(prog, limits)?;
     let n = prog.insts.len();
     let mut in_states: Vec<Option<RegState>> = vec![None; n];
     let mut work: VecDeque<(usize, RegState)> = VecDeque::new();
@@ -533,6 +676,104 @@ mod tests {
         }); // 2
         p.push(Inst::Exit); // 3
         assert!(verify(&p).is_ok());
+    }
+
+    #[test]
+    fn instruction_cap_enforced() {
+        let mut p = BpfProgram::new(one_map());
+        for _ in 0..10 {
+            p.push(Inst::MovImm { dst: r(1), imm: 0 });
+        }
+        p.push(Inst::Exit);
+        let limits = VerifyLimits {
+            max_insts: 4,
+            ..VerifyLimits::default()
+        };
+        assert_eq!(
+            verify_with_limits(&p, &limits),
+            Err(VerifyError::TooManyInstructions { count: 11, max: 4 })
+        );
+        // Default limits are generous enough for the same program.
+        assert!(verify(&p).is_ok());
+    }
+
+    #[test]
+    fn map_footprint_cap_enforced() {
+        let mut p = BpfProgram::new(vec![MapDef::new("big", 8, 1 << 16)]);
+        p.push(Inst::Exit);
+        let limits = VerifyLimits {
+            max_map_bytes: 4096,
+            ..VerifyLimits::default()
+        };
+        assert_eq!(
+            verify_with_limits(&p, &limits),
+            Err(VerifyError::MapFootprint {
+                bytes: 8 << 16,
+                max: 4096
+            })
+        );
+    }
+
+    #[test]
+    fn map_footprint_sum_saturates_instead_of_overflowing() {
+        // Constructed via struct literal: MapDef::new would accept each
+        // map alone, but the sum overflows u64.
+        let huge = MapDef {
+            name: "huge".into(),
+            elem_size: 256,
+            len: u64::MAX / 2,
+        };
+        let mut p = BpfProgram::new(vec![huge.clone(), huge]);
+        p.push(Inst::Exit);
+        match verify(&p) {
+            Err(VerifyError::MapFootprint { bytes, .. }) => assert_eq!(bytes, u64::MAX),
+            other => panic!("expected MapFootprint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_register_rejected_not_panicking() {
+        let mut p = BpfProgram::new(one_map());
+        p.push(Inst::MovImm { dst: r(9), imm: 0 });
+        p.push(Inst::Exit);
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::BadRegister { pc: 0, reg: 9 })
+        );
+
+        let mut q = BpfProgram::new(one_map());
+        q.push(Inst::Alu {
+            op: BpfAluOp::Add,
+            dst: r(0),
+            src: Src::Reg(r(255)),
+        });
+        q.push(Inst::Exit);
+        assert_eq!(
+            verify(&q),
+            Err(VerifyError::BadRegister { pc: 0, reg: 255 })
+        );
+    }
+
+    #[test]
+    fn malformed_map_shape_rejected() {
+        // Bypasses MapDef::new (public fields), as deserialized input can.
+        let m = MapDef {
+            name: "bad".into(),
+            elem_size: 3,
+            len: 1,
+        };
+        let mut p = BpfProgram::new(vec![m]);
+        p.push(Inst::Exit);
+        assert_eq!(verify(&p), Err(VerifyError::BadMapShape { map: 0 }));
+
+        let empty = MapDef {
+            name: "empty".into(),
+            elem_size: 8,
+            len: 0,
+        };
+        let mut q = BpfProgram::new(vec![empty]);
+        q.push(Inst::Exit);
+        assert_eq!(verify(&q), Err(VerifyError::BadMapShape { map: 0 }));
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! A deliberately small HTTP/1.1 server-side reader/writer over
+//! [`std::io`] streams: enough for a JSON API, hardened against the
+//! abuse an open port invites — oversized headers and bodies, torn and
+//! malformed requests, and slow-loris clients (via socket read
+//! timeouts set by the caller).
+//!
+//! Only `Content-Length` bodies are supported; chunked uploads are
+//! refused with 411/501 rather than implemented.
+
+use std::io::{self, Read, Write};
+
+/// Wire limits for one request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum body bytes (larger requests get 413).
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> HttpLimits {
+        HttpLimits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// Method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Each variant maps to one response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Headers exceeded [`HttpLimits::max_head_bytes`] (431).
+    HeadTooLarge,
+    /// Declared body exceeds [`HttpLimits::max_body_bytes`] (413).
+    BodyTooLarge,
+    /// Request syntax the parser refuses (400).
+    Malformed(&'static str),
+    /// Chunked or otherwise un-declared body (411).
+    LengthRequired,
+    /// The socket closed or timed out mid-request.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The HTTP status this error maps to (0 for I/O errors, where no
+    /// response can be delivered).
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::Malformed(_) => 400,
+            HttpError::LengthRequired => 411,
+            HttpError::Io(_) => 0,
+        }
+    }
+
+    /// Human-readable detail for the error envelope.
+    #[must_use]
+    pub fn detail(&self) -> String {
+        match self {
+            HttpError::HeadTooLarge => "request head too large".to_string(),
+            HttpError::BodyTooLarge => "request body too large".to_string(),
+            HttpError::Malformed(d) => format!("malformed request: {d}"),
+            HttpError::LengthRequired => "body requires Content-Length".to_string(),
+            HttpError::Io(e) => format!("i/o: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`, enforcing `limits`. Socket
+/// timeouts must already be set by the caller; a timeout surfaces as
+/// [`HttpError::Io`].
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] describing the refusal; the caller decides
+/// whether a response can still be written.
+pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Request, HttpError> {
+    // Read byte-at-a-time up to the head limit, stopping at CRLFCRLF.
+    // A scan service's request heads are tiny; robustness beats
+    // throughput here.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1];
+    loop {
+        if head.len() >= limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head"));
+        }
+        head.push(buf[0]);
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("head not UTF-8"))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_string();
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) || method.is_empty() {
+        return Err(HttpError::Malformed("bad method token"));
+    }
+    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("garbage after version"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed("target must be absolute path"));
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without colon"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            let n: usize = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparsable Content-Length"))?;
+            if content_length.is_some_and(|prev| prev != n) {
+                return Err(HttpError::Malformed("conflicting Content-Length"));
+            }
+            content_length = Some(n);
+        } else if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+            chunked = true;
+        }
+    }
+    if chunked {
+        return Err(HttpError::LengthRequired);
+    }
+    let len = content_length.unwrap_or(0);
+    if len > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            HttpError::Malformed("body shorter than Content-Length")
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+    Ok(Request { method, path, body })
+}
+
+/// The reason phrase for the statuses this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+/// Writes one JSON response and flushes. `retry_after_ms`, when given,
+/// becomes a whole-second `Retry-After` header (rounded up).
+///
+/// # Errors
+///
+/// Propagates stream write errors (the peer may have vanished; the
+/// caller logs and drops).
+pub fn write_json_response(
+    stream: &mut impl Write,
+    status: u16,
+    retry_after_ms: Option<u64>,
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    if let Some(ms) = retry_after_ms {
+        head.push_str(&format!("Retry-After: {}\r\n", ms.div_ceil(1000).max(1)));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut io::Cursor::new(bytes.to_vec()), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = parse(b"POST /v1/scan?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd")
+            .expect("parses");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/scan");
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn refuses_oversized_heads_and_bodies() {
+        let mut big = b"GET / HTTP/1.1\r\n".to_vec();
+        big.extend(std::iter::repeat_n(b'a', 10_000));
+        assert!(matches!(parse(&big), Err(HttpError::HeadTooLarge)));
+
+        let r = parse(b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+        assert!(matches!(r, Err(HttpError::BodyTooLarge)));
+    }
+
+    #[test]
+    fn refuses_malformed_requests() {
+        for bad in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / SPDY/9\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbadheader\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(HttpError::Malformed(_))),
+                "{:?} should be malformed",
+                String::from_utf8_lossy(bad)
+            );
+        }
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::LengthRequired)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn lf_only_heads_are_tolerated() {
+        let r = parse(b"GET /healthz HTTP/1.1\nHost: h\n\n").expect("parses");
+        assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn response_carries_retry_after_in_seconds() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, 429, Some(1500), "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+}

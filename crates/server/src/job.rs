@@ -1,0 +1,644 @@
+//! Scan-job admission: parse a JSON request body into a validated
+//! [`ScanSpec`], refusing anything over the configured limits with a
+//! structured error — never a panic.
+//!
+//! Submitted victims are **sandbox bytecode** ([`BpfProgram`]): the
+//! only program form a multi-tenant service can safely run, because
+//! the [`pandora_sandbox`] verifier proves memory safety before the
+//! JIT emits a single ISA instruction (paper §VI-B's setting). The two
+//! built-in victims (`"bsaes"`, `"ct-control"`) exercise the scanner
+//! end to end without requiring the client to write bytecode.
+
+use std::sync::Arc;
+
+use pandora_isa::Asm;
+use pandora_sandbox::{
+    compile, verify_with_limits, BpfAluOp, BpfProgram, BpfReg, Cmp, Inst, MapDef, SandboxLayout,
+    Src,
+};
+
+use crate::json::{obj, Json};
+use crate::scan::{MarkedSecret, Preload, ScanLimits, ScanSpec};
+use crate::victims;
+
+/// A structured, JSON-serializable request failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ApiError {
+    /// HTTP status to respond with.
+    pub status: u16,
+    /// Stable machine-readable code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Optional `Retry-After` hint, milliseconds.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ApiError {
+    /// A 422 job-validation failure.
+    #[must_use]
+    pub fn bad_job(detail: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 422,
+            code: "bad-job",
+            detail: detail.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// A 400 malformed-request failure.
+    #[must_use]
+    pub fn bad_request(detail: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            code: "bad-request",
+            detail: detail.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Serializes as the error envelope every non-200 response uses.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("code", Json::Str(self.code.to_string())),
+            ("detail", Json::Str(self.detail.clone())),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            fields.push(("retry_after_ms", Json::from(ms)));
+        }
+        obj(vec![("error", obj(fields))])
+    }
+}
+
+/// What a validated job asks the worker to do.
+#[derive(Clone, Debug)]
+pub enum JobKind {
+    /// A real leakage scan.
+    Scan(ScanSpec),
+    /// Supervision self-test: the worker panics mid-job.
+    SelftestPanic,
+    /// Supervision self-test: the worker wedges until its deadline.
+    SelftestWedge,
+}
+
+/// A validated, admitted job.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Requesting tenant.
+    pub tenant: String,
+    /// Deterministic job name: `scan-<fnv1a64 of the request body>`.
+    /// The same body always names the same job, which is what makes
+    /// journal-based crash recovery byte-exact.
+    pub name: String,
+    /// The work.
+    pub kind: JobKind,
+}
+
+/// Parses and validates one `POST /v1/scan` body.
+///
+/// `allow_selftest` gates the crash/wedge self-test victims, which
+/// exist only so the supervision machinery itself can be tested.
+///
+/// # Errors
+///
+/// Returns a 400 [`ApiError`] for malformed JSON and a 422 for a
+/// well-formed request that fails validation or verification.
+pub fn parse_job(body: &[u8], limits: &ScanLimits, allow_selftest: bool) -> Result<Job, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    let doc = crate::json::parse(text)
+        .map_err(|e| ApiError::bad_request(format!("invalid JSON at byte {}: {}", e.offset, e.what)))?;
+
+    let tenant = match doc.get("tenant") {
+        None => "anonymous".to_string(),
+        Some(t) => {
+            let t = t
+                .as_str()
+                .ok_or_else(|| ApiError::bad_job("\"tenant\" must be a string"))?;
+            if t.is_empty()
+                || t.len() > 64
+                || !t.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            {
+                return Err(ApiError::bad_job(
+                    "\"tenant\" must be 1-64 chars of [A-Za-z0-9_-]",
+                ));
+            }
+            t.to_string()
+        }
+    };
+    let name = format!("scan-{:016x}", pandora_runner::fnv1a64(body));
+
+    let trials = match doc.get("trials") {
+        None => 2,
+        Some(t) => {
+            let t = t
+                .as_u64()
+                .ok_or_else(|| ApiError::bad_job("\"trials\" must be a non-negative integer"))?;
+            if t == 0 || t > u64::from(limits.max_trials) {
+                return Err(ApiError::bad_job(format!(
+                    "\"trials\" must be in 1..={}",
+                    limits.max_trials
+                )));
+            }
+            t as u32
+        }
+    };
+    let seed = match doc.get("seed") {
+        None => 0,
+        Some(s) => s
+            .as_u64()
+            .ok_or_else(|| ApiError::bad_job("\"seed\" must be a non-negative integer"))?,
+    };
+
+    let victim = doc
+        .get("victim")
+        .ok_or_else(|| ApiError::bad_job("missing \"victim\""))?;
+    let kind = if let Some(builtin) = victim.as_str() {
+        match builtin {
+            "bsaes" => JobKind::Scan(victims::bsaes_spec(seed, trials)),
+            "ct-control" => JobKind::Scan(victims::ct_control_spec(seed, trials)),
+            "selftest-panic" if allow_selftest => JobKind::SelftestPanic,
+            "selftest-wedge" if allow_selftest => JobKind::SelftestWedge,
+            other => {
+                return Err(ApiError::bad_job(format!(
+                    "unknown builtin victim {other:?} (have: \"bsaes\", \"ct-control\")"
+                )))
+            }
+        }
+    } else {
+        JobKind::Scan(bytecode_spec(&doc, victim, limits, trials, seed)?)
+    };
+
+    Ok(Job { tenant, name, kind })
+}
+
+/// Builds a [`ScanSpec`] from a submitted bytecode victim: verify,
+/// JIT, lay out maps, resolve the secret marking and input preloads.
+fn bytecode_spec(
+    doc: &Json,
+    victim: &Json,
+    limits: &ScanLimits,
+    trials: u32,
+    seed: u64,
+) -> Result<ScanSpec, ApiError> {
+    let maps = parse_maps(victim)?;
+    let insts = parse_insts(victim)?;
+    let prog = BpfProgram { maps, insts };
+
+    // The admission-path verifier run: resource caps first, then full
+    // type/bounds verification. A refusal is a structured 422.
+    verify_with_limits(&prog, &limits.bpf).map_err(|e| ApiError {
+        status: 422,
+        code: "verify-failed",
+        detail: e.to_string(),
+        retry_after_ms: None,
+    })?;
+
+    let layout = SandboxLayout::at(victims::VICTIM_BASE, &prog.maps);
+    let (_, end) = layout.region();
+    let mem_size = (end.max(1)).next_power_of_two().max(1 << 16) as usize;
+    if mem_size > limits.max_mem_size {
+        return Err(ApiError::bad_job(format!(
+            "victim footprint ({end} bytes) exceeds the {}-byte memory cap",
+            limits.max_mem_size
+        )));
+    }
+
+    let mut asm = Asm::new();
+    compile(&mut asm, "job", &prog, &layout).map_err(|e| ApiError {
+        status: 422,
+        code: "verify-failed",
+        detail: e.to_string(),
+        retry_after_ms: None,
+    })?;
+    asm.halt();
+    let program = asm
+        .assemble()
+        .map_err(|e| ApiError::bad_job(format!("program does not assemble: {e}")))?;
+    if program.len() > limits.max_asm_insts {
+        return Err(ApiError::bad_job(format!(
+            "JITed program ({} instructions) exceeds the {}-instruction cap",
+            program.len(),
+            limits.max_asm_insts
+        )));
+    }
+
+    let secret = parse_secret(doc, &prog, &layout, limits)?;
+    let inputs = parse_inputs(doc, &prog, &layout, limits)?;
+
+    Ok(ScanSpec {
+        program: Arc::new(program),
+        inputs,
+        secret,
+        trials,
+        mem_size,
+        seed,
+        max_cycles: limits.max_cycles,
+    })
+}
+
+fn parse_maps(victim: &Json) -> Result<Vec<MapDef>, ApiError> {
+    let maps = victim
+        .get("maps")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::bad_job("victim needs a \"maps\" array"))?;
+    maps.iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let elem_size = m
+                .get("elem_size")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ApiError::bad_job(format!("map {i}: missing \"elem_size\"")))?;
+            let len = m
+                .get("len")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ApiError::bad_job(format!("map {i}: missing \"len\"")))?;
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("m")
+                .to_string();
+            // Shape errors surface from the verifier's prevalidation;
+            // here we only need a struct (MapDef::new panics on bad
+            // shapes, which a service must never do).
+            Ok(MapDef {
+                name,
+                elem_size: elem_size as usize,
+                len,
+            })
+        })
+        .collect()
+}
+
+fn num(inst: &[Json], i: usize, what: &str, at: usize) -> Result<u64, ApiError> {
+    inst.get(i)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ApiError::bad_job(format!("inst {at}: operand {i} ({what}) must be a non-negative integer")))
+}
+
+fn reg(inst: &[Json], i: usize, what: &str, at: usize) -> Result<BpfReg, ApiError> {
+    let n = num(inst, i, what, at)?;
+    if n > 255 {
+        return Err(ApiError::bad_job(format!(
+            "inst {at}: register operand {n} out of encodable range"
+        )));
+    }
+    Ok(BpfReg(n as u8))
+}
+
+fn src(inst: &[Json], i: usize, at: usize) -> Result<Src, ApiError> {
+    let kind = inst
+        .get(i)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_job(format!("inst {at}: operand {i} must be \"reg\" or \"imm\"")))?;
+    match kind {
+        "reg" => Ok(Src::Reg(reg(inst, i + 1, "src reg", at)?)),
+        "imm" => Ok(Src::Imm(num(inst, i + 1, "imm", at)?)),
+        _ => Err(ApiError::bad_job(format!(
+            "inst {at}: operand {i} must be \"reg\" or \"imm\", got {kind:?}"
+        ))),
+    }
+}
+
+fn parse_insts(victim: &Json) -> Result<Vec<Inst>, ApiError> {
+    let insts = victim
+        .get("insts")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::bad_job("victim needs an \"insts\" array"))?;
+    insts
+        .iter()
+        .enumerate()
+        .map(|(at, inst)| {
+            let inst = inst
+                .as_array()
+                .ok_or_else(|| ApiError::bad_job(format!("inst {at}: must be an array")))?;
+            let op = inst
+                .first()
+                .and_then(Json::as_str)
+                .ok_or_else(|| ApiError::bad_job(format!("inst {at}: first element must be the opcode string")))?;
+            match op {
+                "mov_imm" => Ok(Inst::MovImm {
+                    dst: reg(inst, 1, "dst", at)?,
+                    imm: num(inst, 2, "imm", at)?,
+                }),
+                "mov_reg" => Ok(Inst::MovReg {
+                    dst: reg(inst, 1, "dst", at)?,
+                    src: reg(inst, 2, "src", at)?,
+                }),
+                "alu" => {
+                    let opname = inst
+                        .get(1)
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| ApiError::bad_job(format!("inst {at}: alu needs an op string")))?;
+                    let aop = match opname {
+                        "add" => BpfAluOp::Add,
+                        "sub" => BpfAluOp::Sub,
+                        "and" => BpfAluOp::And,
+                        "or" => BpfAluOp::Or,
+                        "xor" => BpfAluOp::Xor,
+                        "lsh" => BpfAluOp::Lsh,
+                        "rsh" => BpfAluOp::Rsh,
+                        "mul" => BpfAluOp::Mul,
+                        _ => {
+                            return Err(ApiError::bad_job(format!(
+                                "inst {at}: unknown alu op {opname:?}"
+                            )))
+                        }
+                    };
+                    Ok(Inst::Alu {
+                        op: aop,
+                        dst: reg(inst, 2, "dst", at)?,
+                        src: src(inst, 3, at)?,
+                    })
+                }
+                "lookup" => Ok(Inst::Lookup {
+                    dst: reg(inst, 1, "dst", at)?,
+                    map: num(inst, 2, "map", at)? as usize,
+                    idx: reg(inst, 3, "idx", at)?,
+                }),
+                "load_ind" => Ok(Inst::LoadInd {
+                    dst: reg(inst, 1, "dst", at)?,
+                    ptr: reg(inst, 2, "ptr", at)?,
+                }),
+                "store_ind" => Ok(Inst::StoreInd {
+                    ptr: reg(inst, 1, "ptr", at)?,
+                    src: reg(inst, 2, "src", at)?,
+                }),
+                "jmp" => Ok(Inst::Jmp {
+                    target: num(inst, 1, "target", at)? as usize,
+                }),
+                "jmp_if" => {
+                    let cname = inst
+                        .get(1)
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| ApiError::bad_job(format!("inst {at}: jmp_if needs a cmp string")))?;
+                    let cmp = match cname {
+                        "eq" => Cmp::Eq,
+                        "ne" => Cmp::Ne,
+                        "lt" => Cmp::Lt,
+                        "ge" => Cmp::Ge,
+                        _ => {
+                            return Err(ApiError::bad_job(format!(
+                                "inst {at}: unknown cmp {cname:?}"
+                            )))
+                        }
+                    };
+                    let a = reg(inst, 2, "a", at)?;
+                    let b = src(inst, 3, at)?;
+                    // src consumed operands 3 and 4; target is 5.
+                    Ok(Inst::JmpIf {
+                        cmp,
+                        a,
+                        b,
+                        target: num(inst, 5, "target", at)? as usize,
+                    })
+                }
+                "read_clock" => Ok(Inst::ReadClock {
+                    dst: reg(inst, 1, "dst", at)?,
+                }),
+                "exit" => Ok(Inst::Exit),
+                _ => Err(ApiError::bad_job(format!("inst {at}: unknown opcode {op:?}"))),
+            }
+        })
+        .collect()
+}
+
+fn parse_bytes(v: &Json, what: &str) -> Result<Vec<u8>, ApiError> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| ApiError::bad_job(format!("{what} must be an array of bytes")))?;
+    arr.iter()
+        .map(|b| {
+            b.as_u64()
+                .filter(|&n| n <= 255)
+                .map(|n| n as u8)
+                .ok_or_else(|| ApiError::bad_job(format!("{what} must contain integers 0..=255")))
+        })
+        .collect()
+}
+
+fn map_region(
+    prog: &BpfProgram,
+    layout: &SandboxLayout,
+    idx: u64,
+    what: &str,
+) -> Result<(u64, u64), ApiError> {
+    let i = idx as usize;
+    let m = prog.maps.get(i).ok_or_else(|| {
+        ApiError::bad_job(format!(
+            "{what}: map index {idx} out of range ({} maps declared)",
+            prog.maps.len()
+        ))
+    })?;
+    Ok((layout.map_base(i), m.byte_size()))
+}
+
+fn parse_secret(
+    doc: &Json,
+    prog: &BpfProgram,
+    layout: &SandboxLayout,
+    limits: &ScanLimits,
+) -> Result<MarkedSecret, ApiError> {
+    let s = doc
+        .get("secret")
+        .ok_or_else(|| ApiError::bad_job("bytecode victims need a \"secret\" marking"))?;
+    let map = s
+        .get("map")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ApiError::bad_job("\"secret.map\" must be a map index"))?;
+    let (addr, cap) = map_region(prog, layout, map, "secret")?;
+    let a = parse_bytes(
+        s.get("a").ok_or_else(|| ApiError::bad_job("missing \"secret.a\""))?,
+        "secret.a",
+    )?;
+    let b = parse_bytes(
+        s.get("b").ok_or_else(|| ApiError::bad_job("missing \"secret.b\""))?,
+        "secret.b",
+    )?;
+    if a.is_empty() || a.len() != b.len() {
+        return Err(ApiError::bad_job(
+            "\"secret.a\" and \"secret.b\" must be non-empty and the same length",
+        ));
+    }
+    if a.len() > limits.max_secret_bytes || a.len() as u64 > cap {
+        return Err(ApiError::bad_job(format!(
+            "secret length {} exceeds the map ({cap} bytes) or the {}-byte cap",
+            a.len(),
+            limits.max_secret_bytes
+        )));
+    }
+    Ok(MarkedSecret { addr, a, b })
+}
+
+fn parse_inputs(
+    doc: &Json,
+    prog: &BpfProgram,
+    layout: &SandboxLayout,
+    limits: &ScanLimits,
+) -> Result<Vec<Preload>, ApiError> {
+    let Some(inputs) = doc.get("inputs") else {
+        return Ok(Vec::new());
+    };
+    let inputs = inputs
+        .as_array()
+        .ok_or_else(|| ApiError::bad_job("\"inputs\" must be an array"))?;
+    if inputs.len() > limits.max_inputs {
+        return Err(ApiError::bad_job(format!(
+            "at most {} input preloads allowed",
+            limits.max_inputs
+        )));
+    }
+    let mut total = 0usize;
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, inp)| {
+            let map = inp
+                .get("map")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ApiError::bad_job(format!("input {i}: missing \"map\"")))?;
+            let (addr, cap) = map_region(prog, layout, map, "input")?;
+            let bytes = parse_bytes(
+                inp.get("bytes")
+                    .ok_or_else(|| ApiError::bad_job(format!("input {i}: missing \"bytes\"")))?,
+                "input bytes",
+            )?;
+            if bytes.len() as u64 > cap {
+                return Err(ApiError::bad_job(format!(
+                    "input {i}: {} bytes does not fit the {cap}-byte map",
+                    bytes.len()
+                )));
+            }
+            total += bytes.len();
+            if total > limits.max_input_bytes {
+                return Err(ApiError::bad_job(format!(
+                    "total input payload exceeds the {}-byte cap",
+                    limits.max_input_bytes
+                )));
+            }
+            Ok(Preload { addr, bytes })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> ScanLimits {
+        ScanLimits::default()
+    }
+
+    #[test]
+    fn builtin_victims_parse() {
+        let job = parse_job(br#"{"victim":"bsaes","trials":3,"seed":9}"#, &limits(), false)
+            .expect("parses");
+        assert_eq!(job.tenant, "anonymous");
+        let JobKind::Scan(spec) = &job.kind else {
+            panic!("expected scan")
+        };
+        assert_eq!(spec.trials, 3);
+        assert_eq!(spec.seed, 9);
+    }
+
+    #[test]
+    fn selftest_victims_are_gated() {
+        let body = br#"{"victim":"selftest-panic"}"#;
+        assert!(parse_job(body, &limits(), false).is_err());
+        assert!(matches!(
+            parse_job(body, &limits(), true).map(|j| j.kind),
+            Ok(JobKind::SelftestPanic)
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_a_400() {
+        let e = parse_job(b"{nope", &limits(), false).unwrap_err();
+        assert_eq!(e.status, 400);
+        assert_eq!(e.code, "bad-request");
+    }
+
+    #[test]
+    fn bytecode_victim_round_trips_through_the_verifier() {
+        // r0 = maps[0].lookup(r1=0); if null exit; r2 = *r0; exit
+        let body = br#"{
+            "tenant": "alice",
+            "victim": {
+                "maps": [{"name": "t", "elem_size": 8, "len": 16}],
+                "insts": [
+                    ["mov_imm", 1, 0],
+                    ["lookup", 0, 0, 1],
+                    ["jmp_if", "eq", 0, "imm", 0, 4],
+                    ["load_ind", 2, 0],
+                    ["exit"]
+                ]
+            },
+            "secret": {"map": 0, "a": [1,2,3,4], "b": [5,6,7,8]},
+            "inputs": [{"map": 0, "bytes": [0,0,0,0,0,0,0,0]}]
+        }"#;
+        let job = parse_job(body, &limits(), false).expect("valid job");
+        assert_eq!(job.tenant, "alice");
+        let JobKind::Scan(spec) = &job.kind else {
+            panic!("expected scan")
+        };
+        assert_eq!(spec.secret.a, vec![1, 2, 3, 4]);
+        assert!(spec.mem_size >= 1 << 16);
+    }
+
+    #[test]
+    fn unverifiable_bytecode_is_a_422() {
+        // LoadInd through an unchecked (possibly null) pointer.
+        let body = br#"{
+            "victim": {
+                "maps": [{"elem_size": 8, "len": 16}],
+                "insts": [
+                    ["mov_imm", 1, 0],
+                    ["lookup", 0, 0, 1],
+                    ["load_ind", 2, 0],
+                    ["exit"]
+                ]
+            },
+            "secret": {"map": 0, "a": [1], "b": [2]}
+        }"#;
+        let e = parse_job(body, &limits(), false).unwrap_err();
+        assert_eq!(e.status, 422);
+        assert_eq!(e.code, "verify-failed");
+    }
+
+    #[test]
+    fn oversized_bytecode_is_refused_by_prevalidation() {
+        let mut insts = String::new();
+        for _ in 0..5000 {
+            insts.push_str("[\"mov_imm\", 0, 1],");
+        }
+        insts.push_str("[\"exit\"]");
+        let body = format!(
+            r#"{{"victim":{{"maps":[{{"elem_size":8,"len":1}}],"insts":[{insts}]}},"secret":{{"map":0,"a":[1],"b":[2]}}}}"#
+        );
+        let e = parse_job(body.as_bytes(), &limits(), false).unwrap_err();
+        assert_eq!(e.status, 422);
+        assert_eq!(e.code, "verify-failed");
+        assert!(e.detail.contains("instruction"), "{}", e.detail);
+    }
+
+    #[test]
+    fn secret_must_fit_its_map() {
+        let body = br#"{
+            "victim": {"maps": [{"elem_size": 8, "len": 1}], "insts": [["exit"]]},
+            "secret": {"map": 0, "a": [0,0,0,0,0,0,0,0,0], "b": [1,1,1,1,1,1,1,1,1]}
+        }"#;
+        let e = parse_job(body, &limits(), false).unwrap_err();
+        assert_eq!(e.status, 422);
+    }
+
+    #[test]
+    fn job_names_are_deterministic_in_the_body() {
+        let body = br#"{"victim":"bsaes"}"#;
+        let a = parse_job(body, &limits(), false).unwrap();
+        let b = parse_job(body, &limits(), false).unwrap();
+        assert_eq!(a.name, b.name);
+        let c = parse_job(br#"{"victim":"ct-control"}"#, &limits(), false).unwrap();
+        assert_ne!(a.name, c.name);
+    }
+}

@@ -1,0 +1,537 @@
+//! The leakage-scan engine: preconditioned-replay differential testing
+//! of one victim program against every Table-I optimization class.
+//!
+//! ## Protocol
+//!
+//! The paper's leaks are *reuse* leaks: a silent store is silent only
+//! when it re-stores what memory already holds, and a prefetcher
+//! chases values earlier calls left at rest. A scan therefore models
+//! the repeated-call scenario directly:
+//!
+//! 1. **Reference run** — the victim runs from a cold machine with
+//!    secret *A* in place; its final memory image is captured. This is
+//!    "the previous call" in the paper's shared-stack setting (§V-A3).
+//! 2. **AA run** — a cold machine whose memory is preconditioned with
+//!    the reference image runs the victim with secret *A* again.
+//! 3. **AB run** — identical, but the secret region holds *B*.
+//!
+//! Each run yields an **observation** an attacker could plausibly make:
+//! the exact cycle count (timing) and a fingerprint of final cache
+//! residency (what a probe sweep would recover). A class **leaks** when
+//! any trial's AA and AB observations differ *and* the baseline machine
+//! (all optimizations off) cannot tell them apart — i.e. the difference
+//! is attributable to the optimization, not to the program
+//! architecturally depending on its secret.
+//!
+//! Per class the measured capacity is reported as distinguishing trials
+//! over total trials — bits per victim invocation for an attacker using
+//! this receiver.
+//!
+//! Every run is dispatched through [`pandora_sim::fleet::trial_grid`],
+//! so a scan inherits the engine's panic isolation, pooled machines,
+//! and thread-count-invariant determinism.
+
+use std::sync::Arc;
+
+use pandora_isa::Program;
+use pandora_sim::fleet::{self, MemberSpec};
+use pandora_sim::{Machine, MemberError, OptConfig, SimConfig, SimError};
+
+use crate::json::{obj, Json};
+
+/// Resource caps applied to submitted scan jobs before anything runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScanLimits {
+    /// Maximum instructions in a submitted assembly program.
+    pub max_asm_insts: usize,
+    /// Caps for submitted sandbox bytecode (instruction count and map
+    /// footprint), enforced by the `pandora_sandbox` verifier.
+    pub bpf: pandora_sandbox::VerifyLimits,
+    /// Maximum victim data-memory size in bytes.
+    pub max_mem_size: usize,
+    /// Maximum trials per scan.
+    pub max_trials: u32,
+    /// Maximum simulated cycles per run.
+    pub max_cycles: u64,
+    /// Maximum secret length in bytes.
+    pub max_secret_bytes: usize,
+    /// Maximum number of input preloads.
+    pub max_inputs: usize,
+    /// Maximum total preload payload in bytes.
+    pub max_input_bytes: usize,
+}
+
+impl Default for ScanLimits {
+    fn default() -> ScanLimits {
+        ScanLimits {
+            max_asm_insts: 4096,
+            bpf: pandora_sandbox::VerifyLimits::default(),
+            max_mem_size: 1 << 20,
+            max_trials: 16,
+            max_cycles: 2_000_000,
+            max_secret_bytes: 4096,
+            max_inputs: 64,
+            max_input_bytes: 1 << 16,
+        }
+    }
+}
+
+/// A region of victim memory preloaded identically in every run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Preload {
+    /// Absolute byte address.
+    pub addr: u64,
+    /// The bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The secret marking: one region, two candidate values. The scan
+/// measures whether any optimization class can tell them apart.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MarkedSecret {
+    /// Absolute byte address of the secret region.
+    pub addr: u64,
+    /// Candidate secret *A* (also the reference run's value).
+    pub a: Vec<u8>,
+    /// Candidate secret *B*; must be the same length as `a`.
+    pub b: Vec<u8>,
+}
+
+/// A fully validated scan job, ready to run.
+#[derive(Clone, Debug)]
+pub struct ScanSpec {
+    /// The victim program.
+    pub program: Arc<Program>,
+    /// Public inputs, preloaded in every run.
+    pub inputs: Vec<Preload>,
+    /// The secret marking.
+    pub secret: MarkedSecret,
+    /// Number of trials per class (each trial perturbs the machine
+    /// seed).
+    pub trials: u32,
+    /// Victim data-memory size.
+    pub mem_size: usize,
+    /// Base seed; trial `t` runs under `seed ^ (t * GOLDEN)`.
+    pub seed: u64,
+    /// Cycle budget per run.
+    pub max_cycles: u64,
+}
+
+/// One optimization class the scan switches on.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanClass {
+    /// Report name.
+    pub name: &'static str,
+    /// Applies the class to a baseline [`OptConfig`].
+    pub apply: fn(&mut OptConfig),
+}
+
+/// The seven Table-I optimization classes, as scanned. The `dmp` class
+/// enables both data memory-dependent prefetcher families the paper
+/// studies (§IV-D2): the stride-correlating IMP and the
+/// content-directed pointer chaser.
+pub const CLASSES: [ScanClass; 7] = [
+    ScanClass {
+        name: "silent-store",
+        apply: |o| o.silent_stores = true,
+    },
+    ScanClass {
+        name: "comp-simpl",
+        apply: |o| {
+            o.comp_simpl = true;
+            o.fp_subnormal = true;
+        },
+    },
+    ScanClass {
+        name: "operand-packing",
+        apply: |o| o.operand_packing = true,
+    },
+    ScanClass {
+        name: "comp-reuse",
+        apply: |o| o.comp_reuse = true,
+    },
+    ScanClass {
+        name: "value-pred",
+        apply: |o| o.value_pred = true,
+    },
+    ScanClass {
+        name: "rf-compress",
+        apply: |o| o.rf_compress = true,
+    },
+    ScanClass {
+        name: "dmp",
+        apply: |o| {
+            o.dmp = true;
+            o.cdp = true;
+        },
+    },
+];
+
+/// What an attacker observes after one victim run: the cycle count and
+/// a fingerprint of final cache residency (L1d + L2 line addresses,
+/// per set, order-independent). Deliberately *not* the simulator's
+/// internal hook counters — those are not architecturally visible.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Obs {
+    /// Total cycles to halt.
+    pub cycles: u64,
+    /// FNV-1a fingerprint of resident cache lines.
+    pub cache_sig: u64,
+}
+
+fn cache_sig(m: &Machine) -> u64 {
+    let mut bytes = Vec::new();
+    let hier = m.hierarchy();
+    for (tag, cache) in [(1u8, hier.l1()), (2u8, hier.l2())] {
+        for set in 0..cache.config().sets {
+            let mut lines: Vec<u64> = cache.resident_lines(set).collect();
+            lines.sort_unstable();
+            bytes.push(tag);
+            bytes.extend_from_slice(&(set as u32).to_le_bytes());
+            for l in lines {
+                bytes.extend_from_slice(&l.to_le_bytes());
+            }
+        }
+    }
+    pandora_runner::fnv1a64(&bytes)
+}
+
+/// One trial's transcript for one class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TrialObs {
+    /// AA observation (secret unchanged between calls).
+    pub aa: Obs,
+    /// AB observation (secret switched to *B*).
+    pub ab: Obs,
+}
+
+impl TrialObs {
+    fn distinguishes(&self) -> bool {
+        self.aa != self.ab
+    }
+}
+
+/// Per-class scan outcome.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClassReport {
+    /// The class name (see [`CLASSES`]; `"baseline"` for the all-off
+    /// machine).
+    pub class: String,
+    /// Whether this class leaks the marked secret: some trial
+    /// distinguishes AA from AB while the baseline machine does not.
+    pub leaks: bool,
+    /// Distinguishing trials / total trials — bits per victim
+    /// invocation through this receiver.
+    pub capacity_bits_per_run: f64,
+    /// The per-trial receiver transcript.
+    pub transcript: Vec<TrialObs>,
+}
+
+/// The full scan report: the Table-I row for a submitted victim.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScanReport {
+    /// Whether the *baseline* machine already distinguishes the
+    /// secrets — an architectural (program-level) leak that no
+    /// microarchitectural verdict can be layered on.
+    pub architectural_leak: bool,
+    /// One report per scanned class, in [`CLASSES`] order, baseline
+    /// first.
+    pub classes: Vec<ClassReport>,
+    /// Total simulated runs this scan dispatched.
+    pub runs: u32,
+    /// Names of classes that leak (convenience; derived from
+    /// `classes`).
+    pub leaking: Vec<String>,
+}
+
+impl ScanReport {
+    /// Serializes the report (stable field order, no timestamps — a
+    /// re-run of the same job byte-identically reproduces it).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| {
+                let transcript = c
+                    .transcript
+                    .iter()
+                    .map(|t| {
+                        obj(vec![
+                            ("aa_cycles", Json::from(t.aa.cycles)),
+                            ("aa_cache_sig", Json::Str(format!("{:016x}", t.aa.cache_sig))),
+                            ("ab_cycles", Json::from(t.ab.cycles)),
+                            ("ab_cache_sig", Json::Str(format!("{:016x}", t.ab.cache_sig))),
+                            ("distinguishes", Json::Bool(t.distinguishes())),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("class", Json::Str(c.class.clone())),
+                    ("leaks", Json::Bool(c.leaks)),
+                    ("capacity_bits_per_run", Json::Num(c.capacity_bits_per_run)),
+                    ("transcript", Json::Arr(transcript)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("architectural_leak", Json::Bool(self.architectural_leak)),
+            ("leaking_classes", Json::Arr(
+                self.leaking.iter().map(|s| Json::Str(s.clone())).collect(),
+            )),
+            ("classes", Json::Arr(classes)),
+            ("runs", Json::from(u64::from(self.runs))),
+        ])
+    }
+}
+
+/// Why a scan failed to produce a report.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ScanError {
+    /// A member run failed in the simulator.
+    Member {
+        /// Class being scanned.
+        class: String,
+        /// Trial index.
+        trial: u32,
+        /// Which phase (`"reference"`, `"aa"`, `"ab"`).
+        phase: &'static str,
+        /// The simulator error rendering.
+        error: String,
+    },
+    /// A member run panicked (isolated by the fleet engine).
+    Panicked {
+        /// Class being scanned.
+        class: String,
+        /// Trial index.
+        trial: u32,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Member { class, trial, phase, error } => write!(
+                f,
+                "scan member failed (class {class}, trial {trial}, {phase} run): {error}"
+            ),
+            ScanError::Panicked { class, trial, message } => write!(
+                f,
+                "scan member panicked (class {class}, trial {trial}): {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The class list for one scan: baseline first, then [`CLASSES`].
+fn scan_opt_grid() -> Vec<(String, OptConfig)> {
+    let mut grid = vec![("baseline".to_string(), OptConfig::baseline())];
+    for class in CLASSES {
+        let mut opts = OptConfig::baseline();
+        (class.apply)(&mut opts);
+        grid.push((class.name.to_string(), opts));
+    }
+    grid
+}
+
+fn cfg_for(spec: &ScanSpec, opts: OptConfig, trial: u32) -> SimConfig {
+    SimConfig {
+        mem_size: spec.mem_size,
+        opts,
+        seed: spec.seed ^ u64::from(trial).wrapping_mul(GOLDEN),
+        ..SimConfig::default()
+    }
+}
+
+/// Runs the full scan on `threads` fleet threads (0 = process
+/// default).
+///
+/// # Errors
+///
+/// Returns the first [`ScanError`] in class/trial order; individual
+/// member failures (including panics) are isolated by the fleet layer
+/// and surfaced here, never propagated as panics.
+pub fn run_scan(spec: &ScanSpec, threads: usize) -> Result<ScanReport, ScanError> {
+    let grid = scan_opt_grid();
+    let trials = spec.trials.max(1);
+
+    // Job layout: for each (class, trial), one reference run, then
+    // (after the barrier — the images are inputs to phase 2) an AA and
+    // an AB run.
+    let mut ref_jobs = Vec::new();
+    for (_, opts) in &grid {
+        for t in 0..trials {
+            ref_jobs.push(member(spec, *opts, t, Variant::Reference));
+        }
+    }
+    let images = run_phase(&ref_jobs, threads, |m, _| {
+        m.mem()
+            .read_bytes(0, m.config().mem_size)
+            .expect("whole memory readable")
+            .to_vec()
+    })
+    .map_err(|(i, e)| member_error(&grid, trials, i, "reference", e))?;
+
+    let mut measure_jobs = Vec::new();
+    for (ci, (_, opts)) in grid.iter().enumerate() {
+        for t in 0..trials {
+            let image = Arc::new(images[ci * trials as usize + t as usize].clone());
+            measure_jobs.push(member_preconditioned(
+                spec,
+                *opts,
+                t,
+                Arc::clone(&image),
+                Variant::Aa,
+            ));
+            measure_jobs.push(member_preconditioned(spec, *opts, t, image, Variant::Ab));
+        }
+    }
+    let obs = run_phase(&measure_jobs, threads, |m, cycles| Obs {
+        cycles,
+        cache_sig: cache_sig(m),
+    })
+    .map_err(|(i, e)| {
+        let phase = if i % 2 == 0 { "aa" } else { "ab" };
+        member_error(&grid, trials, i / 2, phase, e)
+    })?;
+
+    // Fold observations into per-class reports.
+    let mut classes = Vec::with_capacity(grid.len());
+    for (ci, (name, _)) in grid.iter().enumerate() {
+        let mut transcript = Vec::with_capacity(trials as usize);
+        for t in 0..trials {
+            let base = (ci * trials as usize + t as usize) * 2;
+            transcript.push(TrialObs {
+                aa: obs[base],
+                ab: obs[base + 1],
+            });
+        }
+        let distinguishing = transcript.iter().filter(|t| t.distinguishes()).count();
+        classes.push(ClassReport {
+            class: name.clone(),
+            leaks: false, // filled below, once the baseline verdict is known
+            capacity_bits_per_run: distinguishing as f64 / f64::from(trials),
+            transcript,
+        });
+    }
+    let architectural_leak = classes[0].capacity_bits_per_run > 0.0;
+    for c in classes.iter_mut().skip(1) {
+        c.leaks = !architectural_leak && c.capacity_bits_per_run > 0.0;
+    }
+    let leaking = classes
+        .iter()
+        .filter(|c| c.leaks)
+        .map(|c| c.class.clone())
+        .collect();
+    Ok(ScanReport {
+        architectural_leak,
+        classes,
+        runs: (ref_jobs.len() + measure_jobs.len()) as u32,
+        leaking,
+    })
+}
+
+#[derive(Clone, Copy)]
+enum Variant {
+    Reference,
+    Aa,
+    Ab,
+}
+
+fn secret_bytes(spec: &ScanSpec, v: Variant) -> Vec<u8> {
+    match v {
+        Variant::Reference | Variant::Aa => spec.secret.a.clone(),
+        Variant::Ab => spec.secret.b.clone(),
+    }
+}
+
+fn member(spec: &ScanSpec, opts: OptConfig, trial: u32, v: Variant) -> MemberSpec {
+    let inputs = spec.inputs.clone();
+    let secret_addr = spec.secret.addr;
+    let secret = secret_bytes(spec, v);
+    MemberSpec::new(cfg_for(spec, opts, trial), Arc::clone(&spec.program))
+        .with_max_cycles(spec.max_cycles)
+        .with_prep(move |m: &mut Machine| {
+            for p in &inputs {
+                m.mem_mut()
+                    .write_bytes(p.addr, &p.bytes)
+                    .map_err(|fault| SimError::Mem { fault, pc: 0 })?;
+            }
+            m.mem_mut()
+                .write_bytes(secret_addr, &secret)
+                .map_err(|fault| SimError::Mem { fault, pc: 0 })?;
+            Ok(())
+        })
+}
+
+fn member_preconditioned(
+    spec: &ScanSpec,
+    opts: OptConfig,
+    trial: u32,
+    image: Arc<Vec<u8>>,
+    v: Variant,
+) -> MemberSpec {
+    let secret_addr = spec.secret.addr;
+    let secret = secret_bytes(spec, v);
+    MemberSpec::new(cfg_for(spec, opts, trial), Arc::clone(&spec.program))
+        .with_max_cycles(spec.max_cycles)
+        .with_prep(move |m: &mut Machine| {
+            m.mem_mut()
+                .write_bytes(0, &image)
+                .map_err(|fault| SimError::Mem { fault, pc: 0 })?;
+            m.mem_mut()
+                .write_bytes(secret_addr, &secret)
+                .map_err(|fault| SimError::Mem { fault, pc: 0 })?;
+            Ok(())
+        })
+}
+
+/// Runs one job list, reducing each member through `extract(machine,
+/// cycles)`; the first failing member aborts the phase with its index.
+fn run_phase<T: Send>(
+    jobs: &[MemberSpec],
+    threads: usize,
+    extract: impl Fn(&mut Machine, u64) -> T + Sync,
+) -> Result<Vec<T>, (usize, MemberError)> {
+    let results = fleet::trial_grid(jobs, threads, |_, m, stats| extract(m, stats.cycles));
+    let mut out = Vec::with_capacity(results.len());
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => return Err((i, e)),
+        }
+    }
+    Ok(out)
+}
+
+fn member_error(
+    grid: &[(String, OptConfig)],
+    trials: u32,
+    flat: usize,
+    phase: &'static str,
+    e: MemberError,
+) -> ScanError {
+    let class = grid
+        .get(flat / trials as usize)
+        .map_or("?".to_string(), |(n, _)| n.clone());
+    let trial = (flat % trials as usize) as u32;
+    match e {
+        MemberError::Panicked(message) => ScanError::Panicked {
+            class,
+            trial,
+            message,
+        },
+        e => ScanError::Member {
+            class,
+            trial,
+            phase,
+            error: e.to_string(),
+        },
+    }
+}

@@ -1,0 +1,164 @@
+//! The scan store: crash-safe journaled report persistence.
+//!
+//! Reuses the runner's storage layer wholesale — [`Journal`] for the
+//! append-only completion log and [`pandora_runner::atomic_write`] for
+//! report publication — which means every write/fsync/rename the store
+//! performs already routes through the [`pandora_runner::chaos`]
+//! fail-point sites, extending chaos coverage to the server's
+//! job-journal and report-publish I/O with no new machinery.
+//!
+//! **Ordering invariant**: a report is *published* (atomically
+//! renamed into place) before it is *journaled*. A journal entry
+//! therefore proves the report file exists with the recorded hash; a
+//! crash between the two leaves an unjournaled-but-published report,
+//! which recovery simply re-runs and re-publishes byte-identically
+//! (reports are deterministic and timestamp-free).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pandora_runner::{atomic_write, clean_stale_tmp, fnv1a64, Journal, JournalEntry};
+
+/// A directory of published scan reports plus the journal that proves
+/// them complete.
+#[derive(Debug)]
+pub struct ScanStore {
+    dir: PathBuf,
+    journal: Journal,
+    done: HashMap<String, JournalEntry>,
+}
+
+impl ScanStore {
+    /// Opens (or creates) the store at `dir`, recovering the journal:
+    /// torn tails are truncated, stale publish temp files removed, and
+    /// entries whose report file is missing or hash-mismatched are
+    /// dropped so the job re-runs.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory or recovering the journal.
+    pub fn open(dir: &Path) -> io::Result<ScanStore> {
+        fs::create_dir_all(dir)?;
+        let _ = clean_stale_tmp(dir);
+        let (entries, journal) = Journal::recover(&dir.join("scans.journal"))?;
+        let mut store = ScanStore {
+            dir: dir.to_path_buf(),
+            journal,
+            done: HashMap::new(),
+        };
+        for e in entries {
+            if store.read_verified(&e).is_some() {
+                store.done.insert(e.name.clone(), e);
+            }
+        }
+        Ok(store)
+    }
+
+    /// Where `name`'s report lives.
+    #[must_use]
+    pub fn report_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.json"))
+    }
+
+    fn read_verified(&self, e: &JournalEntry) -> Option<String> {
+        let bytes = fs::read(self.report_path(&e.name)).ok()?;
+        if bytes.len() as u64 == e.output_bytes && fnv1a64(&bytes) == e.output_hash {
+            String::from_utf8(bytes).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Returns the cached report for `name` if it was journaled and
+    /// its published bytes still verify.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<String> {
+        self.done.get(name).and_then(|e| self.read_verified(e))
+    }
+
+    /// Number of journaled completions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Whether nothing is journaled yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// Publishes `body` as `name`'s report, then journals completion.
+    /// Entries are deterministic (no wall-clock fields are recorded)
+    /// so a re-run of the same jobs reproduces the journal
+    /// byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the publish or journal write (including
+    /// injected chaos faults); on error the journal records nothing,
+    /// so the job re-runs after restart.
+    pub fn publish(&mut self, name: &str, body: &str) -> io::Result<()> {
+        atomic_write(&self.report_path(name), body.as_bytes())?;
+        let entry = JournalEntry {
+            name: name.to_string(),
+            status: "ok".to_string(),
+            wall_ms: 0,
+            retries: 0,
+            output_hash: fnv1a64(body.as_bytes()),
+            output_bytes: body.len() as u64,
+        };
+        self.journal.append(&entry)?;
+        self.done.insert(name.to_string(), entry);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pandora-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn publish_then_reopen_serves_from_cache() {
+        let dir = tmpdir("cache");
+        let mut s = ScanStore::open(&dir).unwrap();
+        assert!(s.is_empty());
+        s.publish("scan-1", "{\"x\":1}").unwrap();
+        assert_eq!(s.lookup("scan-1").as_deref(), Some("{\"x\":1}"));
+
+        let s2 = ScanStore::open(&dir).unwrap();
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s2.lookup("scan-1").as_deref(), Some("{\"x\":1}"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_reports_are_not_served() {
+        let dir = tmpdir("tamper");
+        let mut s = ScanStore::open(&dir).unwrap();
+        s.publish("scan-1", "{\"x\":1}").unwrap();
+        fs::write(s.report_path("scan-1"), "{\"x\":2}").unwrap();
+        let s2 = ScanStore::open(&dir).unwrap();
+        assert_eq!(s2.lookup("scan-1"), None, "hash mismatch must invalidate");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unjournaled_reports_are_invisible() {
+        let dir = tmpdir("orphan");
+        let s = ScanStore::open(&dir).unwrap();
+        fs::write(s.report_path("scan-9"), "{}").unwrap();
+        drop(s);
+        let s2 = ScanStore::open(&dir).unwrap();
+        assert_eq!(s2.lookup("scan-9"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,174 @@
+//! Built-in scan victims: the paper's bitsliced-AES victim (§V-A3) and
+//! a constant-time control.
+//!
+//! The bsaes victim is the paper's repeated-call AES service: one
+//! encryption whose final SubBytes round spills its eight slices to
+//! fixed stack slots, plus — as in §V-A3 — the *16-bit intermediate*
+//! spills of those slices, and an epilogue that reloads the spill frame
+//! (the next call reading its own stack). Under silent stores the AA
+//! replay re-stores byte-identical values and dequeues silently; under
+//! the content-directed prefetcher the reloaded spill lines hold small
+//! 8-aligned (pointer-shaped) secret-derived values whose targets get
+//! prefetched. Both channels distinguish the round keys.
+//!
+//! The control runs the *same* program with the key as a public input;
+//! its marked secret lives in a region no instruction ever touches, so
+//! no optimization class — including the prefetchers — can observe it.
+
+use std::sync::Arc;
+
+use pandora_crypto::{BsaesLayout, RoundKeys, SpillHook};
+use pandora_isa::{Asm, Program, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scan::{MarkedSecret, Preload, ScanSpec};
+
+/// Where the victim's data lives (as the attacks crate's bsaes rig).
+pub const VICTIM_BASE: u64 = 0x1_0000;
+
+/// The marked-but-untouched secret region of the constant-time
+/// control.
+pub const CONTROL_SECRET_ADDR: u64 = 0x3_0000;
+
+/// Victim data-memory size: 256 KiB — small enough that scans are
+/// cheap, large enough that every 16-bit spill value is in bounds for
+/// the pointer-shape test (the §IV-D2 CDP predicate).
+pub const VICTIM_MEM_SIZE: usize = 1 << 18;
+
+fn aux_spill_base(lay: &BsaesLayout) -> u64 {
+    // Line-aligned, directly after the layout.
+    (lay.rk + BsaesLayout::size() + 63) & !63
+}
+
+/// The shared program: one bsaes encryption with 16-bit intermediate
+/// spills and a spill-frame reload epilogue.
+fn victim_program() -> (Arc<Program>, BsaesLayout) {
+    let lay = BsaesLayout::at(VICTIM_BASE);
+    let aux = aux_spill_base(&lay);
+    let mut a = Asm::new();
+    pandora_crypto::codegen::emit_encrypt(&mut a, &lay, |a, hook, k| {
+        if matches!(hook, SpillHook::After) {
+            // §V-A3's 16-bit intermediate spill: the low half-word of
+            // the slice, kept 8-aligned, to its own stack line.
+            a.andi(Reg::T1, Reg::T0, 0xFFF8);
+            a.sd(Reg::T1, Reg::ZERO, (aux + 64 * k as u64) as i64);
+        }
+    });
+    // Epilogue: drain the store queue, then read the spill frame back —
+    // the stack reload a subsequent call performs, and the committed
+    // loads a content-directed prefetcher scans.
+    a.fence();
+    for k in 0..8u64 {
+        a.ld(Reg::T2, Reg::ZERO, (aux + 64 * k) as i64);
+    }
+    a.halt();
+    (Arc::new(a.assemble().expect("victim assembles")), lay)
+}
+
+fn rand_bytes(rng: &mut SmallRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen_range(0u64..256) as u8).collect()
+}
+
+fn key_bytes(rng: &mut SmallRng) -> [u8; 16] {
+    let mut k = [0u8; 16];
+    k.copy_from_slice(&rand_bytes(rng, 16));
+    k
+}
+
+fn round_key_preload(key: &[u8; 16]) -> Vec<u8> {
+    BsaesLayout::round_key_bytes(&RoundKeys::expand(key))
+}
+
+/// The known-leaky victim: the round keys are the secret.
+#[must_use]
+pub fn bsaes_spec(seed: u64, trials: u32) -> ScanSpec {
+    let (program, lay) = victim_program();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xb5ae_5b5a_e5b5_ae55);
+    let key_a = key_bytes(&mut rng);
+    let key_b = key_bytes(&mut rng);
+    let pt = rand_bytes(&mut rng, 16);
+    ScanSpec {
+        program,
+        inputs: vec![Preload {
+            addr: lay.pt,
+            bytes: pt,
+        }],
+        secret: MarkedSecret {
+            addr: lay.rk,
+            a: round_key_preload(&key_a),
+            b: round_key_preload(&key_b),
+        },
+        trials,
+        mem_size: VICTIM_MEM_SIZE,
+        seed,
+        max_cycles: 500_000,
+    }
+}
+
+/// The constant-time control: same program, key public, secret marked
+/// at an address nothing ever touches.
+#[must_use]
+pub fn ct_control_spec(seed: u64, trials: u32) -> ScanSpec {
+    let (program, lay) = victim_program();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc047_4011_c047_4011);
+    let key = key_bytes(&mut rng);
+    let pt = rand_bytes(&mut rng, 16);
+    let secret_a = rand_bytes(&mut rng, 16);
+    let secret_b = rand_bytes(&mut rng, 16);
+    ScanSpec {
+        program,
+        inputs: vec![
+            Preload {
+                addr: lay.rk,
+                bytes: round_key_preload(&key),
+            },
+            Preload {
+                addr: lay.pt,
+                bytes: pt,
+            },
+        ],
+        secret: MarkedSecret {
+            addr: CONTROL_SECRET_ADDR,
+            a: secret_a,
+            b: secret_b,
+        },
+        trials,
+        mem_size: VICTIM_MEM_SIZE,
+        seed,
+        max_cycles: 500_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::run_scan;
+
+    /// The end-to-end truth the whole service exists to report: the
+    /// bitsliced-AES victim leaks through (at least) the silent-store
+    /// and DMP classes with nonzero capacity, and the constant-time
+    /// control leaks through nothing.
+    #[test]
+    fn bsaes_leaks_and_control_does_not() {
+        let report = run_scan(&bsaes_spec(7, 2), 0).expect("bsaes scan completes");
+        assert!(!report.architectural_leak, "bsaes victim is constant-time");
+        for class in ["silent-store", "dmp"] {
+            let c = report
+                .classes
+                .iter()
+                .find(|c| c.class == class)
+                .expect("class scanned");
+            assert!(c.leaks, "{class} must flag the bsaes victim");
+            assert!(c.capacity_bits_per_run > 0.0);
+        }
+
+        let control = run_scan(&ct_control_spec(7, 2), 0).expect("control scan completes");
+        assert!(!control.architectural_leak);
+        assert!(
+            control.leaking.is_empty(),
+            "control flagged: {:?}",
+            control.leaking
+        );
+    }
+}

@@ -644,7 +644,24 @@ where
         }));
         match attempt {
             Ok(Ok(v)) => Ok(v),
-            Ok(Err(e)) => Err(MemberError::Sim(e)),
+            Ok(Err(e)) => {
+                // Controlled stops (timeout, fault, wild pc, deadlock)
+                // leave a machine that `reset_to` provably rewinds —
+                // the half-stepped-recycling regression test in
+                // tests/fleet_differential.rs pins bit-equality. An
+                // invariant break is different: the pipeline has
+                // already violated its own bookkeeping, so nothing
+                // about its state — including what reset() assumes —
+                // can be trusted. Rebuild instead of recycling.
+                if matches!(
+                    e,
+                    SimError::InvalidState { .. } | SimError::ResourceExhausted { .. }
+                ) {
+                    slot.machine = None;
+                    slot.program = None;
+                }
+                Err(MemberError::Sim(e))
+            }
             Err(p) => {
                 // The machine may be mid-step; drop it rather than
                 // recycle poisoned state into the next job.

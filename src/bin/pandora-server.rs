@@ -1,0 +1,141 @@
+//! `pandora-server`: serve the leakage scanner over HTTP/JSON.
+//!
+//! ```sh
+//! pandora-server [options]
+//!
+//! Options:
+//!   --port N          listen port (default 7311; 0 = ephemeral)
+//!   --addr HOST       bind address (default 127.0.0.1)
+//!   --threads N       worker threads (default 2)
+//!   --queue N         admission queue depth (default 8)
+//!   --data-dir PATH   journaled report store (default: no persistence)
+//!   --deadline-ms N   per-job wall-clock budget (default 60000)
+//!   --selftest        enable the crash/wedge self-test victims
+//!   --selfscan PATH   no server: scan the built-in victims in-process
+//!                     and write the combined report JSON to PATH
+//! ```
+//!
+//! Quickstart:
+//!
+//! ```sh
+//! pandora-server --port 7311 &
+//! curl -s localhost:7311/v1/scan -d '{"victim":"bsaes","trials":2}'
+//! curl -s localhost:7311/healthz
+//! curl -s -X POST localhost:7311/v1/drain   # graceful exit 0
+//! ```
+
+use std::process::ExitCode;
+
+use pandora::server::json::{obj, Json};
+use pandora::server::server::{Server, ServerConfig};
+use pandora::server::victims;
+
+struct Options {
+    addr: String,
+    port: u16,
+    cfg: ServerConfig,
+    selfscan: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pandora-server [--port N] [--addr HOST] [--threads N] [--queue N] \
+         [--data-dir PATH] [--deadline-ms N] [--selftest] [--selfscan PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        addr: "127.0.0.1".to_string(),
+        port: 7311,
+        cfg: ServerConfig::default(),
+        selfscan: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{a} needs a {what}");
+            usage()
+        });
+        match a.as_str() {
+            "--port" => o.port = val("port").parse().unwrap_or_else(|_| usage()),
+            "--addr" => o.addr = val("host"),
+            "--threads" => o.cfg.threads = val("count").parse().unwrap_or_else(|_| usage()),
+            "--queue" => o.cfg.queue_depth = val("depth").parse().unwrap_or_else(|_| usage()),
+            "--data-dir" => o.cfg.data_dir = Some(val("path").into()),
+            "--deadline-ms" => {
+                o.cfg.job_deadline_ms = val("ms").parse().unwrap_or_else(|_| usage());
+            }
+            "--selftest" => o.cfg.allow_selftest = true,
+            "--selfscan" => o.selfscan = Some(val("path")),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+/// Runs both built-in victims in-process and writes one combined
+/// report — the `runall` smoke path and the CI artifact, no socket
+/// required.
+fn selfscan(path: &str) -> ExitCode {
+    let mut out = Vec::new();
+    for (name, spec) in [
+        ("bsaes", victims::bsaes_spec(7, 2)),
+        ("ct-control", victims::ct_control_spec(7, 2)),
+    ] {
+        match pandora::server::run_scan(&spec, 0) {
+            Ok(report) => {
+                println!(
+                    "{name}: leaking classes: {:?}",
+                    report.leaking
+                );
+                out.push((name, report.to_json()));
+            }
+            Err(e) => {
+                eprintln!("selfscan {name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let doc = obj(out);
+    let body = doc.dump();
+    if let Err(e) = pandora::runner::atomic_write(std::path::Path::new(path), body.as_bytes()) {
+        eprintln!("writing {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {path}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    if let Some(path) = &o.selfscan {
+        return selfscan(path);
+    }
+    let server = match Server::bind(&format!("{}:{}", o.addr, o.port), o.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {}:{}: {e}", o.addr, o.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            println!("pandora-server listening on {addr}");
+            println!("{}", obj(vec![("listening", Json::Str(addr.to_string()))]).dump());
+        }
+        Err(e) => eprintln!("local_addr: {e}"),
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("drained; exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

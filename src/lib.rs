@@ -34,6 +34,10 @@
 //!   the `runall` suite driver: per-experiment deadlines, panic
 //!   isolation, bounded retries, checkpoint/resume, and crash-safe
 //!   result publication.
+//! * [`server`] — the `pandora-server` leakage-scanning service: submit
+//!   a victim over HTTP/JSON, get a Table-I-style report of which
+//!   optimization classes leak its secret, behind per-tenant quotas,
+//!   circuit breakers, and journaled crash-safe reports.
 //!
 //! ## Quickstart
 //!
@@ -66,4 +70,5 @@ pub use pandora_crypto as crypto;
 pub use pandora_isa as isa;
 pub use pandora_runner as runner;
 pub use pandora_sandbox as sandbox;
+pub use pandora_server as server;
 pub use pandora_sim as sim;

@@ -151,6 +151,77 @@ fn trial_grid_is_invariant_to_threads_and_machine_recycling() {
     assert_eq!(pooled_1, pooled_4, "thread count changed trial results");
 }
 
+/// The pool-recycling hazard the scan service leans on: a trial that
+/// *panics with the machine genuinely mid-step* (in-flight uops, dirty
+/// caches, partial memory writes) must leave nothing behind for the
+/// next job on the same slot — the machine is discarded and rebuilt,
+/// never handed over half-stepped. Likewise a trial abandoned mid-run
+/// by a timeout (the machine IS retained there) must recycle through
+/// `reset_to` bit-equal to fresh construction. `threads = 1` funnels
+/// every job through one slot so the poisoned machine, if kept, would
+/// be the very next job's machine.
+#[test]
+fn pool_discards_panicked_machines_and_heals_half_stepped_ones() {
+    let program = Arc::new(sweep_program(48));
+    let cfg = SimConfig {
+        mem_size: 1 << 18,
+        ..SimConfig::with_opts(OptConfig::with_silent_stores())
+    };
+
+    // Job 0: half-step the machine, then panic mid-trial.
+    let half_step_panic = MemberSpec::new(cfg, Arc::clone(&program)).with_prep(|m| {
+        prep(m)?;
+        match m.run(200) {
+            Err(SimError::Timeout { .. }) => {}
+            other => panic!("expected the sweep to be mid-flight at 200 cycles: {other:?}"),
+        }
+        panic!("injected mid-step panic");
+    });
+    // Job 1: a timeout abandons the machine mid-run; the pool retains
+    // and resets it rather than rebuilding.
+    let timing_out = MemberSpec::new(cfg, Arc::clone(&program))
+        .with_prep(prep)
+        .with_max_cycles(64);
+    // Job 2 inherits the slot both degraded jobs went through.
+    let good = MemberSpec::new(cfg, Arc::clone(&program)).with_prep(prep);
+    let jobs = vec![half_step_panic, timing_out, good];
+
+    let full_image = |m: &mut Machine| -> Vec<u8> {
+        m.mem()
+            .read_bytes(0, m.config().mem_size)
+            .expect("whole memory readable")
+            .to_vec()
+    };
+    let out = fleet::trial_grid(&jobs, 1, |_, m, stats| (stats, full_image(m)));
+
+    assert!(
+        matches!(&out[0], Err(MemberError::Panicked(msg)) if msg.contains("injected mid-step")),
+        "half-stepped panicking member: {:?}",
+        out[0].as_ref().map(|(s, _)| s)
+    );
+    assert!(
+        matches!(out[1], Err(MemberError::Sim(SimError::Timeout { .. }))),
+        "timing-out member: {:?}",
+        out[1].as_ref().map(|(s, _)| s)
+    );
+    let (stats, image) = out[2].as_ref().expect("job after the failures completes");
+
+    // Reference: the same trial on a machine nothing ever touched.
+    let mut solo = Machine::new(cfg);
+    solo.load_program(&program);
+    prep(&mut solo).expect("prep succeeds");
+    let solo_stats = solo.run(DEFAULT_MAX_CYCLES).expect("lone machine completes");
+    assert_eq!(
+        *stats, solo_stats,
+        "stats after recycling past a panicked + half-stepped slot diverged"
+    );
+    assert_eq!(
+        *image,
+        full_image(&mut solo),
+        "memory image after recycling past a panicked + half-stepped slot diverged"
+    );
+}
+
 #[test]
 fn one_member_failing_degrades_only_that_member() {
     let program = Arc::new(sweep_program(32));
