@@ -16,6 +16,11 @@ pub struct HttpLimits {
     pub max_head_bytes: usize,
     /// Maximum body bytes (larger requests get 413).
     pub max_body_bytes: usize,
+    /// Overall wall-clock budget for reading one request, milliseconds
+    /// (0 disables). Per-read socket timeouts alone don't bound total
+    /// request time — a client trickling one byte per timeout window
+    /// would hold a worker forever.
+    pub max_request_ms: u64,
 }
 
 impl Default for HttpLimits {
@@ -23,6 +28,7 @@ impl Default for HttpLimits {
         HttpLimits {
             max_head_bytes: 8 * 1024,
             max_body_bytes: 256 * 1024,
+            max_request_ms: 10_000,
         }
     }
 }
@@ -34,8 +40,21 @@ pub struct Request {
     pub method: String,
     /// Path component of the request target (query string stripped).
     pub path: String,
+    /// Headers as (lowercased-name, trimmed-value) pairs, in order.
+    pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (ASCII case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be read. Each variant maps to one response.
@@ -49,6 +68,9 @@ pub enum HttpError {
     Malformed(&'static str),
     /// Chunked or otherwise un-declared body (411).
     LengthRequired,
+    /// The request did not finish arriving within
+    /// [`HttpLimits::max_request_ms`] (408) — the slow-loris bound.
+    Deadline,
     /// The socket closed or timed out mid-request.
     Io(io::Error),
 }
@@ -63,6 +85,7 @@ impl HttpError {
             HttpError::BodyTooLarge => 413,
             HttpError::Malformed(_) => 400,
             HttpError::LengthRequired => 411,
+            HttpError::Deadline => 408,
             HttpError::Io(_) => 0,
         }
     }
@@ -75,6 +98,7 @@ impl HttpError {
             HttpError::BodyTooLarge => "request body too large".to_string(),
             HttpError::Malformed(d) => format!("malformed request: {d}"),
             HttpError::LengthRequired => "body requires Content-Length".to_string(),
+            HttpError::Deadline => "request did not complete within the read deadline".to_string(),
             HttpError::Io(e) => format!("i/o: {e}"),
         }
     }
@@ -95,6 +119,10 @@ impl From<io::Error> for HttpError {
 /// Returns an [`HttpError`] describing the refusal; the caller decides
 /// whether a response can still be written.
 pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Request, HttpError> {
+    let started = std::time::Instant::now();
+    let overdue = |started: &std::time::Instant| {
+        limits.max_request_ms > 0 && started.elapsed().as_millis() as u64 > limits.max_request_ms
+    };
     // Read byte-at-a-time up to the head limit, stopping at CRLFCRLF.
     // A scan service's request heads are tiny; robustness beats
     // throughput here.
@@ -103,6 +131,9 @@ pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Reque
     loop {
         if head.len() >= limits.max_head_bytes {
             return Err(HttpError::HeadTooLarge);
+        }
+        if overdue(&started) {
+            return Err(HttpError::Deadline);
         }
         let n = stream.read(&mut buf)?;
         if n == 0 {
@@ -137,6 +168,7 @@ pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Reque
         return Err(HttpError::Malformed("target must be absolute path"));
     }
 
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length: Option<usize> = None;
     let mut chunked = false;
     for line in lines {
@@ -159,6 +191,7 @@ pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Reque
         } else if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
             chunked = true;
         }
+        headers.push((name, value.to_string()));
     }
     if chunked {
         return Err(HttpError::LengthRequired);
@@ -167,15 +200,31 @@ pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Reque
     if len > limits.max_body_bytes {
         return Err(HttpError::BodyTooLarge);
     }
+    // Read the body in chunks so the wall-clock deadline is enforced
+    // between reads — a per-read socket timeout alone never bounds a
+    // trickling client.
     let mut body = vec![0u8; len];
-    stream.read_exact(&mut body).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            HttpError::Malformed("body shorter than Content-Length")
-        } else {
-            HttpError::Io(e)
+    let mut filled = 0;
+    while filled < len {
+        if overdue(&started) {
+            return Err(HttpError::Deadline);
         }
-    })?;
-    Ok(Request { method, path, body })
+        let chunk = (len - filled).min(8 * 1024);
+        match stream.read(&mut body[filled..filled + chunk]) {
+            Ok(0) => return Err(HttpError::Malformed("body shorter than Content-Length")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(HttpError::Malformed("body shorter than Content-Length"))
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 /// The reason phrase for the statuses this service emits.
@@ -184,8 +233,11 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Content Too Large",
         422 => "Unprocessable Content",
@@ -278,6 +330,85 @@ mod tests {
             parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
             Err(HttpError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn headers_are_exposed_case_insensitively() {
+        let r = parse(b"POST / HTTP/1.1\r\nX-Api-Key: K1\r\nContent-Length: 0\r\n\r\n")
+            .expect("parses");
+        assert_eq!(r.header("x-api-key"), Some("K1"));
+        assert_eq!(r.header("X-API-KEY"), Some("K1"));
+        assert_eq!(r.header("authorization"), None);
+    }
+
+    /// A reader that trickles one byte per call with a delay — the
+    /// slow-loris shape the overall deadline must bound.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        delay: Duration,
+    }
+
+    use std::time::Duration;
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            std::thread::sleep(self.delay);
+            match self.data.get(self.pos) {
+                Some(&b) => {
+                    buf[0] = b;
+                    self.pos += 1;
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn trickled_requests_hit_the_wall_clock_deadline() {
+        let limits = HttpLimits {
+            max_request_ms: 40,
+            ..HttpLimits::default()
+        };
+        // Head never completes: the deadline, not the head limit, must
+        // end it.
+        let mut slow = Trickle {
+            data: b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd".to_vec(),
+            pos: 0,
+            delay: Duration::from_millis(10),
+        };
+        assert!(matches!(
+            read_request(&mut slow, &limits),
+            Err(HttpError::Deadline)
+        ));
+
+        // A trickled *body* is bounded too (head fits under the
+        // deadline, body reads check it between chunks).
+        let mut head_fast = io::Cursor::new(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n".to_vec(),
+        )
+        .chain(Trickle {
+            data: b"abcd".to_vec(),
+            pos: 0,
+            delay: Duration::from_millis(60),
+        });
+        assert!(matches!(
+            read_request(&mut head_fast, &limits),
+            Err(HttpError::Deadline)
+        ));
+
+        // Deadline 0 disables the check.
+        let relaxed = HttpLimits {
+            max_request_ms: 0,
+            ..HttpLimits::default()
+        };
+        let mut slow = Trickle {
+            data: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+            pos: 0,
+            delay: Duration::from_millis(1),
+        };
+        assert!(read_request(&mut slow, &relaxed).is_ok());
     }
 
     #[test]

@@ -85,14 +85,32 @@ pub enum JobKind {
 /// A validated, admitted job.
 #[derive(Clone, Debug)]
 pub struct Job {
-    /// Requesting tenant.
-    pub tenant: String,
-    /// Deterministic job name: `scan-<fnv1a64 of the request body>`.
-    /// The same body always names the same job, which is what makes
-    /// journal-based crash recovery byte-exact.
-    pub name: String,
+    /// The tenant the body *declared*, if any. This is client-supplied
+    /// and therefore only advisory: the server resolves the effective
+    /// tenant identity from something the client cannot freely choose
+    /// (an API key mapping, or the peer address) and merely checks the
+    /// declaration against it.
+    pub declared_tenant: Option<String>,
     /// The work.
     pub kind: JobKind,
+}
+
+/// Deterministic, tenant-namespaced job name: `scan-` plus a truncated
+/// SHA-256 of the resolved tenant and the raw request body. The same
+/// (tenant, body) always names the same job, which is what makes
+/// journal-based crash recovery byte-exact; the collision-resistant
+/// hash plus the tenant in the preimage is what stops a hostile tenant
+/// from forging a colliding body to poison or read another tenant's
+/// cached report (FNV collisions are trivial to craft; SHA-256's are
+/// not).
+#[must_use]
+pub fn job_name(tenant: &str, body: &[u8]) -> String {
+    let mut preimage = Vec::with_capacity(tenant.len() + 1 + body.len());
+    preimage.extend_from_slice(tenant.as_bytes());
+    preimage.push(0); // tenant names cannot contain NUL: unambiguous split
+    preimage.extend_from_slice(body);
+    let digest = crate::sha256::sha256(&preimage);
+    format!("scan-{}", crate::sha256::hex(&digest[..16]))
 }
 
 /// Parses and validates one `POST /v1/scan` body.
@@ -110,8 +128,8 @@ pub fn parse_job(body: &[u8], limits: &ScanLimits, allow_selftest: bool) -> Resu
     let doc = crate::json::parse(text)
         .map_err(|e| ApiError::bad_request(format!("invalid JSON at byte {}: {}", e.offset, e.what)))?;
 
-    let tenant = match doc.get("tenant") {
-        None => "anonymous".to_string(),
+    let declared_tenant = match doc.get("tenant") {
+        None => None,
         Some(t) => {
             let t = t
                 .as_str()
@@ -124,10 +142,9 @@ pub fn parse_job(body: &[u8], limits: &ScanLimits, allow_selftest: bool) -> Resu
                     "\"tenant\" must be 1-64 chars of [A-Za-z0-9_-]",
                 ));
             }
-            t.to_string()
+            Some(t.to_string())
         }
     };
-    let name = format!("scan-{:016x}", pandora_runner::fnv1a64(body));
 
     let trials = match doc.get("trials") {
         None => 2,
@@ -170,7 +187,10 @@ pub fn parse_job(body: &[u8], limits: &ScanLimits, allow_selftest: bool) -> Resu
         JobKind::Scan(bytecode_spec(&doc, victim, limits, trials, seed)?)
     };
 
-    Ok(Job { tenant, name, kind })
+    Ok(Job {
+        declared_tenant,
+        kind,
+    })
 }
 
 /// Builds a [`ScanSpec`] from a submitted bytecode victim: verify,
@@ -534,7 +554,7 @@ mod tests {
     fn builtin_victims_parse() {
         let job = parse_job(br#"{"victim":"bsaes","trials":3,"seed":9}"#, &limits(), false)
             .expect("parses");
-        assert_eq!(job.tenant, "anonymous");
+        assert_eq!(job.declared_tenant, None);
         let JobKind::Scan(spec) = &job.kind else {
             panic!("expected scan")
         };
@@ -578,7 +598,7 @@ mod tests {
             "inputs": [{"map": 0, "bytes": [0,0,0,0,0,0,0,0]}]
         }"#;
         let job = parse_job(body, &limits(), false).expect("valid job");
-        assert_eq!(job.tenant, "alice");
+        assert_eq!(job.declared_tenant.as_deref(), Some("alice"));
         let JobKind::Scan(spec) = &job.kind else {
             panic!("expected scan")
         };
@@ -633,12 +653,17 @@ mod tests {
     }
 
     #[test]
-    fn job_names_are_deterministic_in_the_body() {
+    fn job_names_are_deterministic_and_tenant_namespaced() {
         let body = br#"{"victim":"bsaes"}"#;
-        let a = parse_job(body, &limits(), false).unwrap();
-        let b = parse_job(body, &limits(), false).unwrap();
-        assert_eq!(a.name, b.name);
-        let c = parse_job(br#"{"victim":"ct-control"}"#, &limits(), false).unwrap();
-        assert_ne!(a.name, c.name);
+        assert_eq!(job_name("t", body), job_name("t", body));
+        assert_ne!(
+            job_name("t", body),
+            job_name("t", br#"{"victim":"ct-control"}"#)
+        );
+        // Namespacing: the same body under another tenant is another
+        // job, so even a hash collision could not cross tenants whose
+        // identity the server resolved differently.
+        assert_ne!(job_name("alice", body), job_name("bob", body));
+        assert!(job_name("t", body).starts_with("scan-"));
     }
 }

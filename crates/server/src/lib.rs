@@ -13,6 +13,7 @@ pub mod json;
 pub mod quota;
 pub mod scan;
 pub mod server;
+pub mod sha256;
 pub mod store;
 pub mod victims;
 

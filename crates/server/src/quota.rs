@@ -58,6 +58,10 @@ struct Bucket {
     /// Current tokens, scaled by 1000 (millitokens) to refill smoothly
     /// in integer time.
     millitokens: u64,
+    /// Sub-millitoken refill carried between refills, so fractional
+    /// per-second rates polled at high frequency still deliver the
+    /// advertised rate instead of truncating each tick to zero.
+    carry_millitokens: f64,
     last_refill_ms: u64,
 }
 
@@ -65,6 +69,7 @@ impl Bucket {
     fn full(cfg: &QuotaConfig, now_ms: u64) -> Bucket {
         Bucket {
             millitokens: u64::from(cfg.burst) * 1000,
+            carry_millitokens: 0.0,
             last_refill_ms: now_ms,
         }
     }
@@ -72,8 +77,15 @@ impl Bucket {
     fn refill(&mut self, cfg: &QuotaConfig, now_ms: u64) {
         let dt = now_ms.saturating_sub(self.last_refill_ms);
         self.last_refill_ms = now_ms;
-        let add = (dt as f64 * cfg.per_second) as u64; // millitokens: ms * tok/s
+        let earned = dt as f64 * cfg.per_second + self.carry_millitokens; // millitokens: ms * tok/s
+        let add = if earned > 0.0 { earned as u64 } else { 0 };
+        self.carry_millitokens = earned - add as f64;
         self.millitokens = (self.millitokens + add).min(u64::from(cfg.burst) * 1000);
+        if self.millitokens == u64::from(cfg.burst) * 1000 {
+            // A full bucket discards excess; carrying it would grant a
+            // burst above capacity later.
+            self.carry_millitokens = 0.0;
+        }
     }
 
     fn try_take(&mut self, cfg: &QuotaConfig, now_ms: u64) -> Result<(), u64> {
@@ -96,6 +108,10 @@ impl Bucket {
 struct Breaker {
     consecutive_failures: u32,
     open_until_ms: Option<u64>,
+    /// Set when a post-cooldown probe has been admitted but not yet
+    /// resolved: a failure in this state re-opens immediately instead
+    /// of granting a fresh threshold of failures.
+    half_open: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -152,8 +168,10 @@ impl Admission {
                     retry_after_ms: until - now_ms,
                 });
             }
-            // Half-open: let this request probe; a failure re-opens.
+            // Half-open: let this request probe; a single failure while
+            // half-open re-opens immediately (see `record_failure`).
             t.breaker.open_until_ms = None;
+            t.breaker.half_open = true;
         }
         t.bucket
             .try_take(&cfg, now_ms)
@@ -168,20 +186,22 @@ impl Admission {
         let Some(t) = self.tenants.get_mut(tenant) else {
             return false;
         };
-        t.breaker.consecutive_failures += 1;
-        if threshold > 0 && t.breaker.consecutive_failures >= threshold {
+        t.breaker.consecutive_failures = t.breaker.consecutive_failures.saturating_add(1);
+        if threshold > 0 && (t.breaker.half_open || t.breaker.consecutive_failures >= threshold) {
+            // A failed half-open probe re-opens at once; the streak is
+            // kept (not zeroed) so only a recorded success closes it.
             t.breaker.open_until_ms = Some(now_ms + cooldown);
-            t.breaker.consecutive_failures = 0;
+            t.breaker.half_open = false;
             return true;
         }
         false
     }
 
     /// Records a completed scan (success or a *controlled* job error),
-    /// closing the failure streak.
+    /// closing the failure streak and any half-open probe.
     pub fn record_success(&mut self, tenant: &str) {
         if let Some(t) = self.tenants.get_mut(tenant) {
-            t.breaker.consecutive_failures = 0;
+            t.breaker = Breaker::default();
         }
     }
 
@@ -247,6 +267,49 @@ mod tests {
         // meanwhile).
         assert!(a.admit("t", 6001).is_ok());
         assert!(a.open_breakers(6001).is_empty());
+    }
+
+    #[test]
+    fn fractional_rates_survive_high_frequency_polling() {
+        // 0.25 tokens/s polled every ms: each tick earns 0.25
+        // millitokens, which truncation used to discard forever.
+        let mut a = Admission::new(QuotaConfig {
+            burst: 1,
+            per_second: 0.25,
+            ..cfg()
+        });
+        assert!(a.admit("t", 0).is_ok());
+        for ms in 1..4000 {
+            assert!(
+                matches!(a.admit("t", ms), Err(Refusal::RateLimited { .. })),
+                "no full token yet at {ms}ms"
+            );
+        }
+        // 4000ms * 0.25 tok/s = 1 token, despite per-tick truncation.
+        assert!(a.admit("t", 4000).is_ok());
+    }
+
+    #[test]
+    fn a_failed_half_open_probe_reopens_immediately() {
+        let mut a = Admission::new(cfg()); // threshold 2, cooldown 5000
+        assert!(a.admit("t", 0).is_ok());
+        a.record_failure("t", 0);
+        assert!(a.admit("t", 1000).is_ok());
+        assert!(a.record_failure("t", 1000), "threshold opens");
+        // Cooldown lapses; one probe is admitted.
+        assert!(a.admit("t", 6001).is_ok());
+        // The probe fails: the breaker re-opens on that single failure,
+        // not after a fresh threshold's worth.
+        assert!(a.record_failure("t", 6001), "probe failure re-opens");
+        assert!(matches!(
+            a.admit("t", 6002),
+            Err(Refusal::BreakerOpen { .. })
+        ));
+        // A later probe that *succeeds* closes the breaker for good.
+        assert!(a.admit("t", 12_000).is_ok());
+        a.record_success("t");
+        assert!(!a.record_failure("t", 12_000), "fresh streak after success");
+        assert!(a.open_breakers(12_001).is_empty());
     }
 
     #[test]

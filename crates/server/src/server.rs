@@ -9,7 +9,9 @@
 //! falling over:
 //!
 //! 1. **Wire limits** — oversized heads/bodies and malformed HTTP get
-//!    4xx envelopes without touching a scanner.
+//!    4xx envelopes without touching a scanner; a whole-request read
+//!    deadline (408) bounds slow-loris clients that per-read socket
+//!    timeouts alone never would.
 //! 2. **Quota** — a tenant over its token bucket gets 429 +
 //!    `Retry-After`.
 //! 3. **Queue** — when the bounded connection queue is full, new
@@ -21,9 +23,13 @@
 //! 5. **Breaker** — repeated panics/deadlines from one tenant open a
 //!    per-tenant circuit breaker: subsequent jobs get 503 until the
 //!    cooldown lapses.
-//! 6. **Drain** — a drain request stops the accept loop; queued
+//! 6. **Drain** — an *authenticated* drain request (admin token) or a
+//!    [`ServerHandle::drain`] call stops the accept loop; queued
 //!    requests finish (journaled if a store is configured) and
-//!    [`Server::run`] returns `Ok(())` so the process can exit 0.
+//!    [`Server::run`] returns `Ok(())` so the process can exit 0. With
+//!    no admin token configured, `POST /v1/drain` is disabled: a
+//!    tenant-reachable port must not expose an unauthenticated
+//!    shutdown switch.
 
 use std::collections::VecDeque;
 use std::io;
@@ -35,7 +41,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::http::{read_request, write_json_response, HttpLimits, Request};
-use crate::job::{parse_job, ApiError, JobKind};
+use crate::job::{job_name, parse_job, ApiError, JobKind};
 use crate::json::{obj, Json};
 use crate::quota::{Admission, QuotaConfig, Refusal};
 use crate::scan::{run_scan, ScanLimits};
@@ -64,6 +70,17 @@ pub struct ServerConfig {
     pub data_dir: Option<PathBuf>,
     /// Enables the crash/wedge self-test victims (tests only).
     pub allow_selftest: bool,
+    /// Shared secret for `POST /v1/drain` (`Authorization: Bearer
+    /// <token>` or `X-Admin-Token`). `None` disables the endpoint
+    /// entirely (403): drain is then signal/handle-only. A shutdown
+    /// switch must never sit unauthenticated on the tenant port.
+    pub admin_token: Option<String>,
+    /// `(key, tenant)` API-key table. Non-empty: every scan must
+    /// present a known `X-Api-Key`, and the tenant identity is the
+    /// key's mapping — not whatever name the body claims. Empty (open
+    /// mode): tenant identity derives from the peer IP, so rotating
+    /// declared names cannot mint fresh quotas or dodge a breaker.
+    pub api_keys: Vec<(String, String)>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +96,8 @@ impl Default for ServerConfig {
             io_timeout_ms: 5_000,
             data_dir: None,
             allow_selftest: false,
+            admin_token: None,
+            api_keys: Vec::new(),
         }
     }
 }
@@ -246,10 +265,20 @@ impl Server {
             let _ = write_json_response(&mut s, e.status, e.retry_after_ms, &e.to_json().dump());
             // Consume whatever the client was mid-sending before the
             // socket drops: closing with unread data would RST the
-            // connection under the 503 we just wrote.
+            // connection under the 503 we just wrote. The drain runs on
+            // the accept thread, so it is strictly bounded — a client
+            // trickling bytes must not be able to park the listener.
             let _ = s.shutdown(std::net::Shutdown::Write);
+            let _ = s.set_read_timeout(Some(Duration::from_millis(50)));
+            let started = Instant::now();
             let mut sink = [0u8; 1024];
-            while matches!(io::Read::read(&mut s, &mut sink), Ok(n) if n > 0) {}
+            let mut drained = 0usize;
+            while drained < 16 * 1024 && started.elapsed() < Duration::from_millis(250) {
+                match io::Read::read(&mut s, &mut sink) {
+                    Ok(n) if n > 0 => drained += n,
+                    _ => break,
+                }
+            }
             return;
         }
         q.push_back(stream);
@@ -321,11 +350,19 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
             let body = obj(vec![("ready", Json::Bool(!draining))]).dump();
             let _ = write_json_response(stream, status, None, &body);
         }
-        ("POST", "/v1/drain") => {
-            shared.draining.store(true, Ordering::SeqCst);
-            shared.queue_cv.notify_all();
-            let _ = write_json_response(stream, 200, None, &obj(vec![("draining", Json::Bool(true))]).dump());
-        }
+        ("POST", "/v1/drain") => match authorize_admin(shared, &req) {
+            Ok(()) => {
+                shared.draining.store(true, Ordering::SeqCst);
+                shared.queue_cv.notify_all();
+                let _ = write_json_response(
+                    stream,
+                    200,
+                    None,
+                    &obj(vec![("draining", Json::Bool(true))]).dump(),
+                );
+            }
+            Err(e) => respond_error(stream, &e),
+        },
         ("POST", "/v1/scan") => handle_scan(shared, stream, &req),
         (_, "/healthz" | "/readyz" | "/v1/drain" | "/v1/scan") => {
             respond_error(stream, &ApiError {
@@ -344,6 +381,87 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
             });
         }
     }
+}
+
+/// Checks the shared admin secret on a drain request. With no token
+/// configured the endpoint is disabled outright — the only drain paths
+/// are then [`ServerHandle::drain`] and process signals, so a tenant
+/// request can never shut the service down.
+fn authorize_admin(shared: &Shared, req: &Request) -> Result<(), ApiError> {
+    let Some(expected) = shared.cfg.admin_token.as_deref() else {
+        return Err(ApiError {
+            status: 403,
+            code: "admin-disabled",
+            detail: "no admin token configured; drain via signal or handle only".to_string(),
+            retry_after_ms: None,
+        });
+    };
+    let presented = req
+        .header("x-admin-token")
+        .or_else(|| req.header("authorization")?.strip_prefix("Bearer "));
+    // Constant-time-ish comparison: fold the whole string rather than
+    // short-circuiting on the first mismatching byte.
+    let ok = presented.is_some_and(|p| {
+        p.len() == expected.len()
+            && p.bytes()
+                .zip(expected.bytes())
+                .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+                == 0
+    });
+    if ok {
+        Ok(())
+    } else {
+        Err(ApiError {
+            status: 401,
+            code: "admin-unauthorized",
+            detail: "missing or wrong admin token".to_string(),
+            retry_after_ms: None,
+        })
+    }
+}
+
+/// Resolves the identity every quota/breaker decision keys on. The
+/// client never chooses it freely: with API keys configured it is the
+/// key's tenant mapping (a declared name may only confirm it); in open
+/// mode it is derived from the peer IP, so rotating names in the body
+/// cannot mint fresh buckets.
+fn resolve_tenant(
+    shared: &Shared,
+    req: &Request,
+    peer: Option<SocketAddr>,
+    declared: Option<&str>,
+) -> Result<String, ApiError> {
+    if shared.cfg.api_keys.is_empty() {
+        return Ok(match peer {
+            Some(p) => format!("ip:{}", p.ip()),
+            None => "ip:unknown".to_string(),
+        });
+    }
+    let Some(key) = req.header("x-api-key") else {
+        return Err(ApiError {
+            status: 401,
+            code: "auth-required",
+            detail: "this server requires an X-Api-Key header".to_string(),
+            retry_after_ms: None,
+        });
+    };
+    let Some((_, tenant)) = shared.cfg.api_keys.iter().find(|(k, _)| k == key) else {
+        return Err(ApiError {
+            status: 401,
+            code: "auth-required",
+            detail: "unknown API key".to_string(),
+            retry_after_ms: None,
+        });
+    };
+    if declared.is_some_and(|d| d != tenant) {
+        return Err(ApiError {
+            status: 403,
+            code: "tenant-mismatch",
+            detail: format!("API key is not for declared tenant {:?}", declared.unwrap_or("")),
+            retry_after_ms: None,
+        });
+    }
+    Ok(tenant.clone())
 }
 
 fn refusal_to_error(r: Refusal) -> ApiError {
@@ -388,21 +506,31 @@ fn handle_scan(shared: &Shared, stream: &mut TcpStream, req: &Request) {
             return;
         }
     };
+    let peer = stream.peer_addr().ok();
+    let tenant = match resolve_tenant(shared, req, peer, job.declared_tenant.as_deref()) {
+        Ok(t) => t,
+        Err(e) => {
+            lock_state(shared).stats.refused += 1;
+            respond_error(stream, &e);
+            return;
+        }
+    };
+    let name = job_name(&tenant, &req.body);
 
     // Admission and cache both sit under the state lock; the scan
     // itself must not.
     {
         let now = shared.now_ms();
         let mut st = lock_state(shared);
-        if let Err(r) = st.admission.admit(&job.tenant, now) {
+        if let Err(r) = st.admission.admit(&tenant, now) {
             st.stats.refused += 1;
             drop(st);
             respond_error(stream, &refusal_to_error(r));
             return;
         }
-        if let Some(cached) = st.store.as_ref().and_then(|s| s.lookup(&job.name)) {
+        if let Some(cached) = st.store.as_ref().and_then(|s| s.lookup(&name)) {
             st.stats.cached += 1;
-            st.admission.record_success(&job.tenant);
+            st.admission.record_success(&tenant);
             drop(st);
             let _ = write_json_response(stream, 200, None, &cached);
             return;
@@ -412,20 +540,20 @@ fn handle_scan(shared: &Shared, stream: &mut TcpStream, req: &Request) {
     match supervise(shared, &job.kind) {
         Outcome::Done(body) => {
             let mut st = lock_state(shared);
-            st.admission.record_success(&job.tenant);
+            st.admission.record_success(&tenant);
             st.stats.completed += 1;
             if let Some(store) = st.store.as_mut() {
                 // A publish failure (e.g. injected storage chaos) must
                 // not take the response down with it: the scan re-runs
                 // after restart because it was never journaled.
-                let _ = store.publish(&job.name, &body);
+                let _ = store.publish(&name, &body);
             }
             drop(st);
             let _ = write_json_response(stream, 200, None, &body);
         }
         Outcome::JobError(e) => {
             let mut st = lock_state(shared);
-            st.admission.record_success(&job.tenant); // controlled failure: not a breaker event
+            st.admission.record_success(&tenant); // controlled failure: not a breaker event
             st.stats.failed += 1;
             drop(st);
             respond_error(stream, &e);
@@ -435,7 +563,7 @@ fn handle_scan(shared: &Shared, stream: &mut TcpStream, req: &Request) {
             let mut st = lock_state(shared);
             st.stats.failed += 1;
             st.stats.supervised_panics += 1;
-            st.admission.record_failure(&job.tenant, now);
+            st.admission.record_failure(&tenant, now);
             drop(st);
             respond_error(stream, &ApiError {
                 status: 500,
@@ -449,7 +577,7 @@ fn handle_scan(shared: &Shared, stream: &mut TcpStream, req: &Request) {
             let mut st = lock_state(shared);
             st.stats.failed += 1;
             st.stats.supervised_timeouts += 1;
-            st.admission.record_failure(&job.tenant, now);
+            st.admission.record_failure(&tenant, now);
             drop(st);
             respond_error(stream, &ApiError {
                 status: 504,

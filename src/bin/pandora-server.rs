@@ -10,6 +10,12 @@
 //!   --queue N         admission queue depth (default 8)
 //!   --data-dir PATH   journaled report store (default: no persistence)
 //!   --deadline-ms N   per-job wall-clock budget (default 60000)
+//!   --admin-token T   shared secret for POST /v1/drain; without it the
+//!                     endpoint is disabled (drain via SIGTERM/handle)
+//!   --api-key K=T     map API key K to tenant T (repeatable); with any
+//!                     keys configured, scans require X-Api-Key and the
+//!                     tenant is the key's mapping. Without keys, tenant
+//!                     identity derives from the peer IP.
 //!   --selftest        enable the crash/wedge self-test victims
 //!   --selfscan PATH   no server: scan the built-in victims in-process
 //!                     and write the combined report JSON to PATH
@@ -18,10 +24,10 @@
 //! Quickstart:
 //!
 //! ```sh
-//! pandora-server --port 7311 &
+//! pandora-server --port 7311 --admin-token s3cret &
 //! curl -s localhost:7311/v1/scan -d '{"victim":"bsaes","trials":2}'
 //! curl -s localhost:7311/healthz
-//! curl -s -X POST localhost:7311/v1/drain   # graceful exit 0
+//! curl -s -X POST -H 'X-Admin-Token: s3cret' localhost:7311/v1/drain
 //! ```
 
 use std::process::ExitCode;
@@ -40,7 +46,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: pandora-server [--port N] [--addr HOST] [--threads N] [--queue N] \
-         [--data-dir PATH] [--deadline-ms N] [--selftest] [--selfscan PATH]"
+         [--data-dir PATH] [--deadline-ms N] [--admin-token T] [--api-key K=T] \
+         [--selftest] [--selfscan PATH]"
     );
     std::process::exit(2);
 }
@@ -66,6 +73,15 @@ fn parse_args() -> Options {
             "--data-dir" => o.cfg.data_dir = Some(val("path").into()),
             "--deadline-ms" => {
                 o.cfg.job_deadline_ms = val("ms").parse().unwrap_or_else(|_| usage());
+            }
+            "--admin-token" => o.cfg.admin_token = Some(val("token")),
+            "--api-key" => {
+                let kv = val("KEY=TENANT");
+                let Some((k, t)) = kv.split_once('=') else {
+                    eprintln!("--api-key wants KEY=TENANT, got {kv:?}");
+                    usage()
+                };
+                o.cfg.api_keys.push((k.to_string(), t.to_string()));
             }
             "--selftest" => o.cfg.allow_selftest = true,
             "--selfscan" => o.selfscan = Some(val("path")),

@@ -41,12 +41,26 @@ fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String, String) {
     (status, head.to_string(), body.to_string())
 }
 
-fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
-    let raw = format!(
-        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+fn post_h(
+    addr: SocketAddr,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
+    let mut raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n",
         body.len()
     );
+    for (name, value) in headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str("\r\n");
+    raw.push_str(body);
     exchange(addr, raw.as_bytes())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    post_h(addr, path, &[], body)
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
@@ -88,7 +102,11 @@ const TRIVIAL_JOB: &str = r#"{
 
 #[test]
 fn scan_service_end_to_end() {
-    let (addr, _handle, join) = serve(ServerConfig::default());
+    let cfg = ServerConfig {
+        admin_token: Some("e2e-admin".to_string()),
+        ..ServerConfig::default()
+    };
+    let (addr, _handle, join) = serve(cfg);
 
     // The known-leaky bitsliced-AES victim: the report must name the
     // silent-store and DMP classes with nonzero measured capacity.
@@ -129,9 +147,24 @@ fn scan_service_end_to_end() {
     assert_eq!(jobs.get("completed").and_then(Json::as_u64), Some(2));
     assert_eq!(get(addr, "/readyz").0, 200);
 
-    // Graceful drain: the endpoint acknowledges, run() returns Ok, and
-    // the port stops accepting.
-    let (status, _, _) = post(addr, "/v1/drain", "");
+    // Drain is authenticated: a tenant request without (or with a
+    // wrong) admin token cannot shut the service down.
+    let (status, _, body) = post(addr, "/v1/drain", "");
+    assert_eq!(status, 401, "{body}");
+    assert_eq!(error_code(&body), "admin-unauthorized");
+    let (status, _, _) = post_h(addr, "/v1/drain", &[("X-Admin-Token", "wrong")], "");
+    assert_eq!(status, 401);
+    assert_eq!(get(addr, "/readyz").0, 200, "failed drains must not drain");
+
+    // Graceful drain with the token: the endpoint acknowledges, run()
+    // returns Ok, and the port stops accepting. Both header forms work;
+    // Bearer is the one exercised here.
+    let (status, _, _) = post_h(
+        addr,
+        "/v1/drain",
+        &[("Authorization", "Bearer e2e-admin")],
+        "",
+    );
     assert_eq!(status, 200);
     join.join().expect("server thread").expect("clean drain");
     assert!(TcpStream::connect(addr).is_err(), "listener must be closed after drain");
@@ -196,6 +229,19 @@ fn structured_refusals_for_bad_and_over_quota_requests() {
     assert_eq!(error_code(&body), "quota-exhausted");
     assert!(head.contains("Retry-After:"), "{head}");
 
+    // In open mode identity is the peer IP: declaring a fresh tenant
+    // name in the body does not mint a fresh quota bucket.
+    let rotated = TRIVIAL_JOB.replacen('{', "{\"tenant\":\"fresh-name\",", 1);
+    let (status, _, body) = post(addr, "/v1/scan", &rotated);
+    assert_eq!(status, 429, "rotating names must not bypass quota: {body}");
+
+    // With no admin token configured, the drain endpoint is disabled
+    // outright — no request shuts this server down.
+    let (status, _, body) = post(addr, "/v1/drain", "");
+    assert_eq!(status, 403, "{body}");
+    assert_eq!(error_code(&body), "admin-disabled");
+    assert_eq!(get(addr, "/readyz").0, 200);
+
     handle.drain();
     join.join().unwrap().unwrap();
 }
@@ -212,30 +258,56 @@ fn supervision_isolates_panics_and_wedges_and_trips_the_breaker() {
             breaker_cooldown_ms: 60_000,
             ..QuotaConfig::default()
         },
+        api_keys: vec![
+            ("key-alice".to_string(), "alice".to_string()),
+            ("key-bob".to_string(), "bob".to_string()),
+        ],
         ..ServerConfig::default()
     };
     let (addr, handle, join) = serve(cfg);
+    let as_alice: &[(&str, &str)] = &[("X-Api-Key", "key-alice")];
+    let as_bob: &[(&str, &str)] = &[("X-Api-Key", "key-bob")];
+
+    // With API keys configured, unauthenticated and forged-key scans
+    // are refused before any admission or scanning.
+    let (status, _, body) = post(addr, "/v1/scan", TRIVIAL_JOB);
+    assert_eq!(status, 401, "{body}");
+    assert_eq!(error_code(&body), "auth-required");
+    let (status, _, _) = post_h(addr, "/v1/scan", &[("X-Api-Key", "nope")], TRIVIAL_JOB);
+    assert_eq!(status, 401);
+
+    // Tenant identity comes from the key; a body claiming someone
+    // else's tenant is a 403, not an identity swap.
+    let (status, _, body) = post_h(
+        addr,
+        "/v1/scan",
+        as_alice,
+        r#"{"tenant":"bob","victim":"selftest-panic"}"#,
+    );
+    assert_eq!(status, 403, "{body}");
+    assert_eq!(error_code(&body), "tenant-mismatch");
 
     // A panicking scan is isolated into a structured 500.
-    let (status, _, body) = post(addr, "/v1/scan", r#"{"victim":"selftest-panic","seed":1}"#);
+    let (status, _, body) = post_h(addr, "/v1/scan", as_alice, r#"{"victim":"selftest-panic","seed":1}"#);
     assert_eq!(status, 500, "{body}");
     assert_eq!(error_code(&body), "scan-panicked");
 
     // Second consecutive panic trips the tenant's breaker...
-    let (status, _, _) = post(addr, "/v1/scan", r#"{"victim":"selftest-panic","seed":2}"#);
+    let (status, _, _) = post_h(addr, "/v1/scan", as_alice, r#"{"victim":"selftest-panic","seed":2}"#);
     assert_eq!(status, 500);
 
     // ...so the next request is refused with 503 + Retry-After.
-    let (status, head, body) = post(addr, "/v1/scan", TRIVIAL_JOB);
+    let (status, head, body) = post_h(addr, "/v1/scan", as_alice, TRIVIAL_JOB);
     assert_eq!(status, 503, "{body}");
     assert_eq!(error_code(&body), "breaker-open");
     assert!(head.contains("Retry-After:"), "{head}");
 
     // A different tenant is unaffected — and a wedged scan for it is
     // abandoned at the deadline with a 504, not a hung worker.
-    let (status, _, body) = post(
+    let (status, _, body) = post_h(
         addr,
         "/v1/scan",
+        as_bob,
         r#"{"tenant":"bob","victim":"selftest-wedge"}"#,
     );
     assert_eq!(status, 504, "{body}");
@@ -250,7 +322,7 @@ fn supervision_isolates_panics_and_wedges_and_trips_the_breaker() {
         "secret": {"map": 0, "a": [1,2], "b": [3,4]},
         "trials": 1
     }"#;
-    let (status, _, body) = post(addr, "/v1/scan", bob_job);
+    let (status, _, body) = post_h(addr, "/v1/scan", as_bob, bob_job);
     assert_eq!(status, 200, "{body}");
     let (_, _, body) = get(addr, "/healthz");
     let health = parse(&body);
@@ -259,7 +331,7 @@ fn supervision_isolates_panics_and_wedges_and_trips_the_breaker() {
     assert_eq!(jobs.get("supervised_timeouts").and_then(Json::as_u64), Some(1));
     let breakers = health.get("breakers_open").and_then(Json::as_array).unwrap();
     assert_eq!(breakers.len(), 1);
-    assert_eq!(breakers[0].as_str(), Some("anonymous"));
+    assert_eq!(breakers[0].as_str(), Some("alice"));
 
     handle.drain();
     join.join().unwrap().unwrap();
