@@ -28,7 +28,7 @@ use pandora_channels::adaptive::majority_vote;
 use pandora_channels::retry::{RetryError, RetryPolicy};
 use pandora_isa::{Asm, Program};
 use pandora_sim::fleet::{self, MemberError, MemberSpec};
-use pandora_sim::{FaultPlan, NoiseConfig, OptConfig, SimConfig, SimError};
+use pandora_sim::{Checkpoint, FaultPlan, Machine, NoiseConfig, OptConfig, SimConfig, SimError};
 
 use crate::amplify::{AmplifyGadget, FlushKind};
 use crate::util::precondition_noise;
@@ -284,13 +284,37 @@ impl BsaesAttack {
             .remove(0)
     }
 
+    /// Builds the shared warm state every experiment starts from: the
+    /// two-request program loaded, both parties' round keys, the
+    /// victim plaintext, and the gadget working set written. Taken at
+    /// cycle 0, so forked jobs may override the noise configuration
+    /// per trial and still be bit-equal to fresh construction.
+    fn warm_checkpoint(&self) -> Arc<Checkpoint> {
+        let mut warm = Machine::new(self.cfg);
+        warm.load_program(&self.program);
+        let mem = warm.mem_mut();
+        mem.write_bytes(self.lay_victim.rk, &BsaesLayout::round_key_bytes(&self.victim_rk))
+            .expect("victim layout in memory");
+        mem.write_bytes(
+            self.lay_attacker.rk,
+            &BsaesLayout::round_key_bytes(&self.attacker_rk),
+        )
+        .expect("attacker layout in memory");
+        mem.write_bytes(self.lay_victim.pt, &self.victim_pt)
+            .expect("victim plaintext in memory");
+        self.gadget.setup_memory(mem);
+        Arc::new(warm.snapshot())
+    }
+
     /// Runs one experiment per `(config, attacker plaintext, noise
-    /// seed)` job as a fleet grid: every member shares the attack's
-    /// compiled two-request program (by `Arc`), machines are recycled
-    /// between experiments, and jobs steal work across the configured
-    /// thread count. Outcomes come back in job order regardless of the
-    /// thread count; a failed run yields `Err` in its own slot without
-    /// disturbing sibling experiments.
+    /// seed)` job as a fleet grid: the shared scenario state (round
+    /// keys, victim plaintext, gadget working set) is written once
+    /// into a warm cycle-0 [`Checkpoint`] and every member forks from
+    /// it, applying only its per-trial delta — the attacker plaintext,
+    /// optional cache preconditioning, and optional fault plan — on a
+    /// recycled pool machine. Outcomes come back in job order
+    /// regardless of the thread count; a failed run yields `Err` in
+    /// its own slot without disturbing sibling experiments.
     ///
     /// # Panics
     ///
@@ -300,31 +324,19 @@ impl BsaesAttack {
         &self,
         jobs: &[(SimConfig, Block, Option<u64>)],
     ) -> Vec<Result<RunOutcome, SimError>> {
-        let victim_rk_bytes = BsaesLayout::round_key_bytes(&self.victim_rk);
-        let attacker_rk_bytes = BsaesLayout::round_key_bytes(&self.attacker_rk);
+        let warm = self.warm_checkpoint();
         let specs: Vec<MemberSpec> = jobs
             .iter()
             .map(|&(cfg, attacker_pt, noise_seed)| {
-                let victim_rk_bytes = victim_rk_bytes.clone();
-                let attacker_rk_bytes = attacker_rk_bytes.clone();
-                let lay_victim = self.lay_victim;
-                let lay_attacker = self.lay_attacker;
-                let victim_pt = self.victim_pt;
-                let gadget = self.gadget.clone();
+                let attacker_pt_addr = self.lay_attacker.pt;
                 let fault_plan = self.fault_plan.clone();
                 MemberSpec::new(cfg, Arc::clone(&self.program))
+                    .with_start(Arc::clone(&warm))
                     .with_max_cycles(50_000_000)
                     .with_prep(move |m| {
-                        let mem = m.mem_mut();
-                        mem.write_bytes(lay_victim.rk, &victim_rk_bytes)
-                            .expect("victim layout in memory");
-                        mem.write_bytes(lay_attacker.rk, &attacker_rk_bytes)
-                            .expect("attacker layout in memory");
-                        mem.write_bytes(lay_victim.pt, &victim_pt)
-                            .expect("victim plaintext in memory");
-                        mem.write_bytes(lay_attacker.pt, &attacker_pt)
+                        m.mem_mut()
+                            .write_bytes(attacker_pt_addr, &attacker_pt)
                             .expect("attacker plaintext in memory");
-                        gadget.setup_memory(mem);
                         if let Some(seed) = noise_seed {
                             precondition_noise(m, seed, 4, NOISE_BASE, NOISE_SPAN);
                         }

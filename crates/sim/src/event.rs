@@ -214,6 +214,15 @@ pub struct EventBus {
 }
 
 impl EventBus {
+    /// Capacity-preserving restore: stats copy, trace and pattern
+    /// buffers rewind in place.
+    pub(crate) fn restore_from(&mut self, src: &EventBus) {
+        self.cycle = src.cycle;
+        self.stats = src.stats;
+        self.trace.restore_from(&src.trace);
+        self.dmp_patterns.clone_from(&src.dmp_patterns);
+    }
+
     /// Creates an empty bus with a disabled trace.
     #[must_use]
     pub fn new() -> EventBus {

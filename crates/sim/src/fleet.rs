@@ -10,6 +10,9 @@
 //! `std::thread::scope` work-stealing, while [`trial_grid`] runs a flat
 //! list of trial jobs through a pool of recycled machines
 //! ([`Machine::reset_to`]) instead of constructing one per trial.
+//! Members whose trials share a long warm-up prefix can fork from a
+//! shared [`Checkpoint`] ([`MemberSpec::with_start`]) instead of
+//! replaying it, with bit-equal results.
 //!
 //! Three properties are contractual, pinned by
 //! `tests/fleet_differential.rs`:
@@ -50,7 +53,7 @@ use pandora_isa::Program;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::machine::Machine;
+use crate::machine::{Checkpoint, Machine};
 use crate::stats::SimStats;
 
 /// Default per-member cycle budget — generous enough for the longest
@@ -107,8 +110,12 @@ pub struct MemberSpec {
     pub program: Arc<Program>,
     /// Pre-run setup (memory/registers/faults), run before stepping.
     pub prep: Option<PrepFn>,
+    /// Warm checkpoint to fork from instead of replaying the prefix
+    /// (see [`MemberSpec::with_start`]); `None` starts cold.
+    pub start: Option<Arc<Checkpoint>>,
     /// Cycle budget; exceeding it degrades the member with
-    /// [`SimError::Timeout`].
+    /// [`SimError::Timeout`]. For forked members this budget includes
+    /// the cycles already elapsed inside the checkpoint.
     pub max_cycles: u64,
 }
 
@@ -120,6 +127,7 @@ impl MemberSpec {
             cfg,
             program,
             prep: None,
+            start: None,
             max_cycles: DEFAULT_MAX_CYCLES,
         }
     }
@@ -131,6 +139,23 @@ impl MemberSpec {
         F: Fn(&mut Machine) -> Result<(), SimError> + Send + Sync + 'static,
     {
         self.prep = Some(Arc::new(prep));
+        self
+    }
+
+    /// Starts this member from a shared warm [`Checkpoint`] instead of
+    /// replaying the prefix: the machine is seeded via
+    /// [`Machine::restore`] (recycled pool machines) or
+    /// [`Machine::from_checkpoint`] (empty slots), and the program load
+    /// is skipped — the checkpoint carries it. The member's `prep`
+    /// still runs afterwards, applying only the per-trial delta.
+    ///
+    /// `cfg` must equal the checkpoint's config, except `cfg.noise`
+    /// which may differ when the checkpoint was taken at cycle 0 (no
+    /// noise drawn yet, so swapping the noise hook is bit-equal to
+    /// fresh construction).
+    #[must_use]
+    pub fn with_start(mut self, start: Arc<Checkpoint>) -> MemberSpec {
+        self.start = Some(start);
         self
     }
 
@@ -149,6 +174,7 @@ impl fmt::Debug for MemberSpec {
             .field("seed", &self.cfg.seed)
             .field("prog_len", &self.program.len())
             .field("prep", &self.prep.is_some())
+            .field("start_cycle", &self.start.as_ref().map(|ck| ck.cycle()))
             .field("max_cycles", &self.max_cycles)
             .finish()
     }
@@ -317,17 +343,29 @@ pub struct Fleet {
 }
 
 impl Fleet {
-    /// Allocates one machine per member, loads the shared program and
-    /// runs each member's prep. A prep failure (or panic) degrades that
-    /// member immediately; its machine stays constructed.
+    /// Allocates one machine per member — forked from the member's
+    /// checkpoint when one is attached, cold-built otherwise — loads
+    /// the shared program and runs each member's prep. A prep failure
+    /// (or panic) degrades that member immediately; its machine stays
+    /// constructed.
     #[must_use]
     pub fn new(spec: FleetSpec) -> Fleet {
         let FleetSpec { members, threads } = spec;
         let mut machines = Vec::with_capacity(members.len());
         let mut status = Vec::with_capacity(members.len());
         for member in &members {
-            let mut m = Machine::new(member.cfg);
-            m.load_program(&member.program);
+            let mut m = match &member.start {
+                Some(ck) => {
+                    let mut m = Machine::from_checkpoint(ck);
+                    apply_start_overrides(&mut m, member, ck);
+                    m
+                }
+                None => {
+                    let mut m = Machine::new(member.cfg);
+                    m.load_program(&member.program);
+                    m
+                }
+            };
             let st = match run_prep(member, &mut m) {
                 Ok(()) => MemberStatus::Running,
                 Err(e) => MemberStatus::Failed(e),
@@ -458,6 +496,31 @@ impl Fleet {
     }
 }
 
+/// Applies a forked member's per-trial config override after its
+/// machine has adopted the checkpoint. Only `cfg.noise` may legally
+/// differ from the checkpoint's config, and only on a cycle-0
+/// checkpoint (no noise has been drawn yet, so swapping the hook is
+/// bit-equal to building the machine under the trial config); any other
+/// divergence would silently break the forked-vs-serial determinism
+/// contract, so debug builds assert it away.
+fn apply_start_overrides(m: &mut Machine, spec: &MemberSpec, ck: &Checkpoint) {
+    debug_assert!(
+        SimConfig {
+            noise: ck.config().noise,
+            ..spec.cfg
+        } == *ck.config(),
+        "forked member cfg must match its checkpoint (modulo noise)"
+    );
+    if spec.cfg.noise != ck.config().noise {
+        debug_assert_eq!(
+            ck.cycle(),
+            0,
+            "per-trial noise override requires a cycle-0 checkpoint"
+        );
+        m.set_noise(spec.cfg.noise);
+    }
+}
+
 /// Runs a member's prep under panic capture.
 fn run_prep(spec: &MemberSpec, m: &mut Machine) -> Result<(), MemberError> {
     let Some(prep) = &spec.prep else {
@@ -569,7 +632,31 @@ impl PoolSlot {
     /// Recycles (or builds) this slot's machine for `spec`, reloading
     /// the program only when it actually changed (`Arc::ptr_eq`), then
     /// preps and runs the trial.
+    ///
+    /// Forked jobs (`spec.start`) skip the reset/reload path entirely:
+    /// the checkpoint is restored over whatever the slot held —
+    /// [`Machine::restore`] works across shapes and zeroes the previous
+    /// occupant's dirty memory tail — and the slot's program cache is
+    /// invalidated so a later cold job reloads its own program.
     fn run_job(&mut self, spec: &MemberSpec) -> Result<SimStats, SimError> {
+        if let Some(ck) = &spec.start {
+            let m = match &mut self.machine {
+                Some(m) => {
+                    m.restore(ck);
+                    m
+                }
+                None => self.machine.insert(Machine::from_checkpoint(ck)),
+            };
+            apply_start_overrides(m, spec, ck);
+            // The loaded program now comes from the checkpoint, not
+            // from a `spec.program` this slot has seen.
+            self.program = None;
+            if let Some(prep) = &spec.prep {
+                prep(m)?;
+            }
+            m.run(spec.max_cycles.saturating_sub(m.cycle()))?;
+            return Ok(*m.stats());
+        }
         let kept = match &mut self.machine {
             Some(m) => m.reset_to(spec.cfg),
             None => {
@@ -846,6 +933,108 @@ mod tests {
             });
         let out = trial_grid(&[job], 1, |_, m, _| m.mem().read_u64(0x2008).unwrap());
         assert_eq!(*out[0].as_ref().unwrap(), 0xdead_beef);
+    }
+
+    /// A program with a long warm-up loop, then a short measured tail
+    /// over memory the prep seeds.
+    fn warm_tail_program() -> Arc<Program> {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 200);
+        a.label("warm");
+        a.ld(Reg::T1, Reg::ZERO, 0x3000);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "warm");
+        a.fence();
+        a.ld(Reg::T2, Reg::ZERO, 0x2000);
+        a.sd(Reg::T2, Reg::ZERO, 0x2008);
+        a.halt();
+        Arc::new(a.assemble().unwrap())
+    }
+
+    /// Warm checkpoint: the shared loop committed, the tail not yet.
+    fn warm_checkpoint(cfg: SimConfig, prog: &Arc<Program>) -> Arc<Checkpoint> {
+        let mut m = Machine::new(cfg);
+        m.load_program(prog);
+        m.run_until_committed(600, 1_000_000).unwrap();
+        Arc::new(m.snapshot())
+    }
+
+    #[test]
+    fn forked_trials_match_serial_replay_and_survive_pool_recycling() {
+        let prog = warm_tail_program();
+        let cfg = SimConfig::default();
+        let ck = warm_checkpoint(cfg, &prog);
+        let trial_prep = |v: u64| {
+            move |m: &mut Machine| {
+                m.mem_mut().write_u64(0x2000, v).unwrap();
+                Ok(())
+            }
+        };
+
+        // Serial replay reference: full cold run per trial.
+        let serial: Vec<u64> = (0..4u64)
+            .map(|v| {
+                let mut m = Machine::new(cfg);
+                m.load_program(&prog);
+                m.mem_mut().write_u64(0x2000, v * 7 + 1).unwrap();
+                m.run(1_000_000).unwrap();
+                m.mem().read_u64(0x2008).unwrap()
+            })
+            .collect();
+
+        // Forked grid, interleaved with a cold job of a *different*
+        // program so the slot's program-cache invalidation is exercised
+        // (checkpoint job → cold job must reload).
+        let other = counting_program(10);
+        let mut jobs: Vec<MemberSpec> = (0..4u64)
+            .map(|v| {
+                MemberSpec::new(cfg, Arc::clone(&prog))
+                    .with_start(Arc::clone(&ck))
+                    .with_prep(trial_prep(v * 7 + 1))
+            })
+            .collect();
+        jobs.insert(2, MemberSpec::new(cfg, Arc::clone(&other)));
+        let out = trial_grid(&jobs, 1, |_, m, _| m.mem().read_u64(0x2008).unwrap());
+        let forked: Vec<u64> = out
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, r)| *r.as_ref().expect("forked trial completes"))
+            .collect();
+        assert_eq!(forked, serial, "fork-from-checkpoint == serial replay");
+        // The interposed cold job ran its own program to completion.
+        assert!(out[2].is_ok());
+
+        // Fleet dispatch takes the same start field.
+        let mut spec = FleetSpec::new().with_threads(2);
+        for v in 0..4u64 {
+            spec.push(
+                MemberSpec::new(cfg, Arc::clone(&prog))
+                    .with_start(Arc::clone(&ck))
+                    .with_prep(trial_prep(v * 7 + 1)),
+            );
+        }
+        let mut fleet = spec.build();
+        fleet.run_to_completion();
+        let fleet_vals = fleet.map(|_, m| m.mem().read_u64(0x2008).unwrap());
+        assert_eq!(fleet_vals, serial);
+    }
+
+    #[test]
+    fn forked_budget_counts_checkpoint_cycles() {
+        let prog = warm_tail_program();
+        let cfg = SimConfig::default();
+        let ck = warm_checkpoint(cfg, &prog);
+        assert!(ck.cycle() > 64);
+        let job = MemberSpec::new(cfg, Arc::clone(&prog))
+            .with_start(Arc::clone(&ck))
+            .with_max_cycles(64);
+        let out = trial_grid(std::slice::from_ref(&job), 1, |_, _, s| s.cycles);
+        assert!(
+            matches!(&out[0], Err(MemberError::Sim(SimError::Timeout { .. }))),
+            "budget below the checkpoint cycle must time out, got {:?}",
+            out[0]
+        );
     }
 
     #[test]

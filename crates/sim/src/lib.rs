@@ -59,7 +59,7 @@ pub use func::{EmuError, Emulator};
 pub use duo::DuoMachine;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fleet::{Fleet, FleetSpec, MachinePool, MemberError, MemberOutcome, MemberSpec};
-pub use machine::{DeadlockDiagnostics, Machine, SimError};
+pub use machine::{Checkpoint, DeadlockDiagnostics, Machine, SimError};
 pub use mem::cache::{Cache, CacheConfig, CacheOutcome, Replacement};
 pub use mem::hierarchy::{Access, Hierarchy, MemLatency, PrefetchFill, ServedBy};
 pub use mem::memory::{MemFault, Memory};

@@ -26,6 +26,7 @@ use pandora_isa::{Program, Reg};
 
 use crate::config::SimConfig;
 use crate::fault::FaultPlan;
+use crate::func::{EmuError, Emulator};
 use crate::mem::hierarchy::Hierarchy;
 use crate::mem::memory::Memory;
 use crate::opt::hook::{FaultHook, Hooks};
@@ -34,6 +35,55 @@ use crate::stats::SimStats;
 use crate::trace::Trace;
 
 pub use crate::error::{DeadlockDiagnostics, SimError};
+
+/// A point-in-time image of a [`Machine`], taken by
+/// [`Machine::snapshot`] and re-imposed by [`Machine::restore`].
+///
+/// A checkpoint is a *deep copy of everything that determines future
+/// behaviour*: the architectural state (registers, memory with its
+/// `dirty_hi` write high-water mark, program), the microarchitectural
+/// window (fetch buffer, rename tables, ROB, load/store queues),
+/// the cache hierarchy and branch predictors, the accumulated
+/// statistics/trace, and the full hook list — including learned
+/// optimization tables and the noise hook's `SmallRng` streams *at
+/// their current positions*, so trials forked from one warmed
+/// checkpoint resume the exact noise sequence a serial replay would
+/// see.
+///
+/// The pipeline stages themselves are stateless schedulers and are not
+/// part of the image.
+///
+/// Checkpoints are the fleet's fork primitive: wrap one in an
+/// [`std::sync::Arc`] and hand it to many
+/// [`crate::fleet::MemberSpec`]s to run each trial from the shared
+/// warm state instead of replaying the prefix.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    state: PipelineState,
+    hooks: Hooks,
+}
+
+impl Checkpoint {
+    /// The cycle the snapshot was taken at. `0` means the machine had
+    /// not stepped yet (a "warm prep" checkpoint); restored machines
+    /// resume counting from here.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.state.cycle()
+    }
+
+    /// The configuration the snapshotted machine ran under.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.state.cfg
+    }
+
+    /// Read-only view of the snapshotted memory image.
+    #[must_use]
+    pub fn mem(&self) -> &Memory {
+        &self.state.mem
+    }
+}
 
 /// The simulated machine: one out-of-order core, two cache levels, flat
 /// memory.
@@ -218,6 +268,141 @@ impl Machine {
         }
     }
 
+    /// Captures a deep [`Checkpoint`] of the machine — see
+    /// [`Checkpoint`] for exactly what the image contains. The machine
+    /// is not perturbed; snapshotting mid-run and continuing produces
+    /// the same statistics as never snapshotting.
+    #[must_use]
+    pub fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            state: self.state.clone(),
+            hooks: self.hooks.clone(),
+        }
+    }
+
+    /// Re-imposes a [`Checkpoint`] on this machine, in place.
+    ///
+    /// This is a *restore*, not a reset: no hook is re-derived from its
+    /// seed — the noise RNG streams, learned optimization tables, and
+    /// accumulated statistics all resume exactly where the snapshot
+    /// left them, so a restored machine's continuation is bit-equal to
+    /// the snapshotted machine's (the golden-stats checkpoint gate
+    /// pins this). Works from *any* prior machine state, including a
+    /// recycled pool machine of a different shape; memory restores via
+    /// [`Memory::restore_from`], which zeroes the stale dirty tail and
+    /// adopts the checkpoint's high-water mark so no bytes from the
+    /// previous occupant survive.
+    pub fn restore(&mut self, ck: &Checkpoint) {
+        self.state.restore_from(&ck.state);
+        self.hooks = ck.hooks.clone();
+    }
+
+    /// Builds a fresh machine directly from a checkpoint — the
+    /// fork-entry path for pool slots that have no machine to recycle.
+    #[must_use]
+    pub fn from_checkpoint(ck: &Checkpoint) -> Machine {
+        Machine {
+            state: ck.state.clone(),
+            stages: Stages::default(),
+            hooks: ck.hooks.clone(),
+        }
+    }
+
+    /// Replaces the environmental-noise configuration, rebuilding the
+    /// noise hook with streams derived from the new seed (and removing
+    /// it when the new config is quiet).
+    ///
+    /// Intended for **cycle-0 checkpoint forks**: before the first
+    /// step no noise has been drawn, so swapping the hook here is
+    /// bit-equal to constructing the machine under the new config.
+    /// Calling this mid-run forfeits byte-identity with a machine that
+    /// ran under the new config from the start (the already-elapsed
+    /// cycles used the old streams).
+    pub fn set_noise(&mut self, noise: crate::noise::NoiseConfig) {
+        self.state.cfg.noise = noise;
+        self.hooks.set_noise(&self.state.cfg);
+    }
+
+    /// Runs until at least `committed` instructions have committed (or
+    /// the machine halts), up to `max_cycles` additional cycles — the
+    /// warm-up driver for taking a mid-run [`Checkpoint`] at a
+    /// deterministic program boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Timeout`] if the budget runs out first; otherwise
+    /// as [`Machine::run`].
+    pub fn run_until_committed(&mut self, committed: u64, max_cycles: u64) -> Result<(), SimError> {
+        let limit = self.state.cycle + max_cycles;
+        while !self.state.halted && self.stats().committed < committed {
+            if self.state.cycle >= limit {
+                return Err(SimError::Timeout { cycles: max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Two-tier execution: runs the program prefix up to `boundary_pc`
+    /// on the functional [`Emulator`] (timing-free, ~100× cheaper per
+    /// instruction) and seeds a fresh pipeline machine from the
+    /// resulting *architectural* state — registers, memory, and the
+    /// resume pc.
+    ///
+    /// The tier boundary is architectural only: the returned machine
+    /// starts at cycle 0 with cold caches, cold predictors, and fresh
+    /// hook state, exactly as if the prefix's register/memory effects
+    /// had been preloaded by hand. Microarchitectural warm-up done by
+    /// the prefix is *not* carried over — use
+    /// [`Machine::snapshot`]/[`Machine::restore`] when cache and
+    /// predictor state must survive the boundary.
+    ///
+    /// The prefix must be timing-free: a `rdcycle` before the boundary
+    /// is rejected ([`EmuError::RdCycleInPrefix`]) because the
+    /// emulator's timer counts instructions while the pipeline's
+    /// counts (noise-quantized) cycles. `rdcycle` *after* the boundary
+    /// is fine and measures the cycle-accurate region only.
+    ///
+    /// # Errors
+    ///
+    /// As [`Emulator::run_to_pc`].
+    pub fn fast_forward(
+        cfg: SimConfig,
+        prog: &Program,
+        boundary_pc: usize,
+        max_steps: u64,
+    ) -> Result<Machine, EmuError> {
+        let mut emu = Emulator::new(Memory::new(cfg.mem_size));
+        let pc = emu.run_to_pc(prog, boundary_pc, max_steps)?;
+        let mut m = Machine::new(cfg);
+        m.load_program(prog);
+        m.seed_from_emulator(&emu, pc);
+        Ok(m)
+    }
+
+    /// Adopts an emulator's architectural state — registers, memory —
+    /// and resumes fetch at `resume_pc`. The machine must not have
+    /// stepped yet; callers that need to pre-seed memory before the
+    /// functional prefix runs can drive [`Emulator::run_to_pc`]
+    /// themselves and finish the handoff here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the machine has started executing.
+    pub fn seed_from_emulator(&mut self, emu: &Emulator, resume_pc: usize) {
+        assert_eq!(
+            self.state.cycle, 0,
+            "seed_from_emulator is only valid before run()"
+        );
+        for (i, &v) in emu.regs().iter().enumerate() {
+            self.state.arch_regs[i] = v;
+            let tag = self.state.rat[i] as usize;
+            self.state.prf_vals[tag] = v;
+        }
+        self.state.mem.restore_from(emu.mem());
+        self.state.fetch_pc = resume_pc;
+    }
+
     /// Installs a fault plan: each scheduled event is applied at the
     /// start of its cycle on subsequent [`Machine::step`]s. Replaces
     /// any previously installed plan; events scheduled at or before the
@@ -301,5 +486,128 @@ impl Machine {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseConfig;
+    use pandora_isa::Asm;
+
+    fn loop_prog(iters: u64) -> Program {
+        let mut a = Asm::new();
+        a.li(Reg::T0, iters);
+        a.label("l");
+        a.ld(Reg::T1, Reg::ZERO, 0x4000);
+        a.sd(Reg::T1, Reg::ZERO, 0x6000);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "l");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    fn noisy_cfg() -> SimConfig {
+        SimConfig {
+            noise: NoiseConfig::at_intensity(40, 9).with_window(0x4000, 0x8000),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_continuation_is_bit_equal_to_straight_run() {
+        for cfg in [SimConfig::default(), noisy_cfg()] {
+            let mut straight = Machine::new(cfg);
+            straight.load_program(&loop_prog(120));
+            let want = straight.run(1_000_000).unwrap();
+
+            let mut m = Machine::new(cfg);
+            m.load_program(&loop_prog(120));
+            m.run_until_committed(60, 1_000_000).unwrap();
+            let ck = m.snapshot();
+            assert_eq!(ck.cycle(), m.cycle(), "snapshot pins the cycle");
+            let cont = m.run(1_000_000).unwrap();
+            assert_eq!(cont, want, "snapshotting does not perturb the run");
+
+            // Restore into a machine that is dirty in every dimension:
+            // different program, different noise, mid-run.
+            let mut dirty = Machine::new(SimConfig {
+                noise: NoiseConfig::at_intensity(70, 123),
+                ..SimConfig::default()
+            });
+            dirty.load_program(&loop_prog(300));
+            dirty.mem_mut().write_u64(0x9000, 0xdead_beef).unwrap();
+            dirty.run_until_committed(200, 1_000_000).unwrap();
+            dirty.restore(&ck);
+            assert_eq!(dirty.cycle(), ck.cycle());
+            let forked = dirty.run(1_000_000).unwrap();
+            assert_eq!(forked, want, "restore resumes bit-equal (cfg {cfg:?})");
+            assert_eq!(dirty.mem().read_u64(0x9000).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn from_checkpoint_matches_restore() {
+        let mut m = Machine::new(noisy_cfg());
+        m.load_program(&loop_prog(90));
+        m.run_until_committed(40, 1_000_000).unwrap();
+        let ck = m.snapshot();
+        let want = m.run(1_000_000).unwrap();
+        let mut fresh = Machine::from_checkpoint(&ck);
+        assert_eq!(fresh.run(1_000_000).unwrap(), want);
+    }
+
+    #[test]
+    fn restore_crosses_machine_shapes() {
+        let mut m = Machine::new(SimConfig::default());
+        m.load_program(&loop_prog(50));
+        m.run_until_committed(30, 1_000_000).unwrap();
+        let ck = m.snapshot();
+        let want = m.run(1_000_000).unwrap();
+
+        let mut small = Machine::new(SimConfig {
+            mem_size: 1 << 16,
+            ..SimConfig::little_core()
+        });
+        small.restore(&ck);
+        assert_eq!(small.config(), ck.config(), "restore adopts the config");
+        assert_eq!(small.run(1_000_000).unwrap(), want);
+    }
+
+    #[test]
+    fn set_noise_on_cycle0_fork_matches_fresh_construction() {
+        // A warm cycle-0 checkpoint forked under per-trial noise must be
+        // indistinguishable from building each trial machine directly.
+        let mut warm = Machine::new(SimConfig::default());
+        warm.load_program(&loop_prog(100));
+        warm.mem_mut().write_u64(0x4000, 77).unwrap();
+        let ck = warm.snapshot();
+
+        for seed in [3u64, 19, 1234] {
+            let trial = SimConfig {
+                noise: NoiseConfig::at_intensity(35, seed).with_window(0x4000, 0x8000),
+                ..SimConfig::default()
+            };
+            let mut direct = Machine::new(trial);
+            direct.load_program(&loop_prog(100));
+            direct.mem_mut().write_u64(0x4000, 77).unwrap();
+            let want = direct.run(1_000_000).unwrap();
+
+            let mut forked = Machine::from_checkpoint(&ck);
+            forked.set_noise(trial.noise);
+            assert_eq!(*forked.config(), trial);
+            assert_eq!(forked.run(1_000_000).unwrap(), want, "seed {seed}");
+
+            // And back to quiet: the hook is removed entirely.
+            let mut quiet = Machine::from_checkpoint(&ck);
+            quiet.set_noise(NoiseConfig::quiet());
+            let mut direct_quiet = Machine::new(SimConfig::default());
+            direct_quiet.load_program(&loop_prog(100));
+            direct_quiet.mem_mut().write_u64(0x4000, 77).unwrap();
+            assert_eq!(
+                quiet.run(1_000_000).unwrap(),
+                direct_quiet.run(1_000_000).unwrap()
+            );
+        }
     }
 }

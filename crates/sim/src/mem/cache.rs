@@ -112,6 +112,19 @@ pub struct Cache {
 }
 
 impl Cache {
+    /// Capacity-preserving restore: rewinds this cache to `src`'s
+    /// contents while reusing every set vector's allocation. The
+    /// derived `clone_from` would replace the sets with exact-capacity
+    /// clones, which then reallocate one by one as churned sets refill
+    /// toward their way count — breaking the allocation-free hot loop
+    /// after a checkpoint restore.
+    pub(crate) fn restore_from(&mut self, src: &Cache) {
+        self.cfg = src.cfg;
+        self.sets.clone_from(&src.sets);
+        self.clock = src.clock;
+        self.rng = src.rng.clone();
+    }
+
     /// Creates an empty cache. `seed` drives the random replacement
     /// policy (ignored under LRU) so runs are reproducible.
     ///

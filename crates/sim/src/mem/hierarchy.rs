@@ -84,6 +84,17 @@ pub struct Hierarchy {
 }
 
 impl Hierarchy {
+    /// Capacity-preserving restore: both levels rewind via
+    /// [`Cache::restore_from`], so a checkpoint restore reuses the set
+    /// allocations already at their high-water marks.
+    pub(crate) fn restore_from(&mut self, src: &Hierarchy) {
+        self.l1.restore_from(&src.l1);
+        self.l2.restore_from(&src.l2);
+        self.lat = src.lat;
+        self.suppressed_prefetches = src.suppressed_prefetches;
+        self.l2_detached = src.l2_detached;
+    }
+
     /// Builds a hierarchy from per-level geometry and latencies. `seed`
     /// drives random replacement (if configured).
     #[must_use]

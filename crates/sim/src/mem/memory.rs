@@ -194,6 +194,41 @@ impl Memory {
         Ok(&self.bytes[base..base + len])
     }
 
+    /// The write high-water mark: the exclusive upper bound of bytes
+    /// that may be nonzero. Exposed so checkpoint/restore code (and its
+    /// regression tests) can prove the mark travels with the contents.
+    #[must_use]
+    pub fn dirty_hi(&self) -> usize {
+        self.dirty_hi
+    }
+
+    /// Makes `self` equal to `src` — contents *and* dirty mark — in
+    /// place, touching only the dirty prefixes instead of the whole
+    /// backing store.
+    ///
+    /// Restoring the mark is a correctness requirement, not an
+    /// optimization detail: [`Memory`] equality is contents-only and a
+    /// partial [`Memory::clear`] keeps the mark, so a checkpoint
+    /// restore that copied bytes but left a *lower* stale mark would
+    /// let live bytes above it survive the next whole-memory clear
+    /// (the recycled-pool `reset_to` path) — leaking one trial's
+    /// secrets into the next. This routine therefore (1) zeroes the
+    /// stale region between `src`'s mark and `self`'s old mark, and
+    /// (2) adopts `src`'s mark, relying on the invariant that bytes at
+    /// or above a memory's mark are zero.
+    pub fn restore_from(&mut self, src: &Memory) {
+        if self.bytes.len() != src.bytes.len() {
+            self.bytes.clone_from(&src.bytes);
+            self.dirty_hi = src.dirty_hi;
+            return;
+        }
+        if self.dirty_hi > src.dirty_hi {
+            self.bytes[src.dirty_hi..self.dirty_hi].fill(0);
+        }
+        self.bytes[..src.dirty_hi].copy_from_slice(&src.bytes[..src.dirty_hi]);
+        self.dirty_hi = src.dirty_hi;
+    }
+
     /// Zero-fills `len` bytes starting at `addr`. A clear that covers
     /// the whole dirty prefix (notably the whole-memory clear issued by
     /// machine reset) zero-fills only up to the write high-water mark —
@@ -288,6 +323,49 @@ mod tests {
         m.clear(0, 0x1000).unwrap();
         assert_eq!(m.dirty_hi, 0);
         assert_eq!(m, Memory::new(1 << 16));
+    }
+
+    #[test]
+    fn restore_from_adopts_contents_and_dirty_mark() {
+        // The checkpoint: a small dirty prefix.
+        let mut ck = Memory::new(1 << 16);
+        ck.write_u64(0x100, 0xc0ff_ee).unwrap();
+        assert_eq!(ck.dirty_hi(), 0x108);
+
+        // A recycled machine whose previous trial wrote "secrets" far
+        // above the checkpoint's mark.
+        let mut m = Memory::new(1 << 16);
+        m.write_u64(0x100, 0xdead).unwrap();
+        m.write_bytes(0x8000, &[0xaa; 64]).unwrap();
+        assert_eq!(m.dirty_hi(), 0x8040);
+
+        m.restore_from(&ck);
+        assert_eq!(m, ck, "contents restored");
+        assert_eq!(
+            m.dirty_hi(),
+            0x108,
+            "the mark must be restored with the contents"
+        );
+        assert_eq!(
+            m.read_bytes(0x8000, 64).unwrap(),
+            &[0u8; 64],
+            "stale bytes above the restored mark are zeroed, not leaked"
+        );
+
+        // The hazard the mark-restore prevents: the next whole-memory
+        // clear trusts the mark, so a stale lower mark would leave the
+        // previous trial's bytes alive.
+        m.write_u64(0x4000, 0x5ec2e7).unwrap();
+        m.clear(0, 1 << 16).unwrap();
+        assert_eq!(m, Memory::new(1 << 16), "recycle leaves no residue");
+
+        // Size mismatch falls back to a full adopt.
+        let mut other = Memory::new(1 << 12);
+        other.write_u8(7, 9).unwrap();
+        other.restore_from(&ck);
+        assert_eq!(other.size(), 1 << 16);
+        assert_eq!(other, ck);
+        assert_eq!(other.dirty_hi(), ck.dirty_hi());
     }
 
     #[test]

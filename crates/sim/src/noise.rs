@@ -349,6 +349,30 @@ mod tests {
     }
 
     #[test]
+    fn clone_resumes_streams_at_position_reset_rewinds_them() {
+        // Checkpoints capture the noise hook by cloning it, so a clone
+        // must continue both RNG streams exactly where the original
+        // stands — not rewind to the seed the way `reset` does.
+        let cfg = NoiseConfig {
+            timer_jitter: 1000,
+            seed: 41,
+            ..NoiseConfig::quiet()
+        };
+        let mut h = NoiseHook::new(cfg);
+        let burn: Vec<u64> = (0..17).map(|_| h.read_cycle(0).unwrap()).collect();
+
+        let mut forked = h.clone();
+        let cont: Vec<u64> = (0..32).map(|_| h.read_cycle(0).unwrap()).collect();
+        let forked_cont: Vec<u64> = (0..32).map(|_| forked.read_cycle(0).unwrap()).collect();
+        assert_eq!(cont, forked_cont, "clone resumes mid-stream");
+
+        forked.reset(&SimConfig::default());
+        let rewound: Vec<u64> = (0..17).map(|_| forked.read_cycle(0).unwrap()).collect();
+        assert_eq!(rewound, burn, "reset re-derives the stream from seed");
+        assert_ne!(cont[..17], burn[..], "jitter stream has real state");
+    }
+
+    #[test]
     fn eviction_noise_slows_a_cache_resident_loop() {
         let quiet = {
             let mut m = Machine::new(SimConfig::default());

@@ -15,6 +15,14 @@ pub struct Bimodal {
 }
 
 impl Bimodal {
+    /// Capacity-preserving restore (see [`PipelineState::restore_from`]).
+    ///
+    /// [`PipelineState::restore_from`]: crate::pipeline::PipelineState
+    pub(crate) fn restore_from(&mut self, src: &Bimodal) {
+        self.counters.clone_from(&src.counters);
+        self.mask = src.mask;
+    }
+
     /// Creates a predictor with `entries` counters (power of two),
     /// initialised to weakly-not-taken.
     ///
@@ -61,6 +69,12 @@ pub struct Btb {
 }
 
 impl Btb {
+    /// Capacity-preserving restore: `HashMap::clone_from` reuses the
+    /// bucket allocation when it already fits.
+    pub(crate) fn restore_from(&mut self, src: &Btb) {
+        self.targets.clone_from(&src.targets);
+    }
+
     /// Creates an empty BTB.
     #[must_use]
     pub fn new() -> Btb {

@@ -59,7 +59,12 @@ pub enum MemoLookup {
 /// interception points its optimization uses. Hooks mutate only their
 /// own state plus whatever [`PipelineState`] exposes at the call site;
 /// all observation is emitted as [`SimEvent`]s.
-pub trait OptHook: fmt::Debug + Send {
+///
+/// `Send + Sync` because hooks are plain data (learned tables, RNG
+/// words — mutation always goes through `&mut self`): machines migrate
+/// across fleet worker threads, and [`crate::Checkpoint`]s are shared
+/// read-only behind `Arc` so forked trials can clone the hook list.
+pub trait OptHook: fmt::Debug + Send + Sync {
     /// A short stable identifier; [`Hooks::install`] replaces any
     /// existing hook with the same name.
     fn name(&self) -> &'static str;
@@ -288,6 +293,33 @@ impl Hooks {
         let name = hook.name();
         self.list.retain(|h| h.name() != name);
         self.list.push(hook);
+        self.recache_capabilities();
+    }
+
+    /// Replaces the environmental-noise hook to match `cfg.noise`:
+    /// removes any installed noise hook, then (when the new config has
+    /// noise enabled) appends a fresh [`crate::noise::NoiseHook`] with
+    /// streams derived from the new seed — exactly the hook
+    /// [`Hooks::from_config`] would have built, in its canonical
+    /// last-of-list position.
+    ///
+    /// This is the per-member noise override used by cycle-0
+    /// checkpoint forks ([`crate::Machine::set_noise`]): at cycle 0 no
+    /// noise has been drawn yet, so swapping the hook is bit-equal to
+    /// constructing the machine under the new config.
+    pub fn set_noise(&mut self, cfg: &SimConfig) {
+        self.list.retain(|h| h.name() != "noise");
+        if cfg.noise.enabled() {
+            // Keep the canonical order (noise after every optimization
+            // class, before any installed fault hook).
+            let at = self
+                .list
+                .iter()
+                .position(|h| h.name() == "fault")
+                .unwrap_or(self.list.len());
+            self.list
+                .insert(at, Box::new(crate::noise::NoiseHook::new(cfg.noise)));
+        }
         self.recache_capabilities();
     }
 

@@ -365,6 +365,79 @@ impl PipelineState {
         self.last_progress_cycle = 0;
     }
 
+    /// Makes `self` equal to `src` in place, reusing every allocation
+    /// the shapes share — the restore half of
+    /// [`crate::Machine::restore`]. Memory goes through
+    /// [`Memory::restore_from`] so only the dirty prefixes move (and
+    /// the write high-water mark travels with the contents); the
+    /// vector/deque fields use `clone_from` to keep their capacity.
+    ///
+    /// The exhaustive destructuring below is deliberate: adding a field
+    /// to `PipelineState` without deciding how it restores must be a
+    /// compile error, not a silent checkpoint divergence.
+    pub(crate) fn restore_from(&mut self, src: &PipelineState) {
+        let PipelineState {
+            cfg,
+            prog,
+            mem,
+            hier,
+            cycle,
+            next_seq,
+            halted,
+            fetch_pc,
+            fetch_stall_until,
+            fetch_blocked,
+            fetch_buf,
+            bimodal,
+            btb,
+            rat,
+            prf_vals,
+            prf_ready,
+            live_tags,
+            shared_tags,
+            free_tags,
+            arch_regs,
+            rob,
+            iq_count,
+            lq,
+            sq,
+            fences_inflight,
+            bus,
+            store_resolve_scratch,
+            exec_wakeup,
+            last_progress_cycle,
+        } = src;
+        self.cfg = *cfg;
+        self.prog.clone_from(prog);
+        self.mem.restore_from(mem);
+        self.hier.restore_from(hier);
+        self.cycle = *cycle;
+        self.next_seq = *next_seq;
+        self.halted = *halted;
+        self.fetch_pc = *fetch_pc;
+        self.fetch_stall_until = *fetch_stall_until;
+        self.fetch_blocked = *fetch_blocked;
+        self.fetch_buf.clone_from(fetch_buf);
+        self.bimodal.restore_from(bimodal);
+        self.btb.restore_from(btb);
+        self.rat = *rat;
+        self.prf_vals.clone_from(prf_vals);
+        self.prf_ready.clone_from(prf_ready);
+        self.live_tags = *live_tags;
+        self.shared_tags.clone_from(shared_tags);
+        self.free_tags.clone_from(free_tags);
+        self.arch_regs = *arch_regs;
+        self.rob.clone_from(rob);
+        self.iq_count = *iq_count;
+        self.lq.clone_from(lq);
+        self.sq.clone_from(sq);
+        self.fences_inflight = *fences_inflight;
+        self.bus.restore_from(bus);
+        self.store_resolve_scratch.clone_from(store_resolve_scratch);
+        self.exec_wakeup = *exec_wakeup;
+        self.last_progress_cycle = *last_progress_cycle;
+    }
+
     /// The current cycle (for hooks that need timing context).
     #[must_use]
     pub fn cycle(&self) -> u64 {

@@ -134,6 +134,13 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Capacity-preserving restore: the event log rewinds to `src`'s
+    /// contents without giving up its buffer.
+    pub(crate) fn restore_from(&mut self, src: &Trace) {
+        self.events.clone_from(&src.events);
+        self.enabled = src.enabled;
+    }
+
     /// Creates a disabled (zero-cost) trace.
     #[must_use]
     pub fn new() -> Trace {

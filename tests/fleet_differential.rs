@@ -151,6 +151,83 @@ fn trial_grid_is_invariant_to_threads_and_machine_recycling() {
     assert_eq!(pooled_1, pooled_4, "thread count changed trial results");
 }
 
+/// The warm-fork contract: trials forked from one mid-run checkpoint
+/// of a *noisy* machine must be bit-equal to serial replay. The
+/// checkpoint is taken deep into the run, so the noise RNG streams are
+/// far from their seeds at the boundary — bit-equality therefore
+/// proves `restore` resumes the streams at the checkpointed position
+/// rather than re-deriving them from config (which `NoiseHook::reset`
+/// does, and which would silently decorrelate forked trials from the
+/// serial reference).
+#[test]
+fn forked_trials_are_bit_equal_to_serial_replay_across_threads() {
+    let program = Arc::new(sweep_program(48));
+    let cfg = SimConfig {
+        noise: NoiseConfig::at_intensity(45, 0xfeed_5eed).with_window(0x2_0000, 0x3_0000),
+        ..SimConfig::with_opts(OptConfig::with_silent_stores())
+    };
+    let warm = || {
+        let mut m = Machine::new(cfg);
+        m.load_program(&program);
+        prep(&mut m).expect("prep succeeds");
+        m.run_until_committed(400, DEFAULT_MAX_CYCLES)
+            .expect("warm prefix completes");
+        m
+    };
+    let warmed = warm();
+    assert!(
+        warmed.stats().noise_events > 0,
+        "the checkpoint must already have consumed noise draws"
+    );
+    let ck = Arc::new(warmed.snapshot());
+    assert!(ck.cycle() > 0, "mid-run checkpoint");
+
+    // Serial replay reference: each trial re-runs the whole prefix,
+    // then applies its per-trial delta at the boundary.
+    let trial_value = |v: u64| v * 3 + 1;
+    let serial: Vec<(SimStats, u64)> = (0..5u64)
+        .map(|v| {
+            let mut m = warm();
+            m.mem_mut().write_u64(0x2_0000, trial_value(v)).unwrap();
+            let stats = m.run(DEFAULT_MAX_CYCLES).expect("serial trial completes");
+            (stats, m.mem().read_u64(0x2_0000).unwrap())
+        })
+        .collect();
+    assert!(
+        serial[0].0.noise_events > warmed.stats().noise_events,
+        "noise keeps flowing after the boundary"
+    );
+
+    // Forked: every trial restores the shared checkpoint. threads = 1
+    // funnels all jobs through ONE pool slot, so each restore lands on
+    // the previous trial's dirty machine.
+    let jobs: Vec<MemberSpec> = (0..5u64)
+        .map(|v| {
+            MemberSpec::new(cfg, Arc::clone(&program))
+                .with_start(Arc::clone(&ck))
+                .with_prep(move |m| {
+                    m.mem_mut().write_u64(0x2_0000, trial_value(v)).unwrap();
+                    Ok(())
+                })
+        })
+        .collect();
+    let run_grid = |threads| -> Vec<(SimStats, u64)> {
+        fleet::trial_grid(&jobs, threads, |_, m, stats| {
+            (stats, m.mem().read_u64(0x2_0000).unwrap())
+        })
+        .into_iter()
+        .map(|r| r.expect("forked trial completes"))
+        .collect()
+    };
+    let forked_1 = run_grid(1);
+    let forked_4 = run_grid(4);
+    assert_eq!(
+        forked_1, serial,
+        "fork-from-checkpoint diverged from serial replay"
+    );
+    assert_eq!(forked_1, forked_4, "thread count changed forked results");
+}
+
 /// The pool-recycling hazard the scan service leans on: a trial that
 /// *panics with the machine genuinely mid-step* (in-flight uops, dirty
 /// caches, partial memory writes) must leave nothing behind for the

@@ -269,6 +269,170 @@ fn golden_fig5_under_pinned_seed_noise() {
     check_stats("FIG5_NOISY", m.stats(), &FIG5_NOISY);
 }
 
+/// The fig5 workload forked at the warm-prefix boundary instead of run
+/// straight through: program and gadget memory are baked into a
+/// checkpoint *before* `TARGET` holds the trial value, then the
+/// per-trial `old` is written after the fork and the continuation runs
+/// to halt. `recycled` (when primed by a previous case) is restored
+/// over rather than replaced, exercising the fleet pool's dirty-slot
+/// path on every case after the first.
+fn fig5_forked(
+    cfg: SimConfig,
+    kind: Option<FlushKind>,
+    old: u64,
+    new: u64,
+    recycled: &mut Option<Machine>,
+) -> Machine {
+    let gadget = kind.map(|k| AmplifyGadget::new(&cfg, TARGET, DELAY, k));
+    let mut a = Asm::new();
+    a.ld(Reg::T0, Reg::ZERO, TARGET as i64);
+    for i in 1..6i64 {
+        a.ld(Reg::T0, Reg::ZERO, (TARGET + 0x1000) as i64 + 64 * i);
+    }
+    a.fence();
+    a.li(Reg::T0, new);
+    if let Some(g) = &gadget {
+        g.emit(&mut a);
+    }
+    a.sd(Reg::T0, Reg::ZERO, TARGET as i64);
+    for i in 1..6i64 {
+        a.sd(Reg::T0, Reg::ZERO, (TARGET + 0x1000) as i64 + 64 * i);
+    }
+    a.fence();
+    a.halt();
+    let prog = a.assemble().expect("fig5 program assembles");
+    let mut warm = Machine::new(cfg);
+    warm.load_program(&prog);
+    if let Some(g) = &gadget {
+        g.setup_memory(warm.mem_mut());
+        g.setup_memory_flush_variant(warm.mem_mut());
+    }
+    // Six warm loads + the fence = seven committed instructions.
+    warm.run_until_committed(7, 1_000_000).expect("warm prefix completes");
+    let ck = warm.snapshot();
+    assert!(ck.cycle() > 0, "the boundary must be mid-run, not cycle 0");
+
+    let mut m = match recycled.take() {
+        Some(mut m) => {
+            m.restore(&ck);
+            m
+        }
+        None => Machine::from_checkpoint(&ck),
+    };
+    m.mem_mut().write_u64(TARGET, old).expect("in memory");
+    m.run(1_000_000).expect("forked continuation completes");
+
+    // Prove snapshotting was pure: the warm donor, continued past the
+    // same per-trial write, must land on the same stats as the fork.
+    warm.mem_mut().write_u64(TARGET, old).expect("in memory");
+    warm.run(1_000_000).expect("snapshot donor continuation completes");
+    assert_eq!(
+        warm.stats(),
+        m.stats(),
+        "taking a snapshot perturbed the donor machine"
+    );
+
+    // Hand the finished donor back as the next case's dirty pool slot.
+    *recycled = Some(warm);
+    m
+}
+
+/// Mid-run fork gate for the checkpoint subsystem: every pinned fig5
+/// configuration, forked at the warm-prefix boundary with the trial
+/// value written *after* the fork, must reproduce the straight-run
+/// golden capture bit for bit — including the noisy config, whose RNG
+/// streams must resume mid-sequence rather than rewind.
+#[test]
+fn golden_fig5_checkpoint_boundary_matches_straight_run() {
+    let base = SimConfig::with_opts(OptConfig::with_silent_stores());
+    let mut noisy = base;
+    noisy.noise = NoiseConfig::at_intensity(30, 0xfeed).with_window(0x1_0000, 0x2_0000);
+    noisy.paranoid_checks = true;
+    let mut little = SimConfig::little_core();
+    little.opts = OptConfig::with_silent_stores();
+    let mut big = SimConfig::big_core();
+    big.opts = OptConfig::with_silent_stores();
+
+    let cases: [(&str, SimConfig, Option<FlushKind>, u64, &SimStats); 11] = [
+        ("FIG5_CONTROL_SILENT", base, None, 42, &FIG5_CONTROL_SILENT),
+        ("FIG5_CONTROL_LOUD", base, None, 41, &FIG5_CONTROL_LOUD),
+        (
+            "FIG5_CONTENTION_SILENT",
+            base,
+            Some(FlushKind::Contention),
+            42,
+            &FIG5_CONTENTION_SILENT,
+        ),
+        (
+            "FIG5_CONTENTION_LOUD",
+            base,
+            Some(FlushKind::Contention),
+            41,
+            &FIG5_CONTENTION_LOUD,
+        ),
+        (
+            "FIG5_FLUSH_SILENT",
+            base,
+            Some(FlushKind::FlushInstr),
+            42,
+            &FIG5_FLUSH_SILENT,
+        ),
+        (
+            "FIG5_FLUSH_LOUD",
+            base,
+            Some(FlushKind::FlushInstr),
+            41,
+            &FIG5_FLUSH_LOUD,
+        ),
+        (
+            "FIG5_LITTLE_SILENT",
+            little,
+            Some(FlushKind::Contention),
+            42,
+            &FIG5_LITTLE_SILENT,
+        ),
+        (
+            "FIG5_LITTLE_LOUD",
+            little,
+            Some(FlushKind::Contention),
+            41,
+            &FIG5_LITTLE_LOUD,
+        ),
+        (
+            "FIG5_BIG_SILENT",
+            big,
+            Some(FlushKind::Contention),
+            42,
+            &FIG5_BIG_SILENT,
+        ),
+        (
+            "FIG5_BIG_LOUD",
+            big,
+            Some(FlushKind::Contention),
+            41,
+            &FIG5_BIG_LOUD,
+        ),
+        (
+            "FIG5_NOISY",
+            noisy,
+            Some(FlushKind::Contention),
+            41,
+            &FIG5_NOISY,
+        ),
+    ];
+    let mut recycled = None;
+    for (name, cfg, kind, old, want) in cases {
+        let m = fig5_forked(cfg, kind, old, 42, &mut recycled);
+        if !printing() {
+            assert_eq!(
+                m.stats(),
+                want,
+                "{name} forked at the checkpoint boundary drifted from the straight-run capture"
+            );
+        }
+    }
+}
+
 #[test]
 fn golden_fig5_dropped_completion_deadlocks() {
     let base = SimConfig::with_opts(OptConfig::with_silent_stores());

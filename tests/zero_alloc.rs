@@ -120,6 +120,24 @@ fn steady_state_step_is_allocation_free() {
          steady-state steps — reset must keep the hot loop's buffers at their high-water mark"
     );
 
+    // Restore leg: `Machine::restore` rewinds to a mid-run checkpoint
+    // with `clone_from` semantics — every state buffer is reused in
+    // place at its captured capacity. Taking the snapshot and the
+    // restore itself may allocate (a checkpoint is a deep clone, and
+    // restore re-clones the hook boxes); what must NOT allocate is the
+    // steady state afterwards, with *zero* re-warm steps: the
+    // checkpoint captured the high-water marks, so the hot loop resumes
+    // allocation-free from the first post-restore step.
+    let ck = noisy_machine.snapshot();
+    warmup(&mut noisy_machine, 1000); // drift past the checkpoint before rewinding
+    noisy_machine.restore(&ck);
+    let restored = steady_state_allocs("fig5_noisy_after_restore", &mut noisy_machine, 0);
+    assert_eq!(
+        restored, 0,
+        "post-restore noisy fig5 config allocated {restored} times across {MEASURED_STEPS} \
+         steady-state steps — restore must reuse every buffer at its captured high-water mark"
+    );
+
     // Fleet leg: lockstep batch stepping through `Fleet::step_batch`
     // with an effective thread count of 1 runs inline on the caller's
     // thread (no spawning, no result buffers) and must inherit the
